@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Reproduces Figure 3: SPLASH-2 parallel speedups (Barnes, FFT, FMM,
+ * LU, Ocean, Radix) on 1..128 threads.
+ *
+ * For the 128-thread points the kernel's two reserved system threads
+ * are released (reservedThreads = 0), matching the figure's x-axis;
+ * all other points use the standard configuration.
+ */
+
+#include "bench_util.h"
+#include "workloads/splash.h"
+
+using namespace cyclops;
+using namespace cyclops::workloads;
+using cyclops::bench::Options;
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = cyclops::bench::parseOptions(argc, argv);
+    cyclops::bench::banner(
+        opts, "Figure 3: SPLASH-2 parallel speedups",
+        "most kernels reach scalability comparable to the SPLASH-2 "
+        "report; speedup relative to 1 thread");
+
+    std::vector<u32> threads = {1, 2, 4, 8, 16, 32, 64, 128};
+    if (opts.quick)
+        threads = {1, 4, 16, 64};
+
+    const SplashApp apps[] = {SplashApp::Barnes, SplashApp::Fft,
+                              SplashApp::Fmm, SplashApp::Lu,
+                              SplashApp::Ocean, SplashApp::Radix};
+
+    std::vector<std::string> headers{"threads"};
+    for (SplashApp app : apps)
+        headers.push_back(splashAppName(app));
+    Table speedups(headers);
+    Table cyclesTable(headers);
+
+    std::map<int, Cycle> base;
+    std::vector<std::vector<std::string>> rows;
+    for (u32 t : threads) {
+        std::vector<std::string> srow{Table::num(s64(t))};
+        std::vector<std::string> crow{Table::num(s64(t))};
+        for (SplashApp app : apps) {
+            SplashConfig cfg;
+            cfg.app = app;
+            cfg.threads = t;
+            ChipConfig chipCfg;
+            if (t > chipCfg.usableThreads())
+                chipCfg.reservedThreads = 0; // release system threads
+            // Ocean's 130-edge grid caps the per-thread row split.
+            if (app == SplashApp::Ocean && t == 128)
+                cfg.size = 130;
+            const SplashResult result = runSplash(cfg, chipCfg);
+            if (t == threads.front())
+                base[int(app)] = result.cycles;
+            srow.push_back(strprintf(
+                "%.1f%s", double(base[int(app)]) / double(result.cycles),
+                result.verified ? "" : "!"));
+            crow.push_back(Table::num(s64(result.cycles)));
+        }
+        speedups.addRow(srow);
+        cyclesTable.addRow(crow);
+    }
+
+    cyclops::bench::note(opts, "Parallel speedup (higher is better):");
+    cyclops::bench::emit(opts, speedups);
+    cyclops::bench::note(opts, "Raw cycles:");
+    cyclops::bench::emit(opts, cyclesTable);
+    cyclops::bench::note(
+        opts,
+        "Sizes: Barnes 2048 bodies, FFT 64K points, FMM 2048 "
+        "particles, LU 384x384, Ocean 130x130, Radix 256K keys.");
+    return 0;
+}

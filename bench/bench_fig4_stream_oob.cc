@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Reproduces Figure 4: STREAM out-of-the-box.
+ *
+ * (a) single-threaded bandwidth vs vector size: the in-cache to
+ *     out-of-cache transition, earlier for Add/Triad (three vectors)
+ *     than Copy/Scale (two vectors);
+ * (b) 126 independent copies, per-thread bandwidth vs elements per
+ *     thread: the transition lands at 200-300 elements/thread, and the
+ *     aggregate is 112-120x the single-threaded case for large vectors.
+ */
+
+#include "bench_util.h"
+#include "workloads/stream.h"
+
+using namespace cyclops;
+using namespace cyclops::workloads;
+using cyclops::bench::Options;
+
+namespace
+{
+
+const StreamKernel kKernels[] = {StreamKernel::Copy, StreamKernel::Scale,
+                                 StreamKernel::Add, StreamKernel::Triad};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = cyclops::bench::parseOptions(argc, argv);
+
+    // ---- Figure 4(a): single-threaded sweep -----------------------------
+    cyclops::bench::banner(
+        opts, "Figure 4(a): single-threaded STREAM out-of-the-box",
+        "in-cache to out-of-cache transition as vector size grows; "
+        "Add/Triad transition earlier (3 vectors vs 2)");
+
+    std::vector<u32> sizesA = {256,    512,    1024,   2048,  4096,
+                               8192,   16384,  32768,  65536, 131072,
+                               200000, 252000};
+    if (opts.quick)
+        sizesA = {512, 4096, 32768, 131072};
+
+    Table tableA({"elements", "Copy MB/s", "Scale MB/s", "Add MB/s",
+                  "Triad MB/s"});
+    for (u32 size : sizesA) {
+        std::vector<std::string> row{Table::num(s64(size))};
+        for (StreamKernel kernel : kKernels) {
+            StreamConfig cfg;
+            cfg.kernel = kernel;
+            cfg.threads = 1;
+            cfg.elementsPerThread = size;
+            const StreamResult result = runStream(cfg);
+            row.push_back(Table::num(result.perThreadMBs, 1));
+            if (!result.verified)
+                row.back() += "!";
+        }
+        tableA.addRow(row);
+    }
+    cyclops::bench::emit(opts, tableA);
+
+    // ---- Figure 4(b): 126 independent copies -----------------------------
+    cyclops::bench::banner(
+        opts,
+        "Figure 4(b): multi-threaded STREAM out-of-the-box "
+        "(126 independent copies)",
+        "per-thread bandwidth; in-/out-of-cache transition at 200-300 "
+        "elements per thread");
+
+    std::vector<u32> sizesB = {112, 248, 400,  600,  800,
+                               1000, 1200, 1400, 1600, 2000};
+    if (opts.quick)
+        sizesB = {112, 400, 1200, 2000};
+
+    Table tableB({"elements/thread", "Copy MB/s", "Scale MB/s",
+                  "Add MB/s", "Triad MB/s"});
+    double largeAggregate[4] = {0, 0, 0, 0};
+    for (u32 size : sizesB) {
+        std::vector<std::string> row{Table::num(s64(size))};
+        int k = 0;
+        for (StreamKernel kernel : kKernels) {
+            StreamConfig cfg;
+            cfg.kernel = kernel;
+            cfg.threads = 126;
+            cfg.elementsPerThread = size;
+            cfg.independent = true;
+            const StreamResult result = runStream(cfg);
+            row.push_back(Table::num(result.perThreadMBs, 1));
+            if (!result.verified)
+                row.back() += "!";
+            if (size == sizesB.back())
+                largeAggregate[k] = result.totalGBs;
+            ++k;
+        }
+        tableB.addRow(row);
+    }
+    cyclops::bench::emit(opts, tableB);
+
+    // The 112-120x aggregate claim for large vectors.
+    Table ratio({"Kernel", "126-thread aggregate GB/s",
+                 "single-thread GB/s", "ratio (paper: 112-120x)"});
+    int k = 0;
+    for (StreamKernel kernel : kKernels) {
+        StreamConfig cfg;
+        cfg.kernel = kernel;
+        cfg.threads = 1;
+        cfg.elementsPerThread = sizesB.back() * 126;
+        const StreamResult single = runStream(cfg);
+        ratio.addRow({streamKernelName(kernel),
+                      Table::num(largeAggregate[k], 2),
+                      Table::num(single.totalGBs, 3),
+                      Table::num(largeAggregate[k] / single.totalGBs,
+                                 1)});
+        ++k;
+    }
+    cyclops::bench::emit(opts, ratio);
+    return 0;
+}

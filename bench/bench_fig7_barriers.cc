@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Reproduces Figure 7: hardware vs software (tree) barriers on the
+ * SPLASH-2 FFT kernel, for a 256-point and a 64K-point transform.
+ *
+ * Bars are the relative change (%) in total / run / stall cycles of
+ * the hardware-barrier run versus the software-tree-barrier run;
+ * negative means the hardware barrier is better. The paper reports
+ * ~-10% total for the 256-point FFT on 16 threads and ~-5% for the
+ * 64K-point FFT on 64 threads, with run cycles *increasing* (more,
+ * cheaper spin instructions) while stall cycles drop sharply.
+ *
+ * Constraints enforced as in the paper: points/processor >= sqrt(N)
+ * (so 256-point tops out at 16 threads) and power-of-two processors
+ * (64K tops out at 64 of the 126 usable threads).
+ */
+
+#include "bench_util.h"
+#include "workloads/splash.h"
+
+using namespace cyclops;
+using namespace cyclops::workloads;
+using cyclops::bench::Options;
+
+namespace
+{
+
+double
+pct(u64 hw, u64 sw)
+{
+    return 100.0 * (double(hw) - double(sw)) / double(sw);
+}
+
+void
+panel(const Options &opts, u32 points, const std::vector<u32> &threads)
+{
+    Table table({"threads", "total cycles %", "run cycles %",
+                 "stall cycles %", "hw total", "sw total"});
+    for (u32 t : threads) {
+        const SplashResult hw =
+            runFft(t, points, BarrierKind::Hw, ChipConfig{});
+        const SplashResult sw =
+            runFft(t, points, BarrierKind::SwTree, ChipConfig{});
+        std::string flag =
+            hw.verified && sw.verified ? "" : "!";
+        table.addRow({Table::num(s64(t)) + flag,
+                      Table::num(pct(hw.cycles, sw.cycles), 1),
+                      Table::num(pct(hw.runCycles, sw.runCycles), 1),
+                      Table::num(pct(hw.stallCycles, sw.stallCycles), 1),
+                      Table::num(s64(hw.cycles)),
+                      Table::num(s64(sw.cycles))});
+    }
+    cyclops::bench::emit(opts, table);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = cyclops::bench::parseOptions(argc, argv);
+
+    cyclops::bench::banner(
+        opts,
+        "Figure 7(a): hardware vs software barriers, 256-point FFT",
+        "about -10% total cycles at 16 threads; run cycles up, stall "
+        "cycles down (negative = hardware barrier better)");
+    std::vector<u32> threadsA = {2, 4, 8, 16};
+    if (opts.quick)
+        threadsA = {4, 16};
+    panel(opts, 256, threadsA);
+
+    cyclops::bench::banner(
+        opts,
+        "Figure 7(b): hardware vs software barriers, 64K-point FFT",
+        "about -5% total cycles at 64 threads");
+    std::vector<u32> threadsB = {2, 4, 8, 16, 32, 64};
+    if (opts.quick)
+        threadsB = {8, 64};
+    panel(opts, 65536, threadsB);
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction benchmark binaries.
+ *
+ * Every bench accepts:
+ *   --quick   shrink sweeps (CI-sized run)
+ *   --csv     emit CSV instead of aligned tables
+ *   --scale N multiply problem sizes by N/100 (default 100)
+ */
+
+#ifndef CYCLOPS_BENCH_BENCH_UTIL_H
+#define CYCLOPS_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/log.h"
+#include "common/table.h"
+#include "common/types.h"
+
+namespace cyclops::bench
+{
+
+struct Options
+{
+    bool quick = false;
+    bool csv = false;
+    u32 scale = 100;
+};
+
+inline Options
+parseOptions(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            opts.quick = true;
+        } else if (std::strcmp(argv[i], "--csv") == 0) {
+            opts.csv = true;
+        } else if (std::strcmp(argv[i], "--scale") == 0 &&
+                   i + 1 < argc) {
+            opts.scale = u32(std::atoi(argv[++i]));
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--quick] [--csv] [--scale N]\n",
+                         argv[0]);
+            std::exit(2);
+        }
+    }
+    if (const char *env = std::getenv("CYCLOPS_BENCH_QUICK"))
+        if (env[0] == '1')
+            opts.quick = true;
+    return opts;
+}
+
+inline void
+banner(const Options &opts, const char *experiment, const char *claim)
+{
+    if (opts.csv)
+        return;
+    std::printf("======================================================"
+                "=========\n");
+    std::printf("%s\n", experiment);
+    std::printf("Paper reference: %s\n", claim);
+    std::printf("======================================================"
+                "=========\n");
+}
+
+inline void
+emit(const Options &opts, const Table &table)
+{
+    std::fputs(opts.csv ? table.csv().c_str() : table.ascii().c_str(),
+               stdout);
+    std::printf("\n");
+}
+
+inline void
+note(const Options &opts, const char *text)
+{
+    if (!opts.csv)
+        std::printf("%s\n", text);
+}
+
+} // namespace cyclops::bench
+
+#endif // CYCLOPS_BENCH_BENCH_UTIL_H

@@ -1,0 +1,49 @@
+#include "arch/barrier_spr.h"
+
+#include "common/log.h"
+
+namespace cyclops::arch
+{
+
+void
+BarrierSpr::init(u32 numThreads, StatGroup *stats)
+{
+    regs_.assign(numThreads, 0);
+    bitCounts_.assign(8, 0);
+    orValue_ = 0;
+    if (stats)
+        stats->addCounter("barrier.sprWrites", &writes_);
+}
+
+void
+BarrierSpr::write(ThreadId tid, u8 value)
+{
+    if (tid >= regs_.size())
+        panic("BarrierSpr::write from unknown thread %u", tid);
+    const u8 old = regs_[tid];
+    if (old == value)
+        return;
+    regs_[tid] = value;
+    ++writes_;
+    // Incrementally maintain per-bit population counts so reads are O(1).
+    for (u32 bit = 0; bit < 8; ++bit) {
+        const u8 mask = u8(1u << bit);
+        if ((old & mask) && !(value & mask)) {
+            if (--bitCounts_[bit] == 0)
+                orValue_ &= ~mask;
+        } else if (!(old & mask) && (value & mask)) {
+            if (bitCounts_[bit]++ == 0)
+                orValue_ |= mask;
+        }
+    }
+}
+
+void
+BarrierSpr::recomputeOr()
+{
+    orValue_ = 0;
+    for (u8 reg : regs_)
+        orValue_ |= reg;
+}
+
+} // namespace cyclops::arch

@@ -1,0 +1,349 @@
+#include "arch/chip.h"
+
+#include <cstring>
+
+#include "common/bitops.h"
+#include "common/log.h"
+
+namespace cyclops::arch
+{
+
+Chip::Chip(const ChipConfig &cfg) : cfg_(cfg)
+{
+    cfg_.validate();
+
+    dram_.assign(cfg_.memBytes(), 0);
+    const u32 scratchBytes =
+        cfg_.dcacheScratchWays * (cfg_.dcacheBytes / cfg_.dcacheAssoc);
+    scratch_.assign(cfg_.numCaches(), std::vector<u8>(scratchBytes, 0));
+
+    memsys_.init(cfg_, &stats_);
+    fpus_.resize(cfg_.numFpus());
+    for (u32 id = 0; id < cfg_.numFpus(); ++id)
+        fpus_[id].init(id, cfg_, &stats_);
+    icaches_.resize(cfg_.numICaches());
+    for (u32 id = 0; id < cfg_.numICaches(); ++id)
+        icaches_[id].init(id, cfg_, &stats_);
+    barrier_.init(cfg_.numThreads, &stats_);
+    offchip_.init(cfg_, &stats_);
+
+    units_.resize(cfg_.numThreads);
+    quadEnabled_.assign(cfg_.numQuads(), true);
+
+    wheel_.assign(kWheelSize, {});
+    wheelCount_.assign(kWheelSize, 0);
+
+    stats_.addCounter("chip.cycles", &cycles_);
+    stats_.addCounter("chip.traps", &trapsServed_);
+}
+
+// --- Functional memory ------------------------------------------------------
+
+u8 *
+Chip::memPtr(Addr ea, u8 bytes, ThreadId tid)
+{
+    const InterestGroup ig = igDecode(igField(ea));
+    const PhysAddr pa = igPhys(ea);
+    if (ig.cls == IgClass::Scratch) {
+        const CacheId cache = ig.index & (cfg_.numCaches() - 1);
+        auto &mem = scratch_[cache];
+        if (mem.empty())
+            fatal("scratchpad access to cache %u with no partitioned "
+                  "ways (thread %u)", cache, tid);
+        const u32 offset = pa & (u32(mem.size()) - 1);
+        if (offset % bytes != 0)
+            fatal("misaligned scratch access at 0x%08x", ea);
+        return &mem[offset];
+    }
+    if (pa % bytes != 0)
+        fatal("misaligned %u-byte access at 0x%08x (thread %u)", bytes,
+              ea, tid);
+    if (pa + bytes > memsys_.availableMemBytes())
+        fatal("access at 0x%06x beyond available memory (%u KB)", pa,
+              memsys_.availableMemBytes() / 1024);
+    return &dram_[pa];
+}
+
+u64
+Chip::memRead(Addr ea, u8 bytes, ThreadId tid)
+{
+    const u8 *ptr = memPtr(ea, bytes, tid);
+    u64 value = 0;
+    std::memcpy(&value, ptr, bytes);
+    return value;
+}
+
+void
+Chip::memWrite(Addr ea, u8 bytes, u64 value, ThreadId tid)
+{
+    u8 *ptr = memPtr(ea, bytes, tid);
+    std::memcpy(ptr, &value, bytes);
+}
+
+void
+Chip::writePhys(PhysAddr addr, const void *data, u32 bytes)
+{
+    if (addr + bytes > dram_.size())
+        fatal("writePhys beyond memory: 0x%06x + %u", addr, bytes);
+    std::memcpy(&dram_[addr], data, bytes);
+}
+
+void
+Chip::readPhys(PhysAddr addr, void *data, u32 bytes) const
+{
+    if (addr + bytes > dram_.size())
+        fatal("readPhys beyond memory: 0x%06x + %u", addr, bytes);
+    std::memcpy(data, &dram_[addr], bytes);
+}
+
+// --- Program loading -----------------------------------------------------------
+
+void
+Chip::loadProgram(const isa::Program &program)
+{
+    if (programLoaded_)
+        fatal("a program is already resident (single-program kernel)");
+    programLoaded_ = true;
+    program_ = program;
+
+    if (!program.text.empty())
+        writePhys(program.textBase, program.text.data(),
+                  program.textBytes());
+    if (!program.data.empty())
+        writePhys(program.dataBase, program.data.data(),
+                  u32(program.data.size()));
+
+    decoded_.resize(program.text.size());
+    for (size_t i = 0; i < program.text.size(); ++i) {
+        if (!isa::decode(program.text[i], &decoded_[i]))
+            fatal("undecodable instruction word 0x%08x at 0x%06x",
+                  program.text[i],
+                  program.textBase + u32(i) * 4);
+    }
+}
+
+const isa::Instr &
+Chip::decodedAt(PhysAddr pc) const
+{
+    const PhysAddr base = program_.textBase;
+    if (pc < base || pc >= base + program_.textBytes() || pc % 4 != 0)
+        fatal("PC 0x%06x outside program text [0x%06x, 0x%06x)", pc,
+              base, base + program_.textBytes());
+    return decoded_[(pc - base) / 4];
+}
+
+// --- Units and the cycle engine -------------------------------------------------
+
+void
+Chip::setUnit(ThreadId tid, std::unique_ptr<Unit> unit)
+{
+    if (tid >= cfg_.numThreads)
+        fatal("setUnit: no hardware thread %u", tid);
+    if (units_[tid] && !units_[tid]->halted())
+        fatal("setUnit: thread %u is still running", tid);
+    units_[tid] = std::move(unit);
+}
+
+void
+Chip::activate(ThreadId tid, Cycle when)
+{
+    if (tid >= cfg_.numThreads || !units_[tid])
+        fatal("activate: no unit installed on thread %u", tid);
+    const u32 quad = tid / cfg_.threadsPerQuad;
+    if (!quadEnabled_[quad])
+        fatal("activate: thread %u belongs to disabled quad %u", tid,
+              quad);
+    ++liveUnits_;
+    schedule(tid, std::max(when, now_));
+}
+
+void
+Chip::schedule(ThreadId tid, Cycle when)
+{
+    if (when <= now_)
+        when = now_ + 1;
+    if (when - now_ < kWheelSize) {
+        wheel_[when & (kWheelSize - 1)].push_back(tid);
+        ++wheelCount_[when & (kWheelSize - 1)];
+        ++inWheel_;
+    } else {
+        far_.emplace(when, tid);
+    }
+}
+
+RunExit
+Chip::run(Cycle maxCycles)
+{
+    const Cycle limit =
+        maxCycles == kCycleNever ? kCycleNever : now_ + maxCycles;
+
+    std::vector<ThreadId> due;
+    while (liveUnits_ > 0) {
+        if (now_ >= limit)
+            return RunExit::CycleLimit;
+
+        // Gather the units due this cycle.
+        due.clear();
+        auto &slot = wheel_[now_ & (kWheelSize - 1)];
+        if (!slot.empty()) {
+            due.swap(slot);
+            wheelCount_[now_ & (kWheelSize - 1)] = 0;
+            inWheel_ -= u32(due.size());
+        }
+        while (!far_.empty() && far_.top().first <= now_) {
+            due.push_back(far_.top().second);
+            far_.pop();
+        }
+
+        if (due.empty()) {
+            // Fast-forward to the next scheduled wake-up.
+            Cycle next = kCycleNever;
+            if (inWheel_ > 0) {
+                for (Cycle c = now_ + 1; c < now_ + kWheelSize; ++c) {
+                    if (wheelCount_[c & (kWheelSize - 1)] > 0) {
+                        next = c;
+                        break;
+                    }
+                }
+            }
+            if (!far_.empty())
+                next = std::min(next, far_.top().first);
+            if (next == kCycleNever)
+                panic("cycle engine: %u live units but nothing scheduled",
+                      liveUnits_);
+            cycles_ += next - now_;
+            now_ = next;
+            continue;
+        }
+
+        // Rotate service order every cycle: round-robin arbitration of
+        // shared resources among same-cycle requesters.
+        const size_t n = due.size();
+        const size_t start = n > 1 ? size_t(now_ % n) : 0;
+        for (size_t i = 0; i < n; ++i) {
+            const ThreadId tid = due[(start + i) % n];
+            Unit *u = units_[tid].get();
+            const Cycle wake = u->tick(now_);
+            if (wake == kCycleNever) {
+                if (!u->halted())
+                    panic("unit %u returned never but is not halted", tid);
+                --liveUnits_;
+            } else {
+                if (wake <= now_)
+                    panic("unit %u rescheduled into the past", tid);
+                schedule(tid, wake);
+            }
+        }
+        ++cycles_;
+        ++now_;
+    }
+    return RunExit::AllHalted;
+}
+
+// --- SPRs and traps -----------------------------------------------------------
+
+u32
+Chip::readSpr(ThreadId tid, u32 spr)
+{
+    switch (spr) {
+      case isa::kSprTid:
+        return tid;
+      case isa::kSprNThreads:
+        return cfg_.numThreads;
+      case isa::kSprCycleLo:
+        return u32(now_);
+      case isa::kSprCycleHi:
+        return u32(now_ >> 32);
+      case isa::kSprBarrier:
+        return barrier_.read();
+      case isa::kSprMemSize:
+        return memsys_.availableMemBytes() / 1024;
+      default:
+        fatal("mfspr of unknown SPR %u (thread %u)", spr, tid);
+    }
+}
+
+void
+Chip::writeSpr(ThreadId tid, u32 spr, u32 value)
+{
+    if (spr == isa::kSprBarrier) {
+        barrier_.write(tid, u8(value));
+        return;
+    }
+    fatal("mtspr to read-only or unknown SPR %u (thread %u)", spr, tid);
+}
+
+void
+Chip::trap(ThreadId tid, u32 code, u32 arg)
+{
+    ++trapsServed_;
+    switch (code) {
+      case isa::kTrapPutChar:
+        console_ += char(arg);
+        break;
+      case isa::kTrapPutInt:
+        console_ += strprintf("%d", s32(arg));
+        break;
+      case isa::kTrapPutHex:
+        console_ += strprintf("0x%x", arg);
+        break;
+      default:
+        fatal("unknown trap %u from thread %u", code, tid);
+    }
+}
+
+// --- Fault model ------------------------------------------------------------
+
+void
+Chip::failBank(BankId id)
+{
+    memsys_.failBank(id);
+    inform("bank %u failed: %u KB remain addressable", id,
+           memsys_.availableMemBytes() / 1024);
+}
+
+void
+Chip::disableQuad(u32 quad)
+{
+    if (quad >= cfg_.numQuads())
+        fatal("disableQuad: no quad %u", quad);
+    quadEnabled_[quad] = false;
+    memsys_.disableCache(quad);
+    inform("quad %u disabled (threads %u-%u, cache %u)", quad,
+           quad * cfg_.threadsPerQuad,
+           (quad + 1) * cfg_.threadsPerQuad - 1, quad);
+}
+
+// --- Aggregates ------------------------------------------------------------------
+
+u64
+Chip::totalRunCycles() const
+{
+    u64 total = 0;
+    for (const auto &u : units_)
+        if (u)
+            total += u->runCycles();
+    return total;
+}
+
+u64
+Chip::totalStallCycles() const
+{
+    u64 total = 0;
+    for (const auto &u : units_)
+        if (u)
+            total += u->stallCycles();
+    return total;
+}
+
+u64
+Chip::totalInstructions() const
+{
+    u64 total = 0;
+    for (const auto &u : units_)
+        if (u)
+            total += u->instructions();
+    return total;
+}
+
+} // namespace cyclops::arch

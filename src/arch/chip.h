@@ -1,0 +1,192 @@
+/**
+ * @file
+ * The Cyclops chip: the top-level simulation object.
+ *
+ * Owns the flat functional memory image, the timing fabric (caches,
+ * banks, FPUs, I-caches, barrier network), the off-chip DMA memory,
+ * and the cycle engine that drives up to 128 execution units. The two
+ * frontends (ISA thread units and execution-driven guest units) plug
+ * in through the Unit interface.
+ */
+
+#ifndef CYCLOPS_ARCH_CHIP_H
+#define CYCLOPS_ARCH_CHIP_H
+
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "arch/barrier_spr.h"
+#include "arch/fpu.h"
+#include "arch/icache.h"
+#include "arch/memsys.h"
+#include "arch/offchip.h"
+#include "arch/unit.h"
+#include "common/config.h"
+#include "common/stats.h"
+#include "isa/encoding.h"
+#include "isa/isa.h"
+#include "isa/program.h"
+
+namespace cyclops::arch
+{
+
+/** Why Chip::run returned. */
+enum class RunExit { AllHalted, CycleLimit };
+
+/** One Cyclops chip. */
+class Chip
+{
+  public:
+    explicit Chip(const ChipConfig &cfg = ChipConfig{});
+
+    const ChipConfig &config() const { return cfg_; }
+    StatGroup &stats() { return stats_; }
+    Cycle now() const { return now_; }
+
+    // --- Functional memory --------------------------------------------------
+
+    /**
+     * Read @p bytes (1..8, naturally aligned) at effective address
+     * @p ea on behalf of thread @p tid. Handles scratchpad windows.
+     */
+    u64 memRead(Addr ea, u8 bytes, ThreadId tid);
+
+    /** Write counterpart of memRead(). */
+    void memWrite(Addr ea, u8 bytes, u64 value, ThreadId tid);
+
+    /** Raw access to the physical memory image (loader, tests). */
+    void writePhys(PhysAddr addr, const void *data, u32 bytes);
+    void readPhys(PhysAddr addr, void *data, u32 bytes) const;
+
+    // --- Program loading (ISA frontend) ---------------------------------------
+
+    /**
+     * Copy a program image into memory and predecode its text. Only
+     * one program may be resident (the paper's kernel is single-user,
+     * single-program).
+     */
+    void loadProgram(const isa::Program &program);
+
+    /** Decoded instruction at @p pc; panics outside the text section. */
+    const isa::Instr &decodedAt(PhysAddr pc) const;
+
+    const isa::Program &program() const { return program_; }
+
+    // --- Units and the cycle engine ----------------------------------------
+
+    /** Install the execution unit for hardware thread @p tid. */
+    void setUnit(ThreadId tid, std::unique_ptr<Unit> unit);
+
+    Unit *unit(ThreadId tid) { return units_[tid].get(); }
+    const Unit *unit(ThreadId tid) const { return units_[tid].get(); }
+
+    /** Begin executing @p tid at cycle max(now, when). */
+    void activate(ThreadId tid, Cycle when = 0);
+
+    /**
+     * Run until every activated unit halts or @p maxCycles elapse.
+     * May be called repeatedly (time continues monotonically).
+     */
+    RunExit run(Cycle maxCycles = kCycleNever);
+
+    /** Number of activated, not-yet-halted units. */
+    u32 liveUnits() const { return liveUnits_; }
+
+    // --- Shared hardware reachable from units ---------------------------------
+
+    MemSystem &memsys() { return memsys_; }
+    BarrierSpr &barrier() { return barrier_; }
+    OffChipMemory &offchip() { return offchip_; }
+    Fpu &fpuOf(ThreadId tid) { return fpus_[tid / cfg_.threadsPerQuad]; }
+    ICache &
+    icacheOf(ThreadId tid)
+    {
+        return icaches_[tid / (cfg_.threadsPerQuad * cfg_.quadsPerICache)];
+    }
+
+    /** Value of special purpose register @p spr as read by @p tid. */
+    u32 readSpr(ThreadId tid, u32 spr);
+
+    /** Write @p spr; only the barrier SPR is software-writable. */
+    void writeSpr(ThreadId tid, u32 spr, u32 value);
+
+    /** Kernel trap entry (console output, thread exit). */
+    void trap(ThreadId tid, u32 code, u32 arg);
+
+    /** Console output accumulated by traps. */
+    const std::string &console() const { return console_; }
+    void clearConsole() { console_.clear(); }
+
+    // --- Fault model (paper section 5) ----------------------------------------
+
+    /** Fail a memory bank: contiguous remap, MEMSZ shrinks. */
+    void failBank(BankId id);
+
+    /**
+     * Disable a quad (e.g. its FPU broke): its threads must not be
+     * used and its cache leaves the interest-group scrambling.
+     */
+    void disableQuad(u32 quad);
+
+    /** True if the quad is operational. */
+    bool quadEnabled(u32 quad) const { return quadEnabled_[quad]; }
+
+    // --- Aggregate statistics ----------------------------------------------------
+
+    /** Sum of run cycles over all units. */
+    u64 totalRunCycles() const;
+
+    /** Sum of stall cycles over all units. */
+    u64 totalStallCycles() const;
+
+    /** Sum of instructions over all units. */
+    u64 totalInstructions() const;
+
+  private:
+    static constexpr u32 kWheelBits = 10;
+    static constexpr u32 kWheelSize = 1u << kWheelBits;
+
+    void schedule(ThreadId tid, Cycle when);
+    u8 *memPtr(Addr ea, u8 bytes, ThreadId tid);
+
+    ChipConfig cfg_;
+    StatGroup stats_;
+
+    std::vector<u8> dram_;
+    std::vector<std::vector<u8>> scratch_; ///< per-cache scratch storage
+
+    MemSystem memsys_;
+    std::vector<Fpu> fpus_;
+    std::vector<ICache> icaches_;
+    BarrierSpr barrier_;
+    OffChipMemory offchip_;
+
+    isa::Program program_;
+    std::vector<isa::Instr> decoded_;
+    bool programLoaded_ = false;
+
+    std::vector<std::unique_ptr<Unit>> units_;
+    std::vector<bool> quadEnabled_;
+
+    // Cycle engine: timing wheel + far-future heap.
+    Cycle now_ = 0;
+    u32 liveUnits_ = 0;
+    std::vector<std::vector<ThreadId>> wheel_;
+    std::vector<u32> wheelCount_; ///< population per slot (fast skip)
+    using FarEntry = std::pair<Cycle, ThreadId>;
+    std::priority_queue<FarEntry, std::vector<FarEntry>,
+                        std::greater<FarEntry>>
+        far_;
+    u32 inWheel_ = 0;
+
+    std::string console_;
+
+    Counter cycles_;
+    Counter trapsServed_;
+};
+
+} // namespace cyclops::arch
+
+#endif // CYCLOPS_ARCH_CHIP_H

@@ -1,0 +1,261 @@
+#include "arch/dcache.h"
+
+#include <algorithm>
+
+#include "arch/memsys.h"
+#include "common/bitops.h"
+#include "common/log.h"
+
+namespace cyclops::arch
+{
+
+void
+DCache::init(CacheId id, const ChipConfig &cfg, StatGroup *stats)
+{
+    id_ = id;
+    cfg_ = &cfg;
+    numSets_ = cfg.dcacheSets();
+    waysBegin_ = cfg.dcacheScratchWays;
+    scratchBytes_ = cfg.dcacheScratchWays *
+                    (cfg.dcacheBytes / cfg.dcacheAssoc);
+    fullMask_ = cfg.dcacheLineBytes >= 64
+                    ? ~u64(0)
+                    : (u64(1) << cfg.dcacheLineBytes) - 1;
+    lines_.assign(size_t(numSets_) * cfg.dcacheAssoc, Line{});
+
+    if (stats) {
+        const std::string prefix = strprintf("dcache%u.", id);
+        stats->addCounter(prefix + "hits", &hits_);
+        stats->addCounter(prefix + "misses", &misses_);
+        stats->addCounter(prefix + "storeAllocs", &storeAllocs_);
+        stats->addCounter(prefix + "loadMerges", &loadMerges_);
+        stats->addCounter(prefix + "writebacks", &writebacks_);
+        stats->addCounter(prefix + "wbBlocks", &wbBlocks_);
+        stats->addCounter(prefix + "portWaitCycles", &portWaitCycles_);
+        stats->addCounter(prefix + "mshrFullWaits", &mshrFullWaits_);
+        stats->addCounter(prefix + "scratchAccesses", &scratchAccesses_);
+    }
+}
+
+Cycle
+DCache::grantPort(Cycle arrive)
+{
+    Cycle grant = std::max(arrive, portFree_);
+    portWaitCycles_ += grant - arrive;
+    portFree_ = grant + 1;
+    return grant;
+}
+
+DCache::Line *
+DCache::lookup(PhysAddr addr)
+{
+    const u32 line = addr / cfg_->dcacheLineBytes;
+    const u32 set = line & (numSets_ - 1);
+    const u32 tag = line / numSets_;
+    Line *base = &lines_[size_t(set) * cfg_->dcacheAssoc];
+    for (u32 way = waysBegin_; way < cfg_->dcacheAssoc; ++way)
+        if (base[way].valid && base[way].tag == tag)
+            return &base[way];
+    return nullptr;
+}
+
+const DCache::Line *
+DCache::lookup(PhysAddr addr) const
+{
+    return const_cast<DCache *>(this)->lookup(addr);
+}
+
+DCache::Line &
+DCache::victim(u32 set, Cycle now)
+{
+    Line *base = &lines_[size_t(set) * cfg_->dcacheAssoc];
+    Line *best = nullptr;
+    for (u32 way = waysBegin_; way < cfg_->dcacheAssoc; ++way) {
+        Line &line = base[way];
+        if (!line.valid)
+            return line;
+        // Never evict a line whose fill is still in flight.
+        if (line.fillDone > now)
+            continue;
+        if (!best || line.lastUse < best->lastUse)
+            best = &line;
+    }
+    if (!best) {
+        // Every way is mid-fill; fall back to the LRU regardless (its
+        // fill will simply be wasted). Extremely rare by construction.
+        for (u32 way = waysBegin_; way < cfg_->dcacheAssoc; ++way) {
+            Line &line = base[way];
+            if (!best || line.lastUse < best->lastUse)
+                best = &line;
+        }
+    }
+    return *best;
+}
+
+PhysAddr
+DCache::lineAddrOf(const Line &line, u32 set) const
+{
+    return (line.tag * numSets_ + set) * cfg_->dcacheLineBytes;
+}
+
+void
+DCache::writeback(Line &line, u32 set, Cycle when, MemSystem &fabric)
+{
+    if (!line.dirtyMask)
+        return;
+    // Only the 32-byte blocks containing dirty bytes travel to memory.
+    const u32 blockBytes = cfg_->memBlockBytes;
+    const u32 blocksPerLine = cfg_->dcacheLineBytes / blockBytes;
+    u32 dirtyBlocks = 0;
+    for (u32 block = 0; block < blocksPerLine; ++block) {
+        const u64 blockMask = ((u64(1) << blockBytes) - 1)
+                              << (block * blockBytes);
+        if (line.dirtyMask & blockMask)
+            ++dirtyBlocks;
+    }
+    fabric.postWrite(when, lineAddrOf(line, set), dirtyBlocks);
+    ++writebacks_;
+    wbBlocks_ += dirtyBlocks;
+    line.dirtyMask = 0;
+}
+
+CacheResult
+DCache::access(const CacheAccess &req, MemSystem &fabric)
+{
+    const LatencyConfig &lat = cfg_->lat;
+    const Cycle grant = grantPort(req.arrive);
+
+    if (req.scratch) {
+        if (scratchBytes_ == 0)
+            fatal("scratchpad access to cache %u, but no ways are "
+                  "partitioned (set dcacheScratchWays)", id_);
+        ++scratchAccesses_;
+        return CacheResult{grant + lat.memLocalHit, true};
+    }
+
+    const u32 line = req.addr / cfg_->dcacheLineBytes;
+    const u32 set = line & (numSets_ - 1);
+    const u32 byteOff = req.addr & (cfg_->dcacheLineBytes - 1);
+    const u64 reqMask = req.bytes >= 64
+                            ? ~u64(0)
+                            : ((u64(1) << req.bytes) - 1) << byteOff;
+
+    Line *hitLine = lookup(req.addr);
+    if (hitLine) {
+        hitLine->lastUse = grant;
+        const bool filling = hitLine->fillDone > grant;
+        const bool bytesThere = (hitLine->validMask & reqMask) == reqMask;
+        if (req.store && !req.atomic) {
+            // Stores only need the tag; bytes become valid and dirty.
+            hitLine->validMask |= reqMask;
+            hitLine->dirtyMask |= reqMask;
+            ++hits_;
+            if (filling)
+                ++loadMerges_;
+            return CacheResult{std::max(grant + lat.memLocalHit,
+                                        hitLine->fillDone),
+                               true};
+        }
+        if (bytesThere || filling) {
+            // Plain hit, or merge with the fill in flight.
+            ++hits_;
+            if (filling)
+                ++loadMerges_;
+            Cycle ready = std::max(grant + lat.memLocalHit,
+                                   hitLine->fillDone);
+            if (req.atomic) {
+                hitLine->validMask |= reqMask;
+                hitLine->dirtyMask |= reqMask;
+            }
+            return CacheResult{ready, true};
+        }
+        // Line present but the requested bytes were never fetched
+        // (allocate-no-fetch residue): fetch and merge the line.
+        ++misses_;
+        const Cycle bankReq = grant + lat.missToBank;
+        BankGrant bg = fabric.fetchLine(
+            bankReq, line * cfg_->dcacheLineBytes,
+            cfg_->dcacheLineBytes / cfg_->memBlockBytes);
+        const Cycle fillDone = bg.start + bg.transferCycles;
+        hitLine->validMask = fullMask_;
+        hitLine->fillDone = std::max(hitLine->fillDone, fillDone);
+        if (req.atomic)
+            hitLine->dirtyMask |= reqMask;
+        fills_.push_back(fillDone);
+        return CacheResult{fillDone + lat.bankToCache, false};
+    }
+
+    // ---- Miss path ----
+    // MSHR occupancy: distinct line fills in flight are bounded.
+    std::erase_if(fills_, [&](Cycle done) { return done <= grant; });
+    Cycle start = grant;
+    if (fills_.size() >= cfg_->dcacheMshrs) {
+        Cycle earliest = *std::min_element(fills_.begin(), fills_.end());
+        start = std::max(start, earliest);
+        ++mshrFullWaits_;
+    }
+
+    Line &way = victim(set, start);
+    if (way.valid)
+        writeback(way, set, start, fabric);
+    way.valid = true;
+    way.tag = line / numSets_;
+    way.lastUse = start;
+
+    if (req.store && !req.atomic && cfg_->storeAllocNoFetch) {
+        // Allocate without fetching: the store provides the only valid
+        // bytes. Streaming full-line writes never touch the banks here.
+        way.validMask = reqMask;
+        way.dirtyMask = reqMask;
+        way.fillDone = start;
+        ++misses_;
+        ++storeAllocs_;
+        return CacheResult{start + lat.memLocalHit, false};
+    }
+
+    const Cycle bankReq = start + lat.missToBank;
+    BankGrant bg =
+        fabric.fetchLine(bankReq, line * cfg_->dcacheLineBytes,
+                         cfg_->dcacheLineBytes / cfg_->memBlockBytes);
+    const Cycle fillDone = bg.start + bg.transferCycles;
+    way.validMask = fullMask_;
+    way.dirtyMask = req.store ? reqMask : 0;
+    way.fillDone = fillDone;
+    fills_.push_back(fillDone);
+    ++misses_;
+    return CacheResult{fillDone + lat.bankToCache, false};
+}
+
+Cycle
+DCache::flushLine(PhysAddr addr, Cycle arrive, MemSystem &fabric)
+{
+    const Cycle grant = grantPort(arrive);
+    Line *line = lookup(addr);
+    if (line) {
+        const u32 set = (addr / cfg_->dcacheLineBytes) & (numSets_ - 1);
+        writeback(*line, set, grant, fabric);
+        line->valid = false;
+        line->validMask = line->dirtyMask = 0;
+    }
+    return grant + cfg_->lat.memLocalHit;
+}
+
+Cycle
+DCache::invalidateLine(PhysAddr addr, Cycle arrive)
+{
+    const Cycle grant = grantPort(arrive);
+    Line *line = lookup(addr);
+    if (line) {
+        line->valid = false;
+        line->validMask = line->dirtyMask = 0;
+    }
+    return grant + cfg_->lat.memLocalHit;
+}
+
+bool
+DCache::probe(PhysAddr addr) const
+{
+    return lookup(addr) != nullptr;
+}
+
+} // namespace cyclops::arch

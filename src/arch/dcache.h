@@ -1,0 +1,120 @@
+/**
+ * @file
+ * One 16 KB quad data cache.
+ *
+ * Timing-directory design: the cache tracks tags, per-byte valid/dirty
+ * masks and timing; functional data lives in the chip's flat memory
+ * image (see DESIGN.md on the non-coherence substitution).
+ *
+ * Features from the paper:
+ *  - up to 8-way associativity (configurable), 64-byte lines, LRU;
+ *  - a single port moving up to 8 bytes per cycle (32 caches => 128 GB/s
+ *    peak aggregate);
+ *  - way-partitioning at 2 KB granularity: `scratchWays` ways act as
+ *    directly addressable fast memory (interest-group class Scratch);
+ *  - MSHR-style merging of requests to a line whose fill is in flight;
+ *  - write-allocate-no-fetch store misses with per-byte valid masks
+ *    (see DESIGN.md), which lets streaming stores run at bank bandwidth.
+ */
+
+#ifndef CYCLOPS_ARCH_DCACHE_H
+#define CYCLOPS_ARCH_DCACHE_H
+
+#include <vector>
+
+#include "common/config.h"
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace cyclops::arch
+{
+
+class MemSystem;
+
+/** One data-cache access request, already routed to this cache. */
+struct CacheAccess
+{
+    PhysAddr addr = 0;   ///< physical byte address
+    u8 bytes = 0;        ///< naturally aligned size (1..8)
+    bool store = false;
+    bool atomic = false;
+    bool scratch = false; ///< scratchpad-window access (no tags)
+    Cycle arrive = 0;    ///< cycle the request reaches this cache
+};
+
+/** Completion information at the cache (before response hops). */
+struct CacheResult
+{
+    Cycle ready = 0;  ///< data available at this cache
+    bool hit = false; ///< tag hit (scratch accesses always hit)
+};
+
+/** Timing model of one quad data cache. */
+class DCache
+{
+  public:
+    DCache() = default;
+
+    /** Configure geometry and register statistics. */
+    void init(CacheId id, const ChipConfig &cfg, StatGroup *stats);
+
+    /** Perform one access; @p fabric provides bank service for fills. */
+    CacheResult access(const CacheAccess &req, MemSystem &fabric);
+
+    /** dcbf: write back (if dirty) and invalidate the line, if present. */
+    Cycle flushLine(PhysAddr addr, Cycle arrive, MemSystem &fabric);
+
+    /** dcbi: invalidate the line without writing it back, if present. */
+    Cycle invalidateLine(PhysAddr addr, Cycle arrive);
+
+    /** True if the line holding @p addr is resident (tests/statistics). */
+    bool probe(PhysAddr addr) const;
+
+    /** Number of resident lines whose tag matches @p addr's line. */
+    u32 scratchBytes() const { return scratchBytes_; }
+
+  private:
+    struct Line
+    {
+        u32 tag = 0;
+        bool valid = false;
+        u64 validMask = 0; ///< bit per byte: contents present
+        u64 dirtyMask = 0; ///< bit per byte: needs writeback
+        Cycle fillDone = 0;
+        Cycle lastUse = 0;
+    };
+
+    Line *lookup(PhysAddr addr);
+    const Line *lookup(PhysAddr addr) const;
+    Line &victim(u32 set, Cycle now);
+    void writeback(Line &line, u32 set, Cycle when, MemSystem &fabric);
+    PhysAddr lineAddrOf(const Line &line, u32 set) const;
+
+    /** Reserve the single cache port; returns the grant cycle. */
+    Cycle grantPort(Cycle arrive);
+
+    CacheId id_ = 0;
+    const ChipConfig *cfg_ = nullptr;
+    u32 numSets_ = 0;
+    u32 waysBegin_ = 0; ///< first way usable as cache (after scratch ways)
+    u32 scratchBytes_ = 0;
+    u64 fullMask_ = 0;  ///< valid mask covering the whole line
+    std::vector<Line> lines_; ///< sets * assoc, way-major within a set
+
+    Cycle portFree_ = 0;
+    std::vector<Cycle> fills_; ///< MSHR: completion times of live fills
+
+    Counter hits_;
+    Counter misses_;
+    Counter storeAllocs_;   ///< allocate-no-fetch store misses
+    Counter loadMerges_;    ///< accesses satisfied by an in-flight fill
+    Counter writebacks_;
+    Counter wbBlocks_;      ///< 32-byte blocks written back
+    Counter portWaitCycles_;
+    Counter mshrFullWaits_;
+    Counter scratchAccesses_;
+};
+
+} // namespace cyclops::arch
+
+#endif // CYCLOPS_ARCH_DCACHE_H

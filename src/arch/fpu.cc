@@ -1,0 +1,79 @@
+#include "arch/fpu.h"
+
+#include "common/log.h"
+
+namespace cyclops::arch
+{
+
+void
+Fpu::init(u32 id, const ChipConfig &cfg, StatGroup *stats)
+{
+    cfg_ = &cfg;
+    if (stats) {
+        const std::string prefix = strprintf("fpu%u.", id);
+        stats->addCounter(prefix + "ops", &ops_);
+        stats->addCounter(prefix + "addOps", &addOps_);
+        stats->addCounter(prefix + "mulOps", &mulOps_);
+        stats->addCounter(prefix + "fmaOps", &fmaOps_);
+        stats->addCounter(prefix + "divOps", &divOps_);
+        stats->addCounter(prefix + "sqrtOps", &sqrtOps_);
+        stats->addCounter(prefix + "conflicts", &conflicts_);
+    }
+}
+
+bool
+Fpu::dispatch(Cycle now, FpuOp op, Cycle *resultAt)
+{
+    const LatencyConfig &lat = cfg_->lat;
+    switch (op) {
+      case FpuOp::Add:
+        if (addFree_ > now) {
+            ++conflicts_;
+            return false;
+        }
+        addFree_ = now + lat.fpAddExec;
+        *resultAt = now + lat.fpAddExec + lat.fpAddLat;
+        ++addOps_;
+        break;
+      case FpuOp::Mul:
+        if (mulFree_ > now) {
+            ++conflicts_;
+            return false;
+        }
+        mulFree_ = now + lat.fpAddExec;
+        *resultAt = now + lat.fpAddExec + lat.fpAddLat;
+        ++mulOps_;
+        break;
+      case FpuOp::Fma:
+        if (addFree_ > now || mulFree_ > now) {
+            ++conflicts_;
+            return false;
+        }
+        addFree_ = mulFree_ = now + lat.fmaExec;
+        *resultAt = now + lat.fmaExec + lat.fmaLat;
+        ++fmaOps_;
+        break;
+      case FpuOp::Div:
+        if (divFree_ > now) {
+            ++conflicts_;
+            return false;
+        }
+        divFree_ = now + lat.fpDivExec;
+        *resultAt = now + lat.fpDivExec;
+        ++divOps_;
+        break;
+      case FpuOp::Sqrt:
+        if (divFree_ > now) {
+            ++conflicts_;
+            return false;
+        }
+        divFree_ = now + lat.fpSqrtExec;
+        *resultAt = now + lat.fpSqrtExec;
+        ++sqrtOps_;
+        break;
+    }
+    ++ops_;
+    return true;
+}
+
+} // namespace cyclops::arch

@@ -1,0 +1,58 @@
+#include "arch/interest_group.h"
+
+#include <bit>
+
+#include "common/bitops.h"
+#include "common/log.h"
+
+namespace cyclops::arch
+{
+
+CacheId
+igSelectCache(InterestGroup ig, PhysAddr lineAddr, u32 numCaches,
+              u32 enabledMask)
+{
+    if (ig.cls == IgClass::Own || ig.cls == IgClass::Scratch)
+        panic("igSelectCache: class %u is resolved by the caller",
+              static_cast<unsigned>(ig.cls));
+    if (numCaches == 0 || !isPow2(numCaches))
+        panic("igSelectCache: bad cache count %u", numCaches);
+
+    // Scale the canonical 32-cache group size to this configuration.
+    u32 groupSize = igGroupSize(ig.cls);
+    if (numCaches < 32)
+        groupSize = std::max(1u, groupSize * numCaches / 32);
+    if (groupSize > numCaches)
+        groupSize = numCaches;
+
+    const u32 numGroups = numCaches / groupSize;
+    const u32 group = ig.index & (numGroups - 1);
+    const u32 base = group * groupSize;
+
+    // Enabled members of the group.
+    u32 members = 0;
+    u32 memberIds[32];
+    for (u32 i = 0; i < groupSize; ++i) {
+        CacheId cache = base + i;
+        if (enabledMask & (1u << cache))
+            memberIds[members++] = cache;
+    }
+    if (members == 0) {
+        // Fault fallback: the whole group is broken; rescatter over every
+        // enabled cache on the chip so the address remains usable.
+        for (u32 cache = 0; cache < numCaches; ++cache)
+            if (enabledMask & (1u << cache))
+                memberIds[members++] = cache;
+        if (members == 0)
+            fatal("igSelectCache: no data cache is enabled");
+    }
+    if (members == 1)
+        return memberIds[0];
+
+    // Deterministic, address-only scrambling so all members are used
+    // uniformly and a given address always maps to the same cache.
+    const u32 hash = scramble32(lineAddr);
+    return memberIds[hash % members];
+}
+
+} // namespace cyclops::arch

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Interest-group cache-placement encoding (paper Table 1).
+ *
+ * The upper 8 bits of every 32-bit effective address select the set of
+ * data caches that may hold the addressed line; the lower 24 bits are
+ * the physical address. The encoding (reconstructed, see DESIGN.md) is
+ *
+ *      bits [7:5]  size class           selected caches
+ *      ----------  -------------------  -------------------------------
+ *      0  (Own)    thread's own cache   the local cache of the accessor
+ *      1  (All)    one of all           {0 .. 31}           (kernel default)
+ *      2  (Sixteen) one of sixteen      {0..15}, {16..31}
+ *      3  (Eight)  one of eight         {0..7}, ... {24..31}
+ *      4  (Four)   one of four          {0..3}, ... {28..31}
+ *      5  (Pair)   one of a pair        {0,1}, {2,3}, ... {30,31}
+ *      6  (One)    exactly one          {0}, {1}, ... {31}
+ *      7  (Scratch) scratchpad window   direct access to cache index's
+ *                                       way-partitioned fast memory
+ *
+ * bits [4:0] give the group index within the size class. When the set
+ * has more than one member, a deterministic scrambling function of the
+ * physical line address picks the member, so references to the same
+ * address always map to the same cache and all caches of the set are
+ * utilized uniformly.
+ *
+ * Class Own maps the line to the accessing thread's local cache: the
+ * same physical address may be replicated in several caches, and the
+ * hardware provides no coherence for it — software must guarantee the
+ * replication is correct (e.g. read-only constants, per-thread stacks).
+ */
+
+#ifndef CYCLOPS_ARCH_INTEREST_GROUP_H
+#define CYCLOPS_ARCH_INTEREST_GROUP_H
+
+#include "common/types.h"
+
+namespace cyclops::arch
+{
+
+/** Size classes of the interest-group encoding. */
+enum class IgClass : u8
+{
+    Own = 0,
+    All = 1,
+    Sixteen = 2,
+    Eight = 3,
+    Four = 4,
+    Pair = 5,
+    One = 6,
+    Scratch = 7,
+};
+
+/** A decoded interest-group field. */
+struct InterestGroup
+{
+    IgClass cls = IgClass::All;
+    u8 index = 0; ///< group index within the size class
+
+    bool operator==(const InterestGroup &other) const = default;
+};
+
+/** Number of caches in a group of size class @p cls (on 32 caches). */
+constexpr u32
+igGroupSize(IgClass cls)
+{
+    switch (cls) {
+      case IgClass::Own:
+      case IgClass::One:
+      case IgClass::Scratch:
+        return 1;
+      case IgClass::Pair: return 2;
+      case IgClass::Four: return 4;
+      case IgClass::Eight: return 8;
+      case IgClass::Sixteen: return 16;
+      case IgClass::All: return 32;
+    }
+    return 1;
+}
+
+/** Decode an 8-bit interest-group field. */
+constexpr InterestGroup
+igDecode(u8 field)
+{
+    return InterestGroup{static_cast<IgClass>(field >> 5),
+                         static_cast<u8>(field & 0x1F)};
+}
+
+/** Encode a size class and group index into the 8-bit field. */
+constexpr u8
+igEncode(IgClass cls, u8 index = 0)
+{
+    return static_cast<u8>((static_cast<u8>(cls) << 5) | (index & 0x1F));
+}
+
+/** The kernel-default encoding: one chip-wide coherent 512 KB cache. */
+inline constexpr u8 kIgDefault = igEncode(IgClass::All); // 0b00100000
+
+/** The own-cache (replicating, software-coherent) encoding. */
+inline constexpr u8 kIgOwn = igEncode(IgClass::Own); // 0b00000000
+
+/** Pin data to exactly one cache. */
+constexpr u8
+igExactly(CacheId cache)
+{
+    return igEncode(IgClass::One, static_cast<u8>(cache));
+}
+
+/** Scratchpad window of one cache's partitioned ways. */
+constexpr u8
+igScratch(CacheId cache)
+{
+    return igEncode(IgClass::Scratch, static_cast<u8>(cache));
+}
+
+/** Compose a 32-bit effective address from group field + physical. */
+constexpr Addr
+igAddr(u8 field, PhysAddr pa)
+{
+    return (static_cast<Addr>(field) << 24) | (pa & 0x00FF'FFFF);
+}
+
+/** Interest-group field of an effective address. */
+constexpr u8
+igField(Addr ea)
+{
+    return static_cast<u8>(ea >> 24);
+}
+
+/** Physical part of an effective address. */
+constexpr PhysAddr
+igPhys(Addr ea)
+{
+    return ea & 0x00FF'FFFF;
+}
+
+/**
+ * Pick the cache holding @p lineAddr under group @p ig.
+ *
+ * @param ig          decoded interest group (not Scratch/Own)
+ * @param lineAddr    physical address of the cache line
+ * @param numCaches   caches on the chip (power of two)
+ * @param enabledMask bit i set if cache i is operational (fault model);
+ *                    a group whose members are all disabled falls back
+ *                    to the enabled caches of the whole chip
+ */
+CacheId igSelectCache(InterestGroup ig, PhysAddr lineAddr, u32 numCaches,
+                      u32 enabledMask);
+
+} // namespace cyclops::arch
+
+#endif // CYCLOPS_ARCH_INTEREST_GROUP_H

@@ -1,0 +1,59 @@
+#include "arch/membank.h"
+
+#include <algorithm>
+
+#include "common/bitops.h"
+#include "common/log.h"
+
+namespace cyclops::arch
+{
+
+void
+MemBank::init(BankId id, const ChipConfig &cfg, StatGroup *stats)
+{
+    cfg_ = &cfg;
+    if (stats) {
+        const std::string prefix = strprintf("bank%u.", id);
+        stats->addCounter(prefix + "accesses", &accesses_);
+        stats->addCounter(prefix + "busyCycles", &busyCycles_);
+        stats->addCounter(prefix + "bursts", &bursts_);
+        stats->addCounter(prefix + "queueCycles", &queueCycles_);
+    }
+}
+
+BankGrant
+MemBank::reserve(Cycle reqTime, u32 blocks, PhysAddr bankAddr)
+{
+    if (!cfg_)
+        panic("MemBank used before init()");
+    if (blocks == 0)
+        panic("MemBank::reserve of zero blocks");
+
+    const Cycle start = std::max(reqTime, busyUntil_);
+    queueCycles_ += start - reqTime;
+
+    const PhysAddr row = PhysAddr(roundDown(bankAddr, kRowBytes));
+    const bool rowHit = cfg_->burstEnabled && row == lastRow_ &&
+                        bankAddr == nextBlockAddr_ &&
+                        start <= busyUntil_ + kRowOpenWindow;
+
+    const u32 occupancy = blocks * cfg_->lat.bankBlockCycles;
+    u32 transfer = occupancy;
+    if (rowHit) {
+        // Burst transfer mode: the row is already open and the access
+        // continues sequentially, so the data streams out earlier. The
+        // bank is still occupied for the full service time.
+        transfer = blocks * cfg_->lat.bankBurstBlockCycles;
+        ++bursts_;
+    }
+
+    busyUntil_ = start + occupancy;
+    busyCycles_ += occupancy;
+    ++accesses_;
+    lastRow_ = row;
+    nextBlockAddr_ = bankAddr + blocks * cfg_->memBlockBytes;
+
+    return BankGrant{start, transfer};
+}
+
+} // namespace cyclops::arch

@@ -1,0 +1,193 @@
+#include "arch/memsys.h"
+
+#include "common/bitops.h"
+#include "common/log.h"
+
+namespace cyclops::arch
+{
+
+void
+MemSystem::init(const ChipConfig &cfg, StatGroup *stats)
+{
+    cfg_ = &cfg;
+    caches_.resize(cfg.numCaches());
+    banks_.resize(cfg.numBanks);
+    availBanks_.clear();
+    for (CacheId id = 0; id < cfg.numCaches(); ++id)
+        caches_[id].init(id, cfg, stats);
+    for (BankId id = 0; id < cfg.numBanks; ++id) {
+        banks_[id].init(id, cfg, stats);
+        availBanks_.push_back(id);
+    }
+    cacheMask_ = cfg.numCaches() >= 32 ? ~0u
+                                       : (1u << cfg.numCaches()) - 1;
+    if (stats) {
+        stats->addCounter("mem.loads", &loads_);
+        stats->addCounter("mem.stores", &stores_);
+        stats->addCounter("mem.atomics", &atomics_);
+        stats->addCounter("mem.localHits", &localHits_);
+        stats->addCounter("mem.localMisses", &localMisses_);
+        stats->addCounter("mem.remoteHits", &remoteHits_);
+        stats->addCounter("mem.remoteMisses", &remoteMisses_);
+        stats->addCounter("mem.scratchOps", &scratchOps_);
+        stats->addHistogram("mem.loadLatency", &loadLatency_);
+    }
+}
+
+u32
+MemSystem::availableMemBytes() const
+{
+    return u32(availBanks_.size()) * cfg_->bankBytes;
+}
+
+MemSystem::BankRoute
+MemSystem::route(PhysAddr addr)
+{
+    // Line-granularity interleave over the operational banks; the fault
+    // remap keeps the visible address space contiguous.
+    const u32 lineBytes = cfg_->dcacheLineBytes;
+    const u32 numAvail = u32(availBanks_.size());
+    const u32 lineIdx = addr / lineBytes;
+    const BankId bank = availBanks_[lineIdx % numAvail];
+    const PhysAddr bankAddr =
+        (lineIdx / numAvail) * lineBytes + (addr & (lineBytes - 1));
+    return BankRoute{&banks_[bank], bankAddr};
+}
+
+BankGrant
+MemSystem::fetchLine(Cycle req, PhysAddr lineAddr, u32 blocks)
+{
+    BankRoute r = route(lineAddr);
+    return r.bank->reserve(req, blocks, r.bankAddr);
+}
+
+void
+MemSystem::postWrite(Cycle when, PhysAddr lineAddr, u32 blocks)
+{
+    if (blocks == 0)
+        return;
+    BankRoute r = route(lineAddr);
+    r.bank->reserve(when, blocks, r.bankAddr);
+}
+
+CacheId
+MemSystem::routeCache(Addr ea, ThreadId tid) const
+{
+    const InterestGroup ig = igDecode(igField(ea));
+    switch (ig.cls) {
+      case IgClass::Own:
+        return localCacheOf(tid);
+      case IgClass::Scratch:
+        return ig.index & (cfg_->numCaches() - 1);
+      default: {
+        const PhysAddr lineAddr =
+            igPhys(ea) / cfg_->dcacheLineBytes * cfg_->dcacheLineBytes;
+        return igSelectCache(ig, lineAddr, cfg_->numCaches(), cacheMask_);
+      }
+    }
+}
+
+MemTiming
+MemSystem::access(Cycle now, ThreadId tid, Addr ea, u8 bytes, MemKind kind)
+{
+    const InterestGroup ig = igDecode(igField(ea));
+    const PhysAddr pa = igPhys(ea);
+    const bool scratch = ig.cls == IgClass::Scratch;
+
+    if (bytes == 0 || bytes > 8 || !isPow2(bytes))
+        panic("memory access of %u bytes", bytes);
+    if (pa % bytes != 0)
+        fatal("misaligned %u-byte access at 0x%08x by thread %u", bytes,
+              ea, tid);
+    if (!scratch && pa + bytes > availableMemBytes())
+        fatal("physical address 0x%06x beyond available memory (%u KB) "
+              "— thread %u", pa, availableMemBytes() / 1024, tid);
+
+    const CacheId target = routeCache(ea, tid);
+    const CacheId local = localCacheOf(tid);
+    const bool remote = target != local;
+
+    CacheAccess req;
+    req.addr = pa;
+    req.bytes = bytes;
+    req.store = kind == MemKind::Store || kind == MemKind::Atomic;
+    req.atomic = kind == MemKind::Atomic;
+    req.scratch = scratch;
+    req.arrive = now + (remote ? cfg_->lat.remoteReqHop : 0);
+
+    CacheResult res = caches_[target].access(req, *this);
+
+    Cycle ready = res.ready;
+    if (remote) {
+        ready += cfg_->lat.remoteRespHop;
+        if (!res.hit)
+            ready += cfg_->lat.remoteMissExtra;
+    }
+    if (kind == MemKind::Atomic)
+        ready += cfg_->lat.atomicExtra;
+
+    switch (kind) {
+      case MemKind::Load:
+      case MemKind::Prefetch:
+        ++loads_;
+        loadLatency_.sample(ready - now);
+        break;
+      case MemKind::Store:
+        ++stores_;
+        break;
+      case MemKind::Atomic:
+        ++atomics_;
+        break;
+    }
+    if (scratch) {
+        ++scratchOps_;
+    } else if (res.hit) {
+        remote ? ++remoteHits_ : ++localHits_;
+    } else {
+        remote ? ++remoteMisses_ : ++localMisses_;
+    }
+
+    return MemTiming{ready, target, remote, res.hit};
+}
+
+Cycle
+MemSystem::flush(Cycle now, ThreadId tid, Addr ea)
+{
+    const CacheId target = routeCache(ea, tid);
+    const bool remote = target != localCacheOf(tid);
+    const Cycle arrive = now + (remote ? cfg_->lat.remoteReqHop : 0);
+    Cycle done = caches_[target].flushLine(igPhys(ea), arrive, *this);
+    return done + (remote ? cfg_->lat.remoteRespHop : 0);
+}
+
+Cycle
+MemSystem::invalidate(Cycle now, ThreadId tid, Addr ea)
+{
+    const CacheId target = routeCache(ea, tid);
+    const bool remote = target != localCacheOf(tid);
+    const Cycle arrive = now + (remote ? cfg_->lat.remoteReqHop : 0);
+    Cycle done = caches_[target].invalidateLine(igPhys(ea), arrive);
+    return done + (remote ? cfg_->lat.remoteRespHop : 0);
+}
+
+void
+MemSystem::failBank(BankId id)
+{
+    if (id >= cfg_->numBanks)
+        fatal("failBank: no bank %u", id);
+    std::erase(availBanks_, id);
+    if (availBanks_.empty())
+        fatal("failBank: all banks failed");
+}
+
+void
+MemSystem::disableCache(CacheId id)
+{
+    if (id >= cfg_->numCaches())
+        fatal("disableCache: no cache %u", id);
+    cacheMask_ &= ~(1u << id);
+    if (cacheMask_ == 0)
+        fatal("disableCache: all caches disabled");
+}
+
+} // namespace cyclops::arch

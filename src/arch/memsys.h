@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The chip memory fabric: interest-group routing, the cache switch, 32
+ * data caches, the memory switch and 16 embedded-DRAM banks.
+ *
+ * This is the timing backbone shared by both execution frontends. A
+ * thread unit calls access() and receives the cycle at which the data
+ * is available; all queueing (cache ports, banks) is accounted inside.
+ *
+ * Fault tolerance (paper section 5): failBank() removes a bank and
+ * re-interleaves the remaining, contiguous address space (the hardware
+ * MEMSZ remap); disableCache() removes a quad's cache from interest-
+ * group scrambling.
+ */
+
+#ifndef CYCLOPS_ARCH_MEMSYS_H
+#define CYCLOPS_ARCH_MEMSYS_H
+
+#include <vector>
+
+#include "arch/dcache.h"
+#include "arch/interest_group.h"
+#include "arch/membank.h"
+#include "common/config.h"
+#include "common/stats.h"
+
+namespace cyclops::arch
+{
+
+/** What a memory operation does, for routing and statistics. */
+enum class MemKind : u8 { Load, Store, Atomic, Prefetch };
+
+/** Timing outcome of one data-memory operation. */
+struct MemTiming
+{
+    Cycle ready = 0;    ///< cycle the result is available to the thread
+    CacheId cache = 0;  ///< cache that serviced the request
+    bool remote = false;
+    bool hit = false;
+};
+
+/** The data-memory fabric of one chip. */
+class MemSystem
+{
+  public:
+    MemSystem() = default;
+
+    /** Build caches and banks from the configuration. */
+    void init(const ChipConfig &cfg, StatGroup *stats);
+
+    /**
+     * One data access from thread @p tid at cycle @p now.
+     *
+     * @param ea  32-bit effective address (interest group in bits 31:24)
+     * @param bytes access size, naturally aligned (1, 2, 4 or 8)
+     *
+     * fatal()s on misaligned or out-of-range guest addresses.
+     */
+    MemTiming access(Cycle now, ThreadId tid, Addr ea, u8 bytes,
+                     MemKind kind);
+
+    /** dcbf: flush the addressed line from its interest-group cache. */
+    Cycle flush(Cycle now, ThreadId tid, Addr ea);
+
+    /** dcbi: invalidate the addressed line. */
+    Cycle invalidate(Cycle now, ThreadId tid, Addr ea);
+
+    // --- Bank services used by the caches and the I-path ---------------
+
+    /** Fetch @p blocks 32-byte blocks starting at @p lineAddr. */
+    BankGrant fetchLine(Cycle req, PhysAddr lineAddr, u32 blocks);
+
+    /** Posted write of @p blocks blocks (evictions); timing only. */
+    void postWrite(Cycle when, PhysAddr lineAddr, u32 blocks);
+
+    // --- Topology -------------------------------------------------------
+
+    /** The local data cache of a hardware thread. */
+    CacheId
+    localCacheOf(ThreadId tid) const
+    {
+        return tid / cfg_->threadsPerQuad;
+    }
+
+    DCache &dcache(CacheId id) { return caches_[id]; }
+    const DCache &dcache(CacheId id) const { return caches_[id]; }
+    MemBank &bank(BankId id) { return banks_[id]; }
+
+    /** Resolve the target cache of an effective address for @p tid. */
+    CacheId routeCache(Addr ea, ThreadId tid) const;
+
+    // --- Fault model ------------------------------------------------------
+
+    /** Remove a failed bank; the address space contracts contiguously. */
+    void failBank(BankId id);
+
+    /** Remove a cache from interest-group scrambling (quad disabled). */
+    void disableCache(CacheId id);
+
+    /** Bitmask of operational caches. */
+    u32 enabledCacheMask() const { return cacheMask_; }
+
+    /** Bytes of embedded memory currently addressable (MEMSZ SPR). */
+    u32 availableMemBytes() const;
+
+    /** Number of operational banks. */
+    u32 availableBanks() const { return u32(availBanks_.size()); }
+
+  private:
+    struct BankRoute
+    {
+        MemBank *bank;
+        PhysAddr bankAddr; ///< bank-local address
+    };
+
+    BankRoute route(PhysAddr addr);
+
+    const ChipConfig *cfg_ = nullptr;
+    std::vector<DCache> caches_;
+    std::vector<MemBank> banks_;
+    std::vector<BankId> availBanks_;
+    u32 cacheMask_ = 0;
+
+    Counter loads_;
+    Counter stores_;
+    Counter atomics_;
+    Counter localHits_;
+    Counter localMisses_;
+    Counter remoteHits_;
+    Counter remoteMisses_;
+    Counter scratchOps_;
+    Histogram loadLatency_;
+};
+
+} // namespace cyclops::arch
+
+#endif // CYCLOPS_ARCH_MEMSYS_H

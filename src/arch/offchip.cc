@@ -1,0 +1,108 @@
+#include "arch/offchip.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "arch/chip.h"
+#include "common/log.h"
+
+namespace cyclops::arch
+{
+
+void
+OffChipMemory::init(const ChipConfig &cfg, StatGroup *stats)
+{
+    cfg_ = &cfg;
+    capacity_ = cfg.offChipBytes;
+    if (stats) {
+        stats->addCounter("offchip.dmas", &dmas_);
+        stats->addCounter("offchip.dmaBytes", &dmaBytes_);
+        stats->addCounter("offchip.channelBusyCycles", &channelBusyCycles_);
+    }
+}
+
+u8 *
+OffChipMemory::blockFor(u64 extOff, bool create)
+{
+    const u64 block = extOff / kBlockBytes;
+    auto it = blocks_.find(block);
+    if (it != blocks_.end())
+        return it->second.get();
+    if (!create)
+        return nullptr;
+    auto storage = std::make_unique<u8[]>(kBlockBytes);
+    std::memset(storage.get(), 0, kBlockBytes);
+    u8 *ptr = storage.get();
+    blocks_.emplace(block, std::move(storage));
+    return ptr;
+}
+
+Cycle
+OffChipMemory::startDma(Cycle now, DmaDir dir, u64 extOff,
+                        PhysAddr physAddr, u32 bytes, Chip &chip)
+{
+    if (capacity_ == 0)
+        fatal("off-chip DMA on a chip configured without external memory");
+    if (bytes == 0 || bytes % kBlockBytes != 0)
+        fatal("off-chip DMA must move whole 1 KB blocks (%u bytes)",
+              bytes);
+    if (extOff % kBlockBytes != 0 || extOff + bytes > capacity_)
+        fatal("off-chip DMA outside external memory: off=%llu bytes=%u",
+              static_cast<unsigned long long>(extOff), bytes);
+
+    // Functional copy now; timing below.
+    std::vector<u8> buffer(bytes);
+    if (dir == DmaDir::ToChip) {
+        peek(extOff, buffer.data(), bytes);
+        chip.writePhys(physAddr, buffer.data(), bytes);
+    } else {
+        chip.readPhys(physAddr, buffer.data(), bytes);
+        poke(extOff, buffer.data(), bytes);
+    }
+
+    const u32 blocks = bytes / kBlockBytes;
+    const Cycle start = std::max(now, channelFree_);
+    const Cycle duration =
+        Cycle(blocks) * cfg_->lat.offChipBlockCycles;
+    channelFree_ = start + duration;
+    ++dmas_;
+    dmaBytes_ += bytes;
+    channelBusyCycles_ += duration;
+    return channelFree_;
+}
+
+void
+OffChipMemory::poke(u64 extOff, const void *data, u32 bytes)
+{
+    const u8 *src = static_cast<const u8 *>(data);
+    while (bytes > 0) {
+        u8 *block = blockFor(extOff, true);
+        const u32 inBlock = u32(extOff % kBlockBytes);
+        const u32 chunk = std::min(bytes, kBlockBytes - inBlock);
+        std::memcpy(block + inBlock, src, chunk);
+        src += chunk;
+        extOff += chunk;
+        bytes -= chunk;
+    }
+}
+
+void
+OffChipMemory::peek(u64 extOff, void *data, u32 bytes) const
+{
+    u8 *dst = static_cast<u8 *>(data);
+    while (bytes > 0) {
+        const u64 block = extOff / kBlockBytes;
+        const u32 inBlock = u32(extOff % kBlockBytes);
+        const u32 chunk = std::min(bytes, kBlockBytes - inBlock);
+        auto it = blocks_.find(block);
+        if (it != blocks_.end())
+            std::memcpy(dst, it->second.get() + inBlock, chunk);
+        else
+            std::memset(dst, 0, chunk);
+        dst += chunk;
+        extOff += chunk;
+        bytes -= chunk;
+    }
+}
+
+} // namespace cyclops::arch

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Optional off-chip memory (128 MB - 2 GB).
+ *
+ * Not directly addressable: 1 KB blocks are transferred between the
+ * external DRAM and the embedded memory much like disk operations
+ * (paper section 2.1). The single channel has far lower bandwidth than
+ * the embedded banks; transfers are asynchronous DMA operations that
+ * the kernel starts and polls.
+ *
+ * Storage is allocated lazily per 1 KB block so a 2 GB configuration
+ * does not consume host RAM until touched.
+ */
+
+#ifndef CYCLOPS_ARCH_OFFCHIP_H
+#define CYCLOPS_ARCH_OFFCHIP_H
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.h"
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace cyclops::arch
+{
+
+class Chip;
+
+/** Direction of an off-chip DMA transfer. */
+enum class DmaDir : u8 { ToChip, FromChip };
+
+/** The external DRAM and its DMA channel. */
+class OffChipMemory
+{
+  public:
+    static constexpr u32 kBlockBytes = 1024;
+
+    void init(const ChipConfig &cfg, StatGroup *stats);
+
+    /**
+     * Start a DMA of @p bytes (a multiple of 1 KB) between external
+     * offset @p extOff and embedded physical address @p physAddr.
+     * The data moves functionally right away; the returned cycle is
+     * when the transfer completes on the channel.
+     */
+    Cycle startDma(Cycle now, DmaDir dir, u64 extOff, PhysAddr physAddr,
+                   u32 bytes, Chip &chip);
+
+    /** Cycle the channel becomes idle. */
+    Cycle channelFree() const { return channelFree_; }
+
+    u64 capacityBytes() const { return capacity_; }
+
+    /** Direct host-side access for tests and workload setup. */
+    void poke(u64 extOff, const void *data, u32 bytes);
+    void peek(u64 extOff, void *data, u32 bytes) const;
+
+  private:
+    u8 *blockFor(u64 extOff, bool create);
+
+    const ChipConfig *cfg_ = nullptr;
+    u64 capacity_ = 0;
+    Cycle channelFree_ = 0;
+    mutable std::unordered_map<u64, std::unique_ptr<u8[]>> blocks_;
+
+    Counter dmas_;
+    Counter dmaBytes_;
+    Counter channelBusyCycles_;
+};
+
+} // namespace cyclops::arch
+
+#endif // CYCLOPS_ARCH_OFFCHIP_H

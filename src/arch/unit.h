@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The execution-unit interface driven by the chip's cycle engine.
+ *
+ * A Unit models what occupies one hardware thread unit. Two frontends
+ * implement it: the ISA interpreter (arch/thread_unit.h) and the
+ * execution-driven coroutine adapter (exec/guest_unit.h). Both share
+ * run/stall-cycle accounting, which Figure 7 of the paper reports.
+ */
+
+#ifndef CYCLOPS_ARCH_UNIT_H
+#define CYCLOPS_ARCH_UNIT_H
+
+#include <algorithm>
+#include <vector>
+
+#include "common/config.h"
+#include "common/types.h"
+
+namespace cyclops::arch
+{
+
+/** One schedulable hardware thread context. */
+class Unit
+{
+  public:
+    explicit Unit(ThreadId tid) : tid_(tid) {}
+    virtual ~Unit() = default;
+
+    Unit(const Unit &) = delete;
+    Unit &operator=(const Unit &) = delete;
+
+    /**
+     * Advance this unit at cycle @p now (it is only called when due).
+     *
+     * @return the next cycle the unit wants to run, or kCycleNever if
+     *         it halted. Must be > @p now unless halted.
+     */
+    virtual Cycle tick(Cycle now) = 0;
+
+    /** True once the unit has executed its halt. */
+    bool halted() const { return halted_; }
+
+    ThreadId tid() const { return tid_; }
+
+    /** Cycles spent issuing/executing instructions. */
+    u64 runCycles() const { return runCycles_; }
+
+    /** Cycles spent stalled on operands or shared resources. */
+    u64 stallCycles() const { return stallCycles_; }
+
+    /** Instructions issued. */
+    u64 instructions() const { return instructions_; }
+
+  protected:
+    /** Record the issue of one instruction occupying @p exec cycles. */
+    void
+    accountIssue(u32 exec)
+    {
+        runCycles_ += exec;
+        ++instructions_;
+    }
+
+    /** Record a blocked interval [now, wake). */
+    void
+    accountStall(Cycle now, Cycle wake)
+    {
+        if (wake > now)
+            stallCycles_ += wake - now;
+    }
+
+    void markHalted() { halted_ = true; }
+
+    ThreadId tid_;
+    bool halted_ = false;
+    u64 runCycles_ = 0;
+    u64 stallCycles_ = 0;
+    u64 instructions_ = 0;
+};
+
+/**
+ * Bounded set of in-flight memory operation completion times — the
+ * per-thread limit on outstanding memory references.
+ */
+class OutstandingMem
+{
+  public:
+    void
+    init(u32 limit)
+    {
+        limit_ = limit;
+        times_.clear();
+        times_.reserve(limit);
+    }
+
+    /** Drop completed operations. */
+    void
+    prune(Cycle now)
+    {
+        std::erase_if(times_, [&](Cycle t) { return t <= now; });
+    }
+
+    bool full() const { return times_.size() >= limit_; }
+    bool empty() const { return times_.empty(); }
+
+    /** Completion time that frees the first slot. */
+    Cycle
+    earliest() const
+    {
+        return *std::min_element(times_.begin(), times_.end());
+    }
+
+    /** Completion time of the last operation to finish. */
+    Cycle
+    latest() const
+    {
+        return *std::max_element(times_.begin(), times_.end());
+    }
+
+    void add(Cycle done) { times_.push_back(done); }
+
+  private:
+    u32 limit_ = 4;
+    std::vector<Cycle> times_;
+};
+
+} // namespace cyclops::arch
+
+#endif // CYCLOPS_ARCH_UNIT_H

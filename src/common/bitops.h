@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used by the ISA encoder/decoder and the
+ * address-mapping logic.
+ */
+
+#ifndef CYCLOPS_COMMON_BITOPS_H
+#define CYCLOPS_COMMON_BITOPS_H
+
+#include <bit>
+#include <type_traits>
+
+#include "common/types.h"
+
+namespace cyclops
+{
+
+/** Extract bits [hi:lo] (inclusive) of @p value, right-justified. */
+template <typename T>
+constexpr T
+bits(T value, unsigned hi, unsigned lo)
+{
+    static_assert(std::is_unsigned_v<T>);
+    const unsigned width = hi - lo + 1;
+    if (width >= sizeof(T) * 8)
+        return value >> lo;
+    return (value >> lo) & ((T(1) << width) - 1);
+}
+
+/** Insert @p field into bits [hi:lo] of a zero background. */
+template <typename T>
+constexpr T
+insertBits(T field, unsigned hi, unsigned lo)
+{
+    static_assert(std::is_unsigned_v<T>);
+    const unsigned width = hi - lo + 1;
+    T mask = width >= sizeof(T) * 8 ? ~T(0) : ((T(1) << width) - 1);
+    return (field & mask) << lo;
+}
+
+/** Sign-extend the low @p width bits of @p value to 64 bits. */
+constexpr s64
+sext(u64 value, unsigned width)
+{
+    const unsigned shift = 64 - width;
+    return static_cast<s64>(value << shift) >> shift;
+}
+
+/** True if @p value is a power of two (zero excluded). */
+constexpr bool
+isPow2(u64 value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** log2 of a power of two. */
+constexpr unsigned
+log2i(u64 value)
+{
+    return static_cast<unsigned>(std::bit_width(value) - 1);
+}
+
+/** Round @p value up to the next multiple of pow2 @p align. */
+constexpr u64
+roundUp(u64 value, u64 align)
+{
+    return (value + align - 1) & ~(align - 1);
+}
+
+/** Round @p value down to a multiple of pow2 @p align. */
+constexpr u64
+roundDown(u64 value, u64 align)
+{
+    return value & ~(align - 1);
+}
+
+/**
+ * Deterministic 32-bit scrambling hash (finalizer of MurmurHash3).
+ *
+ * Used to pick a member cache inside an interest-group set; the paper
+ * requires a completely deterministic function of the address that
+ * utilizes all caches of the set uniformly.
+ */
+constexpr u32
+scramble32(u32 x)
+{
+    x ^= x >> 16;
+    x *= 0x85ebca6bu;
+    x ^= x >> 13;
+    x *= 0xc2b2ae35u;
+    x ^= x >> 16;
+    return x;
+}
+
+} // namespace cyclops
+
+#endif // CYCLOPS_COMMON_BITOPS_H

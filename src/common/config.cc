@@ -1,0 +1,83 @@
+#include "common/config.h"
+
+#include "common/bitops.h"
+#include "common/log.h"
+
+namespace cyclops
+{
+
+void
+ChipConfig::validate() const
+{
+    if (!isPow2(numThreads) || numThreads == 0)
+        fatal("numThreads (%u) must be a nonzero power of two", numThreads);
+    if (!isPow2(threadsPerQuad) || threadsPerQuad == 0 ||
+        numThreads % threadsPerQuad != 0) {
+        fatal("threadsPerQuad (%u) must be a power of two dividing "
+              "numThreads (%u)", threadsPerQuad, numThreads);
+    }
+    if (quadsPerICache == 0 || numQuads() % quadsPerICache != 0)
+        fatal("quadsPerICache (%u) must divide numQuads (%u)",
+              quadsPerICache, numQuads());
+    if (reservedThreads >= numThreads)
+        fatal("reservedThreads (%u) must be < numThreads (%u)",
+              reservedThreads, numThreads);
+
+    if (!isPow2(dcacheLineBytes) || dcacheLineBytes < 8 ||
+        dcacheLineBytes > 256)
+        fatal("dcacheLineBytes (%u) must be a power of two in [8,256]",
+              dcacheLineBytes);
+    if (!isPow2(dcacheAssoc) || dcacheAssoc == 0 || dcacheAssoc > 8)
+        fatal("dcacheAssoc (%u) must be 1, 2, 4 or 8 (\"up to 8-way\")",
+              dcacheAssoc);
+    if (dcacheBytes % (dcacheLineBytes * dcacheAssoc) != 0)
+        fatal("dcacheBytes (%u) must be divisible by line*assoc",
+              dcacheBytes);
+    if (dcacheScratchWays >= dcacheAssoc)
+        fatal("dcacheScratchWays (%u) must leave at least one cache way "
+              "(assoc %u)", dcacheScratchWays, dcacheAssoc);
+    if (dcacheMshrs == 0)
+        fatal("dcacheMshrs must be nonzero");
+
+    if (!isPow2(icacheLineBytes) || icacheLineBytes < 8)
+        fatal("icacheLineBytes (%u) must be a power of two >= 8",
+              icacheLineBytes);
+    if (!isPow2(icacheAssoc) || icacheAssoc == 0)
+        fatal("icacheAssoc (%u) must be a power of two", icacheAssoc);
+    if (pibEntries == 0 || !isPow2(pibEntries))
+        fatal("pibEntries (%u) must be a power of two", pibEntries);
+
+    if (!isPow2(numBanks) || numBanks == 0)
+        fatal("numBanks (%u) must be a nonzero power of two", numBanks);
+    if (!isPow2(memBlockBytes) || memBlockBytes == 0)
+        fatal("memBlockBytes (%u) must be a nonzero power of two",
+              memBlockBytes);
+    if (dcacheLineBytes % memBlockBytes != 0)
+        fatal("dcacheLineBytes (%u) must be a multiple of memBlockBytes "
+              "(%u)", dcacheLineBytes, memBlockBytes);
+    if (physAddrBits == 0 || physAddrBits > 24)
+        fatal("physAddrBits (%u) must be in [1,24]: the upper 8 bits of "
+              "the 32-bit effective address carry the interest group",
+              physAddrBits);
+    if (memBytes() > (1u << physAddrBits))
+        fatal("total memory (%u bytes) exceeds the physical address "
+              "space (%u bits)", memBytes(), physAddrBits);
+
+    if (maxOutstandingMem == 0)
+        fatal("maxOutstandingMem must be nonzero");
+    if (numRegs != 64)
+        fatal("the Cyclops ISA defines 64 registers; numRegs=%u", numRegs);
+
+    if (lat.memLocalMiss <= lat.memLocalHit ||
+        lat.memRemoteHit <= lat.memLocalHit ||
+        lat.memRemoteMiss <= lat.memRemoteHit) {
+        fatal("memory latencies must be ordered: localHit < remoteHit "
+              "< remoteMiss and localHit < localMiss");
+    }
+    if (lat.bankBurstBlockCycles > lat.bankBlockCycles)
+        fatal("burst block service (%u) must not exceed the normal "
+              "block service (%u)", lat.bankBurstBlockCycles,
+              lat.bankBlockCycles);
+}
+
+} // namespace cyclops

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Logging and error-reporting helpers.
+ *
+ * Follows the gem5 discipline:
+ *  - panic()  -> a simulator bug: something that must never happen
+ *               regardless of user input. Aborts (core-dumpable).
+ *  - fatal()  -> a user error (bad configuration, malformed assembly,
+ *               invalid argument). Exits with status 1.
+ *  - warn()   -> functionality that may be imperfect but continues.
+ *  - inform() -> normal status messages.
+ */
+
+#ifndef CYCLOPS_COMMON_LOG_H
+#define CYCLOPS_COMMON_LOG_H
+
+#include <cstdarg>
+#include <string>
+
+namespace cyclops
+{
+
+/** Verbosity levels for inform()/debug logging. */
+enum class LogLevel { Quiet = 0, Normal = 1, Verbose = 2, Debug = 3 };
+
+/** Set the global log verbosity (default Normal). */
+void setLogLevel(LogLevel level);
+
+/** Current global log verbosity. */
+LogLevel logLevel();
+
+/** Printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Vprintf-style formatting into a std::string. */
+std::string vstrprintf(const char *fmt, va_list args);
+
+/** Report a simulator bug and abort. Never returns. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a user error and exit(1). Never returns. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a recoverable concern to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report normal operational status to stderr (Normal level and up). */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Verbose diagnostic output (Debug level only). */
+void debugLog(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace cyclops
+
+#endif // CYCLOPS_COMMON_LOG_H

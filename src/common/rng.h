@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Small, fast, deterministic random number generator (xoshiro256**).
+ *
+ * Workload generators and property tests must be reproducible across
+ * platforms, so we avoid std::mt19937's header-dependent distributions
+ * and provide our own uniform helpers.
+ */
+
+#ifndef CYCLOPS_COMMON_RNG_H
+#define CYCLOPS_COMMON_RNG_H
+
+#include "common/types.h"
+
+namespace cyclops
+{
+
+/** xoshiro256** PRNG with splitmix64 seeding. */
+class Rng
+{
+  public:
+    explicit Rng(u64 seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+    /** Re-initialize the state from a 64-bit seed. */
+    void
+    reseed(u64 seed)
+    {
+        for (auto &word : state_)
+            word = splitmix64(seed);
+    }
+
+    /** Next raw 64-bit value. */
+    u64
+    next()
+    {
+        const u64 result = rotl(state_[1] * 5, 7) * 9;
+        const u64 t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    u64
+    below(u64 bound)
+    {
+        // Lemire's multiply-shift rejection method.
+        u64 x = next();
+        unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
+        u64 l = static_cast<u64>(m);
+        if (l < bound) {
+            u64 t = -bound % bound;
+            while (l < t) {
+                x = next();
+                m = static_cast<unsigned __int128>(x) * bound;
+                l = static_cast<u64>(m);
+            }
+        }
+        return static_cast<u64>(m >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    s64
+    range(s64 lo, s64 hi)
+    {
+        return lo + static_cast<s64>(below(static_cast<u64>(hi - lo) + 1));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static u64
+    rotl(u64 x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    static u64
+    splitmix64(u64 &x)
+    {
+        u64 z = (x += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    u64 state_[4];
+};
+
+} // namespace cyclops
+
+#endif // CYCLOPS_COMMON_RNG_H

@@ -1,0 +1,78 @@
+#include "common/stats.h"
+
+#include <sstream>
+
+#include "common/log.h"
+
+namespace cyclops
+{
+
+void
+StatGroup::addCounter(const std::string &name, Counter *counter)
+{
+    if (counterIndex_.count(name))
+        panic("duplicate counter registration: %s", name.c_str());
+    counterIndex_[name] = counters_.size();
+    counters_.emplace_back(name, counter);
+}
+
+void
+StatGroup::addHistogram(const std::string &name, Histogram *histogram)
+{
+    histograms_.emplace_back(name, histogram);
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &[name, c] : counters_)
+        c->reset();
+    for (auto &[name, h] : histograms_)
+        h->reset();
+}
+
+u64
+StatGroup::counterValue(const std::string &name) const
+{
+    auto it = counterIndex_.find(name);
+    if (it == counterIndex_.end())
+        fatal("unknown counter: %s", name.c_str());
+    return counters_[it->second].second->value();
+}
+
+const Histogram *
+StatGroup::histogram(const std::string &name) const
+{
+    for (const auto &[histName, h] : histograms_)
+        if (histName == name)
+            return h;
+    return nullptr;
+}
+
+std::vector<std::pair<std::string, u64>>
+StatGroup::counters() const
+{
+    std::vector<std::pair<std::string, u64>> out;
+    out.reserve(counters_.size());
+    for (const auto &[name, c] : counters_)
+        out.emplace_back(name, c->value());
+    return out;
+}
+
+std::string
+StatGroup::dump() const
+{
+    std::ostringstream os;
+    for (const auto &[name, c] : counters_)
+        os << strprintf("%-48s %20llu\n", name.c_str(),
+                        static_cast<unsigned long long>(c->value()));
+    for (const auto &[name, h] : histograms_) {
+        os << strprintf("%-48s n=%llu mean=%.2f max=%llu\n", name.c_str(),
+                        static_cast<unsigned long long>(h->samples()),
+                        h->mean(),
+                        static_cast<unsigned long long>(h->max()));
+    }
+    return os.str();
+}
+
+} // namespace cyclops

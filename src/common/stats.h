@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Lightweight statistics package.
+ *
+ * Components own Counter/Histogram members and register them with a
+ * StatGroup so that a whole chip's statistics can be dumped or reset
+ * uniformly. Deliberately minimal: no formulas, no callbacks in the hot
+ * path — counters are plain 64-bit adds.
+ */
+
+#ifndef CYCLOPS_COMMON_STATS_H
+#define CYCLOPS_COMMON_STATS_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace cyclops
+{
+
+/** A named monotonically increasing 64-bit counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void operator+=(u64 delta) { value_ += delta; }
+    void operator++() { ++value_; }
+    void operator++(int) { ++value_; }
+    u64 value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    u64 value_ = 0;
+};
+
+/** A simple power-of-two-bucketed latency histogram. */
+class Histogram
+{
+  public:
+    static constexpr unsigned kBuckets = 24;
+
+    /** Record one sample. */
+    void
+    sample(u64 value)
+    {
+        unsigned bucket = 0;
+        while (bucket + 1 < kBuckets && (1ull << (bucket + 1)) <= value)
+            ++bucket;
+        ++counts_[bucket];
+        sum_ += value;
+        ++n_;
+        if (value > max_)
+            max_ = value;
+    }
+
+    u64 samples() const { return n_; }
+    u64 sum() const { return sum_; }
+    u64 max() const { return max_; }
+    double mean() const { return n_ ? double(sum_) / double(n_) : 0.0; }
+    u64 bucket(unsigned i) const { return i < kBuckets ? counts_[i] : 0; }
+
+    void
+    reset()
+    {
+        for (auto &c : counts_)
+            c = 0;
+        sum_ = n_ = max_ = 0;
+    }
+
+  private:
+    u64 counts_[kBuckets] = {};
+    u64 sum_ = 0;
+    u64 n_ = 0;
+    u64 max_ = 0;
+};
+
+/**
+ * A registry of named statistics belonging to one component tree.
+ *
+ * Names are hierarchical ("dcache7.hits"). Registration stores pointers;
+ * the owning objects must outlive the group.
+ */
+class StatGroup
+{
+  public:
+    /** Register a counter under @p name. */
+    void addCounter(const std::string &name, Counter *counter);
+
+    /** Register a histogram under @p name. */
+    void addHistogram(const std::string &name, Histogram *histogram);
+
+    /** Reset every registered statistic to zero. */
+    void resetAll();
+
+    /** Value of a registered counter; fatal() if the name is unknown. */
+    u64 counterValue(const std::string &name) const;
+
+    /** Registered histogram by name; nullptr if unknown. */
+    const Histogram *histogram(const std::string &name) const;
+
+    /** All registered counters in registration order (name, value). */
+    std::vector<std::pair<std::string, u64>> counters() const;
+
+    /** Multi-line human-readable dump of all statistics. */
+    std::string dump() const;
+
+  private:
+    std::vector<std::pair<std::string, Counter *>> counters_;
+    std::vector<std::pair<std::string, Histogram *>> histograms_;
+    std::map<std::string, size_t> counterIndex_;
+};
+
+} // namespace cyclops
+
+#endif // CYCLOPS_COMMON_STATS_H

@@ -1,0 +1,94 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/log.h"
+
+namespace cyclops
+{
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+    if (headers_.empty())
+        panic("Table requires at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size())
+        panic("Table row arity %zu != header arity %zu", cells.size(),
+              headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::ascii() const
+{
+    std::vector<size_t> width(headers_.size());
+    for (size_t i = 0; i < headers_.size(); ++i)
+        width[i] = headers_[i].size();
+    for (const auto &row : rows_)
+        for (size_t i = 0; i < row.size(); ++i)
+            width[i] = std::max(width[i], row[i].size());
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t i = 0; i < row.size(); ++i) {
+            os << (i ? "  " : "");
+            os << row[i];
+            os << std::string(width[i] - row[i].size(), ' ');
+        }
+        os << '\n';
+    };
+    emit(headers_);
+    size_t total = 0;
+    for (size_t i = 0; i < width.size(); ++i)
+        total += width[i] + (i ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emit(row);
+    return os.str();
+}
+
+std::string
+Table::csv() const
+{
+    auto quote = [](const std::string &cell) {
+        if (cell.find_first_of(",\"\n") == std::string::npos)
+            return cell;
+        std::string out = "\"";
+        for (char c : cell) {
+            if (c == '"')
+                out += '"';
+            out += c;
+        }
+        out += '"';
+        return out;
+    };
+    std::ostringstream os;
+    for (size_t i = 0; i < headers_.size(); ++i)
+        os << (i ? "," : "") << quote(headers_[i]);
+    os << '\n';
+    for (const auto &row : rows_) {
+        for (size_t i = 0; i < row.size(); ++i)
+            os << (i ? "," : "") << quote(row[i]);
+        os << '\n';
+    }
+    return os.str();
+}
+
+std::string
+Table::num(double value, int digits)
+{
+    return strprintf("%.*f", digits, value);
+}
+
+std::string
+Table::num(long long value)
+{
+    return strprintf("%lld", value);
+}
+
+} // namespace cyclops

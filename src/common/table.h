@@ -1,0 +1,61 @@
+/**
+ * @file
+ * ASCII table and CSV reporters used by the benchmark harness to print
+ * paper-style result rows.
+ */
+
+#ifndef CYCLOPS_COMMON_TABLE_H
+#define CYCLOPS_COMMON_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace cyclops
+{
+
+/**
+ * Accumulates rows of string cells and renders them as an aligned ASCII
+ * table or as CSV.
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append one row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with aligned columns and a header rule. */
+    std::string ascii() const;
+
+    /** Render as RFC-4180-ish CSV (quotes cells containing commas). */
+    std::string csv() const;
+
+    /** Number of data rows. */
+    size_t rows() const { return rows_.size(); }
+
+    /** Helper: format a double with @p digits decimals. */
+    static std::string num(double value, int digits = 2);
+
+    /** Helper: format an integer. */
+    static std::string num(long long value);
+    static std::string num(long value) { return num((long long)value); }
+    static std::string num(unsigned long value)
+    {
+        return num((long long)value);
+    }
+    static std::string num(int value) { return num((long long)value); }
+    static std::string num(unsigned value)
+    {
+        return num((long long)value);
+    }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace cyclops
+
+#endif // CYCLOPS_COMMON_TABLE_H

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Fundamental integer and simulation types shared by every module.
+ */
+
+#ifndef CYCLOPS_COMMON_TYPES_H
+#define CYCLOPS_COMMON_TYPES_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cyclops
+{
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using s8 = std::int8_t;
+using s16 = std::int16_t;
+using s32 = std::int32_t;
+using s64 = std::int64_t;
+
+/** Simulated machine cycle (500 MHz clock in the evaluated design). */
+using Cycle = u64;
+
+/**
+ * A 32-bit effective address. The upper 8 bits carry the interest-group
+ * (cache placement) encoding; the lower 24 bits are the physical address.
+ */
+using Addr = u32;
+
+/** The 24-bit physical address inside the embedded memory. */
+using PhysAddr = u32;
+
+/** Hardware thread-unit index (0..numThreads-1). */
+using ThreadId = u32;
+
+/** Data-cache index on the chip (0..numCaches-1). */
+using CacheId = u32;
+
+/** Memory-bank index (0..numBanks-1). */
+using BankId = u32;
+
+/** Sentinel for "no cycle scheduled". */
+inline constexpr Cycle kCycleNever = ~Cycle(0);
+
+} // namespace cyclops
+
+#endif // CYCLOPS_COMMON_TYPES_H

@@ -1,0 +1,48 @@
+#include "exec/barriers.h"
+
+#include "arch/interest_group.h"
+#include "common/log.h"
+
+namespace cyclops::exec
+{
+
+using arch::igAddr;
+using arch::kIgDefault;
+
+void
+CentralBarrier::init(kernel::Heap &heap, u32 participants)
+{
+    if (participants == 0)
+        fatal("central barrier needs at least one participant");
+    count = participants;
+    counterEa = igAddr(kIgDefault, heap.alloc(64, 64));
+    senseEa = igAddr(kIgDefault, heap.alloc(64, 64));
+    localSense.assign(participants, 0);
+}
+
+void
+TreeBarrier::init(kernel::Heap &heap, u32 participants, u32 r)
+{
+    if (participants == 0)
+        fatal("tree barrier needs at least one participant");
+    if (r < 2)
+        fatal("tree barrier radix must be >= 2");
+    count = participants;
+    radix = r;
+    base = heap.alloc(participants * 128, 64);
+    round.assign(participants, 0);
+}
+
+Addr
+TreeBarrier::arriveEa(u32 node) const
+{
+    return igAddr(kIgDefault, base + node * 128);
+}
+
+Addr
+TreeBarrier::releaseEa(u32 node) const
+{
+    return igAddr(kIgDefault, base + node * 128 + 64);
+}
+
+} // namespace cyclops::exec

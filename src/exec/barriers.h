@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Shared-state descriptors for the software barriers used by the
+ * execution-driven frontend.
+ *
+ * Both barriers live in simulated shared memory (kernel-default
+ * interest group), so entering them generates real cache and bank
+ * traffic — exactly the contention the paper's Figure 7 measures
+ * against the hardware barrier.
+ */
+
+#ifndef CYCLOPS_EXEC_BARRIERS_H
+#define CYCLOPS_EXEC_BARRIERS_H
+
+#include <vector>
+
+#include "common/types.h"
+#include "kernel/heap.h"
+
+namespace cyclops::exec
+{
+
+/** A central sense-reversing barrier (one counter, one release flag). */
+struct CentralBarrier
+{
+    Addr counterEa = 0;
+    Addr senseEa = 0;
+    u32 count = 0;
+    std::vector<u32> localSense; ///< per software thread
+
+    /** Allocate the two cache lines and size for @p participants. */
+    void init(kernel::Heap &heap, u32 participants);
+};
+
+/**
+ * The paper's tree-based software barrier: on entering, a thread first
+ * notifies its parent and then spins on a memory location written by
+ * the thread's parent when all threads have completed the barrier.
+ *
+ * Each node owns an arrival counter and a release flag in separate
+ * cache lines. Counters and flags carry monotonically increasing round
+ * numbers, so no reset phase is needed.
+ */
+struct TreeBarrier
+{
+    Addr base = 0;      ///< node records, 128 bytes apart
+    u32 count = 0;      ///< participants
+    u32 radix = 2;
+    std::vector<u32> round; ///< per software thread
+
+    void init(kernel::Heap &heap, u32 participants, u32 radix = 2);
+
+    Addr arriveEa(u32 node) const;
+    Addr releaseEa(u32 node) const;
+
+    u32 parent(u32 node) const { return (node - 1) / radix; }
+
+    u32
+    numChildren(u32 node) const
+    {
+        u32 n = 0;
+        for (u32 c = radix * node + 1; c <= radix * node + radix; ++c)
+            if (c < count)
+                ++n;
+        return n;
+    }
+};
+
+} // namespace cyclops::exec
+
+#endif // CYCLOPS_EXEC_BARRIERS_H

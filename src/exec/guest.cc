@@ -1,0 +1,28 @@
+#include "exec/guest.h"
+
+#include <bit>
+
+#include "exec/guest_unit.h"
+
+namespace cyclops::exec
+{
+
+ThreadId
+GuestCtx::hwThread() const
+{
+    return unit_.tid();
+}
+
+double
+GuestCtx::peekDouble(Addr ea) const
+{
+    return std::bit_cast<double>(unit_.chip().memRead(ea, 8, hwThread()));
+}
+
+void
+GuestCtx::pokeDouble(Addr ea, double value) const
+{
+    unit_.chip().memWrite(ea, 8, std::bit_cast<u64>(value), hwThread());
+}
+
+} // namespace cyclops::exec

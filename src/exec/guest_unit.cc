@@ -1,0 +1,398 @@
+#include "exec/guest_unit.h"
+
+#include "common/log.h"
+#include "exec/barriers.h"
+
+namespace cyclops::exec
+{
+
+using arch::MemKind;
+using arch::MemTiming;
+
+[[noreturn]] void
+GuestTask::promise_type::unhandled_exception()
+{
+    panic("unhandled exception escaped a guest coroutine");
+}
+
+void
+OpAwait::await_suspend(std::coroutine_handle<> self) noexcept
+{
+    unit_.post(ops_, self);
+}
+
+GuestUnit::GuestUnit(ThreadId tid, arch::Chip &chip, u32 softIdx)
+    : Unit(tid),
+      chip_(chip),
+      softIdx_(softIdx),
+      hwProto_{arch::HwBarrierProtocol(0), arch::HwBarrierProtocol(1),
+               arch::HwBarrierProtocol(2), arch::HwBarrierProtocol(3)}
+{
+    mem_.init(chip.config().maxOutstandingMem);
+}
+
+void
+GuestUnit::start(GuestTask task)
+{
+    if (top_.handle())
+        panic("GuestUnit::start called twice");
+    top_ = std::move(task);
+}
+
+void
+GuestUnit::armHwBarriers()
+{
+    // Participants initially set the current-cycle bit of every
+    // barrier; the engine arms all spawned threads before any of them
+    // runs, which the protocol requires.
+    mySpr_ = 0;
+    for (const auto &proto : hwProto_)
+        mySpr_ |= proto.armValue();
+    chip_.barrier().write(tid_, mySpr_);
+}
+
+void
+GuestUnit::post(std::span<MicroOp> ops, std::coroutine_handle<> self)
+{
+    if (pending_)
+        panic("guest posted a micro-op while one is in flight");
+    ops_ = ops;
+    opIdx_ = 0;
+    pending_ = !ops.empty();
+    current_ = self;
+}
+
+MemTiming
+GuestUnit::issueMem(Cycle now, MemKind kind, Addr ea, u8 bytes,
+                    u64 *inout)
+{
+    switch (kind) {
+      case MemKind::Load:
+      case MemKind::Prefetch:
+        *inout = chip_.memRead(ea, bytes, tid_);
+        break;
+      case MemKind::Store:
+        chip_.memWrite(ea, bytes, *inout, tid_);
+        break;
+      case MemKind::Atomic:
+        break; // caller performs the read-modify-write
+    }
+    return chip_.memsys().access(now, tid_, ea, bytes, kind);
+}
+
+Cycle
+GuestUnit::tick(Cycle now)
+{
+    if (halted_)
+        return kCycleNever;
+
+    if (!pending_) {
+        // Resume the guest; it runs natively until it awaits the next
+        // micro-op or the top-level coroutine finishes.
+        auto h = current_ ? current_
+                          : std::coroutine_handle<>(top_.handle());
+        if (!started_) {
+            started_ = true;
+            if (!top_.handle())
+                panic("GuestUnit activated without a coroutine");
+        }
+        h.resume();
+        if (!pending_) {
+            if (top_.done()) {
+                markHalted();
+                accountIssue(1); // the final halt
+                return kCycleNever;
+            }
+            panic("guest coroutine suspended without posting an op");
+        }
+    }
+
+    MicroOp &op = ops_[opIdx_];
+    StepResult r = step(now, op);
+    if (!r.done)
+        return std::max(r.at, now + 1);
+
+    barStage_ = 0;
+    barChild_ = 0;
+    ++opIdx_;
+    if (opIdx_ >= ops_.size()) {
+        pending_ = false;
+        ops_ = {};
+        opIdx_ = 0;
+    }
+    return std::max(r.at, now + 1);
+}
+
+GuestUnit::StepResult
+GuestUnit::step(Cycle now, MicroOp &op)
+{
+    const LatencyConfig &lat = chip_.config().lat;
+
+    // Dependence on the current chain (in-order issue of dependent code).
+    const bool needsChain = !op.indep && op.kind != OpKind::Sync;
+    if (needsChain && chainReady_ > now) {
+        accountStall(now, chainReady_);
+        return {false, chainReady_};
+    }
+
+    switch (op.kind) {
+      case OpKind::Alu: {
+        accountIssue(op.count);
+        // Independent ALU work (loop overhead) does not produce a
+        // value the chain waits on; dependent ALU work replaces it.
+        if (!op.indep)
+            chainReady_ = now + op.count;
+        return {true, now + op.count};
+      }
+
+      case OpKind::Branch: {
+        accountIssue(lat.branchExec);
+        return {true, now + lat.branchExec};
+      }
+
+      case OpKind::Fpu: {
+        Cycle resultAt = 0;
+        if (!chip_.fpuOf(tid_).dispatch(now, op.fpu, &resultAt)) {
+            accountStall(now, now + 1);
+            return {false, now + 1};
+        }
+        accountIssue(1);
+        chainReady_ = std::max(chainReady_, resultAt);
+        return {true, now + 1};
+      }
+
+      case OpKind::Load: {
+        mem_.prune(now);
+        if (mem_.full()) {
+            const Cycle wake = mem_.earliest();
+            accountStall(now, wake);
+            return {false, wake};
+        }
+        MemTiming t = issueMem(now, MemKind::Load, op.ea, op.bytes,
+                               &op.result);
+        mem_.add(t.ready);
+        chainReady_ = std::max(chainReady_, t.ready);
+        accountIssue(1);
+        return {true, now + 1};
+      }
+
+      case OpKind::Store: {
+        mem_.prune(now);
+        if (mem_.full()) {
+            const Cycle wake = mem_.earliest();
+            accountStall(now, wake);
+            return {false, wake};
+        }
+        MemTiming t = issueMem(now, MemKind::Store, op.ea, op.bytes,
+                               &op.value);
+        mem_.add(t.ready);
+        accountIssue(1);
+        return {true, now + 1};
+      }
+
+      case OpKind::AmoAdd:
+      case OpKind::AmoSwap:
+      case OpKind::AmoCas: {
+        mem_.prune(now);
+        if (mem_.full()) {
+            const Cycle wake = mem_.earliest();
+            accountStall(now, wake);
+            return {false, wake};
+        }
+        const u32 old = u32(chip_.memRead(op.ea, 4, tid_));
+        u32 fresh = old;
+        bool doWrite = true;
+        if (op.kind == OpKind::AmoAdd)
+            fresh = old + u32(op.value);
+        else if (op.kind == OpKind::AmoSwap)
+            fresh = u32(op.value);
+        else
+            doWrite = old == u32(op.expect), fresh = u32(op.value);
+        if (doWrite)
+            chip_.memWrite(op.ea, 4, fresh, tid_);
+        MemTiming t =
+            chip_.memsys().access(now, tid_, op.ea, 4, MemKind::Atomic);
+        op.result = old;
+        mem_.add(t.ready);
+        chainReady_ = std::max(chainReady_, t.ready);
+        accountIssue(1);
+        return {true, now + 1};
+      }
+
+      case OpKind::Sync: {
+        mem_.prune(now);
+        if (!mem_.empty()) {
+            const Cycle wake = mem_.latest();
+            accountStall(now, wake);
+            return {false, wake};
+        }
+        if (chainReady_ > now) {
+            accountStall(now, chainReady_);
+            return {false, chainReady_};
+        }
+        accountIssue(1);
+        return {true, now + 1};
+      }
+
+      case OpKind::HwBarrier:
+        return stepHwBarrier(now, op);
+      case OpKind::SwCentralBarrier:
+        return stepCentral(now, op);
+      case OpKind::SwTreeBarrier:
+        return stepTree(now, op);
+    }
+    panic("unhandled micro-op kind");
+}
+
+GuestUnit::StepResult
+GuestUnit::stepHwBarrier(Cycle now, MicroOp &op)
+{
+    const LatencyConfig &lat = chip_.config().lat;
+    if (op.count >= arch::kNumHwBarriers)
+        fatal("hardware barrier id %u out of range", op.count);
+    arch::HwBarrierProtocol &proto = hwProto_[op.count];
+
+    if (barStage_ == 0) {
+        // Enter: one SPR write flips current off / next on, preceded by
+        // the three ALU instructions computing the new register value.
+        mySpr_ = proto.enterValue(mySpr_);
+        chip_.barrier().write(tid_, mySpr_);
+        accountIssue(4);
+        barStage_ = 1;
+        return {false, now + 4};
+    }
+
+    // Spin: mfspr + mask + branch. The SPR read result is available
+    // after sprLat; the dependent branch waits for it.
+    const u8 orValue = chip_.barrier().read();
+    accountIssue(3);
+    if (proto.released(orValue)) {
+        proto.consumeRelease();
+        return {true, now + 3};
+    }
+    accountStall(now + 3, now + 3 + lat.sprLat);
+    return {false, now + 3 + lat.sprLat};
+}
+
+GuestUnit::StepResult
+GuestUnit::stepCentral(Cycle now, MicroOp &op)
+{
+    CentralBarrier &bar = *op.central;
+    if (bar.count == 1) {
+        accountIssue(1);
+        return {true, now + 1};
+    }
+
+    switch (barStage_) {
+      case 0: {
+        // Flip the local sense and fetch-and-add the counter.
+        bar.localSense[softIdx_] ^= 1;
+        const u32 old = u32(chip_.memRead(bar.counterEa, 4, tid_));
+        chip_.memWrite(bar.counterEa, 4, old + 1, tid_);
+        MemTiming t = chip_.memsys().access(now, tid_, bar.counterEa, 4,
+                                            MemKind::Atomic);
+        accountIssue(2); // xori + amoadd
+        barScratch_ = old + 1;
+        barStage_ = barScratch_ == bar.count ? 2 : 1;
+        // The arrival count gates the branch: wait for the result.
+        accountStall(now + 2, t.ready);
+        return {false, std::max(t.ready, now + 2)};
+      }
+      case 1: {
+        // Spin on the release flag written by the last arriver.
+        u64 flag = 0;
+        MemTiming t = issueMem(now, MemKind::Load, bar.senseEa, 4, &flag);
+        accountIssue(3); // load + compare + branch
+        if (u32(flag) == bar.localSense[softIdx_])
+            return {true, std::max(t.ready + 2, now + 3)};
+        accountStall(now + 3, t.ready + 2);
+        return {false, std::max(t.ready + 2, now + 3)};
+      }
+      case 2: {
+        // Last thread: reset the counter, then release everyone.
+        u64 zero = 0;
+        issueMem(now, MemKind::Store, bar.counterEa, 4, &zero);
+        u64 sense = bar.localSense[softIdx_];
+        issueMem(now + 1, MemKind::Store, bar.senseEa, 4, &sense);
+        accountIssue(2);
+        return {true, now + 2};
+      }
+    }
+    panic("central barrier: bad stage %u", barStage_);
+}
+
+GuestUnit::StepResult
+GuestUnit::stepTree(Cycle now, MicroOp &op)
+{
+    TreeBarrier &bar = *op.tree;
+    const u32 self = softIdx_;
+    if (bar.count == 1) {
+        accountIssue(1);
+        return {true, now + 1};
+    }
+
+    const u32 children = bar.numChildren(self);
+    const bool isRoot = self == 0;
+
+    switch (barStage_) {
+      case 0: {
+        // New round; leaves skip the child wait.
+        ++bar.round[self];
+        accountIssue(1);
+        barStage_ = children > 0 ? 1 : 2;
+        return {false, now + 1};
+      }
+      case 1: {
+        // Spin until all children of this node have arrived this round.
+        u64 arrived = 0;
+        MemTiming t =
+            issueMem(now, MemKind::Load, bar.arriveEa(self), 4, &arrived);
+        accountIssue(3); // load + compare + branch
+        const u64 expected = u64(children) * bar.round[self];
+        if (arrived >= expected) {
+            barStage_ = isRoot ? 4 : 2;
+            return {false, std::max(t.ready + 2, now + 3)};
+        }
+        accountStall(now + 3, t.ready + 2);
+        return {false, std::max(t.ready + 2, now + 3)};
+      }
+      case 2: {
+        // Notify the parent.
+        const Addr parentEa = bar.arriveEa(bar.parent(self));
+        const u32 old = u32(chip_.memRead(parentEa, 4, tid_));
+        chip_.memWrite(parentEa, 4, old + 1, tid_);
+        chip_.memsys().access(now, tid_, parentEa, 4, MemKind::Atomic);
+        accountIssue(1);
+        barStage_ = 3;
+        return {false, now + 1};
+      }
+      case 3: {
+        // Spin on our release flag, written by the parent.
+        u64 flag = 0;
+        MemTiming t =
+            issueMem(now, MemKind::Load, bar.releaseEa(self), 4, &flag);
+        accountIssue(3);
+        if (flag >= bar.round[self]) {
+            barStage_ = 4;
+            barChild_ = 0;
+            return {false, std::max(t.ready + 2, now + 3)};
+        }
+        accountStall(now + 3, t.ready + 2);
+        return {false, std::max(t.ready + 2, now + 3)};
+      }
+      case 4: {
+        // Release our children, one store per child.
+        if (barChild_ >= children)
+            return {true, now + 1};
+        const u32 child = bar.radix * self + 1 + barChild_;
+        u64 round = bar.round[self];
+        issueMem(now, MemKind::Store, bar.releaseEa(child), 4, &round);
+        accountIssue(1);
+        ++barChild_;
+        return {false, now + 1};
+      }
+    }
+    panic("tree barrier: bad stage %u", barStage_);
+}
+
+} // namespace cyclops::exec

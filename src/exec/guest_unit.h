@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The execution-driven unit: adapts a guest coroutine to the cycle
+ * engine's Unit interface, charging every awaited micro-op through the
+ * shared timing fabric.
+ */
+
+#ifndef CYCLOPS_EXEC_GUEST_UNIT_H
+#define CYCLOPS_EXEC_GUEST_UNIT_H
+
+#include <array>
+
+#include "arch/barrier_spr.h"
+#include "arch/chip.h"
+#include "arch/unit.h"
+#include "exec/guest.h"
+
+namespace cyclops::exec
+{
+
+/** One hardware thread running guest coroutine code. */
+class GuestUnit : public arch::Unit
+{
+  public:
+    GuestUnit(ThreadId tid, arch::Chip &chip, u32 softIdx);
+
+    /** Install the top-level coroutine (before activation). */
+    void start(GuestTask task);
+
+    Cycle tick(Cycle now) override;
+
+    arch::Chip &chip() { return chip_; }
+    u32 softIdx() const { return softIdx_; }
+
+    /** Arm all hardware barriers for this participant (engine calls). */
+    void armHwBarriers();
+
+    // Called by OpAwait::await_suspend.
+    void post(std::span<MicroOp> ops, std::coroutine_handle<> self);
+
+  private:
+    /** Outcome of stepping one micro-op at a given cycle. */
+    struct StepResult
+    {
+        bool done;   ///< op finished (false: re-step at @ref at)
+        Cycle at;    ///< next-issue cycle (done) or wake cycle (wait)
+    };
+
+    StepResult step(Cycle now, MicroOp &op);
+    StepResult stepHwBarrier(Cycle now, MicroOp &op);
+    StepResult stepCentral(Cycle now, MicroOp &op);
+    StepResult stepTree(Cycle now, MicroOp &op);
+
+    /** Issue one data-memory access: functional + timing. */
+    arch::MemTiming issueMem(Cycle now, arch::MemKind kind, Addr ea,
+                             u8 bytes, u64 *inout);
+
+    arch::Chip &chip_;
+    u32 softIdx_;
+
+    GuestTask top_;
+    std::coroutine_handle<> current_;
+    bool started_ = false;
+
+    std::span<MicroOp> ops_;
+    size_t opIdx_ = 0;
+    bool pending_ = false;
+
+    Cycle chainReady_ = 0;
+    arch::OutstandingMem mem_;
+
+    // Hardware barrier protocol state.
+    std::array<arch::HwBarrierProtocol, arch::kNumHwBarriers> hwProto_;
+    u8 mySpr_ = 0;
+
+    // Multi-step barrier micro-op state.
+    u32 barStage_ = 0;
+    u32 barChild_ = 0;
+    u64 barScratch_ = 0;
+};
+
+} // namespace cyclops::exec
+
+#endif // CYCLOPS_EXEC_GUEST_UNIT_H

@@ -1,0 +1,862 @@
+#include "isa/assembler.h"
+
+#include <cctype>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/bitops.h"
+#include "common/log.h"
+#include "isa/encoding.h"
+
+namespace cyclops::isa
+{
+
+namespace
+{
+
+/** One source statement after lexing. */
+struct ParsedLine
+{
+    int lineNo = 0;
+    std::string mnem;                   ///< mnemonic or ".directive"
+    std::vector<std::string> operands;  ///< comma-separated fields
+};
+
+struct Symbol
+{
+    int section = 0; ///< 0 = text, 1 = data
+    u32 offset = 0;  ///< byte offset inside the section
+};
+
+std::string
+trim(const std::string &text)
+{
+    size_t begin = text.find_first_not_of(" \t\r");
+    if (begin == std::string::npos)
+        return "";
+    size_t end = text.find_last_not_of(" \t\r");
+    return text.substr(begin, end - begin + 1);
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '.' || c == '$';
+}
+
+/** The assembler proper: two passes over the lexed statements. */
+class Assembler
+{
+  public:
+    explicit Assembler(u32 textBase) { prog_.textBase = textBase; }
+
+    AsmResult
+    run(const std::string &source)
+    {
+        AsmResult result;
+        if (!lex(source) || !pass1() || !pass2()) {
+            result.ok = false;
+            result.error = error_;
+            return result;
+        }
+        result.ok = true;
+        result.program = std::move(prog_);
+        return result;
+    }
+
+  private:
+    // --- Error handling -------------------------------------------------
+
+    bool
+    err(int lineNo, const std::string &message)
+    {
+        if (error_.empty())
+            error_ = strprintf("line %d: %s", lineNo, message.c_str());
+        return false;
+    }
+
+    // --- Lexing ----------------------------------------------------------
+
+    bool
+    lex(const std::string &source)
+    {
+        int lineNo = 0;
+        size_t pos = 0;
+        while (pos <= source.size()) {
+            size_t eol = source.find('\n', pos);
+            std::string line = source.substr(
+                pos, eol == std::string::npos ? std::string::npos
+                                              : eol - pos);
+            pos = eol == std::string::npos ? source.size() + 1 : eol + 1;
+            ++lineNo;
+
+            // Strip comments, but not inside string literals.
+            bool inStr = false;
+            for (size_t i = 0; i < line.size(); ++i) {
+                char c = line[i];
+                if (c == '"' && (i == 0 || line[i - 1] != '\\'))
+                    inStr = !inStr;
+                else if (!inStr && (c == ';' || c == '#')) {
+                    line.resize(i);
+                    break;
+                }
+            }
+            line = trim(line);
+            if (line.empty())
+                continue;
+
+            // Peel off leading labels ("name:").
+            while (true) {
+                size_t colon = line.find(':');
+                if (colon == std::string::npos)
+                    break;
+                std::string head = trim(line.substr(0, colon));
+                bool isLabel = !head.empty();
+                for (char c : head)
+                    if (!isIdentChar(c))
+                        isLabel = false;
+                if (!isLabel)
+                    break;
+                ParsedLine label;
+                label.lineNo = lineNo;
+                label.mnem = ":label";
+                label.operands.push_back(head);
+                lines_.push_back(std::move(label));
+                line = trim(line.substr(colon + 1));
+            }
+            if (line.empty())
+                continue;
+
+            ParsedLine parsed;
+            parsed.lineNo = lineNo;
+            size_t space = line.find_first_of(" \t");
+            parsed.mnem = line.substr(0, space);
+            for (auto &c : parsed.mnem)
+                c = static_cast<char>(
+                    std::tolower(static_cast<unsigned char>(c)));
+            if (space != std::string::npos) {
+                std::string rest = trim(line.substr(space));
+                // Split on top-level commas (strings may contain commas).
+                std::string field;
+                bool fieldInStr = false;
+                for (char c : rest) {
+                    if (c == '"')
+                        fieldInStr = !fieldInStr;
+                    if (c == ',' && !fieldInStr) {
+                        parsed.operands.push_back(trim(field));
+                        field.clear();
+                    } else {
+                        field += c;
+                    }
+                }
+                if (!trim(field).empty() || !parsed.operands.empty())
+                    parsed.operands.push_back(trim(field));
+            }
+            lines_.push_back(std::move(parsed));
+        }
+        return true;
+    }
+
+    // --- Operand parsing --------------------------------------------------
+
+    static std::optional<u8>
+    parseReg(const std::string &token)
+    {
+        std::string t = token;
+        for (auto &c : t)
+            c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+        if (t == "zero")
+            return 0;
+        if (t == "sp")
+            return kStackReg;
+        if (t == "lr")
+            return kLinkReg;
+        if (t.size() < 2 || t[0] != 'r')
+            return std::nullopt;
+        u32 value = 0;
+        for (size_t i = 1; i < t.size(); ++i) {
+            if (!std::isdigit(static_cast<unsigned char>(t[i])))
+                return std::nullopt;
+            value = value * 10 + static_cast<u32>(t[i] - '0');
+        }
+        if (value >= kNumRegs)
+            return std::nullopt;
+        return static_cast<u8>(value);
+    }
+
+    static std::optional<s64>
+    parseInt(const std::string &token)
+    {
+        if (token.empty())
+            return std::nullopt;
+        if (token.size() >= 3 && token.front() == '\'' &&
+            token.back() == '\'') {
+            if (token.size() == 3)
+                return static_cast<s64>(token[1]);
+            if (token.size() == 4 && token[1] == '\\') {
+                switch (token[2]) {
+                  case 'n': return '\n';
+                  case 't': return '\t';
+                  case '0': return 0;
+                  case '\\': return '\\';
+                  default: return std::nullopt;
+                }
+            }
+            return std::nullopt;
+        }
+        size_t index = 0;
+        bool negative = false;
+        if (token[index] == '-' || token[index] == '+') {
+            negative = token[index] == '-';
+            ++index;
+        }
+        if (index >= token.size())
+            return std::nullopt;
+        int base = 10;
+        if (token.size() > index + 1 && token[index] == '0' &&
+            (token[index + 1] == 'x' || token[index + 1] == 'X')) {
+            base = 16;
+            index += 2;
+        } else if (token.size() > index + 1 && token[index] == '0' &&
+                   (token[index + 1] == 'b' || token[index + 1] == 'B')) {
+            base = 2;
+            index += 2;
+        }
+        if (index >= token.size())
+            return std::nullopt;
+        s64 value = 0;
+        for (; index < token.size(); ++index) {
+            char c = static_cast<char>(
+                std::tolower(static_cast<unsigned char>(token[index])));
+            int digit;
+            if (c >= '0' && c <= '9')
+                digit = c - '0';
+            else if (c >= 'a' && c <= 'f')
+                digit = 10 + (c - 'a');
+            else
+                return std::nullopt;
+            if (digit >= base)
+                return std::nullopt;
+            value = value * base + digit;
+        }
+        return negative ? -value : value;
+    }
+
+    /** Resolve "sym", "sym+4", "sym-8" or a plain integer. */
+    bool
+    resolveValue(int lineNo, const std::string &token, s64 *out)
+    {
+        if (auto literal = parseInt(token)) {
+            *out = *literal;
+            return true;
+        }
+        size_t split = token.find_first_of("+-", 1);
+        std::string name = trim(token.substr(0, split));
+        s64 offset = 0;
+        if (split != std::string::npos) {
+            auto parsed = parseInt(trim(token.substr(split)));
+            if (!parsed)
+                return err(lineNo, "bad offset in '" + token + "'");
+            offset = *parsed;
+        }
+        auto it = symbols_.find(name);
+        if (it == symbols_.end())
+            return err(lineNo, "undefined symbol '" + name + "'");
+        const Symbol &sym = it->second;
+        u32 base = sym.section == 0 ? prog_.textBase + sym.offset
+                                    : dataBase_ + sym.offset;
+        *out = static_cast<s64>(base) + offset;
+        return true;
+    }
+
+    /** Parse "imm(rN)", "(rN)" or "sym(rN)" into displacement + base. */
+    bool
+    parseMemOperand(int lineNo, const std::string &token, s64 *disp, u8 *base)
+    {
+        size_t open = token.find('(');
+        size_t close = token.rfind(')');
+        if (open == std::string::npos || close == std::string::npos ||
+            close < open)
+            return err(lineNo, "expected disp(reg), got '" + token + "'");
+        std::string dispText = trim(token.substr(0, open));
+        std::string regText = trim(token.substr(open + 1, close - open - 1));
+        auto reg = parseReg(regText);
+        if (!reg)
+            return err(lineNo, "bad base register '" + regText + "'");
+        *base = *reg;
+        if (dispText.empty()) {
+            *disp = 0;
+            return true;
+        }
+        return resolveValue(lineNo, dispText, disp);
+    }
+
+    // --- Pass 1: sizes and symbols ---------------------------------------
+
+    /** Number of machine words a (pseudo-)instruction expands to. */
+    bool
+    instrWords(const ParsedLine &line, u32 *words)
+    {
+        const std::string &m = line.mnem;
+        if (m == "li") {
+            if (line.operands.size() != 2)
+                return err(line.lineNo, "li needs 2 operands");
+            auto value = parseInt(line.operands[1]);
+            if (!value)
+                return err(line.lineNo,
+                           "li requires a literal constant, got '" +
+                               line.operands[1] + "'");
+            *words = (*value >= immMin(kImmBitsI) &&
+                      *value <= immMax(kImmBitsI))
+                         ? 1
+                         : 2;
+            return true;
+        }
+        if (m == "la") {
+            *words = 2;
+            return true;
+        }
+        *words = 1;
+        return true;
+    }
+
+    bool
+    pass1()
+    {
+        int section = 0;
+        u32 offset[2] = {0, 0};
+        for (const auto &line : lines_) {
+            const std::string &m = line.mnem;
+            if (m == ":label") {
+                const std::string &name = line.operands[0];
+                if (symbols_.count(name))
+                    return err(line.lineNo,
+                               "duplicate label '" + name + "'");
+                symbols_[name] = Symbol{section, offset[section]};
+            } else if (m == ".text") {
+                section = 0;
+            } else if (m == ".data") {
+                section = 1;
+            } else if (m == ".align") {
+                s64 alignment = 0;
+                if (line.operands.size() != 1 ||
+                    !(parseInt(line.operands[0]) &&
+                      (alignment = *parseInt(line.operands[0])) > 0) ||
+                    !isPow2(static_cast<u64>(alignment)))
+                    return err(line.lineNo, ".align needs a power of two");
+                offset[section] = static_cast<u32>(roundUp(
+                    offset[section], static_cast<u64>(alignment)));
+            } else if (m == ".space") {
+                auto count = line.operands.size() == 1
+                                 ? parseInt(line.operands[0])
+                                 : std::nullopt;
+                if (!count || *count < 0)
+                    return err(line.lineNo, ".space needs a byte count");
+                if (section != 1)
+                    return err(line.lineNo, ".space only valid in .data");
+                offset[1] += static_cast<u32>(*count);
+            } else if (m == ".byte" || m == ".half" || m == ".word" ||
+                       m == ".double") {
+                if (section != 1)
+                    return err(line.lineNo,
+                               m + " only valid in .data");
+                u32 unit = m == ".byte" ? 1 : m == ".half" ? 2
+                           : m == ".word" ? 4 : 8;
+                offset[1] = static_cast<u32>(roundUp(offset[1], unit));
+                offset[1] += unit * static_cast<u32>(line.operands.size());
+            } else if (m == ".asciz") {
+                if (section != 1)
+                    return err(line.lineNo, ".asciz only valid in .data");
+                std::string text;
+                if (!parseString(line, &text))
+                    return false;
+                offset[1] += static_cast<u32>(text.size()) + 1;
+            } else {
+                if (section != 0)
+                    return err(line.lineNo,
+                               "instruction outside .text: " + m);
+                u32 words = 0;
+                if (!instrWords(line, &words))
+                    return false;
+                offset[0] += words * 4;
+            }
+        }
+        textBytes_ = offset[0];
+        dataBase_ = static_cast<u32>(
+            roundUp(prog_.textBase + textBytes_, 64));
+        return true;
+    }
+
+    bool
+    parseString(const ParsedLine &line, std::string *out)
+    {
+        if (line.operands.size() != 1)
+            return err(line.lineNo, ".asciz needs one string");
+        const std::string &raw = line.operands[0];
+        if (raw.size() < 2 || raw.front() != '"' || raw.back() != '"')
+            return err(line.lineNo, "expected a quoted string");
+        out->clear();
+        for (size_t i = 1; i + 1 < raw.size(); ++i) {
+            char c = raw[i];
+            if (c == '\\' && i + 2 < raw.size()) {
+                ++i;
+                switch (raw[i]) {
+                  case 'n': c = '\n'; break;
+                  case 't': c = '\t'; break;
+                  case '0': c = '\0'; break;
+                  case '\\': c = '\\'; break;
+                  case '"': c = '"'; break;
+                  default:
+                    return err(line.lineNo, "bad escape in string");
+                }
+            }
+            *out += c;
+        }
+        return true;
+    }
+
+    // --- Pass 2: emission -------------------------------------------------
+
+    void
+    emit(const Instr &instr)
+    {
+        prog_.text.push_back(encodeOrDie(instr));
+    }
+
+    bool
+    emitChecked(int lineNo, const Instr &instr)
+    {
+        u32 word = 0;
+        if (!encode(instr, &word))
+            return err(lineNo,
+                       strprintf("operand out of range for %s "
+                                 "(rd=%u ra=%u rb=%u imm=%d)",
+                                 mnemonic(instr.op), instr.rd, instr.ra,
+                                 instr.rb, instr.imm));
+        prog_.text.push_back(word);
+        return true;
+    }
+
+    /** Convert a 13-bit logical immediate (0..8191) to its signed field. */
+    static s32
+    logicalField(u32 low13)
+    {
+        return low13 >= 4096 ? static_cast<s32>(low13) - 8192
+                             : static_cast<s32>(low13);
+    }
+
+    u32 pc() const { return prog_.textBase + prog_.textBytes(); }
+
+    bool
+    emitLoadImm(int lineNo, u8 rd, s64 value)
+    {
+        if (value >= immMin(kImmBitsI) && value <= immMax(kImmBitsI)) {
+            emit({Opcode::Addi, rd, 0, 0, static_cast<s32>(value)});
+            return true;
+        }
+        u32 uvalue = static_cast<u32>(value);
+        emit({Opcode::Lui, rd, 0, 0,
+              static_cast<s32>((uvalue >> 13) & 0x7FFFF)});
+        emit({Opcode::Ori, rd, rd, 0, logicalField(uvalue & 0x1FFF)});
+        return true;
+    }
+
+    bool
+    branchOffset(int lineNo, const std::string &token, unsigned bits,
+                 s32 *out)
+    {
+        s64 target = 0;
+        if (!resolveValue(lineNo, token, &target))
+            return false;
+        s64 delta = target - (static_cast<s64>(pc()) + 4);
+        if (delta % 4 != 0)
+            return err(lineNo, "misaligned branch target");
+        s64 offsetWords = delta / 4;
+        if (offsetWords < immMin(bits) || offsetWords > immMax(bits))
+            return err(lineNo, "branch target out of range");
+        *out = static_cast<s32>(offsetWords);
+        return true;
+    }
+
+    bool
+    pass2()
+    {
+        int section = 0;
+        // Re-derive data emission with alignment mirrored from pass 1.
+        for (const auto &line : lines_) {
+            const std::string &m = line.mnem;
+            if (m == ":label" || m == ".text" || m == ".data") {
+                if (m == ".text")
+                    section = 0;
+                if (m == ".data")
+                    section = 1;
+                continue;
+            }
+            if (m == ".align") {
+                u32 alignment =
+                    static_cast<u32>(*parseInt(line.operands[0]));
+                if (section == 0) {
+                    while (prog_.textBytes() % alignment != 0)
+                        emit({Opcode::Nop, 0, 0, 0, 0});
+                } else {
+                    while (prog_.data.size() % alignment != 0)
+                        prog_.data.push_back(0);
+                }
+                continue;
+            }
+            if (m == ".space") {
+                prog_.data.insert(prog_.data.end(),
+                                  static_cast<size_t>(
+                                      *parseInt(line.operands[0])),
+                                  0);
+                continue;
+            }
+            if (m == ".byte" || m == ".half" || m == ".word") {
+                u32 unit = m == ".byte" ? 1 : m == ".half" ? 2 : 4;
+                while (prog_.data.size() % unit != 0)
+                    prog_.data.push_back(0);
+                for (const auto &operand : line.operands) {
+                    s64 value = 0;
+                    if (!resolveValue(line.lineNo, operand, &value))
+                        return false;
+                    for (u32 i = 0; i < unit; ++i)
+                        prog_.data.push_back(
+                            static_cast<u8>(value >> (8 * i)));
+                }
+                continue;
+            }
+            if (m == ".double") {
+                while (prog_.data.size() % 8 != 0)
+                    prog_.data.push_back(0);
+                for (const auto &operand : line.operands) {
+                    char *end = nullptr;
+                    double value = std::strtod(operand.c_str(), &end);
+                    if (end == operand.c_str() || *end != '\0')
+                        return err(line.lineNo,
+                                   "bad double literal '" + operand + "'");
+                    u64 raw;
+                    std::memcpy(&raw, &value, 8);
+                    for (u32 i = 0; i < 8; ++i)
+                        prog_.data.push_back(
+                            static_cast<u8>(raw >> (8 * i)));
+                }
+                continue;
+            }
+            if (m == ".asciz") {
+                std::string text;
+                if (!parseString(line, &text))
+                    return false;
+                for (char c : text)
+                    prog_.data.push_back(static_cast<u8>(c));
+                prog_.data.push_back(0);
+                continue;
+            }
+            if (!emitInstruction(line))
+                return false;
+        }
+        if (prog_.textBytes() != textBytes_)
+            panic("pass size mismatch: pass1 %u bytes, pass2 %u bytes",
+                  textBytes_, prog_.textBytes());
+        prog_.dataBase = dataBase_;
+        for (const auto &[name, sym] : symbols_)
+            prog_.symbols[name] = sym.section == 0
+                                      ? prog_.textBase + sym.offset
+                                      : dataBase_ + sym.offset;
+        prog_.entry = prog_.hasSymbol("start") ? prog_.symbol("start")
+                                               : prog_.textBase;
+        return true;
+    }
+
+    bool
+    needOperands(const ParsedLine &line, size_t count)
+    {
+        if (line.operands.size() != count)
+            return err(line.lineNo,
+                       strprintf("%s expects %zu operands, got %zu",
+                                 line.mnem.c_str(), count,
+                                 line.operands.size()));
+        return true;
+    }
+
+    bool
+    getReg(const ParsedLine &line, size_t index, u8 *out)
+    {
+        auto reg = parseReg(line.operands[index]);
+        if (!reg)
+            return err(line.lineNo, "bad register '" +
+                                        line.operands[index] + "'");
+        *out = *reg;
+        return true;
+    }
+
+    bool
+    emitInstruction(const ParsedLine &line)
+    {
+        const std::string &m = line.mnem;
+        const int ln = line.lineNo;
+
+        // ---- Pseudo-instructions ----
+        if (m == "li") {
+            u8 rd;
+            if (!needOperands(line, 2) || !getReg(line, 0, &rd))
+                return false;
+            auto value = parseInt(line.operands[1]);
+            return emitLoadImm(ln, rd, *value);
+        }
+        if (m == "la") {
+            u8 rd;
+            if (!needOperands(line, 2) || !getReg(line, 0, &rd))
+                return false;
+            s64 addr = 0;
+            if (!resolveValue(ln, line.operands[1], &addr))
+                return false;
+            u32 uaddr = static_cast<u32>(addr);
+            emit({Opcode::Lui, rd, 0, 0,
+                  static_cast<s32>((uaddr >> 13) & 0x7FFFF)});
+            emit({Opcode::Ori, rd, rd, 0, logicalField(uaddr & 0x1FFF)});
+            return true;
+        }
+        if (m == "mv") {
+            u8 rd, ra;
+            if (!needOperands(line, 2) || !getReg(line, 0, &rd) ||
+                !getReg(line, 1, &ra))
+                return false;
+            emit({Opcode::Addi, rd, ra, 0, 0});
+            return true;
+        }
+        if (m == "not") {
+            u8 rd, ra;
+            if (!needOperands(line, 2) || !getReg(line, 0, &rd) ||
+                !getReg(line, 1, &ra))
+                return false;
+            emit({Opcode::Nor, rd, ra, 0, 0});
+            return true;
+        }
+        if (m == "neg") {
+            u8 rd, ra;
+            if (!needOperands(line, 2) || !getReg(line, 0, &rd) ||
+                !getReg(line, 1, &ra))
+                return false;
+            emit({Opcode::Sub, rd, 0, ra, 0});
+            return true;
+        }
+        if (m == "subi") {
+            u8 rd, ra;
+            if (!needOperands(line, 3) || !getReg(line, 0, &rd) ||
+                !getReg(line, 1, &ra))
+                return false;
+            auto value = parseInt(line.operands[2]);
+            if (!value)
+                return err(ln, "subi needs a literal");
+            return emitChecked(ln, {Opcode::Addi, rd, ra, 0,
+                                    static_cast<s32>(-*value)});
+        }
+        if (m == "b") {
+            if (!needOperands(line, 1))
+                return false;
+            s32 offsetWords = 0;
+            if (!branchOffset(ln, line.operands[0], kImmBitsJ,
+                              &offsetWords))
+                return false;
+            emit({Opcode::Jal, 0, 0, 0, offsetWords});
+            return true;
+        }
+        if (m == "beqz" || m == "bnez") {
+            u8 ra;
+            if (!needOperands(line, 2) || !getReg(line, 0, &ra))
+                return false;
+            s32 offsetWords = 0;
+            if (!branchOffset(ln, line.operands[1], kImmBitsI,
+                              &offsetWords))
+                return false;
+            emit({m == "beqz" ? Opcode::Beq : Opcode::Bne, 0, ra, 0,
+                  offsetWords});
+            return true;
+        }
+        if (m == "call") {
+            if (!needOperands(line, 1))
+                return false;
+            s32 offsetWords = 0;
+            if (!branchOffset(ln, line.operands[0], kImmBitsJ,
+                              &offsetWords))
+                return false;
+            emit({Opcode::Jal, kLinkReg, 0, 0, offsetWords});
+            return true;
+        }
+        if (m == "ret") {
+            emit({Opcode::Jalr, 0, kLinkReg, 0, 0});
+            return true;
+        }
+
+        // ---- Real instructions ----
+        Opcode op;
+        if (!opcodeFromMnemonic(m, &op))
+            return err(ln, "unknown mnemonic '" + m + "'");
+        const InstrMeta &md = meta(op);
+        Instr instr;
+        instr.op = op;
+
+        switch (md.format) {
+          case Format::R: {
+            if (md.unit == UnitClass::Misc || md.unit == UnitClass::Sync) {
+                if (!needOperands(line, 0))
+                    return false;
+                return emitChecked(ln, instr);
+            }
+            size_t count = 1 + (md.readsRa ? 1 : 0) + (md.readsRb ? 1 : 0);
+            if (!needOperands(line, count))
+                return false;
+            size_t index = 0;
+            if (!getReg(line, index++, &instr.rd))
+                return false;
+            if (md.readsRa && !getReg(line, index++, &instr.ra))
+                return false;
+            if (md.readsRb && !getReg(line, index++, &instr.rb))
+                return false;
+            return emitChecked(ln, instr);
+          }
+          case Format::I: {
+            if (op == Opcode::Halt) {
+                return emitChecked(ln, instr);
+            }
+            if (op == Opcode::Trap) {
+                if (!needOperands(line, 1))
+                    return false;
+                auto code = parseInt(line.operands[0]);
+                if (!code)
+                    return err(ln, "trap needs a literal code");
+                instr.imm = static_cast<s32>(*code);
+                return emitChecked(ln, instr);
+            }
+            if (op == Opcode::Mfspr) {
+                if (!needOperands(line, 2) || !getReg(line, 0, &instr.rd))
+                    return false;
+                auto spr = parseInt(line.operands[1]);
+                if (!spr)
+                    return err(ln, "mfspr needs an SPR number");
+                instr.imm = static_cast<s32>(*spr);
+                return emitChecked(ln, instr);
+            }
+            if (op == Opcode::Mtspr) {
+                if (!needOperands(line, 2))
+                    return false;
+                auto spr = parseInt(line.operands[0]);
+                if (!spr)
+                    return err(ln, "mtspr needs an SPR number");
+                if (!getReg(line, 1, &instr.ra))
+                    return false;
+                instr.imm = static_cast<s32>(*spr);
+                return emitChecked(ln, instr);
+            }
+            if (md.memBytes != 0 || md.unit == UnitClass::CacheOp) {
+                // lw rd, disp(ra) / sw rd, disp(ra) / dcbf disp(ra)
+                size_t memIndex = 0;
+                if (md.unit != UnitClass::CacheOp) {
+                    if (!needOperands(line, 2) ||
+                        !getReg(line, 0, &instr.rd))
+                        return false;
+                    memIndex = 1;
+                } else if (!needOperands(line, 1)) {
+                    return false;
+                }
+                s64 disp = 0;
+                if (!parseMemOperand(ln, line.operands[memIndex], &disp,
+                                     &instr.ra))
+                    return false;
+                if (disp < immMin(kImmBitsI) || disp > immMax(kImmBitsI))
+                    return err(ln, "displacement out of range");
+                instr.imm = static_cast<s32>(disp);
+                return emitChecked(ln, instr);
+            }
+            if (op == Opcode::Jalr) {
+                if (!needOperands(line, 3) ||
+                    !getReg(line, 0, &instr.rd) ||
+                    !getReg(line, 1, &instr.ra))
+                    return false;
+                auto disp = parseInt(line.operands[2]);
+                if (!disp)
+                    return err(ln, "jalr needs a literal displacement");
+                instr.imm = static_cast<s32>(*disp);
+                return emitChecked(ln, instr);
+            }
+            // ALU immediate.
+            if (!needOperands(line, 3) || !getReg(line, 0, &instr.rd) ||
+                !getReg(line, 1, &instr.ra))
+                return false;
+            auto value = parseInt(line.operands[2]);
+            if (!value)
+                return err(ln, "expected an integer literal");
+            s64 field = *value;
+            if ((op == Opcode::Andi || op == Opcode::Ori ||
+                 op == Opcode::Xori) &&
+                field >= 4096 && field <= 8191)
+                field -= 8192;
+            if (field < immMin(kImmBitsI) || field > immMax(kImmBitsI))
+                return err(ln, "immediate out of range");
+            instr.imm = static_cast<s32>(field);
+            return emitChecked(ln, instr);
+          }
+          case Format::B: {
+            if (!needOperands(line, 3) || !getReg(line, 0, &instr.ra) ||
+                !getReg(line, 1, &instr.rb))
+                return false;
+            s32 offsetWords = 0;
+            if (!branchOffset(ln, line.operands[2], kImmBitsI,
+                              &offsetWords))
+                return false;
+            instr.imm = offsetWords;
+            return emitChecked(ln, instr);
+          }
+          case Format::J: {
+            if (!needOperands(line, 2) || !getReg(line, 0, &instr.rd))
+                return false;
+            s32 offsetWords = 0;
+            if (!branchOffset(ln, line.operands[1], kImmBitsJ,
+                              &offsetWords))
+                return false;
+            instr.imm = offsetWords;
+            return emitChecked(ln, instr);
+          }
+          case Format::U: {
+            if (!needOperands(line, 2) || !getReg(line, 0, &instr.rd))
+                return false;
+            auto value = parseInt(line.operands[1]);
+            if (!value || *value < 0 || *value >= (1 << kImmBitsU))
+                return err(ln, "lui immediate must be in [0, 2^19)");
+            instr.imm = static_cast<s32>(*value);
+            return emitChecked(ln, instr);
+          }
+        }
+        return err(ln, "unhandled format");
+    }
+
+    std::vector<ParsedLine> lines_;
+    std::map<std::string, Symbol> symbols_;
+    std::string error_;
+    Program prog_;
+    u32 textBytes_ = 0;
+    u32 dataBase_ = 0;
+};
+
+} // namespace
+
+AsmResult
+assemble(const std::string &source, u32 textBase)
+{
+    Assembler assembler(textBase);
+    return assembler.run(source);
+}
+
+Program
+assembleOrDie(const std::string &source, u32 textBase)
+{
+    AsmResult result = assemble(source, textBase);
+    if (!result.ok)
+        fatal("assembly failed: %s", result.error.c_str());
+    return std::move(result.program);
+}
+
+} // namespace cyclops::isa

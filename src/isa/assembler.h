@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Two-pass text assembler for the Cyclops ISA.
+ *
+ * Syntax (one statement per line; ';' or '#' starts a comment):
+ *
+ *   .text / .data          switch section
+ *   label:                 define a label (may share a line with a stmt)
+ *   .align N               align to N bytes (power of two)
+ *   .space N               reserve N zero bytes (data only)
+ *   .byte / .half / .word  emit initialized integers (comma separated)
+ *   .double 1.5, ...       emit IEEE-754 doubles
+ *   .asciz "text"          emit a NUL-terminated string
+ *   add r1, r2, r3         R-format
+ *   addi r1, r2, -12       I-format (hex 0x.., char 'c' accepted)
+ *   lw r1, 8(r2)           memory displacement form
+ *   beq r1, r2, label      branch to label (or numeric offset)
+ *   jal r63, func          jump and link
+ *
+ * Pseudo-instructions: li rd,imm32; la rd,label; mv; not; neg; b; beqz;
+ * bnez; call; ret; subi.
+ *
+ * Labels may be referenced with a constant offset: `la r4, vec+16`.
+ * Execution starts at the `start` label if defined, else at textBase.
+ */
+
+#ifndef CYCLOPS_ISA_ASSEMBLER_H
+#define CYCLOPS_ISA_ASSEMBLER_H
+
+#include <string>
+
+#include "isa/program.h"
+
+namespace cyclops::isa
+{
+
+/** Result of an assembly run. */
+struct AsmResult
+{
+    bool ok = false;
+    std::string error;   ///< first error, with a line number
+    Program program;
+};
+
+/**
+ * Assemble @p source into a program image.
+ *
+ * @param source   full assembly text
+ * @param textBase load address of the first instruction
+ */
+AsmResult assemble(const std::string &source,
+                   u32 textBase = Program::kDefaultTextBase);
+
+/** Assemble, calling fatal() with the error message on failure. */
+Program assembleOrDie(const std::string &source,
+                      u32 textBase = Program::kDefaultTextBase);
+
+} // namespace cyclops::isa
+
+#endif // CYCLOPS_ISA_ASSEMBLER_H

@@ -1,0 +1,145 @@
+#include "isa/builder.h"
+
+#include <cstring>
+
+#include "common/bitops.h"
+#include "common/log.h"
+
+namespace cyclops::isa
+{
+
+ProgramBuilder::Label
+ProgramBuilder::newLabel()
+{
+    Label label{static_cast<u32>(labelAddr_.size())};
+    labelAddr_.push_back(~0u);
+    return label;
+}
+
+void
+ProgramBuilder::bind(Label label)
+{
+    if (label.id >= labelAddr_.size())
+        panic("bind of an unknown label");
+    if (labelAddr_[label.id] != ~0u)
+        panic("label bound twice");
+    labelAddr_[label.id] = here();
+}
+
+void
+ProgramBuilder::emitR(Opcode op, u8 rd, u8 ra, u8 rb)
+{
+    instrs_.push_back({op, rd, ra, rb, 0});
+}
+
+void
+ProgramBuilder::emitI(Opcode op, u8 rd, u8 ra, s32 imm)
+{
+    instrs_.push_back({op, rd, ra, 0, imm});
+}
+
+void
+ProgramBuilder::emitBranch(Opcode op, u8 ra, u8 rb, Label target)
+{
+    if (target.id >= labelAddr_.size())
+        panic("branch to an unknown label");
+    fixups_.push_back({static_cast<u32>(instrs_.size()), target.id});
+    instrs_.push_back({op, 0, ra, rb, 0});
+}
+
+void
+ProgramBuilder::emitJal(u8 rd, Label target)
+{
+    if (target.id >= labelAddr_.size())
+        panic("jump to an unknown label");
+    fixups_.push_back({static_cast<u32>(instrs_.size()), target.id});
+    instrs_.push_back({Opcode::Jal, rd, 0, 0, 0});
+}
+
+void
+ProgramBuilder::li(u8 rd, u32 value)
+{
+    s32 sval = static_cast<s32>(value);
+    if (sval >= immMin(kImmBitsI) && sval <= immMax(kImmBitsI)) {
+        addi(rd, 0, sval);
+        return;
+    }
+    emitI(Opcode::Lui, rd, 0, static_cast<s32>((value >> 13) & 0x7FFFF));
+    u32 low = value & 0x1FFF;
+    s32 field = low >= 4096 ? static_cast<s32>(low) - 8192
+                            : static_cast<s32>(low);
+    emitI(Opcode::Ori, rd, rd, field);
+}
+
+u32
+ProgramBuilder::allocData(u32 bytes, u32 align)
+{
+    if (!isPow2(align))
+        panic("allocData alignment must be a power of two");
+    u32 offset = static_cast<u32>(roundUp(data_.size(), align));
+    data_.resize(offset + bytes, 0);
+    return dataBase_ + offset;
+}
+
+void
+ProgramBuilder::pokeWord(u32 addr, u32 value)
+{
+    if (addr < dataBase_ || addr + 4 > dataBase_ + data_.size())
+        panic("pokeWord outside allocated data: 0x%x", addr);
+    std::memcpy(&data_[addr - dataBase_], &value, 4);
+}
+
+void
+ProgramBuilder::pokeDouble(u32 addr, double value)
+{
+    if (addr < dataBase_ || addr + 8 > dataBase_ + data_.size())
+        panic("pokeDouble outside allocated data: 0x%x", addr);
+    std::memcpy(&data_[addr - dataBase_], &value, 8);
+}
+
+void
+ProgramBuilder::defineSymbol(const std::string &name, u32 addr)
+{
+    symbols_.emplace_back(name, addr);
+}
+
+Program
+ProgramBuilder::finish()
+{
+    if (finished_)
+        panic("ProgramBuilder::finish called twice");
+    finished_ = true;
+
+    for (const Fixup &fixup : fixups_) {
+        u32 target = labelAddr_[fixup.labelId];
+        if (target == ~0u)
+            panic("unbound label %u referenced at instruction %u",
+                  fixup.labelId, fixup.textIndex);
+        Instr &instr = instrs_[fixup.textIndex];
+        s64 pc = static_cast<s64>(textBase_) + s64(fixup.textIndex) * 4;
+        s64 offsetWords = (static_cast<s64>(target) - (pc + 4)) / 4;
+        const unsigned width =
+            meta(instr.op).format == Format::J ? kImmBitsJ : kImmBitsI;
+        if (offsetWords < immMin(width) || offsetWords > immMax(width))
+            panic("label fixup out of range (%lld words)",
+                  static_cast<long long>(offsetWords));
+        instr.imm = static_cast<s32>(offsetWords);
+    }
+
+    Program prog;
+    prog.textBase = textBase_;
+    prog.dataBase = dataBase_;
+    prog.text.reserve(instrs_.size());
+    for (const Instr &instr : instrs_)
+        prog.text.push_back(encodeOrDie(instr));
+    if (textBase_ + prog.textBytes() > dataBase_ && !data_.empty())
+        panic("text section (%u bytes) overflows into data base 0x%x",
+              prog.textBytes(), dataBase_);
+    prog.data = std::move(data_);
+    prog.entry = textBase_;
+    for (auto &[name, addr] : symbols_)
+        prog.symbols[name] = addr;
+    return prog;
+}
+
+} // namespace cyclops::isa

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * ProgramBuilder: a C++ macro-assembler for generating Cyclops programs
+ * programmatically (the role the paper's GNU cross-compiler plays).
+ *
+ * Workload generators use it to emit hand-scheduled kernels — e.g. the
+ * hand-unrolled STREAM loops of Section 3.2 — with labels resolved at
+ * finish() time and data buffers allocated in the image.
+ *
+ * The data section base is fixed at construction so that allocData()
+ * returns final physical addresses immediately; generated code can
+ * therefore embed buffer addresses as li constants.
+ */
+
+#ifndef CYCLOPS_ISA_BUILDER_H
+#define CYCLOPS_ISA_BUILDER_H
+
+#include <string>
+#include <vector>
+
+#include "isa/encoding.h"
+#include "isa/program.h"
+
+namespace cyclops::isa
+{
+
+/** Builds one program image instruction by instruction. */
+class ProgramBuilder
+{
+  public:
+    /** Opaque forward-referenceable code label. */
+    struct Label
+    {
+        u32 id = ~0u;
+    };
+
+    static constexpr u32 kDefaultDataBase = 0x0001'0000; ///< 64 KB of text
+
+    explicit ProgramBuilder(u32 textBase = Program::kDefaultTextBase,
+                            u32 dataBase = kDefaultDataBase)
+        : textBase_(textBase), dataBase_(dataBase)
+    {}
+
+    // --- Labels -----------------------------------------------------------
+
+    /** Create an unbound label. */
+    Label newLabel();
+
+    /** Bind @p label to the current emission point. */
+    void bind(Label label);
+
+    /** Address of the next instruction to be emitted. */
+    u32 here() const { return textBase_ + u32(instrs_.size()) * 4; }
+
+    // --- Generic emitters ---------------------------------------------------
+
+    void emitR(Opcode op, u8 rd, u8 ra, u8 rb);
+    void emitI(Opcode op, u8 rd, u8 ra, s32 imm);
+    void emitBranch(Opcode op, u8 ra, u8 rb, Label target);
+    void emitJal(u8 rd, Label target);
+
+    // --- Common instruction helpers ------------------------------------------
+
+    void add(u8 rd, u8 ra, u8 rb) { emitR(Opcode::Add, rd, ra, rb); }
+    void sub(u8 rd, u8 ra, u8 rb) { emitR(Opcode::Sub, rd, ra, rb); }
+    void mul(u8 rd, u8 ra, u8 rb) { emitR(Opcode::Mul, rd, ra, rb); }
+    void divu(u8 rd, u8 ra, u8 rb) { emitR(Opcode::Divu, rd, ra, rb); }
+    void and_(u8 rd, u8 ra, u8 rb) { emitR(Opcode::And, rd, ra, rb); }
+    void or_(u8 rd, u8 ra, u8 rb) { emitR(Opcode::Or, rd, ra, rb); }
+    void xor_(u8 rd, u8 ra, u8 rb) { emitR(Opcode::Xor, rd, ra, rb); }
+    void sll(u8 rd, u8 ra, u8 rb) { emitR(Opcode::Sll, rd, ra, rb); }
+    void srl(u8 rd, u8 ra, u8 rb) { emitR(Opcode::Srl, rd, ra, rb); }
+    void slt(u8 rd, u8 ra, u8 rb) { emitR(Opcode::Slt, rd, ra, rb); }
+    void sltu(u8 rd, u8 ra, u8 rb) { emitR(Opcode::Sltu, rd, ra, rb); }
+
+    void addi(u8 rd, u8 ra, s32 imm) { emitI(Opcode::Addi, rd, ra, imm); }
+    void slli(u8 rd, u8 ra, s32 sh) { emitI(Opcode::Slli, rd, ra, sh); }
+    void srli(u8 rd, u8 ra, s32 sh) { emitI(Opcode::Srli, rd, ra, sh); }
+    void andi(u8 rd, u8 ra, s32 imm) { emitI(Opcode::Andi, rd, ra, imm); }
+    void ori(u8 rd, u8 ra, s32 imm) { emitI(Opcode::Ori, rd, ra, imm); }
+    void mv(u8 rd, u8 ra) { addi(rd, ra, 0); }
+
+    void lw(u8 rd, s32 disp, u8 base) { emitI(Opcode::Lw, rd, base, disp); }
+    void sw(u8 rd, s32 disp, u8 base) { emitI(Opcode::Sw, rd, base, disp); }
+    void ld(u8 rd, s32 disp, u8 base) { emitI(Opcode::Ld, rd, base, disp); }
+    void sd(u8 rd, s32 disp, u8 base) { emitI(Opcode::Sd, rd, base, disp); }
+    void ldx(u8 rd, u8 ra, u8 rb) { emitR(Opcode::Ldx, rd, ra, rb); }
+    void sdx(u8 rd, u8 ra, u8 rb) { emitR(Opcode::Sdx, rd, ra, rb); }
+
+    void faddd(u8 rd, u8 ra, u8 rb) { emitR(Opcode::Faddd, rd, ra, rb); }
+    void fsubd(u8 rd, u8 ra, u8 rb) { emitR(Opcode::Fsubd, rd, ra, rb); }
+    void fmuld(u8 rd, u8 ra, u8 rb) { emitR(Opcode::Fmuld, rd, ra, rb); }
+    void fdivd(u8 rd, u8 ra, u8 rb) { emitR(Opcode::Fdivd, rd, ra, rb); }
+    void fmadd(u8 rd, u8 ra, u8 rb) { emitR(Opcode::Fmadd, rd, ra, rb); }
+    void fmovd(u8 rd, u8 ra) { emitR(Opcode::Fmovd, rd, ra, 0); }
+
+    void beq(u8 ra, u8 rb, Label t) { emitBranch(Opcode::Beq, ra, rb, t); }
+    void bne(u8 ra, u8 rb, Label t) { emitBranch(Opcode::Bne, ra, rb, t); }
+    void blt(u8 ra, u8 rb, Label t) { emitBranch(Opcode::Blt, ra, rb, t); }
+    void bge(u8 ra, u8 rb, Label t) { emitBranch(Opcode::Bge, ra, rb, t); }
+    void bltu(u8 ra, u8 rb, Label t) { emitBranch(Opcode::Bltu, ra, rb, t); }
+    void jump(Label t) { emitJal(0, t); }
+    void jalr(u8 rd, u8 ra, s32 imm) { emitI(Opcode::Jalr, rd, ra, imm); }
+
+    void amoadd(u8 rd, u8 ra, u8 rb) { emitR(Opcode::Amoadd, rd, ra, rb); }
+    void amocas(u8 rd, u8 ra, u8 rb) { emitR(Opcode::Amocas, rd, ra, rb); }
+    void amoswap(u8 rd, u8 ra, u8 rb) { emitR(Opcode::Amoswap, rd, ra, rb); }
+    void sync() { emitR(Opcode::Sync, 0, 0, 0); }
+    void nop() { emitR(Opcode::Nop, 0, 0, 0); }
+    void halt() { emitI(Opcode::Halt, 0, 0, 0); }
+    void trap(u32 code) { emitI(Opcode::Trap, 0, 0, s32(code)); }
+    void mfspr(u8 rd, u8 spr) { emitI(Opcode::Mfspr, rd, 0, spr); }
+    void mtspr(u8 spr, u8 ra) { emitI(Opcode::Mtspr, 0, ra, spr); }
+
+    /** Load an arbitrary 32-bit constant (1 or 2 instructions). */
+    void li(u8 rd, u32 value);
+
+    // --- Data section ---------------------------------------------------------
+
+    /**
+     * Reserve @p bytes of zeroed data with the given alignment; returns
+     * the physical address of the block.
+     */
+    u32 allocData(u32 bytes, u32 align = 8);
+
+    /** Write an initialized 32-bit word into previously allocated data. */
+    void pokeWord(u32 addr, u32 value);
+
+    /** Write an initialized double into previously allocated data. */
+    void pokeDouble(u32 addr, double value);
+
+    /** Export @p name = @p addr in the program's symbol table. */
+    void defineSymbol(const std::string &name, u32 addr);
+
+    // --- Finalization ------------------------------------------------------------
+
+    /**
+     * Resolve all label fixups and produce the program image. The
+     * builder must not be reused afterwards. Panics if text overflows
+     * into the data base or a label is unbound.
+     */
+    Program finish();
+
+  private:
+    struct Fixup
+    {
+        u32 textIndex;
+        u32 labelId;
+    };
+
+    u32 textBase_;
+    u32 dataBase_;
+    std::vector<Instr> instrs_;
+    std::vector<u32> labelAddr_; ///< ~0u while unbound
+    std::vector<Fixup> fixups_;
+    std::vector<u8> data_;
+    std::vector<std::pair<std::string, u32>> symbols_;
+    bool finished_ = false;
+};
+
+} // namespace cyclops::isa
+
+#endif // CYCLOPS_ISA_BUILDER_H

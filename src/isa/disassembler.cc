@@ -1,0 +1,63 @@
+#include "isa/disassembler.h"
+
+#include "common/log.h"
+#include "isa/encoding.h"
+
+namespace cyclops::isa
+{
+
+std::string
+disassemble(const Instr &instr)
+{
+    const InstrMeta &m = meta(instr.op);
+    const char *name = m.mnemonic;
+    switch (m.format) {
+      case Format::R:
+        if (m.unit == UnitClass::Misc || m.unit == UnitClass::Sync)
+            return name;
+        if (m.readsRa && m.readsRb)
+            return strprintf("%s r%u, r%u, r%u", name, instr.rd, instr.ra,
+                             instr.rb);
+        if (m.readsRa)
+            return strprintf("%s r%u, r%u", name, instr.rd, instr.ra);
+        return strprintf("%s r%u", name, instr.rd);
+      case Format::I:
+        if (instr.op == Opcode::Halt)
+            return name;
+        if (instr.op == Opcode::Trap)
+            return strprintf("%s %d", name, instr.imm);
+        if (instr.op == Opcode::Mfspr)
+            return strprintf("%s r%u, %d", name, instr.rd, instr.imm);
+        if (instr.op == Opcode::Mtspr)
+            return strprintf("%s %d, r%u", name, instr.imm, instr.ra);
+        if (m.unit == UnitClass::CacheOp)
+            return strprintf("%s %d(r%u)", name, instr.imm, instr.ra);
+        if (m.memBytes != 0)
+            return strprintf("%s r%u, %d(r%u)", name, instr.rd, instr.imm,
+                             instr.ra);
+        if (instr.op == Opcode::Jalr)
+            return strprintf("%s r%u, r%u, %d", name, instr.rd, instr.ra,
+                             instr.imm);
+        return strprintf("%s r%u, r%u, %d", name, instr.rd, instr.ra,
+                         instr.imm);
+      case Format::B:
+        return strprintf("%s r%u, r%u, %d", name, instr.ra, instr.rb,
+                         instr.imm);
+      case Format::J:
+        return strprintf("%s r%u, %d", name, instr.rd, instr.imm);
+      case Format::U:
+        return strprintf("%s r%u, %d", name, instr.rd, instr.imm);
+    }
+    panic("unreachable format");
+}
+
+std::string
+disassembleWord(u32 word)
+{
+    Instr instr;
+    if (!decode(word, &instr))
+        return strprintf(".word 0x%08x", word);
+    return disassemble(instr);
+}
+
+} // namespace cyclops::isa

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Disassembler: machine words back to assembly text.
+ */
+
+#ifndef CYCLOPS_ISA_DISASSEMBLER_H
+#define CYCLOPS_ISA_DISASSEMBLER_H
+
+#include <string>
+
+#include "isa/isa.h"
+
+namespace cyclops::isa
+{
+
+/** Render one decoded instruction in canonical assembler syntax. */
+std::string disassemble(const Instr &instr);
+
+/** Decode and render a machine word; ".word 0x..." if undecodable. */
+std::string disassembleWord(u32 word);
+
+} // namespace cyclops::isa
+
+#endif // CYCLOPS_ISA_DISASSEMBLER_H

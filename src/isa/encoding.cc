@@ -1,0 +1,141 @@
+#include "isa/encoding.h"
+
+#include "common/bitops.h"
+#include "common/log.h"
+
+namespace cyclops::isa
+{
+
+namespace
+{
+
+bool
+regOk(u8 reg)
+{
+    return reg < kNumRegs;
+}
+
+bool
+pairOk(u8 reg)
+{
+    return reg < kNumRegs && (reg & 1) == 0;
+}
+
+} // namespace
+
+bool
+validOperands(const Instr &instr)
+{
+    const InstrMeta &m = meta(instr.op);
+    if (!regOk(instr.rd) || !regOk(instr.ra) || !regOk(instr.rb))
+        return false;
+    if (m.fpPairRd && (m.writesRd || m.readsRd) && !pairOk(instr.rd))
+        return false;
+    if (m.fpPairRa && m.readsRa && !pairOk(instr.ra))
+        return false;
+    if (m.fpPairRb && m.readsRb && !pairOk(instr.rb))
+        return false;
+    switch (m.format) {
+      case Format::R:
+        return instr.imm == 0;
+      case Format::I:
+      case Format::B:
+        return instr.imm >= immMin(kImmBitsI) &&
+               instr.imm <= immMax(kImmBitsI);
+      case Format::J:
+        return instr.imm >= immMin(kImmBitsJ) &&
+               instr.imm <= immMax(kImmBitsJ);
+      case Format::U:
+        return instr.imm >= 0 && instr.imm < (1 << kImmBitsU);
+    }
+    return false;
+}
+
+bool
+encode(const Instr &instr, u32 *word)
+{
+    if (static_cast<unsigned>(instr.op) >= kNumOpcodes)
+        return false;
+    if (!validOperands(instr))
+        return false;
+
+    const InstrMeta &m = meta(instr.op);
+    u32 w = insertBits<u32>(static_cast<u32>(instr.op), 31, 25);
+    switch (m.format) {
+      case Format::R:
+        w |= insertBits<u32>(instr.rd, 24, 19);
+        w |= insertBits<u32>(instr.ra, 18, 13);
+        w |= insertBits<u32>(instr.rb, 12, 7);
+        break;
+      case Format::I:
+        w |= insertBits<u32>(instr.rd, 24, 19);
+        w |= insertBits<u32>(instr.ra, 18, 13);
+        w |= insertBits<u32>(static_cast<u32>(instr.imm), 12, 0);
+        break;
+      case Format::B:
+        w |= insertBits<u32>(instr.ra, 24, 19);
+        w |= insertBits<u32>(instr.rb, 18, 13);
+        w |= insertBits<u32>(static_cast<u32>(instr.imm), 12, 0);
+        break;
+      case Format::J:
+        w |= insertBits<u32>(instr.rd, 24, 19);
+        w |= insertBits<u32>(static_cast<u32>(instr.imm), 18, 0);
+        break;
+      case Format::U:
+        w |= insertBits<u32>(instr.rd, 24, 19);
+        w |= insertBits<u32>(static_cast<u32>(instr.imm), 18, 0);
+        break;
+    }
+    *word = w;
+    return true;
+}
+
+u32
+encodeOrDie(const Instr &instr)
+{
+    u32 word = 0;
+    if (!encode(instr, &word))
+        panic("cannot encode %s rd=%u ra=%u rb=%u imm=%d",
+              mnemonic(instr.op), instr.rd, instr.ra, instr.rb, instr.imm);
+    return word;
+}
+
+bool
+decode(u32 word, Instr *out)
+{
+    const u32 opField = bits(word, 31u, 25u);
+    if (opField >= kNumOpcodes)
+        return false;
+    Instr instr;
+    instr.op = static_cast<Opcode>(opField);
+    const InstrMeta &m = meta(instr.op);
+    switch (m.format) {
+      case Format::R:
+        instr.rd = static_cast<u8>(bits(word, 24u, 19u));
+        instr.ra = static_cast<u8>(bits(word, 18u, 13u));
+        instr.rb = static_cast<u8>(bits(word, 12u, 7u));
+        break;
+      case Format::I:
+        instr.rd = static_cast<u8>(bits(word, 24u, 19u));
+        instr.ra = static_cast<u8>(bits(word, 18u, 13u));
+        instr.imm = static_cast<s32>(sext(bits(word, 12u, 0u), kImmBitsI));
+        break;
+      case Format::B:
+        instr.ra = static_cast<u8>(bits(word, 24u, 19u));
+        instr.rb = static_cast<u8>(bits(word, 18u, 13u));
+        instr.imm = static_cast<s32>(sext(bits(word, 12u, 0u), kImmBitsI));
+        break;
+      case Format::J:
+        instr.rd = static_cast<u8>(bits(word, 24u, 19u));
+        instr.imm = static_cast<s32>(sext(bits(word, 18u, 0u), kImmBitsJ));
+        break;
+      case Format::U:
+        instr.rd = static_cast<u8>(bits(word, 24u, 19u));
+        instr.imm = static_cast<s32>(bits(word, 18u, 0u));
+        break;
+    }
+    *out = instr;
+    return true;
+}
+
+} // namespace cyclops::isa

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Binary encoding and decoding of Cyclops instruction words.
+ */
+
+#ifndef CYCLOPS_ISA_ENCODING_H
+#define CYCLOPS_ISA_ENCODING_H
+
+#include "common/types.h"
+#include "isa/isa.h"
+
+namespace cyclops::isa
+{
+
+/** Immediate field widths per format. */
+inline constexpr unsigned kImmBitsI = 13; ///< I and B formats (signed)
+inline constexpr unsigned kImmBitsJ = 19; ///< J format (signed, words)
+inline constexpr unsigned kImmBitsU = 19; ///< U format (unsigned, << 13)
+
+/** Inclusive range of a signed immediate of @p bits width. */
+constexpr s32 immMin(unsigned bitCount) { return -(1 << (bitCount - 1)); }
+constexpr s32 immMax(unsigned bitCount) { return (1 << (bitCount - 1)) - 1; }
+
+/**
+ * Encode @p instr into a 32-bit machine word.
+ *
+ * Returns false (leaving @p word untouched) if a field is out of range
+ * — register >= 64, immediate not representable, or an odd register
+ * where the opcode requires an even FP pair.
+ */
+bool encode(const Instr &instr, u32 *word);
+
+/** Encode or panic; for code generators whose fields are pre-validated. */
+u32 encodeOrDie(const Instr &instr);
+
+/**
+ * Decode a 32-bit machine word. Returns false if the opcode field does
+ * not name a valid instruction.
+ */
+bool decode(u32 word, Instr *out);
+
+/** Validate the operand constraints of a decoded instruction. */
+bool validOperands(const Instr &instr);
+
+} // namespace cyclops::isa
+
+#endif // CYCLOPS_ISA_ENCODING_H

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * The Cyclops instruction set architecture.
+ *
+ * A 32-bit, 3-operand, load/store RISC ISA of about 70 instruction
+ * types, modeled on the paper's description: the most widely used
+ * PowerPC-style operations plus instructions for multithreaded
+ * operation (atomic memory operations, synchronization, and
+ * special-purpose-register access for the hardware barrier).
+ *
+ * Register file: 64 x 32-bit registers per thread (r0 hardwired to
+ * zero). Double-precision values live in an even/odd register pair and
+ * FP-double instructions require even register operands.
+ *
+ * Instruction word formats (opcode always in bits [31:25]):
+ *
+ *   R   | op7 | rd6 | ra6 | rb6 | pad7 |         3-operand register ops
+ *   I   | op7 | rd6 | ra6 | simm13     |         immediates, loads/stores
+ *   B   | op7 | ra6 | rb6 | soff13     |         conditional branches
+ *   J   | op7 | rd6 | soff19          |          jump-and-link
+ *   U   | op7 | rd6 | uimm19          |          lui
+ *
+ * Branch/jump offsets are in words relative to the *next* instruction.
+ */
+
+#ifndef CYCLOPS_ISA_ISA_H
+#define CYCLOPS_ISA_ISA_H
+
+#include <string>
+
+#include "common/types.h"
+
+namespace cyclops::isa
+{
+
+/** Number of architectural registers per thread. */
+inline constexpr unsigned kNumRegs = 64;
+
+/** Link register used by call pseudo-instructions. */
+inline constexpr unsigned kLinkReg = 63;
+
+/** Stack pointer register by software convention. */
+inline constexpr unsigned kStackReg = 1;
+
+/** Special purpose register numbers. */
+enum Spr : u8
+{
+    kSprTid = 0,      ///< hardware thread id (read-only)
+    kSprNThreads = 1, ///< number of thread units (read-only)
+    kSprCycleLo = 2,  ///< low 32 bits of the cycle counter (read-only)
+    kSprCycleHi = 3,  ///< high 32 bits of the cycle counter (read-only)
+    kSprBarrier = 4,  ///< 8-bit wired-OR barrier register
+    kSprMemSize = 5,  ///< available memory in KB (fault remap, read-only)
+    kNumSprs = 6,
+};
+
+/** Trap codes recognized by the resident kernel (I-format imm field). */
+enum TrapCode : u32
+{
+    kTrapExit = 0,    ///< terminate this thread (same as HALT)
+    kTrapPutChar = 1, ///< write low byte of r4 to the console
+    kTrapPutInt = 2,  ///< write decimal value of r4 to the console
+    kTrapPutHex = 3,  ///< write hex value of r4 to the console
+};
+
+/** Instruction word layout. */
+enum class Format : u8 { R, I, B, J, U };
+
+/** Execution resource an instruction occupies (for timing). */
+enum class UnitClass : u8
+{
+    IntAlu,  ///< single-cycle integer/logic ops
+    IntMul,  ///< integer multiply (pipelined in the fixed-point unit)
+    IntDiv,  ///< integer divide (unpipelined)
+    Branch,  ///< conditional branches and jumps
+    Load,    ///< memory read
+    Store,   ///< memory write
+    Atomic,  ///< atomic read-modify-write
+    FpAdd,   ///< FPU adder (also conversions, compares, moves)
+    FpMul,   ///< FPU multiplier
+    FpDiv,   ///< FPU divide unit
+    FpSqrt,  ///< FPU square-root (shares the divide unit)
+    Fma,     ///< fused multiply-add (adder + multiplier)
+    Spr,     ///< special purpose register access
+    Sync,    ///< memory fence
+    CacheOp, ///< flush/invalidate/prefetch
+    Misc,    ///< nop, trap, halt
+};
+
+/** Opcodes. Values are the 7-bit encodings and are ABI-stable. */
+enum class Opcode : u8
+{
+    // Integer register-register.
+    Add, Sub, Mul, Mulhu, Div, Divu,
+    And, Or, Xor, Nor,
+    Sll, Srl, Sra,
+    Slt, Sltu,
+    // Integer immediates.
+    Addi, Andi, Ori, Xori,
+    Slli, Srli, Srai,
+    Slti, Sltiu, Lui,
+    // Control transfer.
+    Beq, Bne, Blt, Bge, Bltu, Bgeu,
+    Jal, Jalr,
+    Halt, Trap,
+    // Memory.
+    Lb, Lbu, Lh, Lhu, Lw,
+    Sb, Sh, Sw,
+    Ld, Sd,
+    Lwx, Swx, Ldx, Sdx,
+    // Atomics and ordering.
+    Amoadd, Amoswap, Amocas, Amotas,
+    Sync,
+    // Floating point, double precision (even register pairs).
+    Faddd, Fsubd, Fmuld, Fdivd, Fsqrtd,
+    Fmadd, Fmsub,
+    Fnegd, Fabsd, Fmovd,
+    // Floating point, single precision.
+    Fadds, Fsubs, Fmuls,
+    // Conversions and compares (int register <-> double pair).
+    Fcvtdw, Fcvtwd,
+    Fclt, Fcle, Fceq,
+    // Special purpose registers and cache control.
+    Mfspr, Mtspr,
+    Pref, Dcbf, Dcbi,
+    Nop,
+    kNumOpcodes,
+};
+
+inline constexpr unsigned kNumOpcodes =
+    static_cast<unsigned>(Opcode::kNumOpcodes);
+
+/** Static properties of one opcode. */
+struct InstrMeta
+{
+    const char *mnemonic;
+    Format format;
+    UnitClass unit;
+    bool readsRa;    ///< ra is a source register
+    bool readsRb;    ///< rb is a source register
+    bool readsRd;    ///< rd is also a source (stores, fmadd, amocas)
+    bool writesRd;   ///< rd is written
+    bool fpPairRd;   ///< rd names an even/odd pair
+    bool fpPairRa;   ///< ra names an even/odd pair
+    bool fpPairRb;   ///< rb names an even/odd pair
+    u8 memBytes;     ///< access size for memory ops, else 0
+};
+
+/** Metadata for @p op. */
+const InstrMeta &meta(Opcode op);
+
+/** Mnemonic for @p op. */
+const char *mnemonic(Opcode op);
+
+/** Look up an opcode by mnemonic; returns false if unknown. */
+bool opcodeFromMnemonic(const std::string &name, Opcode *out);
+
+/** True for loads, stores and atomics. */
+bool isMemOp(Opcode op);
+
+/** True if the opcode is a load (including atomics' read half). */
+bool isLoad(Opcode op);
+
+/** True if the opcode writes memory. */
+bool isStore(Opcode op);
+
+/** True for conditional branches and jumps. */
+bool isControl(Opcode op);
+
+/**
+ * A decoded instruction. The simulator predecodes program text into
+ * these; the encoder/decoder translates between this form and the
+ * 32-bit machine word.
+ */
+struct Instr
+{
+    Opcode op = Opcode::Nop;
+    u8 rd = 0;
+    u8 ra = 0;
+    u8 rb = 0;
+    s32 imm = 0;
+
+    bool
+    operator==(const Instr &other) const
+    {
+        return op == other.op && rd == other.rd && ra == other.ra &&
+               rb == other.rb && imm == other.imm;
+    }
+};
+
+} // namespace cyclops::isa
+
+#endif // CYCLOPS_ISA_ISA_H

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * A loadable Cyclops program image: text, data, symbols, entry point.
+ */
+
+#ifndef CYCLOPS_ISA_PROGRAM_H
+#define CYCLOPS_ISA_PROGRAM_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace cyclops::isa
+{
+
+/**
+ * An assembled program.
+ *
+ * Text is placed at @ref textBase (word-addressable machine code); data
+ * follows at @ref dataBase. Addresses in the image are plain physical
+ * addresses (no interest-group bits); the loader and running code apply
+ * cache-placement encodings as needed.
+ */
+class Program
+{
+  public:
+    static constexpr u32 kDefaultTextBase = 0x0000'0000;
+
+    std::vector<u32> text;   ///< machine words
+    std::vector<u8> data;    ///< initialized data image
+    u32 textBase = kDefaultTextBase;
+    u32 dataBase = 0;        ///< assigned by the assembler/builder
+    u32 entry = kDefaultTextBase;
+    std::map<std::string, u32> symbols;
+
+    /** Total bytes of the text section. */
+    u32 textBytes() const { return static_cast<u32>(text.size()) * 4; }
+
+    /** Address of a named symbol; fatal() if missing. */
+    u32 symbol(const std::string &name) const;
+
+    /** True if the symbol exists. */
+    bool hasSymbol(const std::string &name) const;
+};
+
+} // namespace cyclops::isa
+
+#endif // CYCLOPS_ISA_PROGRAM_H

@@ -1,0 +1,89 @@
+#include "kernel/heap.h"
+
+#include "common/bitops.h"
+#include "common/log.h"
+
+namespace cyclops::kernel
+{
+
+void
+Heap::init(PhysAddr base, PhysAddr limit)
+{
+    if (limit < base)
+        fatal("heap limit 0x%x below base 0x%x", limit, base);
+    base_ = brk_ = base;
+    limit_ = limit;
+    live_.clear();
+    freeList_.clear();
+}
+
+PhysAddr
+Heap::alloc(u32 bytes, u32 align)
+{
+    if (!isPow2(align))
+        fatal("heap alignment must be a power of two (got %u)", align);
+    if (bytes == 0)
+        bytes = align;
+
+    // First fit from the free list.
+    for (auto it = freeList_.begin(); it != freeList_.end(); ++it) {
+        const PhysAddr start = PhysAddr(roundUp(it->first, align));
+        const u32 slack = start - it->first;
+        if (it->second >= slack && it->second - slack >= bytes) {
+            const PhysAddr blockAddr = it->first;
+            const u32 blockSize = it->second;
+            freeList_.erase(it);
+            if (slack > 0)
+                freeList_[blockAddr] = slack;
+            const u32 tail = blockSize - slack - bytes;
+            if (tail > 0)
+                freeList_[start + bytes] = tail;
+            live_[start] = bytes;
+            return start;
+        }
+    }
+
+    const PhysAddr start = PhysAddr(roundUp(brk_, align));
+    if (u64(start) + bytes > limit_)
+        fatal("simulated heap exhausted: want %u bytes, %u remain "
+              "(the chip has only 8 MB of embedded memory)",
+              bytes, remaining());
+    brk_ = start + bytes;
+    live_[start] = bytes;
+    return start;
+}
+
+void
+Heap::free(PhysAddr addr)
+{
+    auto it = live_.find(addr);
+    if (it == live_.end())
+        panic("free of unallocated address 0x%x", addr);
+    u32 size = it->second;
+    live_.erase(it);
+
+    // Coalesce with neighbours.
+    auto next = freeList_.lower_bound(addr);
+    if (next != freeList_.end() && addr + size == next->first) {
+        size += next->second;
+        next = freeList_.erase(next);
+    }
+    if (next != freeList_.begin()) {
+        auto prev = std::prev(next);
+        if (prev->first + prev->second == addr) {
+            prev->second += size;
+            return;
+        }
+    }
+    freeList_[addr] = size;
+}
+
+void
+Heap::reset()
+{
+    brk_ = base_;
+    live_.clear();
+    freeList_.clear();
+}
+
+} // namespace cyclops::kernel

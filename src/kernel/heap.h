@@ -1,0 +1,61 @@
+/**
+ * @file
+ * A simple allocator over a region of simulated memory.
+ *
+ * The kernel exposes one flat address space; workloads and the
+ * execution-driven frontend allocate their shared arrays here. Bump
+ * allocation with explicit reset matches the paper's no-virtualization
+ * system software; a small free list supports the few cases that
+ * release buffers mid-run.
+ */
+
+#ifndef CYCLOPS_KERNEL_HEAP_H
+#define CYCLOPS_KERNEL_HEAP_H
+
+#include <map>
+
+#include "common/types.h"
+
+namespace cyclops::kernel
+{
+
+/** Allocator for a [base, limit) range of simulated physical memory. */
+class Heap
+{
+  public:
+    Heap() = default;
+    Heap(PhysAddr base, PhysAddr limit) { init(base, limit); }
+
+    /** (Re)initialize over a region; drops all previous allocations. */
+    void init(PhysAddr base, PhysAddr limit);
+
+    /**
+     * Allocate @p bytes aligned to @p align (power of two). fatal()s
+     * when the region is exhausted — the paper's chip has 8 MB and
+     * workloads are sized to fit.
+     */
+    PhysAddr alloc(u32 bytes, u32 align = 8);
+
+    /** Return a block to the allocator (coalescing free list). */
+    void free(PhysAddr addr);
+
+    /** Release everything allocated since init(). */
+    void reset();
+
+    /** Bytes remaining in the bump region. */
+    u32 remaining() const { return limit_ - brk_; }
+
+    PhysAddr base() const { return base_; }
+    PhysAddr limit() const { return limit_; }
+
+  private:
+    PhysAddr base_ = 0;
+    PhysAddr brk_ = 0;
+    PhysAddr limit_ = 0;
+    std::map<PhysAddr, u32> live_;    ///< addr -> size
+    std::map<PhysAddr, u32> freeList_; ///< addr -> size (coalesced)
+};
+
+} // namespace cyclops::kernel
+
+#endif // CYCLOPS_KERNEL_HEAP_H

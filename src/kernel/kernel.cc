@@ -1,0 +1,130 @@
+#include "kernel/kernel.h"
+
+#include "arch/thread_unit.h"
+#include "common/bitops.h"
+#include "common/log.h"
+
+namespace cyclops::kernel
+{
+
+std::vector<ThreadId>
+threadOrder(const arch::Chip &chip, AllocPolicy policy)
+{
+    const ChipConfig &cfg = chip.config();
+    const u32 tpq = cfg.threadsPerQuad;
+    const u32 quads = cfg.numQuads();
+
+    // The kernel reserves the last hardware threads for itself.
+    const ThreadId firstReserved = cfg.numThreads - cfg.reservedThreads;
+
+    std::vector<ThreadId> order;
+    order.reserve(cfg.usableThreads());
+    auto push = [&](ThreadId tid) {
+        if (tid >= firstReserved)
+            return;
+        if (!chip.quadEnabled(tid / tpq))
+            return;
+        order.push_back(tid);
+    };
+
+    if (policy == AllocPolicy::Sequential) {
+        for (ThreadId tid = 0; tid < cfg.numThreads; ++tid)
+            push(tid);
+    } else {
+        for (u32 slot = 0; slot < tpq; ++slot)
+            for (u32 quad = 0; quad < quads; ++quad)
+                push(quad * tpq + slot);
+    }
+    return order;
+}
+
+Kernel::Kernel(arch::Chip &chip, AllocPolicy policy)
+    : chip_(chip), policy_(policy)
+{
+    order_ = threadOrder(chip, policy);
+}
+
+void
+Kernel::setStackBytes(u32 bytes)
+{
+    if (loaded_)
+        fatal("stack size is a boot-time parameter; set it before load()");
+    if (bytes < 256 || !isPow2(bytes))
+        fatal("stack size must be a power of two >= 256 (got %u)", bytes);
+    stackBytes_ = bytes;
+}
+
+void
+Kernel::load(const isa::Program &program)
+{
+    if (loaded_)
+        fatal("kernel already booted a program");
+    loaded_ = true;
+    chip_.loadProgram(program);
+
+    const u32 memBytes = chip_.memsys().availableMemBytes();
+    const u64 stackRegion = u64(stackBytes_) * chip_.config().numThreads;
+    heapBase_ = u32(roundUp(
+        std::max(program.textBase + program.textBytes(),
+                 program.dataBase + u32(program.data.size())),
+        64));
+    if (stackRegion + heapBase_ > memBytes)
+        fatal("stacks (%llu bytes) do not fit above the program image",
+              static_cast<unsigned long long>(stackRegion));
+    heapLimit_ = memBytes - u32(stackRegion);
+}
+
+ThreadId
+Kernel::hwThread(u32 softIdx) const
+{
+    if (softIdx >= order_.size())
+        fatal("software thread %u exceeds the %zu usable hardware "
+              "threads", softIdx, order_.size());
+    return order_[softIdx];
+}
+
+void
+Kernel::spawn(u32 count, PhysAddr entry, u32 arg0, u32 arg1)
+{
+    if (!loaded_)
+        fatal("spawn before load()");
+    if (count > order_.size())
+        fatal("cannot spawn %u threads: only %zu usable", count,
+              order_.size());
+
+    for (u32 i = 0; i < count; ++i) {
+        const ThreadId tid = order_[i];
+        // Stacks are per *hardware* thread, at the top of memory, and
+        // carry the own-cache interest group so stack traffic stays in
+        // the thread's local cache.
+        const PhysAddr stackTop = chip_.memsys().availableMemBytes() -
+                                  tid * stackBytes_;
+        auto unit =
+            std::make_unique<arch::ThreadUnit>(tid, chip_, entry);
+        unit->setReg(isa::kStackReg,
+                     arch::igAddr(arch::kIgOwn, stackTop));
+        unit->setReg(4, i);
+        unit->setReg(5, count);
+        unit->setReg(6, arg0);
+        unit->setReg(7, arg1);
+        chip_.setUnit(tid, std::move(unit));
+        chip_.activate(tid);
+    }
+    spawned_ += count;
+}
+
+void
+Kernel::spawnAt(u32 count, const std::string &symbol, u32 arg0, u32 arg1)
+{
+    spawn(count, chip_.program().symbol(symbol), arg0, arg1);
+}
+
+arch::RunExit
+Kernel::run(Cycle maxCycles)
+{
+    if (spawned_ == 0)
+        fatal("run with no spawned threads");
+    return chip_.run(maxCycles);
+}
+
+} // namespace cyclops::kernel

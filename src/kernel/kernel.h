@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The resident system kernel model (paper section 3.1).
+ *
+ * The kernel supports single-user, single-program, multithreaded
+ * applications. It exposes a single address space shared by all
+ * threads; virtual addresses map directly to physical addresses (no
+ * paging) and software threads map directly to hardware threads. No
+ * preemption, scheduling or prioritization; every software thread gets
+ * a fixed-size stack selected at boot, giving fast thread creation and
+ * reuse. Two hardware threads are reserved for the system, leaving 126
+ * for applications.
+ *
+ * Thread allocation policies (paper section 3.2.2):
+ *  - Sequential (default): threads 0-3 on quad 0, 4-7 on quad 1, ...
+ *  - Balanced: threads allocated cyclically over the quads (0, 32, 64,
+ *    96 on quad 0; 1, 33, 65, 97 on quad 1; ...).
+ */
+
+#ifndef CYCLOPS_KERNEL_KERNEL_H
+#define CYCLOPS_KERNEL_KERNEL_H
+
+#include <vector>
+
+#include "arch/chip.h"
+#include "isa/program.h"
+
+namespace cyclops::kernel
+{
+
+/** How software threads map onto hardware thread units. */
+enum class AllocPolicy { Sequential, Balanced };
+
+/**
+ * Compute the hardware-thread order for a policy on a chip, excluding
+ * reserved system threads and threads of disabled quads.
+ */
+std::vector<ThreadId> threadOrder(const arch::Chip &chip,
+                                  AllocPolicy policy);
+
+/** The resident kernel controlling one chip in ISA mode. */
+class Kernel
+{
+  public:
+    explicit Kernel(arch::Chip &chip,
+                    AllocPolicy policy = AllocPolicy::Sequential);
+
+    /** Boot: load the program image and lay out stacks and heap. */
+    void load(const isa::Program &program);
+
+    /**
+     * Create @p count software threads executing at @p entry.
+     *
+     * Register conventions at thread start:
+     *   r1 = stack pointer (own-cache interest group, grows down)
+     *   r4 = software thread index        r5 = thread count
+     *   r6 = arg0                         r7 = arg1
+     * The hardware thread id is readable via mfspr TID.
+     */
+    void spawn(u32 count, PhysAddr entry, u32 arg0 = 0, u32 arg1 = 0);
+
+    /** Spawn at a program symbol. */
+    void spawnAt(u32 count, const std::string &symbol, u32 arg0 = 0,
+                 u32 arg1 = 0);
+
+    /** Run to completion (all threads halt) or a cycle limit. */
+    arch::RunExit run(Cycle maxCycles = kCycleNever);
+
+    /** Hardware thread of software thread @p softIdx under the policy. */
+    ThreadId hwThread(u32 softIdx) const;
+
+    /** Number of threads an application may use. */
+    u32 usableThreads() const { return u32(order_.size()); }
+
+    /** First free physical address after program text+data. */
+    PhysAddr heapBase() const { return heapBase_; }
+
+    /** End of the heap region (stacks live above). */
+    PhysAddr heapLimit() const { return heapLimit_; }
+
+    /** Per-thread stack size; set before spawn (boot-time parameter). */
+    void setStackBytes(u32 bytes);
+
+    arch::Chip &chip() { return chip_; }
+
+  private:
+    arch::Chip &chip_;
+    AllocPolicy policy_;
+    std::vector<ThreadId> order_;
+    u32 stackBytes_ = 4096;
+    PhysAddr heapBase_ = 0;
+    PhysAddr heapLimit_ = 0;
+    bool loaded_ = false;
+    u32 spawned_ = 0;
+};
+
+} // namespace cyclops::kernel
+
+#endif // CYCLOPS_KERNEL_KERNEL_H

@@ -1,0 +1,113 @@
+#include "kernel/sync.h"
+
+#include "arch/barrier_spr.h"
+#include "arch/interest_group.h"
+#include "common/log.h"
+#include "isa/isa.h"
+
+namespace cyclops::kernel
+{
+
+using isa::ProgramBuilder;
+
+HwBarrierAsm::HwBarrierAsm(u32 barrierId, u8 rCur, u8 rNext, u8 rMy,
+                           u8 rTmp)
+    : id_(barrierId), rCur_(rCur), rNext_(rNext), rMy_(rMy), rTmp_(rTmp)
+{
+    if (barrierId >= arch::kNumHwBarriers)
+        fatal("hardware barrier id %u out of range (4 barriers)",
+              barrierId);
+}
+
+void
+HwBarrierAsm::emitArm(ProgramBuilder &b) const
+{
+    // current-cycle bit and next-cycle bit masks for this barrier.
+    b.li(rCur_, 1u << (2 * id_));
+    b.li(rNext_, 1u << (2 * id_ + 1));
+    // Participants initially set their current barrier cycle bit to 1.
+    b.mv(rMy_, rCur_);
+    b.mtspr(isa::kSprBarrier, rMy_);
+}
+
+void
+HwBarrierAsm::emitEnter(ProgramBuilder &b) const
+{
+    // Atomically (a single SPR write) remove our contribution to the
+    // current cycle and initialize the next cycle.
+    b.emitR(isa::Opcode::Nor, rTmp_, rCur_, 0); // ~cur
+    b.and_(rMy_, rMy_, rTmp_);
+    b.or_(rMy_, rMy_, rNext_);
+    b.mtspr(isa::kSprBarrier, rMy_);
+    // Spin until the wired OR of the current bit drops to zero: all
+    // threads have entered. Each thread spins on its own register, so
+    // there is no contention for other chip resources.
+    auto spin = b.newLabel();
+    b.bind(spin);
+    b.mfspr(rTmp_, isa::kSprBarrier);
+    b.and_(rTmp_, rTmp_, rCur_);
+    b.bne(rTmp_, 0, spin);
+    // Roles are interchanged after each use of the barrier.
+    b.xor_(rCur_, rCur_, rNext_);
+    b.xor_(rNext_, rCur_, rNext_);
+    b.xor_(rCur_, rCur_, rNext_);
+}
+
+void
+HwBarrierAsm::emitDisarm(ProgramBuilder &b) const
+{
+    b.li(rMy_, 0);
+    b.mtspr(isa::kSprBarrier, rMy_);
+}
+
+SwBarrierAsm::SwBarrierAsm(ProgramBuilder &b, u8 rSense, u8 rTmp1,
+                           u8 rTmp2)
+    : rSense_(rSense), rTmp1_(rTmp1), rTmp2_(rTmp2)
+{
+    // Counter and release flag live in distinct cache lines of the
+    // chip-wide shared cache (the kernel default interest group).
+    counterAddr_ = b.allocData(64, 64);
+    senseAddr_ = b.allocData(64, 64);
+}
+
+void
+SwBarrierAsm::emitInit(ProgramBuilder &b) const
+{
+    b.li(rSense_, 0);
+}
+
+void
+SwBarrierAsm::emitEnter(ProgramBuilder &b, u8 rCount) const
+{
+    using arch::igAddr;
+    using arch::kIgDefault;
+
+    // local_sense = !local_sense
+    b.emitI(isa::Opcode::Xori, rSense_, rSense_, 1);
+    // old = fetch_add(counter, 1)
+    b.li(rTmp1_, igAddr(kIgDefault, counterAddr_));
+    b.li(rTmp2_, 1);
+    b.amoadd(rTmp2_, rTmp1_, rTmp2_);
+    b.addi(rTmp2_, rTmp2_, 1);
+
+    auto last = b.newLabel();
+    auto spin = b.newLabel();
+    auto done = b.newLabel();
+    b.beq(rTmp2_, rCount, last);
+    // Waiters spin on the release flag written by the last arriver.
+    b.bind(spin);
+    b.li(rTmp1_, igAddr(kIgDefault, senseAddr_));
+    b.lw(rTmp2_, 0, rTmp1_);
+    b.bne(rTmp2_, rSense_, spin);
+    b.jump(done);
+    // The last thread resets the counter and releases everyone.
+    b.bind(last);
+    b.li(rTmp1_, igAddr(kIgDefault, counterAddr_));
+    b.sw(0, 0, rTmp1_);
+    b.sync();
+    b.li(rTmp1_, igAddr(kIgDefault, senseAddr_));
+    b.sw(rSense_, 0, rTmp1_);
+    b.bind(done);
+}
+
+} // namespace cyclops::kernel

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Synchronization code generators for ISA-mode programs.
+ *
+ * Two barrier flavours, mirroring the paper's section 3.3 comparison:
+ *  - HwBarrierAsm: the fast inter-thread hardware barrier through the
+ *    wired-OR SPR (2 bits per barrier, roles swapped after each use);
+ *  - SwBarrierAsm: a memory-based sense-reversing barrier built on the
+ *    atomic fetch-and-add instruction.
+ *
+ * Both emit instruction sequences into a ProgramBuilder and keep their
+ * state in caller-designated registers, so kernels can place barriers
+ * inside loops.
+ */
+
+#ifndef CYCLOPS_KERNEL_SYNC_H
+#define CYCLOPS_KERNEL_SYNC_H
+
+#include "isa/builder.h"
+
+namespace cyclops::kernel
+{
+
+/** Emits the hardware-barrier protocol (paper section 2.3). */
+class HwBarrierAsm
+{
+  public:
+    /**
+     * @param barrierId which of the 4 hardware barriers to use
+     * @param rCur,rNext,rMy,rTmp scratch registers dedicated to the
+     *        protocol for the lifetime of the emitted code
+     */
+    HwBarrierAsm(u32 barrierId, u8 rCur, u8 rNext, u8 rMy, u8 rTmp);
+
+    /** Arm participation: set the current-cycle bit (run once). */
+    void emitArm(isa::ProgramBuilder &b) const;
+
+    /** Enter the barrier and spin until all participants arrive. */
+    void emitEnter(isa::ProgramBuilder &b) const;
+
+    /** Withdraw from the barrier (clear both bits; run once at end). */
+    void emitDisarm(isa::ProgramBuilder &b) const;
+
+  private:
+    u32 id_;
+    u8 rCur_, rNext_, rMy_, rTmp_;
+};
+
+/** Emits a central sense-reversing software barrier on shared memory. */
+class SwBarrierAsm
+{
+  public:
+    /**
+     * Allocates the counter and sense words in @p b's data section
+     * (chip-wide interest group, so every thread contends for them).
+     *
+     * @param rSense,rTmp1,rTmp2 dedicated scratch registers
+     */
+    SwBarrierAsm(isa::ProgramBuilder &b, u8 rSense, u8 rTmp1, u8 rTmp2);
+
+    /** Initialize the thread-local sense register (run once). */
+    void emitInit(isa::ProgramBuilder &b) const;
+
+    /**
+     * Enter the barrier among @p rCount participants (a register
+     * holding the thread count).
+     */
+    void emitEnter(isa::ProgramBuilder &b, u8 rCount) const;
+
+    /** Physical address of the counter word (tests). */
+    u32 counterAddr() const { return counterAddr_; }
+
+  private:
+    u32 counterAddr_;
+    u32 senseAddr_;
+    u8 rSense_, rTmp1_, rTmp2_;
+};
+
+} // namespace cyclops::kernel
+
+#endif // CYCLOPS_KERNEL_SYNC_H

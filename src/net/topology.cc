@@ -1,0 +1,160 @@
+#include "net/topology.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace cyclops::net
+{
+
+Fabric::Fabric(const NetConfig &cfg) : cfg_(cfg)
+{
+    if (cfg.dimX == 0 || cfg.dimY == 0 || cfg.dimZ == 0)
+        fatal("fabric dimensions must be nonzero");
+    if (cfg.linkBytesPerCycle == 0 || cfg.maxPacketBytes == 0)
+        fatal("fabric link parameters must be nonzero");
+    linkFree_.assign(size_t(cfg.numChips()) * kNumDirs, 0);
+    hostFree_.assign(cfg.numChips(), 0);
+    stats_.addCounter("net.messages", &messages_);
+    stats_.addCounter("net.bytes", &bytesMoved_);
+    stats_.addCounter("net.queueCycles", &queueCycles_);
+}
+
+u32
+Fabric::chipAt(Coord c) const
+{
+    if (c.x >= cfg_.dimX || c.y >= cfg_.dimY || c.z >= cfg_.dimZ)
+        fatal("coordinate (%u,%u,%u) outside the %ux%ux%u system", c.x,
+              c.y, c.z, cfg_.dimX, cfg_.dimY, cfg_.dimZ);
+    return (c.z * cfg_.dimY + c.y) * cfg_.dimX + c.x;
+}
+
+Coord
+Fabric::coordOf(u32 chip) const
+{
+    if (chip >= cfg_.numChips())
+        fatal("no chip %u in a %u-chip system", chip, cfg_.numChips());
+    Coord c;
+    c.x = chip % cfg_.dimX;
+    c.y = (chip / cfg_.dimX) % cfg_.dimY;
+    c.z = chip / (cfg_.dimX * cfg_.dimY);
+    return c;
+}
+
+s32
+Fabric::step(u32 from, u32 to, u32 dim) const
+{
+    if (from == to)
+        return 0;
+    if (!cfg_.torus)
+        return to > from ? 1 : -1;
+    // Torus: shorter way around; ties go plus.
+    const s32 forward = s32((to + dim - from) % dim);
+    const s32 backward = s32(dim) - forward;
+    return forward <= backward ? 1 : -1;
+}
+
+std::vector<std::pair<u32, Dir>>
+Fabric::route(u32 src, u32 dst) const
+{
+    if (src >= cfg_.numChips() || dst >= cfg_.numChips())
+        fatal("route endpoints outside the system");
+    std::vector<std::pair<u32, Dir>> path;
+    Coord at = coordOf(src);
+    const Coord goal = coordOf(dst);
+
+    auto walk = [&](u32 Coord::*axis, u32 dim, Dir plus, Dir minus) {
+        while (at.*axis != goal.*axis) {
+            const s32 dir = step(at.*axis, goal.*axis, dim);
+            path.emplace_back(chipAt(at), dir > 0 ? plus : minus);
+            at.*axis = u32((s32(at.*axis) + dir + s32(dim)) % s32(dim));
+        }
+    };
+    walk(&Coord::x, cfg_.dimX, Dir::XPlus, Dir::XMinus);
+    walk(&Coord::y, cfg_.dimY, Dir::YPlus, Dir::YMinus);
+    walk(&Coord::z, cfg_.dimZ, Dir::ZPlus, Dir::ZMinus);
+    return path;
+}
+
+u32
+Fabric::hops(u32 src, u32 dst) const
+{
+    return u32(route(src, dst).size());
+}
+
+u32
+Fabric::linkIndex(u32 chip, Dir dir) const
+{
+    return chip * kNumDirs + u32(dir);
+}
+
+Cycle
+Fabric::uncontendedLatency(u32 src, u32 dst, u32 bytes) const
+{
+    if (src == dst)
+        return 0;
+    const u32 h = hops(src, dst);
+    const Cycle perHop = cfg_.routerLatency + cfg_.linkLatency;
+    const Cycle serialization =
+        (bytes + cfg_.linkBytesPerCycle - 1) / cfg_.linkBytesPerCycle;
+    return Cycle(h) * perHop + serialization;
+}
+
+Cycle
+Fabric::send(Cycle now, u32 src, u32 dst, u32 bytes)
+{
+    if (bytes == 0)
+        fatal("cannot send an empty message");
+    ++messages_;
+    bytesMoved_ += bytes;
+    if (src == dst)
+        return now;
+
+    const auto path = route(src, dst);
+    const Cycle perHop = cfg_.routerLatency + cfg_.linkLatency;
+
+    Cycle delivered = now;
+    u32 remaining = bytes;
+    Cycle packetStart = now;
+    while (remaining > 0) {
+        const u32 packet = std::min(remaining, cfg_.maxPacketBytes);
+        const Cycle serialization =
+            (packet + cfg_.linkBytesPerCycle - 1) /
+            cfg_.linkBytesPerCycle;
+        // Cut-through: the header advances one hop per (router+link);
+        // each traversed link is occupied for the serialization time
+        // starting when the header reaches it.
+        Cycle headArrives = packetStart;
+        for (const auto &[chip, dir] : path) {
+            Cycle &freeAt = linkFree_[linkIndex(chip, dir)];
+            const Cycle start = std::max(headArrives, freeAt);
+            queueCycles_ += start - headArrives;
+            freeAt = start + serialization;
+            headArrives = start + perHop;
+        }
+        delivered = headArrives + serialization;
+        // Next packet can follow as soon as the first link drains.
+        packetStart = packetStart + serialization;
+        remaining -= packet;
+    }
+    return delivered;
+}
+
+Cycle
+Fabric::hostTransfer(Cycle now, u32 chip, u32 bytes)
+{
+    if (chip >= cfg_.numChips())
+        fatal("no chip %u in the system", chip);
+    if (bytes == 0)
+        fatal("cannot transfer zero bytes on the host link");
+    const Cycle serialization =
+        (bytes + cfg_.linkBytesPerCycle - 1) / cfg_.linkBytesPerCycle;
+    const Cycle start = std::max(now, hostFree_[chip]);
+    queueCycles_ += start - now;
+    hostFree_[chip] = start + serialization;
+    bytesMoved_ += bytes;
+    ++messages_;
+    return start + serialization + cfg_.routerLatency;
+}
+
+} // namespace cyclops::net

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Multi-chip interconnect (paper section 2.2).
+ *
+ * Each Cyclops chip provides six input and six output links that
+ * directly connect chips in a three-dimensional mesh or torus; the
+ * links are 16 bits wide at 500 MHz (1 GB/s each, 12 GB/s of I/O per
+ * chip), and a seventh link attaches a host computer. Large systems
+ * are built by replicating the chip in this regular pattern — the
+ * cellular approach (the Blue Gene vision the paper cites).
+ *
+ * This module models message timing over the fabric: dimension-order
+ * routing, cut-through packet forwarding, and per-link occupancy
+ * (contention). It is deliberately standalone — the paper states the
+ * multi-chip system is not its focus — but complete enough for the
+ * multichip example and capacity studies.
+ */
+
+#ifndef CYCLOPS_NET_TOPOLOGY_H
+#define CYCLOPS_NET_TOPOLOGY_H
+
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace cyclops::net
+{
+
+/** Output-port directions of one chip. */
+enum class Dir : u8 { XPlus, XMinus, YPlus, YMinus, ZPlus, ZMinus, Host };
+
+inline constexpr u32 kNumDirs = 6; ///< mesh/torus links (host separate)
+
+/** Position of a chip in the 3-D grid. */
+struct Coord
+{
+    u32 x = 0, y = 0, z = 0;
+    bool operator==(const Coord &other) const = default;
+};
+
+/** Fabric configuration. */
+struct NetConfig
+{
+    u32 dimX = 2, dimY = 2, dimZ = 2;
+    bool torus = true;           ///< wraparound links (else mesh)
+    u32 linkBytesPerCycle = 2;   ///< 16-bit links at the core clock
+    u32 routerLatency = 4;       ///< cycles per hop through a switch
+    u32 linkLatency = 1;         ///< wire cycles per hop
+    u32 maxPacketBytes = 256;    ///< larger messages are segmented
+    u64 clockHz = 500'000'000;
+
+    u32 numChips() const { return dimX * dimY * dimZ; }
+};
+
+/** A multi-chip Cyclops system's interconnect. */
+class Fabric
+{
+  public:
+    explicit Fabric(const NetConfig &cfg = NetConfig{});
+
+    const NetConfig &config() const { return cfg_; }
+
+    u32 chipAt(Coord c) const;
+    Coord coordOf(u32 chip) const;
+
+    /**
+     * Dimension-order (x, then y, then z) route from @p src to @p dst.
+     * On a torus each dimension takes the shorter way around.
+     * Returns the sequence of (chip, outgoing direction) hops.
+     */
+    std::vector<std::pair<u32, Dir>> route(u32 src, u32 dst) const;
+
+    /** Number of hops between two chips under the routing above. */
+    u32 hops(u32 src, u32 dst) const;
+
+    /**
+     * Send @p bytes from @p src to @p dst starting at cycle @p now.
+     * Cut-through forwarding: latency = hops * (router + link) +
+     * serialization of the payload, plus queueing on busy links.
+     * Messages above maxPacketBytes are segmented and pipelined.
+     *
+     * @return the cycle the last byte arrives at @p dst.
+     */
+    Cycle send(Cycle now, u32 src, u32 dst, u32 bytes);
+
+    /**
+     * DMA over the host link of @p chip (the seventh link).
+     * @return completion cycle.
+     */
+    Cycle hostTransfer(Cycle now, u32 chip, u32 bytes);
+
+    /** Idealized uncontended latency for a payload (tests, planning). */
+    Cycle uncontendedLatency(u32 src, u32 dst, u32 bytes) const;
+
+    /** Aggregate bytes moved so far. */
+    u64 bytesMoved() const { return bytesMoved_.value(); }
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    u32 linkIndex(u32 chip, Dir dir) const;
+    s32 step(u32 from, u32 to, u32 dim) const;
+
+    NetConfig cfg_;
+    std::vector<Cycle> linkFree_; ///< chip x direction occupancy
+    std::vector<Cycle> hostFree_; ///< per-chip host link
+    StatGroup stats_;
+    Counter messages_;
+    Counter bytesMoved_;
+    Counter queueCycles_;
+};
+
+} // namespace cyclops::net
+
+#endif // CYCLOPS_NET_TOPOLOGY_H

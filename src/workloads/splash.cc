@@ -1,0 +1,104 @@
+#include "workloads/splash.h"
+
+#include "common/log.h"
+
+namespace cyclops::workloads
+{
+
+const char *
+splashAppName(SplashApp app)
+{
+    switch (app) {
+      case SplashApp::Barnes: return "Barnes";
+      case SplashApp::Fft: return "FFT";
+      case SplashApp::Fmm: return "FMM";
+      case SplashApp::Lu: return "LU";
+      case SplashApp::Ocean: return "Ocean";
+      case SplashApp::Radix: return "Radix";
+    }
+    return "?";
+}
+
+u32
+splashDefaultSize(SplashApp app)
+{
+    switch (app) {
+      case SplashApp::Barnes: return 2048;   // bodies
+      case SplashApp::Fft: return 65536;     // complex points
+      case SplashApp::Fmm: return 2048;      // particles
+      case SplashApp::Lu: return 384;        // matrix order
+      case SplashApp::Ocean: return 130;     // grid edge
+      case SplashApp::Radix: return 262144;  // keys
+    }
+    return 0;
+}
+
+SplashResult
+runSplash(const SplashConfig &cfg, const ChipConfig &chipCfg)
+{
+    const u32 size = cfg.size ? cfg.size : splashDefaultSize(cfg.app);
+    switch (cfg.app) {
+      case SplashApp::Barnes:
+        return runBarnes(cfg.threads, size, cfg.barrier, chipCfg);
+      case SplashApp::Fft:
+        return runFft(cfg.threads, size, cfg.barrier, chipCfg);
+      case SplashApp::Fmm:
+        return runFmm(cfg.threads, size, cfg.barrier, chipCfg);
+      case SplashApp::Lu:
+        return runLu(cfg.threads, size, cfg.barrier, chipCfg);
+      case SplashApp::Ocean:
+        return runOcean(cfg.threads, size, cfg.barrier, chipCfg);
+      case SplashApp::Radix:
+        return runRadix(cfg.threads, size, cfg.barrier, chipCfg);
+    }
+    panic("unknown SplashApp");
+}
+
+namespace detail
+{
+
+void
+harvest(arch::Chip &chip, SplashResult *result)
+{
+    result->cycles = chip.now();
+    result->runCycles = chip.totalRunCycles();
+    result->stallCycles = chip.totalStallCycles();
+    result->instructions = chip.totalInstructions();
+
+    StatGroup &stats = chip.stats();
+    result->loads = stats.counterValue("mem.loads");
+    result->stores = stats.counterValue("mem.stores");
+    result->localHits = stats.counterValue("mem.localHits");
+    result->remoteHits = stats.counterValue("mem.remoteHits");
+    result->localMisses = stats.counterValue("mem.localMisses");
+    result->remoteMisses = stats.counterValue("mem.remoteMisses");
+    const ChipConfig &cfg = chip.config();
+    for (u32 b = 0; b < cfg.numBanks; ++b)
+        result->bankBusyCycles +=
+            stats.counterValue(strprintf("bank%u.busyCycles", b));
+    for (u32 c = 0; c < cfg.numCaches(); ++c)
+        result->portWaitCycles += stats.counterValue(
+            strprintf("dcache%u.portWaitCycles", c));
+    if (const Histogram *h = stats.histogram("mem.loadLatency"))
+        result->avgLoadLatency = h->mean();
+}
+
+exec::GuestTask
+barrier(exec::GuestCtx &ctx, SplashSync &sync)
+{
+    switch (sync.kind) {
+      case BarrierKind::Hw:
+        co_await ctx.hwBarrier(sync.hwRound[ctx.index()]++ & 1);
+        break;
+      case BarrierKind::SwTree:
+        co_await ctx.swBarrier(sync.tree);
+        break;
+      case BarrierKind::SwCentral:
+        co_await ctx.swBarrier(sync.central);
+        break;
+    }
+}
+
+} // namespace detail
+
+} // namespace cyclops::workloads

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * SPLASH-2-style kernels for the execution-driven frontend, used for
+ * the paper's Figure 3 (parallel speedups of Barnes, FFT, FMM, LU,
+ * Ocean, Radix) and Figure 7 (hardware vs software barriers on FFT).
+ *
+ * Barnes and FMM are reduced-force-model reimplementations (see
+ * DESIGN.md); FFT is the radix-sqrt(N) six-step kernel with the
+ * paper's constraints (points per processor >= sqrt(N), power-of-two
+ * processors); LU is blocked right-looking without pivoting; Ocean is
+ * a red-black SOR solve; Radix is the per-digit histogram sort.
+ */
+
+#ifndef CYCLOPS_WORKLOADS_SPLASH_H
+#define CYCLOPS_WORKLOADS_SPLASH_H
+
+#include "common/config.h"
+#include "exec/barriers.h"
+#include "exec/engine.h"
+#include "kernel/kernel.h"
+
+namespace cyclops::workloads
+{
+
+/** The six kernels of Figure 3. */
+enum class SplashApp : u8 { Barnes, Fft, Fmm, Lu, Ocean, Radix };
+
+const char *splashAppName(SplashApp app);
+
+/** Barrier implementation used for inter-phase synchronization. */
+enum class BarrierKind : u8 { Hw, SwTree, SwCentral };
+
+/** One kernel run. */
+struct SplashConfig
+{
+    SplashApp app = SplashApp::Fft;
+    u32 threads = 1;
+    u32 size = 0; ///< app-specific problem size; 0 = Figure 3 default
+    BarrierKind barrier = BarrierKind::Hw;
+    kernel::AllocPolicy policy = kernel::AllocPolicy::Sequential;
+};
+
+/** Timing and accounting outcome (Figure 7 reports all three cycles). */
+struct SplashResult
+{
+    Cycle cycles = 0;       ///< total execution time
+    u64 runCycles = 0;      ///< cycles threads were busy computing
+    u64 stallCycles = 0;    ///< cycles threads were stalled for resources
+    u64 instructions = 0;
+    bool verified = false;
+
+    // Memory-system aggregates (diagnosis and the ablation benches).
+    u64 loads = 0;
+    u64 stores = 0;
+    u64 localHits = 0;
+    u64 remoteHits = 0;
+    u64 localMisses = 0;
+    u64 remoteMisses = 0;
+    u64 bankBusyCycles = 0;   ///< summed over the 16 banks
+    u64 portWaitCycles = 0;   ///< summed over the 32 cache ports
+    double avgLoadLatency = 0;
+};
+
+namespace detail
+{
+/** Fill SplashResult from a finished chip (shared by all kernels). */
+void harvest(arch::Chip &chip, SplashResult *result);
+} // namespace detail
+
+/** Figure 3 default problem size of @p app. */
+u32 splashDefaultSize(SplashApp app);
+
+/** Run one kernel on a fresh chip. */
+SplashResult runSplash(const SplashConfig &config,
+                       const ChipConfig &chipCfg = ChipConfig{});
+
+// ---------------------------------------------------------------------------
+// Shared helpers for the kernel implementations (internal use).
+// ---------------------------------------------------------------------------
+
+namespace detail
+{
+
+/**
+ * Pluggable barrier: one object shared by all threads of a run.
+ *
+ * Consecutive global barriers alternate between two of the four
+ * hardware barriers: re-using one id back-to-back races a slow spinner
+ * against the next entry re-raising the bit it spins on (the reason
+ * the chip provides several barriers).
+ */
+struct SplashSync
+{
+    BarrierKind kind = BarrierKind::Hw;
+    exec::CentralBarrier central;
+    exec::TreeBarrier tree;
+    std::vector<u32> hwRound; ///< per-thread global barrier counter
+
+    void
+    init(kernel::Heap &heap, u32 threads, BarrierKind k)
+    {
+        kind = k;
+        central.init(heap, threads);
+        tree.init(heap, threads);
+        hwRound.assign(threads, 0);
+    }
+};
+
+/** Enter the run's barrier (awaitable helper coroutine). */
+exec::GuestTask barrier(exec::GuestCtx &ctx, SplashSync &sync);
+
+/** [begin, end) slice of @p total for thread @p index of @p threads. */
+struct Range
+{
+    u32 begin, end;
+    u32 size() const { return end - begin; }
+};
+
+inline Range
+splitRange(u32 total, u32 threads, u32 index)
+{
+    const u32 base = total / threads;
+    const u32 extra = total % threads;
+    const u32 begin = index * base + std::min(index, extra);
+    return Range{begin, begin + base + (index < extra ? 1 : 0)};
+}
+
+} // namespace detail
+
+// Individual kernels (exposed for focused tests/benches).
+SplashResult runFft(u32 threads, u32 points, BarrierKind barrier,
+                    const ChipConfig &chipCfg);
+SplashResult runLu(u32 threads, u32 n, BarrierKind barrier,
+                   const ChipConfig &chipCfg);
+SplashResult runRadix(u32 threads, u32 keys, BarrierKind barrier,
+                      const ChipConfig &chipCfg);
+SplashResult runOcean(u32 threads, u32 grid, BarrierKind barrier,
+                      const ChipConfig &chipCfg);
+SplashResult runBarnes(u32 threads, u32 bodies, BarrierKind barrier,
+                       const ChipConfig &chipCfg);
+SplashResult runFmm(u32 threads, u32 particles, BarrierKind barrier,
+                    const ChipConfig &chipCfg);
+
+} // namespace cyclops::workloads
+
+#endif // CYCLOPS_WORKLOADS_SPLASH_H

@@ -1,0 +1,337 @@
+/**
+ * @file
+ * Execution-driven frontend tests: coroutine adaptation, dependence
+ * chains, batches, atomics under contention, task composition, and all
+ * three barrier implementations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "arch/chip.h"
+#include "exec/barriers.h"
+#include "exec/engine.h"
+#include "exec/guest_unit.h"
+
+using namespace cyclops;
+using namespace cyclops::exec;
+using arch::Chip;
+using arch::FpuOp;
+using arch::igAddr;
+using arch::kIgDefault;
+
+namespace
+{
+
+struct World
+{
+    Chip chip;
+    GuestEngine engine;
+    explicit World(
+        kernel::AllocPolicy policy = kernel::AllocPolicy::Sequential,
+        ChipConfig cfg = ChipConfig{})
+        : chip(cfg), engine(chip, policy)
+    {}
+};
+
+} // namespace
+
+TEST(Exec, SingleThreadAluTiming)
+{
+    World w;
+    static GuestTask (*body)(GuestCtx &) = [](GuestCtx &ctx) -> GuestTask {
+        co_await ctx.alu(100);
+    };
+    w.engine.spawn(1, body);
+    EXPECT_EQ(w.engine.run(100'000), arch::RunExit::AllHalted);
+    // ~100 cycles of ALU work plus constant start/halt overhead.
+    EXPECT_GE(w.chip.now(), 100u);
+    EXPECT_LE(w.chip.now(), 110u);
+    EXPECT_EQ(w.chip.unit(0)->runCycles(), 101u); // 100 alu + halt
+}
+
+TEST(Exec, LoadStoreRoundTrip)
+{
+    World w;
+    const Addr ea = igAddr(kIgDefault, w.engine.heap().alloc(64, 64));
+    struct Body
+    {
+        static GuestTask
+        run(GuestCtx &ctx, Addr ea)
+        {
+            co_await ctx.store(ea, 0xDEADBEEFCAFEF00Dull, 8);
+            const u64 value = co_await ctx.load(ea, 8);
+            co_await ctx.store(ea + 8, value + 1, 8);
+        }
+    };
+    w.engine.spawn(1, [&](GuestCtx &ctx) { return Body::run(ctx, ea); });
+    EXPECT_EQ(w.engine.run(100'000), arch::RunExit::AllHalted);
+    EXPECT_EQ(w.chip.memRead(ea + 8, 8, 0), 0xDEADBEEFCAFEF00Dull + 1);
+}
+
+TEST(Exec, DependentLoadChainsStall)
+{
+    // A chain of dependent loads each pays the full load latency; a
+    // batch of independent loads pipelines at one per cycle.
+    auto measure = [&](bool independent) {
+        World w;
+        const PhysAddr buf = w.engine.heap().alloc(4096, 64);
+        struct Body
+        {
+            static GuestTask
+            run(GuestCtx &ctx, Addr base, bool indep)
+            {
+                if (indep) {
+                    std::vector<MicroOp> ops;
+                    for (int i = 0; i < 16; ++i)
+                        ops.push_back(MicroOp::load(base + i * 8, 8,
+                                                    true));
+                    co_await ctx.batch(ops);
+                } else {
+                    for (int i = 0; i < 16; ++i)
+                        co_await ctx.load(base + i * 8, 8);
+                }
+            }
+        };
+        const Addr ea = igAddr(arch::igExactly(0), buf);
+        w.engine.spawn(1, [&](GuestCtx &ctx) {
+            return Body::run(ctx, ea, independent);
+        });
+        EXPECT_EQ(w.engine.run(1'000'000), arch::RunExit::AllHalted);
+        return w.chip.now();
+    };
+    const Cycle dependent = measure(false);
+    const Cycle independent = measure(true);
+    EXPECT_GT(dependent, independent * 2);
+}
+
+TEST(Exec, FpuOpsShareQuadUnit)
+{
+    // Four threads of one quad all issuing FMAs saturate the single
+    // FPU: aggregate throughput is 1 FMA/cycle, not 4.
+    World w;
+    static constexpr int kOps = 200;
+    struct Body
+    {
+        static GuestTask
+        run(GuestCtx &ctx)
+        {
+            std::vector<MicroOp> ops(kOps, MicroOp::fpuOp(FpuOp::Fma,
+                                                          true));
+            co_await ctx.batch(ops);
+        }
+    };
+    w.engine.spawn(4, [](GuestCtx &ctx) { return Body::run(ctx); });
+    EXPECT_EQ(w.engine.run(1'000'000), arch::RunExit::AllHalted);
+    EXPECT_GE(w.chip.now(), 4u * kOps);
+    EXPECT_LE(w.chip.now(), 4u * kOps + 64);
+}
+
+TEST(Exec, AtomicContention)
+{
+    // 64 threads each add 1..16 to one counter: the sum is exact.
+    World w;
+    const Addr ea = igAddr(kIgDefault, w.engine.heap().alloc(64, 64));
+    struct Body
+    {
+        static GuestTask
+        run(GuestCtx &ctx, Addr ea)
+        {
+            for (u32 i = 1; i <= 16; ++i)
+                co_await ctx.amoadd(ea, i);
+        }
+    };
+    w.engine.spawn(64, [&](GuestCtx &ctx) { return Body::run(ctx, ea); });
+    EXPECT_EQ(w.engine.run(10'000'000), arch::RunExit::AllHalted);
+    EXPECT_EQ(w.chip.memRead(ea, 4, 0), 64u * (16 * 17 / 2));
+}
+
+TEST(Exec, TaskComposition)
+{
+    // A helper coroutine awaited from the top level shares the context.
+    World w;
+    const Addr ea = igAddr(kIgDefault, w.engine.heap().alloc(64, 64));
+    struct Body
+    {
+        static GuestTask
+        helper(GuestCtx &ctx, Addr ea, u32 n)
+        {
+            for (u32 i = 0; i < n; ++i)
+                co_await ctx.amoadd(ea, 1);
+        }
+        static GuestTask
+        run(GuestCtx &ctx, Addr ea)
+        {
+            co_await helper(ctx, ea, 3);
+            co_await ctx.alu(5);
+            co_await helper(ctx, ea, 4);
+        }
+    };
+    w.engine.spawn(2, [&](GuestCtx &ctx) { return Body::run(ctx, ea); });
+    EXPECT_EQ(w.engine.run(1'000'000), arch::RunExit::AllHalted);
+    EXPECT_EQ(w.chip.memRead(ea, 4, 0), 14u);
+}
+
+// ---------------------------------------------------------------------------
+// Barriers.
+// ---------------------------------------------------------------------------
+
+namespace
+{
+
+/**
+ * Barrier ordering harness: each thread writes a per-round stamp after
+ * the barrier; the invariant is that no thread starts round r+1 before
+ * every thread finished round r. We verify with a shared "phase"
+ * counter: before the barrier each thread increments arrivals; after
+ * the barrier each checks that arrivals == threads * round.
+ */
+enum class BarKind { Hw, Central, Tree };
+
+struct BarrierWorld
+{
+    World w;
+    Addr arrivals;
+    Addr errors;
+    CentralBarrier central;
+    TreeBarrier tree;
+    BarKind kind;
+    u32 rounds;
+
+    BarrierWorld(BarKind k, u32 threads, u32 rounds_,
+                 kernel::AllocPolicy policy =
+                     kernel::AllocPolicy::Sequential)
+        : w(policy), kind(k), rounds(rounds_)
+    {
+        arrivals = igAddr(kIgDefault, w.engine.heap().alloc(64, 64));
+        errors = igAddr(kIgDefault, w.engine.heap().alloc(64, 64));
+        central.init(w.engine.heap(), threads);
+        tree.init(w.engine.heap(), threads);
+        auto *self = this;
+        w.engine.spawn(threads, [self](GuestCtx &ctx) {
+            return body(ctx, *self);
+        });
+    }
+
+    static GuestTask
+    body(GuestCtx &ctx, BarrierWorld &bw)
+    {
+        for (u32 round = 1; round <= bw.rounds; ++round) {
+            co_await ctx.amoadd(bw.arrivals, 1);
+            switch (bw.kind) {
+              case BarKind::Hw:
+                co_await ctx.hwBarrier(0);
+                break;
+              case BarKind::Central:
+                co_await ctx.swBarrier(bw.central);
+                break;
+              case BarKind::Tree:
+                co_await ctx.swBarrier(bw.tree);
+                break;
+            }
+            const u64 seen = co_await ctx.load(bw.arrivals, 4);
+            if (seen < u64(ctx.threads()) * round)
+                co_await ctx.amoadd(bw.errors, 1);
+            // Second barrier so the next round's increments cannot
+            // race with this round's check.
+            switch (bw.kind) {
+              case BarKind::Hw:
+                co_await ctx.hwBarrier(1);
+                break;
+              case BarKind::Central:
+                co_await ctx.swBarrier(bw.central);
+                break;
+              case BarKind::Tree:
+                co_await ctx.swBarrier(bw.tree);
+                break;
+            }
+        }
+    }
+
+    u32
+    errorCount()
+    {
+        EXPECT_EQ(w.engine.run(100'000'000), arch::RunExit::AllHalted);
+        return u32(w.chip.memRead(errors, 4, 0));
+    }
+};
+
+} // namespace
+
+class BarrierOrdering
+    : public ::testing::TestWithParam<std::tuple<int, u32>>
+{
+};
+
+TEST_P(BarrierOrdering, NoThreadRunsAhead)
+{
+    const auto [kindIdx, threads] = GetParam();
+    BarrierWorld bw(static_cast<BarKind>(kindIdx), threads, 5);
+    EXPECT_EQ(bw.errorCount(), 0u);
+}
+
+namespace
+{
+
+std::string
+barrierCaseName(
+    const ::testing::TestParamInfo<std::tuple<int, u32>> &info)
+{
+    static const char *names[] = {"Hw", "Central", "Tree"};
+    return std::string(names[std::get<0>(info.param)]) + "x" +
+           std::to_string(std::get<1>(info.param));
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndSizes, BarrierOrdering,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(1u, 2u, 3u, 16u, 64u, 126u)),
+    barrierCaseName);
+
+TEST(Barriers, HardwareFasterThanSoftware)
+{
+    // The whole point of the hardware barrier (paper 3.3): with many
+    // threads it costs far fewer cycles than the memory-based tree.
+    auto cost = [](BarKind kind) {
+        BarrierWorld bw(kind, 64, 20);
+        EXPECT_EQ(bw.errorCount(), 0u);
+        return bw.w.chip.now();
+    };
+    const Cycle hw = cost(BarKind::Hw);
+    const Cycle tree = cost(BarKind::Tree);
+    const Cycle central = cost(BarKind::Central);
+    EXPECT_LT(hw, tree);
+    EXPECT_LT(hw, central);
+}
+
+TEST(Barriers, WiredOrSemantics)
+{
+    arch::BarrierSpr spr;
+    spr.init(8, nullptr);
+    EXPECT_EQ(spr.read(), 0);
+    spr.write(0, 0b0000'0001);
+    spr.write(3, 0b0000'0100);
+    EXPECT_EQ(spr.read(), 0b0000'0101);
+    spr.write(0, 0b0000'0010); // clear current, set next
+    EXPECT_EQ(spr.read(), 0b0000'0110);
+    spr.write(3, 0);
+    EXPECT_EQ(spr.read(), 0b0000'0010);
+}
+
+TEST(Barriers, ProtocolRoleSwap)
+{
+    arch::HwBarrierProtocol proto(2); // bits 4 and 5
+    EXPECT_EQ(proto.armValue(), 1u << 4);
+    u8 reg = proto.armValue();
+    reg = proto.enterValue(reg);
+    EXPECT_EQ(reg, 1u << 5); // current cleared, next set
+    EXPECT_TRUE(proto.released(0));
+    EXPECT_FALSE(proto.released(1u << 4));
+    proto.consumeRelease();
+    reg = proto.enterValue(reg);
+    EXPECT_EQ(reg, 1u << 4); // roles swapped
+    EXPECT_FALSE(proto.released(1u << 5));
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Cross-frontend and determinism properties.
+ *
+ * DESIGN.md claims both execution frontends (ISA interpreter and the
+ * coroutine-based execution-driven adapter) drive one timing backend:
+ * equivalent access patterns must therefore cost equivalent time. And
+ * the whole simulator must be deterministic: identical inputs give
+ * bit-identical cycle counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/chip.h"
+#include "arch/thread_unit.h"
+#include "exec/engine.h"
+#include "isa/builder.h"
+#include "workloads/splash.h"
+#include "workloads/stream.h"
+
+using namespace cyclops;
+using namespace cyclops::arch;
+
+namespace
+{
+
+/** ISA mode: N dependent pointer-chase loads from the local cache. */
+Cycle
+isaDependentLoads(u32 count)
+{
+    ChipConfig cfg;
+    cfg.pibEnabled = false;
+    Chip chip(cfg);
+    isa::ProgramBuilder b;
+    const u32 buf = b.allocData(64, 64);
+    b.li(10, igAddr(igExactly(0), buf));
+    b.lw(4, 0, 10); // warm the line
+    b.li(12, s32(count));
+    auto loop = b.newLabel();
+    b.bind(loop);
+    b.lw(5, 0, 10);
+    b.add(6, 5, 5); // dependent consumer
+    b.addi(12, 12, -1);
+    b.bne(12, 0, loop);
+    b.halt();
+    chip.loadProgram(b.finish());
+    chip.setUnit(0, std::make_unique<ThreadUnit>(0, chip, 0));
+    chip.activate(0);
+    EXPECT_EQ(chip.run(10'000'000), RunExit::AllHalted);
+    return chip.now();
+}
+
+/** Exec mode: the same dependent-load chain through coroutines. */
+Cycle
+execDependentLoads(u32 count)
+{
+    Chip chip;
+    exec::GuestEngine engine(chip);
+    const Addr ea =
+        igAddr(igExactly(0), engine.heap().alloc(64, 64));
+    struct Body
+    {
+        static exec::GuestTask
+        run(exec::GuestCtx &ctx, Addr ea, u32 count)
+        {
+            co_await ctx.load(ea, 8); // warm
+            for (u32 i = 0; i < count; ++i) {
+                co_await ctx.load(ea, 8);
+                co_await ctx.alu(1);    // dependent consumer
+                co_await ctx.alu(3, true); // loop overhead
+            }
+        }
+    };
+    engine.spawn(1, [&](exec::GuestCtx &ctx) {
+        return Body::run(ctx, ea, count);
+    });
+    EXPECT_EQ(engine.run(10'000'000), RunExit::AllHalted);
+    return chip.now();
+}
+
+} // namespace
+
+TEST(Frontends, EquivalentPatternsCostEquivalentTime)
+{
+    // Both frontends pay the same 6-cycle local-hit dependence per
+    // iteration plus similar loop overhead; agreement within 20%.
+    const Cycle isa = isaDependentLoads(2000);
+    const Cycle exec = execDependentLoads(2000);
+    const double ratio = double(isa) / double(exec);
+    EXPECT_GT(ratio, 0.8) << isa << " vs " << exec;
+    EXPECT_LT(ratio, 1.25) << isa << " vs " << exec;
+}
+
+TEST(Frontends, IsaRunsAreDeterministic)
+{
+    const Cycle a = isaDependentLoads(500);
+    const Cycle b = isaDependentLoads(500);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Frontends, ExecRunsAreDeterministic)
+{
+    using namespace cyclops::workloads;
+    SplashConfig cfg;
+    cfg.app = SplashApp::Fft;
+    cfg.threads = 8;
+    cfg.size = 4096;
+    const SplashResult a = runSplash(cfg);
+    const SplashResult b = runSplash(cfg);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.runCycles, b.runCycles);
+    EXPECT_EQ(a.stallCycles, b.stallCycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+}
+
+TEST(Frontends, StreamRunsAreDeterministic)
+{
+    using namespace cyclops::workloads;
+    StreamConfig cfg;
+    cfg.kernel = StreamKernel::Triad;
+    cfg.threads = 32;
+    cfg.elementsPerThread = 240;
+    cfg.localCaches = true;
+    EXPECT_EQ(runStream(cfg).iterationCycles,
+              runStream(cfg).iterationCycles);
+}

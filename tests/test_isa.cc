@@ -1,0 +1,426 @@
+/**
+ * @file
+ * ISA-level tests: encode/decode round-trips over every opcode,
+ * assembler/disassembler behaviour, and functional execution of small
+ * programs on the chip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "arch/chip.h"
+#include "arch/thread_unit.h"
+#include "common/log.h"
+#include "common/rng.h"
+#include "isa/assembler.h"
+#include "isa/builder.h"
+#include "isa/disassembler.h"
+#include "isa/encoding.h"
+
+using namespace cyclops;
+using namespace cyclops::isa;
+
+// ---------------------------------------------------------------------------
+// Encoding: property test over all opcodes with random legal operands.
+// ---------------------------------------------------------------------------
+
+class EncodingRoundTrip : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(EncodingRoundTrip, EncodeDecodeIdentity)
+{
+    const auto op = static_cast<Opcode>(GetParam());
+    const InstrMeta &m = meta(op);
+    Rng rng(0xC0FFEE + GetParam());
+
+    for (int trial = 0; trial < 200; ++trial) {
+        Instr instr;
+        instr.op = op;
+        auto reg = [&](bool pair) {
+            u8 r = u8(rng.below(kNumRegs));
+            return pair ? u8(r & ~1u) : r;
+        };
+        switch (m.format) {
+          case Format::R:
+            instr.rd = reg(m.fpPairRd);
+            instr.ra = reg(m.fpPairRa);
+            instr.rb = reg(m.fpPairRb);
+            break;
+          case Format::I:
+            instr.rd = reg(m.fpPairRd);
+            instr.ra = reg(false);
+            instr.imm = s32(rng.range(immMin(kImmBitsI),
+                                      immMax(kImmBitsI)));
+            break;
+          case Format::B:
+            instr.ra = reg(false);
+            instr.rb = reg(false);
+            instr.imm = s32(rng.range(immMin(kImmBitsI),
+                                      immMax(kImmBitsI)));
+            break;
+          case Format::J:
+            instr.rd = reg(false);
+            instr.imm = s32(rng.range(immMin(kImmBitsJ),
+                                      immMax(kImmBitsJ)));
+            break;
+          case Format::U:
+            instr.rd = reg(false);
+            instr.imm = s32(rng.range(0, immMax(kImmBitsU) * 2 + 1));
+            break;
+        }
+        u32 word = 0;
+        ASSERT_TRUE(encode(instr, &word))
+            << mnemonic(op) << " imm=" << instr.imm;
+        Instr back;
+        ASSERT_TRUE(decode(word, &back));
+        EXPECT_EQ(instr, back) << mnemonic(op);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, EncodingRoundTrip,
+                         ::testing::Range(0u, kNumOpcodes),
+                         [](const auto &info) {
+                             return std::string(mnemonic(
+                                 static_cast<Opcode>(info.param)));
+                         });
+
+TEST(Encoding, RejectsOddFpPairRegisters)
+{
+    Instr instr{Opcode::Faddd, 9, 2, 4, 0};
+    u32 word = 0;
+    EXPECT_FALSE(encode(instr, &word));
+    instr.rd = 8;
+    instr.ra = 3;
+    EXPECT_FALSE(encode(instr, &word));
+}
+
+TEST(Encoding, RejectsOutOfRangeImmediates)
+{
+    Instr instr{Opcode::Addi, 1, 2, 0, immMax(kImmBitsI) + 1};
+    u32 word = 0;
+    EXPECT_FALSE(encode(instr, &word));
+    instr.imm = immMin(kImmBitsI) - 1;
+    EXPECT_FALSE(encode(instr, &word));
+}
+
+TEST(Encoding, RejectsBadOpcodeField)
+{
+    Instr out;
+    const u32 badWord = u32(kNumOpcodes + 5) << 25;
+    EXPECT_FALSE(decode(badWord, &out));
+}
+
+// ---------------------------------------------------------------------------
+// Disassembler round-trips through the assembler.
+// ---------------------------------------------------------------------------
+
+TEST(Disassembler, RoundTripsThroughAssembler)
+{
+    Rng rng(42);
+    for (unsigned opIdx = 0; opIdx < kNumOpcodes; ++opIdx) {
+        const auto op = static_cast<Opcode>(opIdx);
+        const InstrMeta &m = meta(op);
+        // Branch offsets are label-relative in assembly; skip control
+        // flow (covered by the assembler tests).
+        if (m.unit == UnitClass::Branch)
+            continue;
+        Instr instr;
+        instr.op = op;
+        if (m.fpPairRd)
+            instr.rd = 8;
+        else if (m.unit == UnitClass::CacheOp)
+            instr.rd = 0; // pref/dcbf/dcbi take no destination
+        else
+            instr.rd = 5;
+        instr.ra = m.readsRa ? (m.fpPairRa ? 10 : 6) : 0;
+        instr.rb = m.readsRb ? (m.fpPairRb ? 12 : 7) : 0;
+        if (m.format == Format::I || m.format == Format::U)
+            instr.imm = (op == Opcode::Mfspr || op == Opcode::Mtspr)
+                            ? 4
+                            : 48;
+        if (op == Opcode::Mfspr)
+            instr.ra = 0; // no source-register operand in the syntax
+        if (op == Opcode::Mtspr)
+            instr.rd = 0; // no destination operand in the syntax
+        if (m.format == Format::I) {
+            instr.rb = 0;
+        }
+        if (m.format == Format::U || m.format == Format::J)
+            instr.ra = instr.rb = 0;
+        if (op == Opcode::Halt || op == Opcode::Trap) {
+            instr.rd = instr.ra = instr.rb = 0;
+            instr.imm = op == Opcode::Trap ? 1 : 0;
+        }
+        if (m.unit == UnitClass::Misc || m.unit == UnitClass::Sync) {
+            if (m.format == Format::R)
+                instr = Instr{op, 0, 0, 0, 0};
+        }
+
+        const std::string text = ".text\n" + disassemble(instr) + "\n";
+        AsmResult result = assemble(text);
+        ASSERT_TRUE(result.ok)
+            << mnemonic(op) << ": " << result.error << " [" << text << "]";
+        ASSERT_EQ(result.program.text.size(), 1u) << mnemonic(op);
+        Instr back;
+        ASSERT_TRUE(decode(result.program.text[0], &back));
+        EXPECT_EQ(instr, back) << mnemonic(op) << " | " << text;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Assembler behaviour.
+// ---------------------------------------------------------------------------
+
+TEST(Assembler, LabelsAndBranches)
+{
+    AsmResult r = assemble(R"(
+        .text
+start:
+        li   r4, 10
+        li   r5, 0
+loop:
+        add  r5, r5, r4
+        subi r4, r4, 1
+        bne  r4, r0, loop
+        halt
+    )");
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.program.entry, r.program.symbol("start"));
+}
+
+TEST(Assembler, DataDirectivesAndSymbols)
+{
+    AsmResult r = assemble(R"(
+        .text
+        la r4, vec
+        lw r5, 0(r4)
+        halt
+        .data
+        .align 64
+vec:    .word 1, 2, 3, 4
+str:    .asciz "hi\n"
+tab:    .space 32
+        .align 8
+dbl:    .double 2.5, -1.0
+    )");
+    ASSERT_TRUE(r.ok) << r.error;
+    const auto &p = r.program;
+    EXPECT_EQ(p.symbol("vec") % 64, 0u);
+    EXPECT_EQ(p.symbol("str"), p.symbol("vec") + 16);
+    EXPECT_EQ(p.symbol("tab"), p.symbol("str") + 4);
+    // .double aligns to 8.
+    EXPECT_EQ(p.symbol("dbl") % 8, 0u);
+    // Initialized words land in the image.
+    const u32 off = p.symbol("vec") - p.dataBase;
+    u32 w;
+    std::memcpy(&w, &p.data[off], 4);
+    EXPECT_EQ(w, 1u);
+    double d;
+    std::memcpy(&d, &p.data[p.symbol("dbl") - p.dataBase], 8);
+    EXPECT_EQ(d, 2.5);
+}
+
+TEST(Assembler, ReportsErrors)
+{
+    EXPECT_FALSE(assemble("bogus r1, r2\n").ok);
+    EXPECT_FALSE(assemble("addi r1, r2\n").ok);          // arity
+    EXPECT_FALSE(assemble("addi r1, r2, 99999\n").ok);   // range
+    EXPECT_FALSE(assemble("lw r1, 0(r99)\n").ok);        // register
+    EXPECT_FALSE(assemble("beq r1, r2, nowhere\n").ok);  // symbol
+    EXPECT_FALSE(assemble("x: nop\nx: nop\n").ok);       // dup label
+    EXPECT_FALSE(assemble(".data\n.space -1\n").ok);
+    const AsmResult r = assemble("\n\n  addi r1, r2, bad\n");
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("line 3"), std::string::npos) << r.error;
+}
+
+TEST(Assembler, PseudoInstructions)
+{
+    AsmResult r = assemble(R"(
+        li r4, 0x123456
+        li r5, 5
+        mv r6, r5
+        not r7, r5
+        neg r8, r5
+        beqz r5, out
+        bnez r5, out
+out:    call func
+        b end
+func:   ret
+end:    halt
+    )");
+    ASSERT_TRUE(r.ok) << r.error;
+    // li big = 2 words, li small = 1 word.
+    Instr first;
+    ASSERT_TRUE(decode(r.program.text[0], &first));
+    EXPECT_EQ(first.op, Opcode::Lui);
+}
+
+// ---------------------------------------------------------------------------
+// Functional execution.
+// ---------------------------------------------------------------------------
+
+namespace
+{
+
+/** Assemble, run on thread 0, return the finished chip. */
+std::unique_ptr<arch::Chip>
+runAsm(const std::string &src)
+{
+    auto chip = std::make_unique<arch::Chip>();
+    Program p = assembleOrDie(src);
+    chip->loadProgram(p);
+    chip->setUnit(0, std::make_unique<arch::ThreadUnit>(0, *chip,
+                                                        p.entry));
+    chip->activate(0);
+    EXPECT_EQ(chip->run(10'000'000), arch::RunExit::AllHalted);
+    return chip;
+}
+
+} // namespace
+
+TEST(Execution, ArithmeticLoop)
+{
+    // sum 1..100 = 5050, printed in decimal.
+    auto chip = runAsm(R"(
+        li r4, 0
+        li r5, 100
+        li r6, 0
+loop:   add r6, r6, r5
+        subi r5, r5, 1
+        bne r5, r0, loop
+        mv r4, r6
+        trap 2
+        halt
+    )");
+    EXPECT_EQ(chip->console(), "5050");
+}
+
+TEST(Execution, LoadStoreAndData)
+{
+    auto chip = runAsm(R"(
+        la r4, vec
+        lw r5, 0(r4)
+        lw r6, 4(r4)
+        add r7, r5, r6
+        sw r7, 8(r4)
+        lw r4, 8(r4)
+        trap 2
+        halt
+        .data
+vec:    .word 40, 2, 0
+    )");
+    EXPECT_EQ(chip->console(), "42");
+}
+
+TEST(Execution, DoublePrecisionMath)
+{
+    // (1.5 + 2.25) * 2.0 = 7.5 -> truncation to int = 7
+    auto chip = runAsm(R"(
+        la r4, a
+        ld r8, 0(r4)
+        ld r10, 8(r4)
+        ld r12, 16(r4)
+        faddd r14, r8, r10
+        fmuld r16, r14, r12
+        fcvtwd r4, r16
+        trap 2
+        halt
+        .data
+a:      .double 1.5, 2.25, 2.0
+    )");
+    EXPECT_EQ(chip->console(), "7");
+}
+
+TEST(Execution, FmaAndDivide)
+{
+    // 3.0 * 4.0 + 5.0 = 17.0; 17 / 2 = 8 (integer divide check too)
+    auto chip = runAsm(R"(
+        la r4, a
+        ld r8, 0(r4)
+        ld r10, 8(r4)
+        ld r12, 16(r4)
+        fmadd r12, r8, r10
+        fcvtwd r5, r12
+        li r6, 2
+        divu r4, r5, r6
+        trap 2
+        halt
+        .data
+a:      .double 3.0, 4.0, 5.0
+    )");
+    EXPECT_EQ(chip->console(), "8");
+}
+
+TEST(Execution, AtomicsSingleThread)
+{
+    auto chip = runAsm(R"(
+        la r4, w
+        li r5, 5
+        amoadd r6, r4, r5      ; old=10, w=15
+        amoswap r7, r4, r6     ; old=15, w=10
+        mv r8, r7
+        amocas r7, r4, r5      ; expect r7=15 != w=10 -> no swap, old=10
+        lw r9, 0(r4)           ; 10
+        add r4, r6, r8
+        add r4, r4, r9
+        trap 2                 ; 10+15+10 = 35
+        halt
+        .data
+w:      .word 10
+    )");
+    EXPECT_EQ(chip->console(), "35");
+}
+
+TEST(Execution, SprReads)
+{
+    auto chip = runAsm(R"(
+        mfspr r4, 0        ; TID = 0
+        mfspr r5, 1        ; NTHREADS = 128
+        add r4, r4, r5
+        trap 2
+        halt
+    )");
+    EXPECT_EQ(chip->console(), "128");
+}
+
+TEST(Execution, ConsoleOutput)
+{
+    auto chip = runAsm(R"(
+        li r4, 'H'
+        trap 1
+        li r4, 'i'
+        trap 1
+        li r4, '\n'
+        trap 1
+        halt
+    )");
+    EXPECT_EQ(chip->console(), "Hi\n");
+}
+
+TEST(Execution, MisalignedAccessDies)
+{
+    EXPECT_DEATH(
+        {
+            setLogLevel(LogLevel::Quiet);
+            runAsm(R"(
+                li r4, 2
+                lw r5, 0(r4)
+                halt
+            )");
+        },
+        "");
+}
+
+TEST(Execution, R0IsHardwiredZero)
+{
+    auto chip = runAsm(R"(
+        li r0, 77
+        addi r4, r0, 0
+        trap 2
+        halt
+    )");
+    EXPECT_EQ(chip->console(), "0");
+}

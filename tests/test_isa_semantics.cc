@@ -1,0 +1,406 @@
+/**
+ * @file
+ * Property tests of instruction semantics: every integer ALU, shift,
+ * compare, multiply/divide and floating point operation is executed on
+ * the simulator with random operands and checked against a host
+ * oracle; memory ops round-trip every access size with sign/zero
+ * extension; microarchitectural invariants (WAW ordering, outstanding
+ * memory cap, FPU round-robin fairness) are exercised directly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "arch/chip.h"
+#include "arch/thread_unit.h"
+#include "common/rng.h"
+#include "isa/builder.h"
+#include "kernel/kernel.h"
+
+using namespace cyclops;
+using namespace cyclops::arch;
+namespace kernel = cyclops::kernel;
+using isa::Opcode;
+using isa::ProgramBuilder;
+
+namespace
+{
+
+/** Run a two-operand register op on the chip; returns r6. */
+u32
+runIntOp(Opcode op, u32 a, u32 b)
+{
+    ChipConfig cfg;
+    cfg.pibEnabled = false;
+    Chip chip(cfg);
+    ProgramBuilder builder;
+    builder.li(4, a);
+    builder.li(5, b);
+    builder.emitR(op, 6, 4, 5);
+    builder.halt();
+    chip.loadProgram(builder.finish());
+    auto unit = std::make_unique<ThreadUnit>(0, chip, 0);
+    ThreadUnit *tu = unit.get();
+    chip.setUnit(0, std::move(unit));
+    chip.activate(0);
+    EXPECT_EQ(chip.run(10'000), RunExit::AllHalted);
+    return tu->reg(6);
+}
+
+u32
+runImmOp(Opcode op, u32 a, s32 imm)
+{
+    ChipConfig cfg;
+    cfg.pibEnabled = false;
+    Chip chip(cfg);
+    ProgramBuilder builder;
+    builder.li(4, a);
+    builder.emitI(op, 6, 4, imm);
+    builder.halt();
+    chip.loadProgram(builder.finish());
+    auto unit = std::make_unique<ThreadUnit>(0, chip, 0);
+    ThreadUnit *tu = unit.get();
+    chip.setUnit(0, std::move(unit));
+    chip.activate(0);
+    EXPECT_EQ(chip.run(10'000), RunExit::AllHalted);
+    return tu->reg(6);
+}
+
+struct IntCase
+{
+    Opcode op;
+    std::function<u32(u32, u32)> oracle;
+};
+
+const IntCase kIntCases[] = {
+    {Opcode::Add, [](u32 a, u32 b) { return a + b; }},
+    {Opcode::Sub, [](u32 a, u32 b) { return a - b; }},
+    {Opcode::Mul, [](u32 a, u32 b) { return u32(u64(a) * b); }},
+    {Opcode::Mulhu, [](u32 a, u32 b) { return u32((u64(a) * b) >> 32); }},
+    {Opcode::Divu, [](u32 a, u32 b) { return b ? a / b : ~0u; }},
+    {Opcode::Div,
+     [](u32 a, u32 b) {
+         if (b == 0)
+             return ~0u;
+         if (a == 0x8000'0000u && b == ~0u)
+             return a;
+         return u32(s32(a) / s32(b));
+     }},
+    {Opcode::And, [](u32 a, u32 b) { return a & b; }},
+    {Opcode::Or, [](u32 a, u32 b) { return a | b; }},
+    {Opcode::Xor, [](u32 a, u32 b) { return a ^ b; }},
+    {Opcode::Nor, [](u32 a, u32 b) { return ~(a | b); }},
+    {Opcode::Sll, [](u32 a, u32 b) { return a << (b & 31); }},
+    {Opcode::Srl, [](u32 a, u32 b) { return a >> (b & 31); }},
+    {Opcode::Sra, [](u32 a, u32 b) { return u32(s32(a) >> (b & 31)); }},
+    {Opcode::Slt, [](u32 a, u32 b) { return u32(s32(a) < s32(b)); }},
+    {Opcode::Sltu, [](u32 a, u32 b) { return u32(a < b); }},
+};
+
+} // namespace
+
+class IntSemantics : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(IntSemantics, MatchesOracle)
+{
+    const IntCase &test = kIntCases[GetParam()];
+    Rng rng(0x5E11 + GetParam());
+    // Random operands plus the classic corner cases.
+    const u32 corners[] = {0, 1, ~0u, 0x8000'0000u, 0x7FFF'FFFFu, 31,
+                           32, 33};
+    for (u32 a : corners)
+        for (u32 b : corners)
+            EXPECT_EQ(runIntOp(test.op, a, b), test.oracle(a, b))
+                << isa::mnemonic(test.op) << " " << a << "," << b;
+    for (int trial = 0; trial < 24; ++trial) {
+        const u32 a = u32(rng.next());
+        const u32 b = u32(rng.next());
+        EXPECT_EQ(runIntOp(test.op, a, b), test.oracle(a, b))
+            << isa::mnemonic(test.op) << " " << a << "," << b;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIntOps, IntSemantics,
+                         ::testing::Range(size_t(0),
+                                          std::size(kIntCases)),
+                         [](const auto &info) {
+                             return std::string(isa::mnemonic(
+                                 kIntCases[info.param].op));
+                         });
+
+TEST(IntSemantics, Immediates)
+{
+    EXPECT_EQ(runImmOp(Opcode::Addi, 10, -3), 7u);
+    EXPECT_EQ(runImmOp(Opcode::Andi, 0xFF, 0x0F), 0x0Fu);
+    EXPECT_EQ(runImmOp(Opcode::Ori, 0xF0, 0x0F), 0xFFu);
+    EXPECT_EQ(runImmOp(Opcode::Xori, 0xFF, 0x0F), 0xF0u);
+    EXPECT_EQ(runImmOp(Opcode::Slli, 3, 4), 48u);
+    EXPECT_EQ(runImmOp(Opcode::Srli, 0x8000'0000u, 31), 1u);
+    EXPECT_EQ(runImmOp(Opcode::Srai, 0x8000'0000u, 31), ~0u);
+    EXPECT_EQ(runImmOp(Opcode::Slti, u32(-5), -4), 1u);
+    EXPECT_EQ(runImmOp(Opcode::Sltiu, 3, 4), 1u);
+    // Logical immediates are zero-extended 13-bit fields.
+    EXPECT_EQ(runImmOp(Opcode::Andi, ~0u, -1), 0x1FFFu);
+}
+
+// ---------------------------------------------------------------------------
+// Floating point against the host FPU.
+// ---------------------------------------------------------------------------
+
+namespace
+{
+
+double
+runFpOp(Opcode op, double a, double b)
+{
+    ChipConfig cfg;
+    cfg.pibEnabled = false;
+    Chip chip(cfg);
+    ProgramBuilder builder;
+    const u32 data = builder.allocData(16, 8);
+    builder.pokeDouble(data, a);
+    builder.pokeDouble(data + 8, b);
+    builder.li(4, data);
+    builder.ld(8, 0, 4);
+    builder.ld(10, 8, 4);
+    builder.fmovd(12, 8); // rd also serves as the FMA accumulator
+    builder.emitR(op, 12, 8, 10);
+    builder.sd(12, 0, 4);
+    builder.sync();
+    builder.halt();
+    chip.loadProgram(builder.finish());
+    chip.setUnit(0, std::make_unique<ThreadUnit>(0, chip, 0));
+    chip.activate(0);
+    EXPECT_EQ(chip.run(10'000), RunExit::AllHalted);
+    double result;
+    chip.readPhys(data, &result, 8);
+    return result;
+}
+
+} // namespace
+
+TEST(FpSemantics, Arithmetic)
+{
+    Rng rng(0xF10A7);
+    for (int trial = 0; trial < 40; ++trial) {
+        const double a = rng.uniform(-1e3, 1e3);
+        const double b = rng.uniform(-1e3, 1e3);
+        EXPECT_EQ(runFpOp(Opcode::Faddd, a, b), a + b);
+        EXPECT_EQ(runFpOp(Opcode::Fsubd, a, b), a - b);
+        EXPECT_EQ(runFpOp(Opcode::Fmuld, a, b), a * b);
+        EXPECT_EQ(runFpOp(Opcode::Fdivd, a, b), a / b);
+        // fmadd: rd = ra*rb + rd where rd was preloaded with a.
+        EXPECT_EQ(runFpOp(Opcode::Fmadd, a, b), a * b + a);
+        EXPECT_EQ(runFpOp(Opcode::Fmsub, a, b), a * b - a);
+    }
+}
+
+TEST(FpSemantics, Unary)
+{
+    EXPECT_EQ(runFpOp(Opcode::Fnegd, 2.5, 0), -2.5);
+    EXPECT_EQ(runFpOp(Opcode::Fabsd, -2.5, 0), 2.5);
+    EXPECT_EQ(runFpOp(Opcode::Fsqrtd, 81.0, 0), 9.0);
+}
+
+TEST(FpSemantics, CompareAndConvert)
+{
+    ChipConfig cfg;
+    cfg.pibEnabled = false;
+    Chip chip(cfg);
+    ProgramBuilder builder;
+    const u32 data = builder.allocData(16, 8);
+    builder.pokeDouble(data, 1.5);
+    builder.pokeDouble(data + 8, -2.5);
+    builder.li(4, data);
+    builder.ld(8, 0, 4);  // 1.5
+    builder.ld(10, 8, 4); // -2.5
+    builder.emitR(Opcode::Fclt, 20, 10, 8); // -2.5 < 1.5 -> 1
+    builder.emitR(Opcode::Fcle, 21, 8, 10); // 1.5 <= -2.5 -> 0
+    builder.emitR(Opcode::Fceq, 22, 8, 8);  // 1.5 == 1.5 -> 1
+    builder.emitR(Opcode::Fcvtwd, 23, 10, 0); // trunc(-2.5) = -2
+    builder.li(5, u32(-7));
+    builder.emitR(Opcode::Fcvtdw, 12, 5, 0);  // (double)-7
+    builder.sd(12, 0, 4);
+    builder.sync();
+    builder.halt();
+    chip.loadProgram(builder.finish());
+    auto unit = std::make_unique<ThreadUnit>(0, chip, 0);
+    ThreadUnit *tu = unit.get();
+    chip.setUnit(0, std::move(unit));
+    chip.activate(0);
+    ASSERT_EQ(chip.run(10'000), RunExit::AllHalted);
+    EXPECT_EQ(tu->reg(20), 1u);
+    EXPECT_EQ(tu->reg(21), 0u);
+    EXPECT_EQ(tu->reg(22), 1u);
+    EXPECT_EQ(tu->reg(23), u32(-2));
+    double converted;
+    chip.readPhys(data, &converted, 8);
+    EXPECT_EQ(converted, -7.0);
+}
+
+// ---------------------------------------------------------------------------
+// Memory access sizes and extension.
+// ---------------------------------------------------------------------------
+
+TEST(MemSemantics, SizesAndExtension)
+{
+    ChipConfig cfg;
+    cfg.pibEnabled = false;
+    Chip chip(cfg);
+    ProgramBuilder builder;
+    const u32 data = builder.allocData(32, 8);
+    builder.pokeWord(data, 0x80FF807Fu);
+    builder.li(4, data);
+    builder.emitI(Opcode::Lb, 10, 4, 0);  // 0x7F -> 127
+    builder.emitI(Opcode::Lb, 11, 4, 1);  // 0x80 -> -128
+    builder.emitI(Opcode::Lbu, 12, 4, 1); // 0x80 -> 128
+    builder.emitI(Opcode::Lh, 13, 4, 2);  // 0x80FF -> sign extended
+    builder.emitI(Opcode::Lhu, 14, 4, 2); // 0x80FF zero extended
+    builder.emitI(Opcode::Sh, 14, 4, 8);
+    builder.emitI(Opcode::Sb, 12, 4, 12);
+    builder.sync();
+    builder.halt();
+    chip.loadProgram(builder.finish());
+    auto unit = std::make_unique<ThreadUnit>(0, chip, 0);
+    ThreadUnit *tu = unit.get();
+    chip.setUnit(0, std::move(unit));
+    chip.activate(0);
+    ASSERT_EQ(chip.run(10'000), RunExit::AllHalted);
+    EXPECT_EQ(tu->reg(10), 0x7Fu);
+    EXPECT_EQ(tu->reg(11), u32(-128));
+    EXPECT_EQ(tu->reg(12), 128u);
+    EXPECT_EQ(tu->reg(13), u32(s32(s16(0x80FF))));
+    EXPECT_EQ(tu->reg(14), 0x80FFu);
+    EXPECT_EQ(chip.memRead(data + 8, 2, 0), 0x80FFu);
+    EXPECT_EQ(chip.memRead(data + 12, 1, 0), 128u);
+}
+
+TEST(MemSemantics, IndexedAddressing)
+{
+    ChipConfig cfg;
+    cfg.pibEnabled = false;
+    Chip chip(cfg);
+    ProgramBuilder builder;
+    const u32 data = builder.allocData(64, 8);
+    builder.pokeDouble(data + 24, 6.25);
+    builder.li(4, data);
+    builder.li(5, 24);
+    builder.ldx(8, 4, 5);
+    builder.li(6, 32);
+    builder.sdx(8, 4, 6);
+    builder.sync();
+    builder.halt();
+    chip.loadProgram(builder.finish());
+    chip.setUnit(0, std::make_unique<ThreadUnit>(0, chip, 0));
+    chip.activate(0);
+    ASSERT_EQ(chip.run(10'000), RunExit::AllHalted);
+    double copied;
+    chip.readPhys(data + 32, &copied, 8);
+    EXPECT_EQ(copied, 6.25);
+}
+
+// ---------------------------------------------------------------------------
+// Microarchitectural invariants.
+// ---------------------------------------------------------------------------
+
+TEST(Microarch, OutstandingMemoryCapThrottles)
+{
+    // With the cap at 1, back-to-back independent loads serialize on
+    // the full load latency; with 8, they pipeline at the cache port.
+    auto measure = [](u32 cap) {
+        ChipConfig cfg;
+        cfg.pibEnabled = false;
+        cfg.maxOutstandingMem = cap;
+        Chip chip(cfg);
+        ProgramBuilder builder;
+        const u32 data = builder.allocData(64, 64);
+        builder.li(4, igAddr(igExactly(0), data));
+        builder.lw(5, 0, 4); // warm
+        for (int i = 0; i < 16; ++i)
+            builder.emitI(Opcode::Lw, u8(20 + i), 4, s32((i % 8) * 4));
+        builder.halt();
+        chip.loadProgram(builder.finish());
+        chip.setUnit(0, std::make_unique<ThreadUnit>(0, chip, 0));
+        chip.activate(0);
+        chip.run(100'000);
+        return chip.now();
+    };
+    const Cycle throttled = measure(1);
+    const Cycle pipelined = measure(8);
+    EXPECT_GT(throttled, pipelined + 40);
+}
+
+TEST(Microarch, WawOrderingRespected)
+{
+    // A second write to r6 must not land before the first (slow) one.
+    ChipConfig cfg;
+    cfg.pibEnabled = false;
+    Chip chip(cfg);
+    ProgramBuilder builder;
+    builder.li(4, 144);
+    builder.li(5, 12);
+    builder.divu(6, 4, 5); // r6 = 12, ready late
+    builder.addi(6, 0, 7); // WAW: must wait, then r6 = 7
+    builder.halt();
+    chip.loadProgram(builder.finish());
+    auto unit = std::make_unique<ThreadUnit>(0, chip, 0);
+    ThreadUnit *tu = unit.get();
+    chip.setUnit(0, std::move(unit));
+    chip.activate(0);
+    ASSERT_EQ(chip.run(10'000), RunExit::AllHalted);
+    EXPECT_EQ(tu->reg(6), 7u);
+}
+
+TEST(Microarch, FpuRoundRobinIsFair)
+{
+    // Four threads of one quad each run the same FMA loop; round-robin
+    // arbitration should give them near-identical finish times.
+    ChipConfig cfg;
+    cfg.pibEnabled = false;
+    Chip chip(cfg);
+    ProgramBuilder builder;
+    builder.li(9, 400);
+    auto loop = builder.newLabel();
+    builder.bind(loop);
+    builder.fmadd(12, 14, 16);
+    builder.fmadd(20, 22, 24);
+    builder.addi(9, 9, -1);
+    builder.bne(9, 0, loop);
+    builder.halt();
+    chip.loadProgram(builder.finish());
+    std::vector<ThreadUnit *> units;
+    for (ThreadId tid = 0; tid < 4; ++tid) {
+        auto unit = std::make_unique<ThreadUnit>(tid, chip, 0);
+        units.push_back(unit.get());
+        chip.setUnit(tid, std::move(unit));
+        chip.activate(tid);
+    }
+    ASSERT_EQ(chip.run(1'000'000), RunExit::AllHalted);
+    u64 lo = ~0ull, hi = 0;
+    for (ThreadUnit *unit : units) {
+        lo = std::min(lo, unit->stallCycles());
+        hi = std::max(hi, unit->stallCycles());
+    }
+    // No starvation: the spread of stall time is small relative to it.
+    EXPECT_LT(double(hi - lo), 0.1 * double(hi));
+}
+
+TEST(Microarch, ReservedThreadsAreUnavailable)
+{
+    Chip chip;
+    auto order =
+        kernel::threadOrder(chip, kernel::AllocPolicy::Sequential);
+    EXPECT_EQ(order.size(), 126u);
+    for (ThreadId tid : order)
+        EXPECT_LT(tid, 126u);
+    auto balanced =
+        kernel::threadOrder(chip, kernel::AllocPolicy::Balanced);
+    EXPECT_EQ(balanced.size(), 126u);
+    // Balanced: first 32 threads land on 32 distinct quads.
+    for (u32 i = 0; i < 32; ++i)
+        EXPECT_EQ(balanced[i] / 4, i);
+}

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Multi-chip interconnect tests: coordinates, dimension-order routing
+ * (mesh and torus shortest way), latency arithmetic, link contention,
+ * segmentation of large messages, and the host link.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "net/topology.h"
+
+using namespace cyclops;
+using namespace cyclops::net;
+
+TEST(Net, CoordinateRoundTrip)
+{
+    NetConfig cfg;
+    cfg.dimX = 4;
+    cfg.dimY = 3;
+    cfg.dimZ = 2;
+    Fabric fabric(cfg);
+    for (u32 chip = 0; chip < cfg.numChips(); ++chip)
+        EXPECT_EQ(fabric.chipAt(fabric.coordOf(chip)), chip);
+}
+
+TEST(Net, DimensionOrderRouting)
+{
+    NetConfig cfg;
+    cfg.dimX = cfg.dimY = cfg.dimZ = 4;
+    cfg.torus = false;
+    Fabric fabric(cfg);
+    const u32 src = fabric.chipAt({0, 0, 0});
+    const u32 dst = fabric.chipAt({2, 1, 3});
+    const auto path = fabric.route(src, dst);
+    ASSERT_EQ(path.size(), 6u); // 2 + 1 + 3 hops
+    // X first, then Y, then Z.
+    EXPECT_EQ(path[0].second, Dir::XPlus);
+    EXPECT_EQ(path[1].second, Dir::XPlus);
+    EXPECT_EQ(path[2].second, Dir::YPlus);
+    EXPECT_EQ(path[3].second, Dir::ZPlus);
+}
+
+TEST(Net, TorusTakesTheShortWay)
+{
+    NetConfig cfg;
+    cfg.dimX = 8;
+    cfg.dimY = cfg.dimZ = 1;
+    Fabric fabric(cfg);
+    // 0 -> 7 is one hop backwards around the ring.
+    EXPECT_EQ(fabric.hops(0, 7), 1u);
+    EXPECT_EQ(fabric.route(0, 7)[0].second, Dir::XMinus);
+    EXPECT_EQ(fabric.hops(0, 4), 4u); // tie: either way is 4
+
+    cfg.torus = false;
+    Fabric mesh(cfg);
+    EXPECT_EQ(mesh.hops(0, 7), 7u);
+}
+
+TEST(Net, UncontendedLatency)
+{
+    NetConfig cfg;
+    Fabric fabric(cfg);
+    // 1 hop, 64 bytes at 2 bytes/cycle: 5 + 32.
+    const u32 a = fabric.chipAt({0, 0, 0});
+    const u32 b = fabric.chipAt({1, 0, 0});
+    EXPECT_EQ(fabric.uncontendedLatency(a, b, 64), 37u);
+    EXPECT_EQ(fabric.send(0, a, b, 64), 37u);
+}
+
+TEST(Net, LinkContentionSerializes)
+{
+    NetConfig cfg;
+    Fabric fabric(cfg);
+    const u32 a = fabric.chipAt({0, 0, 0});
+    const u32 b = fabric.chipAt({1, 0, 0});
+    const Cycle first = fabric.send(0, a, b, 256);
+    const Cycle second = fabric.send(0, a, b, 256);
+    EXPECT_GT(second, first);
+    EXPECT_GE(second - first, 128u); // one serialization time apart
+}
+
+TEST(Net, DisjointPathsDoNotInterfere)
+{
+    NetConfig cfg;
+    Fabric fabric(cfg);
+    const Cycle ab = fabric.send(0, fabric.chipAt({0, 0, 0}),
+                                 fabric.chipAt({1, 0, 0}), 128);
+    const Cycle cd = fabric.send(0, fabric.chipAt({0, 1, 0}),
+                                 fabric.chipAt({1, 1, 0}), 128);
+    EXPECT_EQ(ab, cd);
+}
+
+TEST(Net, LargeMessagesPipelinePackets)
+{
+    NetConfig cfg;
+    cfg.dimX = 4;
+    cfg.torus = false;
+    Fabric fabric(cfg);
+    const u32 a = fabric.chipAt({0, 0, 0});
+    const u32 d = fabric.chipAt({3, 0, 0});
+    // 1 KB over 3 hops: cut-through + segmentation beats
+    // store-and-forward (3 x 512) decisively.
+    const Cycle t = fabric.send(0, a, d, 1024);
+    EXPECT_LT(t, 3 * 512u);
+    EXPECT_GE(t, 512u); // cannot beat pure serialization
+}
+
+TEST(Net, HostLink)
+{
+    Fabric fabric;
+    const Cycle first = fabric.hostTransfer(0, 0, 1024);
+    const Cycle second = fabric.hostTransfer(0, 0, 1024);
+    EXPECT_EQ(first, 512u + fabric.config().routerLatency);
+    EXPECT_EQ(second, 1024u + fabric.config().routerLatency);
+}
+
+TEST(Net, PeakIoBandwidthMatchesPaper)
+{
+    // Six in + six out 16-bit 500 MHz links = 12 GB/s per chip.
+    NetConfig cfg;
+    const double perLink =
+        double(cfg.linkBytesPerCycle) * double(cfg.clockHz);
+    EXPECT_NEAR(perLink * 12 / 1e9, 12.0, 0.01);
+}
+
+TEST(Net, RejectsBadEndpoints)
+{
+    EXPECT_DEATH(
+        {
+            setLogLevel(LogLevel::Quiet);
+            Fabric fabric;
+            fabric.send(0, 0, 99, 64);
+        },
+        "");
+}

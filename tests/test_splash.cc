@@ -1,0 +1,123 @@
+/**
+ * @file
+ * SPLASH-2 workload tests: every kernel verifies numerically at small
+ * sizes across thread counts and barrier kinds, parallelism gives
+ * speedup, and the hardware barrier reduces stall cycles on FFT (the
+ * paper's Figure 7 effect).
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/splash.h"
+
+using namespace cyclops;
+using namespace cyclops::workloads;
+
+namespace
+{
+
+SplashResult
+run(SplashApp app, u32 threads, u32 size,
+    BarrierKind barrier = BarrierKind::Hw)
+{
+    SplashConfig cfg;
+    cfg.app = app;
+    cfg.threads = threads;
+    cfg.size = size;
+    cfg.barrier = barrier;
+    return runSplash(cfg);
+}
+
+/** Small test size per app (fast but nontrivial). */
+u32
+testSize(SplashApp app)
+{
+    switch (app) {
+      case SplashApp::Barnes: return 256;
+      case SplashApp::Fft: return 4096;
+      case SplashApp::Fmm: return 512;
+      case SplashApp::Lu: return 64;
+      case SplashApp::Ocean: return 34;
+      case SplashApp::Radix: return 8192;
+    }
+    return 0;
+}
+
+} // namespace
+
+class SplashCorrectness
+    : public ::testing::TestWithParam<std::tuple<int, u32>>
+{
+};
+
+TEST_P(SplashCorrectness, Verifies)
+{
+    const auto app = static_cast<SplashApp>(std::get<0>(GetParam()));
+    const u32 threads = std::get<1>(GetParam());
+    const SplashResult result = run(app, threads, testSize(app));
+    EXPECT_TRUE(result.verified) << splashAppName(app);
+    EXPECT_GT(result.cycles, 0u);
+    EXPECT_GT(result.instructions, 0u);
+}
+
+namespace
+{
+
+std::string
+splashCaseName(const ::testing::TestParamInfo<std::tuple<int, u32>> &info)
+{
+    return std::string(splashAppName(
+               static_cast<SplashApp>(std::get<0>(info.param)))) +
+           "x" + std::to_string(std::get<1>(info.param));
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(
+    AppsAndThreads, SplashCorrectness,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4, 5),
+                       ::testing::Values(1u, 4u, 16u, 32u)),
+    splashCaseName);
+
+// Both software barrier kinds also produce correct results.
+class SplashBarrierKinds : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SplashBarrierKinds, FftVerifies)
+{
+    const auto kind = static_cast<BarrierKind>(GetParam());
+    const SplashResult result = run(SplashApp::Fft, 8, 4096, kind);
+    EXPECT_TRUE(result.verified);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, SplashBarrierKinds,
+                         ::testing::Values(0, 1, 2));
+
+TEST(SplashShape, FftScales)
+{
+    const Cycle t1 = run(SplashApp::Fft, 1, 4096).cycles;
+    const Cycle t16 = run(SplashApp::Fft, 16, 4096).cycles;
+    EXPECT_GT(double(t1) / double(t16), 6.0);
+}
+
+TEST(SplashShape, LuScales)
+{
+    const Cycle t1 = run(SplashApp::Lu, 1, 128).cycles;
+    const Cycle t8 = run(SplashApp::Lu, 8, 128).cycles;
+    EXPECT_GT(double(t1) / double(t8), 3.0);
+}
+
+TEST(SplashShape, HardwareBarrierCutsStalls)
+{
+    // Figure 7: the hardware barrier trades stall cycles for (cheap)
+    // run cycles and lowers total time versus the software tree.
+    const SplashResult hw =
+        run(SplashApp::Fft, 16, 4096, BarrierKind::Hw);
+    const SplashResult sw =
+        run(SplashApp::Fft, 16, 4096, BarrierKind::SwTree);
+    EXPECT_TRUE(hw.verified);
+    EXPECT_TRUE(sw.verified);
+    EXPECT_LT(hw.cycles, sw.cycles);
+    EXPECT_LT(hw.stallCycles, sw.stallCycles);
+}

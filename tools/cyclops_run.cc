@@ -1,0 +1,132 @@
+/**
+ * @file
+ * cyclops-run: assemble a Cyclops assembly file and execute it on a
+ * simulated chip.
+ *
+ *   cyclops-run prog.s                 run on 1 thread
+ *   cyclops-run -t 64 prog.s           spawn 64 software threads
+ *   cyclops-run -t 8 --balanced prog.s balanced thread allocation
+ *   cyclops-run --stats prog.s         dump every statistic at exit
+ *   cyclops-run --disasm prog.s        print the assembled code, don't run
+ *
+ * Threads start at the `start` label (or address 0) with the kernel's
+ * register conventions: r1 = stack pointer, r4 = software thread
+ * index, r5 = thread count. Console output (traps) goes to stdout.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "arch/chip.h"
+#include "common/log.h"
+#include "isa/assembler.h"
+#include "isa/disassembler.h"
+#include "kernel/kernel.h"
+
+using namespace cyclops;
+
+namespace
+{
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [-t N] [--balanced] [--stats] [--disasm] "
+                 "[--max-cycles N] prog.s\n",
+                 argv0);
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    u32 threads = 1;
+    bool balanced = false;
+    bool dumpStats = false;
+    bool disasmOnly = false;
+    u64 maxCycles = 1'000'000'000ull;
+    const char *path = nullptr;
+
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "-t") == 0 && i + 1 < argc) {
+            threads = u32(std::atoi(argv[++i]));
+        } else if (std::strcmp(argv[i], "--balanced") == 0) {
+            balanced = true;
+        } else if (std::strcmp(argv[i], "--stats") == 0) {
+            dumpStats = true;
+        } else if (std::strcmp(argv[i], "--disasm") == 0) {
+            disasmOnly = true;
+        } else if (std::strcmp(argv[i], "--max-cycles") == 0 &&
+                   i + 1 < argc) {
+            maxCycles = u64(std::atoll(argv[++i]));
+        } else if (argv[i][0] == '-') {
+            usage(argv[0]);
+        } else if (path) {
+            usage(argv[0]);
+        } else {
+            path = argv[i];
+        }
+    }
+    if (!path || threads == 0)
+        usage(argv[0]);
+
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open %s", path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+
+    isa::AsmResult result = isa::assemble(buffer.str());
+    if (!result.ok)
+        fatal("%s: %s", path, result.error.c_str());
+    const isa::Program &prog = result.program;
+
+    if (disasmOnly) {
+        for (size_t i = 0; i < prog.text.size(); ++i) {
+            const u32 addr = prog.textBase + u32(i) * 4;
+            for (const auto &[name, value] : prog.symbols)
+                if (value == addr)
+                    std::printf("%s:\n", name.c_str());
+            std::printf("  %06x:  %08x  %s\n", addr, prog.text[i],
+                        isa::disassembleWord(prog.text[i]).c_str());
+        }
+        return 0;
+    }
+
+    arch::Chip chip;
+    kernel::Kernel kern(chip, balanced ? kernel::AllocPolicy::Balanced
+                                       : kernel::AllocPolicy::Sequential);
+    kern.load(prog);
+    if (threads > kern.usableThreads())
+        fatal("-t %u exceeds the %u usable threads", threads,
+              kern.usableThreads());
+    kern.spawn(threads, prog.entry);
+
+    const arch::RunExit exit = kern.run(maxCycles);
+    std::fputs(chip.console().c_str(), stdout);
+    if (exit == arch::RunExit::CycleLimit) {
+        std::fprintf(stderr, "\n[cycle limit %llu reached]\n",
+                     static_cast<unsigned long long>(maxCycles));
+        return 3;
+    }
+
+    std::fprintf(stderr,
+                 "\n[%llu cycles, %llu instructions, %u threads; "
+                 "run %llu / stall %llu]\n",
+                 static_cast<unsigned long long>(chip.now()),
+                 static_cast<unsigned long long>(
+                     chip.totalInstructions()),
+                 threads,
+                 static_cast<unsigned long long>(chip.totalRunCycles()),
+                 static_cast<unsigned long long>(
+                     chip.totalStallCycles()));
+    if (dumpStats)
+        std::fputs(chip.stats().dump().c_str(), stderr);
+    return 0;
+}
