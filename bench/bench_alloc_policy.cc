@@ -33,20 +33,36 @@ main(int argc, char **argv)
         threads = {8, 32, 126};
     const u32 ept = 1000;
 
+    // Sequential and balanced runs at every thread count are
+    // independent simulations: one flattened sweep for the --jobs pool.
+    struct Point
+    {
+        u32 threads;
+        kernel::AllocPolicy policy;
+    };
+    std::vector<Point> points;
+    for (u32 t : threads) {
+        points.push_back({t, kernel::AllocPolicy::Sequential});
+        points.push_back({t, kernel::AllocPolicy::Balanced});
+    }
+    const std::vector<StreamResult> results = cyclops::bench::sweep(
+        opts, points, [&](const Point &p) {
+            StreamConfig cfg;
+            cfg.kernel = StreamKernel::Copy;
+            cfg.threads = p.threads;
+            cfg.elementsPerThread = ept;
+            cfg.localCaches = true;
+            cfg.policy = p.policy;
+            return runStream(cfg);
+        });
+
     Table table({"threads", "sequential GB/s", "balanced GB/s",
                  "balanced gain %"});
-    for (u32 t : threads) {
-        StreamConfig cfg;
-        cfg.kernel = StreamKernel::Copy;
-        cfg.threads = t;
-        cfg.elementsPerThread = ept;
-        cfg.localCaches = true;
-        cfg.policy = kernel::AllocPolicy::Sequential;
-        const StreamResult seq = runStream(cfg);
-        cfg.policy = kernel::AllocPolicy::Balanced;
-        const StreamResult bal = runStream(cfg);
+    for (size_t i = 0; i < threads.size(); ++i) {
+        const StreamResult &seq = results[2 * i];
+        const StreamResult &bal = results[2 * i + 1];
         table.addRow(
-            {Table::num(s64(t)), Table::num(seq.totalGBs, 2),
+            {Table::num(s64(threads[i])), Table::num(seq.totalGBs, 2),
              Table::num(bal.totalGBs, 2),
              Table::num(100.0 * (bal.totalGBs / seq.totalGBs - 1.0),
                         1)});

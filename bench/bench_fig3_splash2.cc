@@ -6,6 +6,9 @@
  * For the 128-thread points the kernel's two reserved system threads
  * are released (reservedThreads = 0), matching the figure's x-axis;
  * all other points use the standard configuration.
+ *
+ * Every (threads, app) point is an independent simulation, so the grid
+ * is dispatched through the --jobs host thread pool.
  */
 
 #include "bench_util.h"
@@ -31,6 +34,31 @@ main(int argc, char **argv)
     const SplashApp apps[] = {SplashApp::Barnes, SplashApp::Fft,
                               SplashApp::Fmm, SplashApp::Lu,
                               SplashApp::Ocean, SplashApp::Radix};
+    const size_t numApps = sizeof(apps) / sizeof(apps[0]);
+
+    struct Point
+    {
+        u32 threads;
+        SplashApp app;
+    };
+    std::vector<Point> points;
+    for (u32 t : threads)
+        for (SplashApp app : apps)
+            points.push_back({t, app});
+
+    const std::vector<SplashResult> results = cyclops::bench::sweep(
+        opts, points, [&](const Point &p) {
+            SplashConfig cfg;
+            cfg.app = p.app;
+            cfg.threads = p.threads;
+            ChipConfig chipCfg;
+            if (p.threads > chipCfg.usableThreads())
+                chipCfg.reservedThreads = 0; // release system threads
+            // Ocean's 130-edge grid caps the per-thread row split.
+            if (p.app == SplashApp::Ocean && p.threads == 128)
+                cfg.size = 130;
+            return runSplash(cfg, chipCfg);
+        });
 
     std::vector<std::string> headers{"threads"};
     for (SplashApp app : apps)
@@ -38,26 +66,14 @@ main(int argc, char **argv)
     Table speedups(headers);
     Table cyclesTable(headers);
 
-    std::map<int, Cycle> base;
-    std::vector<std::vector<std::string>> rows;
-    for (u32 t : threads) {
-        std::vector<std::string> srow{Table::num(s64(t))};
-        std::vector<std::string> crow{Table::num(s64(t))};
-        for (SplashApp app : apps) {
-            SplashConfig cfg;
-            cfg.app = app;
-            cfg.threads = t;
-            ChipConfig chipCfg;
-            if (t > chipCfg.usableThreads())
-                chipCfg.reservedThreads = 0; // release system threads
-            // Ocean's 130-edge grid caps the per-thread row split.
-            if (app == SplashApp::Ocean && t == 128)
-                cfg.size = 130;
-            const SplashResult result = runSplash(cfg, chipCfg);
-            if (t == threads.front())
-                base[int(app)] = result.cycles;
+    for (size_t ti = 0; ti < threads.size(); ++ti) {
+        std::vector<std::string> srow{Table::num(s64(threads[ti]))};
+        std::vector<std::string> crow{Table::num(s64(threads[ti]))};
+        for (size_t ai = 0; ai < numApps; ++ai) {
+            const SplashResult &result = results[ti * numApps + ai];
+            const Cycle base = results[ai].cycles; // threads.front() row
             srow.push_back(strprintf(
-                "%.1f%s", double(base[int(app)]) / double(result.cycles),
+                "%.1f%s", double(base) / double(result.cycles),
                 result.verified ? "" : "!"));
             crow.push_back(Table::num(s64(result.cycles)));
         }

@@ -8,6 +8,9 @@
  * (b) 126 independent copies, per-thread bandwidth vs elements per
  *     thread: the transition lands at 200-300 elements/thread, and the
  *     aggregate is 112-120x the single-threaded case for large vectors.
+ *
+ * Each (size, kernel) point is an independent simulation dispatched
+ * through the --jobs host thread pool.
  */
 
 #include "bench_util.h"
@@ -22,6 +25,31 @@ namespace
 
 const StreamKernel kKernels[] = {StreamKernel::Copy, StreamKernel::Scale,
                                  StreamKernel::Add, StreamKernel::Triad};
+constexpr size_t kNumKernels = 4;
+
+/** Sweep a size x kernel grid; one row per size, in input order. */
+std::vector<StreamResult>
+sweepGrid(const Options &opts, const std::vector<u32> &sizes,
+          u32 threads, bool independent)
+{
+    struct Point
+    {
+        u32 size;
+        StreamKernel kernel;
+    };
+    std::vector<Point> points;
+    for (u32 size : sizes)
+        for (StreamKernel kernel : kKernels)
+            points.push_back({size, kernel});
+    return cyclops::bench::sweep(opts, points, [&](const Point &p) {
+        StreamConfig cfg;
+        cfg.kernel = p.kernel;
+        cfg.threads = threads;
+        cfg.elementsPerThread = p.size;
+        cfg.independent = independent;
+        return runStream(cfg);
+    });
+}
 
 } // namespace
 
@@ -42,16 +70,15 @@ main(int argc, char **argv)
     if (opts.quick)
         sizesA = {512, 4096, 32768, 131072};
 
+    const std::vector<StreamResult> resultsA =
+        sweepGrid(opts, sizesA, 1, false);
+
     Table tableA({"elements", "Copy MB/s", "Scale MB/s", "Add MB/s",
                   "Triad MB/s"});
-    for (u32 size : sizesA) {
-        std::vector<std::string> row{Table::num(s64(size))};
-        for (StreamKernel kernel : kKernels) {
-            StreamConfig cfg;
-            cfg.kernel = kernel;
-            cfg.threads = 1;
-            cfg.elementsPerThread = size;
-            const StreamResult result = runStream(cfg);
+    for (size_t si = 0; si < sizesA.size(); ++si) {
+        std::vector<std::string> row{Table::num(s64(sizesA[si]))};
+        for (size_t k = 0; k < kNumKernels; ++k) {
+            const StreamResult &result = resultsA[si * kNumKernels + k];
             row.push_back(Table::num(result.perThreadMBs, 1));
             if (!result.verified)
                 row.back() += "!";
@@ -73,46 +100,46 @@ main(int argc, char **argv)
     if (opts.quick)
         sizesB = {112, 400, 1200, 2000};
 
+    const std::vector<StreamResult> resultsB =
+        sweepGrid(opts, sizesB, 126, true);
+
     Table tableB({"elements/thread", "Copy MB/s", "Scale MB/s",
                   "Add MB/s", "Triad MB/s"});
     double largeAggregate[4] = {0, 0, 0, 0};
-    for (u32 size : sizesB) {
-        std::vector<std::string> row{Table::num(s64(size))};
-        int k = 0;
-        for (StreamKernel kernel : kKernels) {
-            StreamConfig cfg;
-            cfg.kernel = kernel;
-            cfg.threads = 126;
-            cfg.elementsPerThread = size;
-            cfg.independent = true;
-            const StreamResult result = runStream(cfg);
+    for (size_t si = 0; si < sizesB.size(); ++si) {
+        std::vector<std::string> row{Table::num(s64(sizesB[si]))};
+        for (size_t k = 0; k < kNumKernels; ++k) {
+            const StreamResult &result = resultsB[si * kNumKernels + k];
             row.push_back(Table::num(result.perThreadMBs, 1));
             if (!result.verified)
                 row.back() += "!";
-            if (size == sizesB.back())
+            if (si + 1 == sizesB.size())
                 largeAggregate[k] = result.totalGBs;
-            ++k;
         }
         tableB.addRow(row);
     }
     cyclops::bench::emit(opts, tableB);
 
     // The 112-120x aggregate claim for large vectors.
+    std::vector<StreamKernel> singles(kKernels, kKernels + kNumKernels);
+    const std::vector<StreamResult> singleResults =
+        cyclops::bench::sweep(opts, singles, [&](StreamKernel kernel) {
+            StreamConfig cfg;
+            cfg.kernel = kernel;
+            cfg.threads = 1;
+            cfg.elementsPerThread = sizesB.back() * 126;
+            return runStream(cfg);
+        });
+
     Table ratio({"Kernel", "126-thread aggregate GB/s",
                  "single-thread GB/s", "ratio (paper: 112-120x)"});
-    int k = 0;
-    for (StreamKernel kernel : kKernels) {
-        StreamConfig cfg;
-        cfg.kernel = kernel;
-        cfg.threads = 1;
-        cfg.elementsPerThread = sizesB.back() * 126;
-        const StreamResult single = runStream(cfg);
-        ratio.addRow({streamKernelName(kernel),
+    for (size_t k = 0; k < kNumKernels; ++k) {
+        const StreamResult &single = singleResults[k];
+        ratio.addRow({streamKernelName(kKernels[k]),
                       Table::num(largeAggregate[k], 2),
                       Table::num(single.totalGBs, 3),
                       Table::num(largeAggregate[k] / single.totalGBs,
                                  1)});
-        ++k;
     }
     cyclops::bench::emit(opts, ratio);
     return 0;

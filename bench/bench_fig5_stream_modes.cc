@@ -9,6 +9,9 @@
  * Shape targets: blocked > cyclic; local caches up to +60% for small
  * vectors and ~+30% (Scale) for large; unrolling helps in-cache (the
  * paper reports >80 GB/s peaks in panel d) but not memory-bound sizes.
+ *
+ * All four panels form one mode x size x kernel grid of independent
+ * simulations, dispatched together through the --jobs thread pool.
  */
 
 #include "bench_util.h"
@@ -23,6 +26,7 @@ namespace
 
 const StreamKernel kKernels[] = {StreamKernel::Copy, StreamKernel::Scale,
                                  StreamKernel::Add, StreamKernel::Triad};
+constexpr size_t kNumKernels = 4;
 
 struct Mode
 {
@@ -53,6 +57,7 @@ const Mode kModes[] = {
          cfg.unroll = 4;
      }},
 };
+constexpr size_t kNumModes = 4;
 
 } // namespace
 
@@ -66,19 +71,37 @@ main(int argc, char **argv)
     if (opts.quick)
         sizes = {112, 400, 1200, 2000};
 
+    struct Point
+    {
+        size_t mode;
+        u32 size;
+        StreamKernel kernel;
+    };
+    std::vector<Point> points;
+    for (size_t m = 0; m < kNumModes; ++m)
+        for (u32 size : sizes)
+            for (StreamKernel kernel : kKernels)
+                points.push_back({m, size, kernel});
+
+    const std::vector<StreamResult> results = cyclops::bench::sweep(
+        opts, points, [&](const Point &p) {
+            StreamConfig cfg;
+            cfg.kernel = p.kernel;
+            cfg.threads = 126;
+            cfg.elementsPerThread = p.size;
+            kModes[p.mode].tweak(cfg);
+            return runStream(cfg);
+        });
+
+    size_t idx = 0;
     for (const Mode &mode : kModes) {
         cyclops::bench::banner(opts, mode.title, mode.claim);
         Table table({"elements/thread", "Copy GB/s", "Scale GB/s",
                      "Add GB/s", "Triad GB/s"});
         for (u32 size : sizes) {
             std::vector<std::string> row{Table::num(s64(size))};
-            for (StreamKernel kernel : kKernels) {
-                StreamConfig cfg;
-                cfg.kernel = kernel;
-                cfg.threads = 126;
-                cfg.elementsPerThread = size;
-                mode.tweak(cfg);
-                const StreamResult result = runStream(cfg);
+            for (size_t k = 0; k < kNumKernels; ++k) {
+                const StreamResult &result = results[idx++];
                 row.push_back(Table::num(result.totalGBs, 2));
                 if (!result.verified)
                     row.back() += "!";

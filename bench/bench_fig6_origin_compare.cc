@@ -57,19 +57,37 @@ main(int argc, char **argv)
         threads = {1, 8, 32, 126};
     const u32 totalElements = opts.quick ? 126'000 : 249'984;
 
-    Table cyclopsTable({"threads", "Copy GB/s", "Scale GB/s",
-                        "Add GB/s", "Triad GB/s"});
-    for (u32 t : threads) {
-        std::vector<std::string> row{Table::num(s64(t))};
-        for (StreamKernel kernel : kKernels) {
+    // Each (threads, kernel) point is an independent simulation; run
+    // the grid on the --jobs host thread pool.
+    struct Point
+    {
+        u32 threads;
+        StreamKernel kernel;
+    };
+    std::vector<Point> points;
+    for (u32 t : threads)
+        for (StreamKernel kernel : kKernels)
+            points.push_back({t, kernel});
+
+    const std::vector<StreamResult> results = cyclops::bench::sweep(
+        opts, points, [&](const Point &p) {
             StreamConfig cfg;
-            cfg.kernel = kernel;
-            cfg.threads = t;
-            cfg.elementsPerThread = totalElements / t;
+            cfg.kernel = p.kernel;
+            cfg.threads = p.threads;
+            cfg.elementsPerThread = totalElements / p.threads;
             cfg.localCaches = true;
             cfg.unroll = 4;
             cfg.policy = kernel::AllocPolicy::Balanced;
-            const StreamResult result = runStream(cfg);
+            return runStream(cfg);
+        });
+
+    Table cyclopsTable({"threads", "Copy GB/s", "Scale GB/s",
+                        "Add GB/s", "Triad GB/s"});
+    size_t idx = 0;
+    for (u32 t : threads) {
+        std::vector<std::string> row{Table::num(s64(t))};
+        for (size_t k = 0; k < 4; ++k) {
+            const StreamResult &result = results[idx++];
             row.push_back(Table::num(result.totalGBs, 2));
             if (!result.verified)
                 row.back() += "!";

@@ -34,16 +34,31 @@ pct(u64 hw, u64 sw)
 void
 panel(const Options &opts, u32 points, const std::vector<u32> &threads)
 {
+    // The hw and sw runs of every thread count are independent
+    // simulations: flatten to one point list for the --jobs pool.
+    struct Point
+    {
+        u32 threads;
+        BarrierKind kind;
+    };
+    std::vector<Point> runs;
+    for (u32 t : threads) {
+        runs.push_back({t, BarrierKind::Hw});
+        runs.push_back({t, BarrierKind::SwTree});
+    }
+    const std::vector<SplashResult> results = cyclops::bench::sweep(
+        opts, runs, [&](const Point &p) {
+            return runFft(p.threads, points, p.kind, ChipConfig{});
+        });
+
     Table table({"threads", "total cycles %", "run cycles %",
                  "stall cycles %", "hw total", "sw total"});
-    for (u32 t : threads) {
-        const SplashResult hw =
-            runFft(t, points, BarrierKind::Hw, ChipConfig{});
-        const SplashResult sw =
-            runFft(t, points, BarrierKind::SwTree, ChipConfig{});
+    for (size_t i = 0; i < threads.size(); ++i) {
+        const SplashResult &hw = results[2 * i];
+        const SplashResult &sw = results[2 * i + 1];
         std::string flag =
             hw.verified && sw.verified ? "" : "!";
-        table.addRow({Table::num(s64(t)) + flag,
+        table.addRow({Table::num(s64(threads[i])) + flag,
                       Table::num(pct(hw.cycles, sw.cycles), 1),
                       Table::num(pct(hw.runCycles, sw.runCycles), 1),
                       Table::num(pct(hw.stallCycles, sw.stallCycles), 1),

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Simulator host-throughput benchmark: how fast does the simulator
+ * itself run, in simulated cycles per wall-clock second and simulated
+ * MIPS (million guest instructions per second)?
+ *
+ * Not a paper figure — this tracks the repo's own performance
+ * trajectory so optimization PRs can show wins and regressions are
+ * caught. Measures representative serial workloads (STREAM kernels
+ * and the SPLASH-2 FFT) plus the aggregate throughput of a parallel
+ * sweep at --jobs, and emits machine-readable BENCH_simperf.json.
+ *
+ * Wall-clock numbers vary run to run and host to host; the simulated
+ * cycle counts printed alongside are deterministic and double as a
+ * quick cross-check that an optimization did not change results.
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "workloads/splash.h"
+#include "workloads/stream.h"
+
+using namespace cyclops;
+using namespace cyclops::workloads;
+using cyclops::bench::Options;
+
+namespace
+{
+
+struct Measurement
+{
+    std::string name;
+    u64 simCycles = 0;
+    u64 instructions = 0;
+    double wallSeconds = 0;
+
+    double
+    cyclesPerSec() const
+    {
+        return wallSeconds > 0 ? double(simCycles) / wallSeconds : 0;
+    }
+    double
+    mips() const
+    {
+        return wallSeconds > 0
+                   ? double(instructions) / wallSeconds / 1e6
+                   : 0;
+    }
+};
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+Measurement
+measureStream(const char *name, StreamKernel kernel, u32 threads,
+              u32 ept)
+{
+    StreamConfig cfg;
+    cfg.kernel = kernel;
+    cfg.threads = threads;
+    cfg.elementsPerThread = ept;
+    const auto start = std::chrono::steady_clock::now();
+    const StreamResult result = runStream(cfg);
+    Measurement m;
+    m.name = name;
+    m.wallSeconds = secondsSince(start);
+    m.simCycles = result.simCycles;
+    m.instructions = result.instructions;
+    if (!result.verified)
+        warn("simperf: %s failed verification", name);
+    return m;
+}
+
+Measurement
+measureFft(const char *name, u32 threads, u32 points)
+{
+    const auto start = std::chrono::steady_clock::now();
+    const SplashResult result =
+        runFft(threads, points, BarrierKind::Hw, ChipConfig{});
+    Measurement m;
+    m.name = name;
+    m.wallSeconds = secondsSince(start);
+    m.simCycles = result.cycles;
+    m.instructions = result.instructions;
+    if (!result.verified)
+        warn("simperf: %s failed verification", name);
+    return m;
+}
+
+/** Aggregate throughput of a parallel STREAM sweep at opts.jobs. */
+Measurement
+measureSweep(const Options &opts, const std::vector<u32> &sizes)
+{
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<StreamResult> results = cyclops::bench::sweep(
+        opts, sizes, [&](u32 size) {
+            StreamConfig cfg;
+            cfg.kernel = StreamKernel::Triad;
+            cfg.threads = 126;
+            cfg.elementsPerThread = size;
+            return runStream(cfg);
+        });
+    Measurement m;
+    m.name = strprintf("stream_sweep_jobs%u", opts.jobs);
+    m.wallSeconds = secondsSince(start);
+    for (const StreamResult &r : results) {
+        m.simCycles += r.simCycles;
+        m.instructions += r.instructions;
+    }
+    return m;
+}
+
+void
+writeJson(const char *path, const Options &opts,
+          const std::vector<Measurement> &measurements)
+{
+    std::FILE *f = std::fopen(path, "w");
+    if (!f) {
+        warn("simperf: cannot write %s", path);
+        return;
+    }
+    std::fprintf(f, "{\n  \"benchmark\": \"simperf\",\n");
+    std::fprintf(f, "  \"quick\": %s,\n", opts.quick ? "true" : "false");
+    std::fprintf(f, "  \"jobs\": %u,\n", opts.jobs);
+    std::fprintf(f, "  \"workloads\": [\n");
+    for (size_t i = 0; i < measurements.size(); ++i) {
+        const Measurement &m = measurements[i];
+        std::fprintf(f,
+                     "    {\"name\": \"%s\", \"simCycles\": %llu, "
+                     "\"instructions\": %llu, \"wallSeconds\": %.6f, "
+                     "\"cyclesPerSec\": %.0f, \"mips\": %.3f}%s\n",
+                     m.name.c_str(),
+                     static_cast<unsigned long long>(m.simCycles),
+                     static_cast<unsigned long long>(m.instructions),
+                     m.wallSeconds, m.cyclesPerSec(), m.mips(),
+                     i + 1 < measurements.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = cyclops::bench::parseOptions(argc, argv);
+    cyclops::bench::banner(
+        opts, "Simulator host throughput (bench_simperf)",
+        "repo performance trajectory: simulated cycles/sec and "
+        "simulated MIPS per workload (not a paper figure)");
+
+    std::vector<Measurement> ms;
+    if (opts.quick) {
+        ms.push_back(measureStream("stream_copy", StreamKernel::Copy,
+                                   126, 500));
+        ms.push_back(measureStream("stream_triad", StreamKernel::Triad,
+                                   126, 500));
+        ms.push_back(measureFft("fft_16k", 32, 16384));
+        ms.push_back(measureSweep(opts, {112, 248, 400, 600}));
+    } else {
+        ms.push_back(measureStream("stream_copy", StreamKernel::Copy,
+                                   126, 2000));
+        ms.push_back(measureStream("stream_triad", StreamKernel::Triad,
+                                   126, 2000));
+        ms.push_back(measureFft("fft_64k", 64, 65536));
+        ms.push_back(measureSweep(
+            opts, {112, 248, 400, 600, 800, 1000, 1200, 1400, 1600,
+                   2000}));
+    }
+
+    Table table({"workload", "sim cycles", "instructions", "wall s",
+                 "Mcycles/s", "sim MIPS"});
+    for (const Measurement &m : ms) {
+        table.addRow({m.name, Table::num(s64(m.simCycles)),
+                      Table::num(s64(m.instructions)),
+                      Table::num(m.wallSeconds, 3),
+                      Table::num(m.cyclesPerSec() / 1e6, 2),
+                      Table::num(m.mips(), 2)});
+    }
+    cyclops::bench::emit(opts, table);
+
+    writeJson("BENCH_simperf.json", opts, ms);
+    cyclops::bench::note(opts, "Wrote BENCH_simperf.json");
+    return 0;
+}

@@ -6,6 +6,12 @@
  *   --quick   shrink sweeps (CI-sized run)
  *   --csv     emit CSV instead of aligned tables
  *   --scale N multiply problem sizes by N/100 (default 100)
+ *   --jobs N  run independent simulation points on N host threads
+ *             (0 = all hardware threads; also CYCLOPS_BENCH_JOBS)
+ *
+ * Simulation points are independent (one Chip each), so sweeps run
+ * through cyclops::parallelSweep; results are collected in input
+ * order, making the emitted tables byte-identical for any job count.
  */
 
 #ifndef CYCLOPS_BENCH_BENCH_UTIL_H
@@ -18,6 +24,7 @@
 #include <vector>
 
 #include "common/log.h"
+#include "common/parallel.h"
 #include "common/table.h"
 #include "common/types.h"
 
@@ -29,12 +36,15 @@ struct Options
     bool quick = false;
     bool csv = false;
     u32 scale = 100;
+    u32 jobs = 1;
 };
 
 inline Options
 parseOptions(int argc, char **argv)
 {
     Options opts;
+    if (const char *env = std::getenv("CYCLOPS_BENCH_JOBS"))
+        opts.jobs = SimPool::resolveJobs(u32(std::atoi(env)));
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--quick") == 0) {
             opts.quick = true;
@@ -43,10 +53,14 @@ parseOptions(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--scale") == 0 &&
                    i + 1 < argc) {
             opts.scale = u32(std::atoi(argv[++i]));
+        } else if (std::strcmp(argv[i], "--jobs") == 0 &&
+                   i + 1 < argc) {
+            opts.jobs = SimPool::resolveJobs(u32(std::atoi(argv[++i])));
         } else {
-            std::fprintf(stderr,
-                         "usage: %s [--quick] [--csv] [--scale N]\n",
-                         argv[0]);
+            std::fprintf(
+                stderr,
+                "usage: %s [--quick] [--csv] [--scale N] [--jobs N]\n",
+                argv[0]);
             std::exit(2);
         }
     }
@@ -54,6 +68,18 @@ parseOptions(int argc, char **argv)
         if (env[0] == '1')
             opts.quick = true;
     return opts;
+}
+
+/**
+ * Run @p fn over all sweep points on opts.jobs host threads and
+ * return the results in input order (table output stays byte-stable).
+ */
+template <typename Point, typename Fn>
+auto
+sweep(const Options &opts, const std::vector<Point> &points, Fn fn)
+    -> std::vector<decltype(fn(points[0]))>
+{
+    return parallelSweep(points, opts.jobs, fn);
 }
 
 inline void

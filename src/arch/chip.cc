@@ -1,5 +1,6 @@
 #include "arch/chip.h"
 
+#include <bit>
 #include <cstring>
 
 #include "common/bitops.h"
@@ -31,7 +32,7 @@ Chip::Chip(const ChipConfig &cfg) : cfg_(cfg)
     quadEnabled_.assign(cfg_.numQuads(), true);
 
     wheel_.assign(kWheelSize, {});
-    wheelCount_.assign(kWheelSize, 0);
+    due_.reserve(cfg_.numThreads);
 
     stats_.addCounter("chip.cycles", &cycles_);
     stats_.addCounter("chip.traps", &trapsServed_);
@@ -42,7 +43,9 @@ Chip::Chip(const ChipConfig &cfg) : cfg_(cfg)
 u8 *
 Chip::memPtr(Addr ea, u8 bytes, ThreadId tid)
 {
-    const InterestGroup ig = igDecode(igField(ea));
+    // The functional path shares the timing path's precomputed decode
+    // of the interest-group field (one LUT lookup, no re-decoding).
+    const MemSystem::RouteEntry &ig = memsys_.routeEntry(igField(ea));
     const PhysAddr pa = igPhys(ea);
     if (ig.cls == IgClass::Scratch) {
         const CacheId cache = ig.index & (cfg_.numCaches() - 1);
@@ -50,7 +53,12 @@ Chip::memPtr(Addr ea, u8 bytes, ThreadId tid)
         if (mem.empty())
             fatal("scratchpad access to cache %u with no partitioned "
                   "ways (thread %u)", cache, tid);
-        const u32 offset = pa & (u32(mem.size()) - 1);
+        // The partitioned scratch size is ways * 2 KB and need not be a
+        // power of two (e.g. 3 ways = 6 KB), so the window wrap must be
+        // a real modulo; pow2 sizes keep the single-cycle mask.
+        const u32 size = u32(mem.size());
+        const u32 offset =
+            isPow2(size) ? (pa & (size - 1)) : (pa % size);
         if (offset % bytes != 0)
             fatal("misaligned scratch access at 0x%08x", ea);
         return &mem[offset];
@@ -163,11 +171,37 @@ Chip::schedule(ThreadId tid, Cycle when)
     if (when <= now_)
         when = now_ + 1;
     if (when - now_ < kWheelSize) {
-        wheel_[when & (kWheelSize - 1)].push_back(tid);
-        ++wheelCount_[when & (kWheelSize - 1)];
+        const u32 slot = u32(when) & (kWheelSize - 1);
+        wheel_[slot].push_back(tid);
+        wheelBits_[slot >> 6] |= 1ull << (slot & 63);
         ++inWheel_;
     } else {
         far_.emplace(when, tid);
+    }
+}
+
+Cycle
+Chip::nextWheelEvent() const
+{
+    // First occupied slot at a cycle in (now_, now_ + kWheelSize),
+    // scanning the occupancy bitmap circularly from the slot after
+    // now_. The current slot was drained before this is called, so a
+    // set bit below the start index can only mean a wrapped (later)
+    // cycle.
+    const u32 start = u32(now_ + 1) & (kWheelSize - 1);
+    u32 word = start >> 6;
+    u64 bitsValue = wheelBits_[word] & (~0ull << (start & 63));
+    for (u32 scanned = 0;; ++scanned) {
+        if (bitsValue != 0) {
+            const u32 slot =
+                (word << 6) + u32(std::countr_zero(bitsValue));
+            const u32 delta = (slot - start) & (kWheelSize - 1);
+            return now_ + 1 + delta;
+        }
+        if (scanned == kWheelWords)
+            return kCycleNever;
+        word = (word + 1) & (kWheelWords - 1);
+        bitsValue = wheelBits_[word];
     }
 }
 
@@ -177,35 +211,31 @@ Chip::run(Cycle maxCycles)
     const Cycle limit =
         maxCycles == kCycleNever ? kCycleNever : now_ + maxCycles;
 
-    std::vector<ThreadId> due;
     while (liveUnits_ > 0) {
         if (now_ >= limit)
             return RunExit::CycleLimit;
 
-        // Gather the units due this cycle.
-        due.clear();
-        auto &slot = wheel_[now_ & (kWheelSize - 1)];
+        // Gather the units due this cycle. The due buffer and the slot
+        // vector both keep their capacity across cycles (a swap would
+        // strip the slot's buffer and force it to reallocate on every
+        // future schedule).
+        due_.clear();
+        const u32 slotIdx = u32(now_) & (kWheelSize - 1);
+        auto &slot = wheel_[slotIdx];
         if (!slot.empty()) {
-            due.swap(slot);
-            wheelCount_[now_ & (kWheelSize - 1)] = 0;
-            inWheel_ -= u32(due.size());
+            due_.assign(slot.begin(), slot.end());
+            slot.clear();
+            wheelBits_[slotIdx >> 6] &= ~(1ull << (slotIdx & 63));
+            inWheel_ -= u32(due_.size());
         }
         while (!far_.empty() && far_.top().first <= now_) {
-            due.push_back(far_.top().second);
+            due_.push_back(far_.top().second);
             far_.pop();
         }
 
-        if (due.empty()) {
+        if (due_.empty()) {
             // Fast-forward to the next scheduled wake-up.
-            Cycle next = kCycleNever;
-            if (inWheel_ > 0) {
-                for (Cycle c = now_ + 1; c < now_ + kWheelSize; ++c) {
-                    if (wheelCount_[c & (kWheelSize - 1)] > 0) {
-                        next = c;
-                        break;
-                    }
-                }
-            }
+            Cycle next = inWheel_ > 0 ? nextWheelEvent() : kCycleNever;
             if (!far_.empty())
                 next = std::min(next, far_.top().first);
             if (next == kCycleNever)
@@ -218,10 +248,10 @@ Chip::run(Cycle maxCycles)
 
         // Rotate service order every cycle: round-robin arbitration of
         // shared resources among same-cycle requesters.
-        const size_t n = due.size();
+        const size_t n = due_.size();
         const size_t start = n > 1 ? size_t(now_ % n) : 0;
         for (size_t i = 0; i < n; ++i) {
-            const ThreadId tid = due[(start + i) % n];
+            const ThreadId tid = due_[(start + i) % n];
             Unit *u = units_[tid].get();
             const Cycle wake = u->tick(now_);
             if (wake == kCycleNever) {

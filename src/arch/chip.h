@@ -12,6 +12,7 @@
 #ifndef CYCLOPS_ARCH_CHIP_H
 #define CYCLOPS_ARCH_CHIP_H
 
+#include <array>
 #include <memory>
 #include <queue>
 #include <string>
@@ -147,8 +148,10 @@ class Chip
   private:
     static constexpr u32 kWheelBits = 10;
     static constexpr u32 kWheelSize = 1u << kWheelBits;
+    static constexpr u32 kWheelWords = kWheelSize / 64;
 
     void schedule(ThreadId tid, Cycle when);
+    Cycle nextWheelEvent() const;
     u8 *memPtr(Addr ea, u8 bytes, ThreadId tid);
 
     ChipConfig cfg_;
@@ -170,16 +173,19 @@ class Chip
     std::vector<std::unique_ptr<Unit>> units_;
     std::vector<bool> quadEnabled_;
 
-    // Cycle engine: timing wheel + far-future heap.
+    // Cycle engine: timing wheel + far-future heap. A one-bit-per-slot
+    // occupancy bitmap makes the idle fast-forward a countr_zero scan
+    // over 16 words instead of a linear walk of up to 1024 slots.
     Cycle now_ = 0;
     u32 liveUnits_ = 0;
     std::vector<std::vector<ThreadId>> wheel_;
-    std::vector<u32> wheelCount_; ///< population per slot (fast skip)
+    std::array<u64, kWheelWords> wheelBits_{}; ///< slot-occupancy bitmap
     using FarEntry = std::pair<Cycle, ThreadId>;
     std::priority_queue<FarEntry, std::vector<FarEntry>,
                         std::greater<FarEntry>>
         far_;
     u32 inWheel_ = 0;
+    std::vector<ThreadId> due_; ///< reusable due-this-cycle buffer
 
     std::string console_;
 

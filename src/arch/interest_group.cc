@@ -8,15 +8,15 @@
 namespace cyclops::arch
 {
 
-CacheId
-igSelectCache(InterestGroup ig, PhysAddr lineAddr, u32 numCaches,
-              u32 enabledMask)
+u32
+igGroupMembers(InterestGroup ig, u32 numCaches, u32 enabledMask,
+               u8 *members)
 {
     if (ig.cls == IgClass::Own || ig.cls == IgClass::Scratch)
-        panic("igSelectCache: class %u is resolved by the caller",
+        panic("igGroupMembers: class %u is resolved by the caller",
               static_cast<unsigned>(ig.cls));
     if (numCaches == 0 || !isPow2(numCaches))
-        panic("igSelectCache: bad cache count %u", numCaches);
+        panic("igGroupMembers: bad cache count %u", numCaches);
 
     // Scale the canonical 32-cache group size to this configuration.
     u32 groupSize = igGroupSize(ig.cls);
@@ -30,29 +30,37 @@ igSelectCache(InterestGroup ig, PhysAddr lineAddr, u32 numCaches,
     const u32 base = group * groupSize;
 
     // Enabled members of the group.
-    u32 members = 0;
-    u32 memberIds[32];
+    u32 count = 0;
     for (u32 i = 0; i < groupSize; ++i) {
-        CacheId cache = base + i;
+        const CacheId cache = base + i;
         if (enabledMask & (1u << cache))
-            memberIds[members++] = cache;
+            members[count++] = u8(cache);
     }
-    if (members == 0) {
+    if (count == 0) {
         // Fault fallback: the whole group is broken; rescatter over every
         // enabled cache on the chip so the address remains usable.
         for (u32 cache = 0; cache < numCaches; ++cache)
             if (enabledMask & (1u << cache))
-                memberIds[members++] = cache;
-        if (members == 0)
-            fatal("igSelectCache: no data cache is enabled");
+                members[count++] = u8(cache);
+        if (count == 0)
+            fatal("igGroupMembers: no data cache is enabled");
     }
-    if (members == 1)
-        return memberIds[0];
+    return count;
+}
+
+CacheId
+igSelectCache(InterestGroup ig, PhysAddr lineAddr, u32 numCaches,
+              u32 enabledMask)
+{
+    u8 members[32];
+    const u32 count = igGroupMembers(ig, numCaches, enabledMask, members);
+    if (count == 1)
+        return members[0];
 
     // Deterministic, address-only scrambling so all members are used
     // uniformly and a given address always maps to the same cache.
     const u32 hash = scramble32(lineAddr);
-    return memberIds[hash % members];
+    return members[hash % count];
 }
 
 } // namespace cyclops::arch

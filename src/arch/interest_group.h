@@ -147,6 +147,16 @@ igPhys(Addr ea)
 CacheId igSelectCache(InterestGroup ig, PhysAddr lineAddr, u32 numCaches,
                       u32 enabledMask);
 
+/**
+ * Enabled member caches of group @p ig, in ascending id order — the
+ * candidate set igSelectCache() scrambles over. Applies the same
+ * group-size scaling and whole-group-disabled fallback. Writes the
+ * member ids to @p members (room for @p numCaches entries) and returns
+ * the count. Used to precompute per-field routing tables.
+ */
+u32 igGroupMembers(InterestGroup ig, u32 numCaches, u32 enabledMask,
+                   u8 *members);
+
 } // namespace cyclops::arch
 
 #endif // CYCLOPS_ARCH_INTEREST_GROUP_H

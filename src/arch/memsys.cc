@@ -21,6 +21,9 @@ MemSystem::init(const ChipConfig &cfg, StatGroup *stats)
     }
     cacheMask_ = cfg.numCaches() >= 32 ? ~0u
                                        : (1u << cfg.numCaches()) - 1;
+    lineShift_ = log2i(cfg.dcacheLineBytes);
+    updateBankGeometry();
+    rebuildRouteLut();
     if (stats) {
         stats->addCounter("mem.loads", &loads_);
         stats->addCounter("mem.stores", &stores_);
@@ -34,6 +37,34 @@ MemSystem::init(const ChipConfig &cfg, StatGroup *stats)
     }
 }
 
+void
+MemSystem::rebuildRouteLut()
+{
+    for (u32 field = 0; field < 256; ++field) {
+        RouteEntry &entry = routeLut_[field];
+        const InterestGroup ig = igDecode(u8(field));
+        entry.cls = ig.cls;
+        entry.index = ig.index;
+        if (ig.cls == IgClass::Own || ig.cls == IgClass::Scratch) {
+            entry.memberCount = 0;
+            continue;
+        }
+        entry.memberCount = u8(igGroupMembers(ig, cfg_->numCaches(),
+                                              cacheMask_, entry.members));
+    }
+}
+
+void
+MemSystem::updateBankGeometry()
+{
+    const u32 numAvail = u32(availBanks_.size());
+    banksPow2_ = isPow2(numAvail);
+    if (banksPow2_) {
+        bankShift_ = log2i(numAvail);
+        bankMask_ = numAvail - 1;
+    }
+}
+
 u32
 MemSystem::availableMemBytes() const
 {
@@ -44,14 +75,30 @@ MemSystem::BankRoute
 MemSystem::route(PhysAddr addr)
 {
     // Line-granularity interleave over the operational banks; the fault
-    // remap keeps the visible address space contiguous.
-    const u32 lineBytes = cfg_->dcacheLineBytes;
-    const u32 numAvail = u32(availBanks_.size());
-    const u32 lineIdx = addr / lineBytes;
-    const BankId bank = availBanks_[lineIdx % numAvail];
-    const PhysAddr bankAddr =
-        (lineIdx / numAvail) * lineBytes + (addr & (lineBytes - 1));
+    // remap keeps the visible address space contiguous. With all banks
+    // (or any power-of-two subset) operational the div/mod reduces to
+    // shift/mask.
+    const u32 lineIdx = addr >> lineShift_;
+    const u32 lineOff = addr & (cfg_->dcacheLineBytes - 1);
+    u32 slot, turn;
+    if (banksPow2_) {
+        slot = lineIdx & bankMask_;
+        turn = lineIdx >> bankShift_;
+    } else {
+        const u32 numAvail = u32(availBanks_.size());
+        slot = lineIdx % numAvail;
+        turn = lineIdx / numAvail;
+    }
+    const BankId bank = availBanks_[slot];
+    const PhysAddr bankAddr = (turn << lineShift_) + lineOff;
     return BankRoute{&banks_[bank], bankAddr};
+}
+
+std::pair<BankId, PhysAddr>
+MemSystem::routeInfo(PhysAddr addr) const
+{
+    BankRoute r = const_cast<MemSystem *>(this)->route(addr);
+    return {BankId(r.bank - banks_.data()), r.bankAddr};
 }
 
 BankGrant
@@ -71,28 +118,40 @@ MemSystem::postWrite(Cycle when, PhysAddr lineAddr, u32 blocks)
 }
 
 CacheId
-MemSystem::routeCache(Addr ea, ThreadId tid) const
+MemSystem::routeCacheEntry(const RouteEntry &entry, Addr ea,
+                           ThreadId tid) const
 {
-    const InterestGroup ig = igDecode(igField(ea));
-    switch (ig.cls) {
+    switch (entry.cls) {
       case IgClass::Own:
         return localCacheOf(tid);
       case IgClass::Scratch:
-        return ig.index & (cfg_->numCaches() - 1);
+        return entry.index & (cfg_->numCaches() - 1);
       default: {
-        const PhysAddr lineAddr =
-            igPhys(ea) / cfg_->dcacheLineBytes * cfg_->dcacheLineBytes;
-        return igSelectCache(ig, lineAddr, cfg_->numCaches(), cacheMask_);
+        if (entry.memberCount == 1)
+            return entry.members[0];
+        // Deterministic address scrambling over the precomputed member
+        // set — identical to igSelectCache() on the same mask.
+        const PhysAddr lineAddr = igPhys(ea) & ~PhysAddr(
+            cfg_->dcacheLineBytes - 1);
+        return entry.members[scramble32(lineAddr) % entry.memberCount];
       }
     }
+}
+
+CacheId
+MemSystem::routeCache(Addr ea, ThreadId tid) const
+{
+    return routeCacheEntry(routeLut_[igField(ea)], ea, tid);
 }
 
 MemTiming
 MemSystem::access(Cycle now, ThreadId tid, Addr ea, u8 bytes, MemKind kind)
 {
-    const InterestGroup ig = igDecode(igField(ea));
+    // One LUT lookup replaces the per-access field decode here and the
+    // second decode that routeCache() used to repeat.
+    const RouteEntry &entry = routeLut_[igField(ea)];
     const PhysAddr pa = igPhys(ea);
-    const bool scratch = ig.cls == IgClass::Scratch;
+    const bool scratch = entry.cls == IgClass::Scratch;
 
     if (bytes == 0 || bytes > 8 || !isPow2(bytes))
         panic("memory access of %u bytes", bytes);
@@ -103,7 +162,7 @@ MemSystem::access(Cycle now, ThreadId tid, Addr ea, u8 bytes, MemKind kind)
         fatal("physical address 0x%06x beyond available memory (%u KB) "
               "— thread %u", pa, availableMemBytes() / 1024, tid);
 
-    const CacheId target = routeCache(ea, tid);
+    const CacheId target = routeCacheEntry(entry, ea, tid);
     const CacheId local = localCacheOf(tid);
     const bool remote = target != local;
 
@@ -178,6 +237,7 @@ MemSystem::failBank(BankId id)
     std::erase(availBanks_, id);
     if (availBanks_.empty())
         fatal("failBank: all banks failed");
+    updateBankGeometry();
 }
 
 void
@@ -188,6 +248,7 @@ MemSystem::disableCache(CacheId id)
     cacheMask_ &= ~(1u << id);
     if (cacheMask_ == 0)
         fatal("disableCache: all caches disabled");
+    rebuildRouteLut();
 }
 
 } // namespace cyclops::arch

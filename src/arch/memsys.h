@@ -16,6 +16,8 @@
 #ifndef CYCLOPS_ARCH_MEMSYS_H
 #define CYCLOPS_ARCH_MEMSYS_H
 
+#include <array>
+#include <utility>
 #include <vector>
 
 #include "arch/dcache.h"
@@ -89,6 +91,30 @@ class MemSystem
     /** Resolve the target cache of an effective address for @p tid. */
     CacheId routeCache(Addr ea, ThreadId tid) const;
 
+    /**
+     * Precomputed routing facts for one 8-bit interest-group field:
+     * the decode plus the enabled member set of the group, so the hot
+     * access path neither re-decodes the field nor re-derives the
+     * group scaling per reference. Rebuilt when a cache is disabled.
+     */
+    struct RouteEntry
+    {
+        IgClass cls = IgClass::All;
+        u8 index = 0;       ///< group index within the size class
+        u8 memberCount = 0; ///< 0 for Own/Scratch (caller-resolved)
+        u8 members[32] = {}; ///< enabled member cache ids, ascending
+    };
+
+    /** Routing entry of an interest-group field (shared decode). */
+    const RouteEntry &
+    routeEntry(u8 field) const
+    {
+        return routeLut_[field];
+    }
+
+    /** Bank id + bank-local address an embedded address maps to. */
+    std::pair<BankId, PhysAddr> routeInfo(PhysAddr addr) const;
+
     // --- Fault model ------------------------------------------------------
 
     /** Remove a failed bank; the address space contracts contiguously. */
@@ -114,12 +140,26 @@ class MemSystem
     };
 
     BankRoute route(PhysAddr addr);
+    CacheId routeCacheEntry(const RouteEntry &entry, Addr ea,
+                            ThreadId tid) const;
+    void rebuildRouteLut();
+    void updateBankGeometry();
 
     const ChipConfig *cfg_ = nullptr;
     std::vector<DCache> caches_;
     std::vector<MemBank> banks_;
     std::vector<BankId> availBanks_;
     u32 cacheMask_ = 0;
+
+    // Strength-reduction state for route(): line size is always a
+    // power of two; the bank count is one until a bank fails, so the
+    // common case routes with shift/mask instead of div/mod.
+    u32 lineShift_ = 6;
+    bool banksPow2_ = true;
+    u32 bankShift_ = 4;
+    u32 bankMask_ = 15;
+
+    std::array<RouteEntry, 256> routeLut_;
 
     Counter loads_;
     Counter stores_;

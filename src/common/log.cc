@@ -1,5 +1,6 @@
 #include "common/log.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -9,19 +10,21 @@ namespace cyclops
 
 namespace
 {
-LogLevel gLevel = LogLevel::Normal;
+// Atomic so concurrent Chip instances (parallel sweeps) may log while
+// another host thread adjusts the verbosity.
+std::atomic<LogLevel> gLevel{LogLevel::Normal};
 } // namespace
 
 void
 setLogLevel(LogLevel level)
 {
-    gLevel = level;
+    gLevel.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return gLevel;
+    return gLevel.load(std::memory_order_relaxed);
 }
 
 std::string

@@ -1,0 +1,95 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+
+namespace cyclops
+{
+
+SimPool::SimPool(u32 jobs) : jobs_(std::max(1u, jobs))
+{
+    workers_.reserve(jobs_ - 1);
+    for (u32 i = 0; i + 1 < jobs_; ++i)
+        workers_.emplace_back([this] { workerMain(); });
+}
+
+SimPool::~SimPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+u32
+SimPool::resolveJobs(u32 requested)
+{
+    if (requested != 0)
+        return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? u32(hw) : 1u;
+}
+
+void
+SimPool::workerMain()
+{
+    u64 seenGeneration = 0;
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        wake_.wait(lock, [&] {
+            return stop_ || (task_ && generation_ != seenGeneration);
+        });
+        if (stop_)
+            return;
+        seenGeneration = generation_;
+        const std::function<void(size_t)> *fn = task_;
+        const size_t count = taskCount_;
+        lock.unlock();
+
+        size_t i;
+        while ((i = next_.fetch_add(1, std::memory_order_relaxed)) <
+               count)
+            (*fn)(i);
+
+        lock.lock();
+        // Check in: forEach() returns only once every worker has passed
+        // the point of taking more work, so `fn` may safely go out of
+        // scope in the caller.
+        if (++checkedIn_ == workers_.size())
+            done_.notify_one();
+    }
+}
+
+void
+SimPool::forEach(size_t count, const std::function<void(size_t)> &fn)
+{
+    if (count == 0)
+        return;
+    if (workers_.empty()) {
+        for (size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+
+    std::unique_lock<std::mutex> lock(mu_);
+    task_ = &fn;
+    taskCount_ = count;
+    checkedIn_ = 0;
+    next_.store(0, std::memory_order_relaxed);
+    ++generation_;
+    lock.unlock();
+    wake_.notify_all();
+
+    // The calling thread is one of the pool's `jobs` lanes.
+    size_t i;
+    while ((i = next_.fetch_add(1, std::memory_order_relaxed)) < count)
+        fn(i);
+
+    lock.lock();
+    done_.wait(lock, [&] { return checkedIn_ == workers_.size(); });
+    task_ = nullptr;
+}
+
+} // namespace cyclops

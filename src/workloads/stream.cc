@@ -333,7 +333,8 @@ verify(Chip &chip, const StreamConfig &cfg, const Layout &lay)
 /** Run with @p iterations kernel repetitions; returns total cycles. */
 Cycle
 timedRun(const StreamConfig &cfg, const ChipConfig &chipCfg,
-         const Layout &lay, u32 iterations, bool *verified)
+         const Layout &lay, u32 iterations, bool *verified,
+         u64 *instructions = nullptr)
 {
     Chip chip(chipCfg);
     kernel::Kernel kern(chip, cfg.policy);
@@ -344,6 +345,8 @@ timedRun(const StreamConfig &cfg, const ChipConfig &chipCfg,
         fatal("STREAM did not finish within the cycle limit");
     if (verified)
         *verified = verify(chip, cfg, lay);
+    if (instructions)
+        *instructions += chip.totalInstructions();
     return chip.now();
 }
 
@@ -362,13 +365,18 @@ runStream(const StreamConfig &cfg, const ChipConfig &chipCfg)
     // STREAM's best-of-10 reports), and averaging two of them washes
     // out boundary overlap with the cold first iteration's tail.
     bool verified = false;
-    const Cycle shortRun = timedRun(cfg, chipCfg, lay, 2, nullptr);
-    const Cycle longRun = timedRun(cfg, chipCfg, lay, 4, &verified);
+    u64 instructions = 0;
+    const Cycle shortRun =
+        timedRun(cfg, chipCfg, lay, 2, nullptr, &instructions);
+    const Cycle longRun =
+        timedRun(cfg, chipCfg, lay, 4, &verified, &instructions);
     const Cycle iter =
         longRun > shortRun ? (longRun - shortRun) / 2 : shortRun;
 
     StreamResult result;
     result.iterationCycles = iter;
+    result.simCycles = shortRun + longRun;
+    result.instructions = instructions;
     result.bytesPerIteration = u64(lay.total) *
                                streamBytesPerElement(cfg.kernel);
     const double seconds = double(iter) / double(chipCfg.clockHz);

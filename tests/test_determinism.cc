@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Determinism regression tests: the safety net for the host-parallel
+ * sweep runner and the timing-core hot-path optimizations.
+ *
+ * A simulation point must be a pure function of its configuration —
+ * same cycle counts, instruction counts and statistics on every run,
+ * whether executed serially or from a SimPool worker thread. Any
+ * hidden shared mutable state (stats registries, logging, caches of
+ * decoded state) breaks one of these tests.
+ */
+
+#include <atomic>
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "workloads/splash.h"
+#include "workloads/stream.h"
+
+using namespace cyclops;
+using namespace cyclops::workloads;
+
+namespace
+{
+
+StreamConfig
+streamPoint(u32 threads, u32 ept)
+{
+    StreamConfig cfg;
+    cfg.kernel = StreamKernel::Triad;
+    cfg.threads = threads;
+    cfg.elementsPerThread = ept;
+    return cfg;
+}
+
+void
+expectSameStream(const StreamResult &a, const StreamResult &b)
+{
+    EXPECT_EQ(a.iterationCycles, b.iterationCycles);
+    EXPECT_EQ(a.simCycles, b.simCycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.bytesPerIteration, b.bytesPerIteration);
+    EXPECT_EQ(a.verified, b.verified);
+}
+
+void
+expectSameSplash(const SplashResult &a, const SplashResult &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.runCycles, b.runCycles);
+    EXPECT_EQ(a.stallCycles, b.stallCycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.loads, b.loads);
+    EXPECT_EQ(a.stores, b.stores);
+    EXPECT_EQ(a.localHits, b.localHits);
+    EXPECT_EQ(a.remoteHits, b.remoteHits);
+    EXPECT_EQ(a.localMisses, b.localMisses);
+    EXPECT_EQ(a.remoteMisses, b.remoteMisses);
+    EXPECT_EQ(a.bankBusyCycles, b.bankBusyCycles);
+    EXPECT_EQ(a.portWaitCycles, b.portWaitCycles);
+    EXPECT_EQ(a.verified, b.verified);
+}
+
+} // namespace
+
+TEST(Determinism, StreamRepeatsExactly)
+{
+    const StreamConfig cfg = streamPoint(16, 400);
+    const StreamResult first = runStream(cfg);
+    const StreamResult second = runStream(cfg);
+    EXPECT_TRUE(first.verified);
+    expectSameStream(first, second);
+}
+
+TEST(Determinism, FftRepeatsExactly)
+{
+    const SplashResult first =
+        runFft(8, 1024, BarrierKind::Hw, ChipConfig{});
+    const SplashResult second =
+        runFft(8, 1024, BarrierKind::Hw, ChipConfig{});
+    EXPECT_TRUE(first.verified);
+    expectSameSplash(first, second);
+}
+
+TEST(Determinism, ParallelSweepMatchesSerial)
+{
+    // The same points through a 4-thread pool and serially must agree
+    // bit for bit, in input order.
+    std::vector<u32> sizes = {112, 200, 400, 600, 256, 333};
+    auto run = [&](u32 size) { return runStream(streamPoint(8, size)); };
+
+    const std::vector<StreamResult> serial =
+        parallelSweep(sizes, 1, run);
+    const std::vector<StreamResult> parallel =
+        parallelSweep(sizes, 4, run);
+
+    ASSERT_EQ(serial.size(), sizes.size());
+    ASSERT_EQ(parallel.size(), sizes.size());
+    for (size_t i = 0; i < sizes.size(); ++i)
+        expectSameStream(serial[i], parallel[i]);
+}
+
+TEST(Determinism, ParallelSplashSweepMatchesSerial)
+{
+    std::vector<u32> threads = {1, 2, 4, 8};
+    auto run = [&](u32 t) {
+        return runFft(t, 1024, BarrierKind::SwTree, ChipConfig{});
+    };
+    const std::vector<SplashResult> serial =
+        parallelSweep(threads, 1, run);
+    const std::vector<SplashResult> parallel =
+        parallelSweep(threads, 3, run);
+    for (size_t i = 0; i < threads.size(); ++i)
+        expectSameSplash(serial[i], parallel[i]);
+}
+
+TEST(SimPool, CoversEveryIndexExactlyOnce)
+{
+    SimPool pool(4);
+    EXPECT_EQ(pool.jobs(), 4u);
+    constexpr size_t kCount = 10'000;
+    std::vector<std::atomic<u32>> hits(kCount);
+    pool.forEach(kCount, [&](size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < kCount; ++i)
+        EXPECT_EQ(hits[i].load(), 1u) << "index " << i;
+}
+
+TEST(SimPool, ReusableAcrossSweeps)
+{
+    SimPool pool(3);
+    for (int round = 0; round < 5; ++round) {
+        std::atomic<u64> sum{0};
+        pool.forEach(1000, [&](size_t i) {
+            sum.fetch_add(i, std::memory_order_relaxed);
+        });
+        EXPECT_EQ(sum.load(), 1000ull * 999 / 2);
+    }
+}
+
+TEST(SimPool, SerialPoolRunsInline)
+{
+    SimPool pool(1);
+    EXPECT_EQ(pool.jobs(), 1u);
+    const auto caller = std::this_thread::get_id();
+    bool sameThread = true;
+    pool.forEach(64, [&](size_t) {
+        sameThread = sameThread && std::this_thread::get_id() == caller;
+    });
+    EXPECT_TRUE(sameThread);
+}
+
+TEST(SimPool, ResolveJobs)
+{
+    EXPECT_EQ(SimPool::resolveJobs(5), 5u);
+    EXPECT_GE(SimPool::resolveJobs(0), 1u);
+}
