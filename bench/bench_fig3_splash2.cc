@@ -51,7 +51,9 @@ main(int argc, char **argv)
             SplashConfig cfg;
             cfg.app = p.app;
             cfg.threads = p.threads;
-            ChipConfig chipCfg;
+            ChipConfig chipCfg = cyclops::bench::chipConfig(
+                opts, strprintf("fig3.t%u.%s", p.threads,
+                                splashAppName(p.app)));
             if (p.threads > chipCfg.usableThreads())
                 chipCfg.reservedThreads = 0; // release system threads
             // Ocean's 130-edge grid caps the per-thread row split.

@@ -47,7 +47,10 @@ sweepGrid(const Options &opts, const std::vector<u32> &sizes,
         cfg.threads = threads;
         cfg.elementsPerThread = p.size;
         cfg.independent = independent;
-        return runStream(cfg);
+        return runStream(
+            cfg, cyclops::bench::chipConfig(
+                     opts, strprintf("fig4.t%u.e%u.%s", threads, p.size,
+                                     streamKernelName(p.kernel))));
     });
 }
 
@@ -128,7 +131,10 @@ main(int argc, char **argv)
             cfg.kernel = kernel;
             cfg.threads = 1;
             cfg.elementsPerThread = sizesB.back() * 126;
-            return runStream(cfg);
+            return runStream(
+                cfg, cyclops::bench::chipConfig(
+                         opts, strprintf("fig4single.%s",
+                                         streamKernelName(kernel))));
         });
 
     Table ratio({"Kernel", "126-thread aggregate GB/s",

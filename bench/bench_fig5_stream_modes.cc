@@ -90,7 +90,11 @@ main(int argc, char **argv)
             cfg.threads = 126;
             cfg.elementsPerThread = p.size;
             kModes[p.mode].tweak(cfg);
-            return runStream(cfg);
+            return runStream(
+                cfg, cyclops::bench::chipConfig(
+                         opts, strprintf("fig5.m%zu.e%u.%s", p.mode,
+                                         p.size,
+                                         streamKernelName(p.kernel))));
         });
 
     size_t idx = 0;

@@ -78,7 +78,10 @@ main(int argc, char **argv)
             cfg.localCaches = true;
             cfg.unroll = 4;
             cfg.policy = kernel::AllocPolicy::Balanced;
-            return runStream(cfg);
+            return runStream(
+                cfg, cyclops::bench::chipConfig(
+                         opts, strprintf("fig6.t%u.%s", p.threads,
+                                         streamKernelName(p.kernel))));
         });
 
     Table cyclopsTable({"threads", "Copy GB/s", "Scale GB/s",

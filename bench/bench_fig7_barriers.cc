@@ -31,6 +31,12 @@ pct(u64 hw, u64 sw)
     return 100.0 * (double(hw) - double(sw)) / double(sw);
 }
 
+double
+share(u64 part, u64 whole)
+{
+    return whole ? 100.0 * double(part) / double(whole) : 0.0;
+}
+
 void
 panel(const Options &opts, u32 points, const std::vector<u32> &threads)
 {
@@ -48,8 +54,20 @@ panel(const Options &opts, u32 points, const std::vector<u32> &threads)
     }
     const std::vector<SplashResult> results = cyclops::bench::sweep(
         opts, runs, [&](const Point &p) {
-            return runFft(p.threads, points, p.kind, ChipConfig{});
+            const ChipConfig cfg = cyclops::bench::chipConfig(
+                opts, strprintf("fft%u.t%u.%s", points, p.threads,
+                                p.kind == BarrierKind::Hw ? "hw" : "sw"));
+            return runFft(p.threads, points, p.kind, cfg);
         });
+
+    // Run/stall come from the cycle-attribution layer: run is the
+    // attributed issue time, stall everything else charged while awake.
+    const auto run = [](const SplashResult &r) {
+        return r.attr[arch::CycleCat::Run];
+    };
+    const auto stall = [&](const SplashResult &r) {
+        return r.attr.charged() - run(r);
+    };
 
     Table table({"threads", "total cycles %", "run cycles %",
                  "stall cycles %", "hw total", "sw total"});
@@ -60,12 +78,36 @@ panel(const Options &opts, u32 points, const std::vector<u32> &threads)
             hw.verified && sw.verified ? "" : "!";
         table.addRow({Table::num(s64(threads[i])) + flag,
                       Table::num(pct(hw.cycles, sw.cycles), 1),
-                      Table::num(pct(hw.runCycles, sw.runCycles), 1),
-                      Table::num(pct(hw.stallCycles, sw.stallCycles), 1),
+                      Table::num(pct(run(hw), run(sw)), 1),
+                      Table::num(pct(stall(hw), stall(sw)), 1),
                       Table::num(s64(hw.cycles)),
                       Table::num(s64(sw.cycles))});
     }
     cyclops::bench::emit(opts, table);
+
+    // Where the stalled cycles go: the share of each run's stall time
+    // attributed to barrier waits vs the d-cache/memory path. The
+    // hardware barrier converts long memory-spin stalls into short
+    // wired-OR waits (and some extra run cycles).
+    Table comp({"threads", "hw barrier/stall %", "sw barrier/stall %",
+                "hw dcache/stall %", "sw dcache/stall %"});
+    for (size_t i = 0; i < threads.size(); ++i) {
+        const SplashResult &hw = results[2 * i];
+        const SplashResult &sw = results[2 * i + 1];
+        const u64 hwBar = hw.attr[arch::CycleCat::BarrierWait];
+        const u64 swBar = sw.attr[arch::CycleCat::BarrierWait];
+        const u64 hwMem = hw.attr[arch::CycleCat::DcacheMiss] +
+                          hw.attr[arch::CycleCat::BankContention];
+        const u64 swMem = sw.attr[arch::CycleCat::DcacheMiss] +
+                          sw.attr[arch::CycleCat::BankContention];
+        comp.addRow({Table::num(s64(threads[i])),
+                     Table::num(share(hwBar, stall(hw)), 1),
+                     Table::num(share(swBar, stall(sw)), 1),
+                     Table::num(share(hwMem, stall(hw)), 1),
+                     Table::num(share(swMem, stall(sw)), 1)});
+    }
+    cyclops::bench::note(opts, "Stall composition (cycle attribution):");
+    cyclops::bench::emit(opts, comp);
 }
 
 } // namespace

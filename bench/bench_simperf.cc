@@ -35,6 +35,7 @@ struct Measurement
     u64 simCycles = 0;
     u64 instructions = 0;
     double wallSeconds = 0;
+    arch::CycleBreakdown attr; ///< where the simulated cycles went
 
     double
     cyclesPerSec() const
@@ -73,6 +74,7 @@ measureStream(const char *name, StreamKernel kernel, u32 threads,
     m.wallSeconds = secondsSince(start);
     m.simCycles = result.simCycles;
     m.instructions = result.instructions;
+    m.attr = result.attr;
     if (!result.verified)
         warn("simperf: %s failed verification", name);
     return m;
@@ -89,6 +91,7 @@ measureFft(const char *name, u32 threads, u32 points)
     m.wallSeconds = secondsSince(start);
     m.simCycles = result.cycles;
     m.instructions = result.instructions;
+    m.attr = result.attr;
     if (!result.verified)
         warn("simperf: %s failed verification", name);
     return m;
@@ -113,6 +116,7 @@ measureSweep(const Options &opts, const std::vector<u32> &sizes)
     for (const StreamResult &r : results) {
         m.simCycles += r.simCycles;
         m.instructions += r.instructions;
+        m.attr.add(r.attr);
     }
     return m;
 }
@@ -135,11 +139,18 @@ writeJson(const char *path, const Options &opts,
         std::fprintf(f,
                      "    {\"name\": \"%s\", \"simCycles\": %llu, "
                      "\"instructions\": %llu, \"wallSeconds\": %.6f, "
-                     "\"cyclesPerSec\": %.0f, \"mips\": %.3f}%s\n",
+                     "\"cyclesPerSec\": %.0f, \"mips\": %.3f, "
+                     "\"attribution\": {",
                      m.name.c_str(),
                      static_cast<unsigned long long>(m.simCycles),
                      static_cast<unsigned long long>(m.instructions),
-                     m.wallSeconds, m.cyclesPerSec(), m.mips(),
+                     m.wallSeconds, m.cyclesPerSec(), m.mips());
+        for (u32 c = 0; c <= arch::kNumCycleCats; ++c)
+            std::fprintf(f, "%s\"%s\": %llu", c ? ", " : "",
+                         arch::kCycleCatNames[c],
+                         static_cast<unsigned long long>(
+                             m.attr.value(c)));
+        std::fprintf(f, "}}%s\n",
                      i + 1 < measurements.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");

@@ -9,6 +9,17 @@
  *   --jobs N  run independent simulation points on N host threads
  *             (0 = all hardware threads; also CYCLOPS_BENCH_JOBS)
  *
+ * Observability passthrough (see DESIGN.md section 10; all default-off
+ * and none of them change the simulated timing):
+ *   --trace-out PATH      Chrome-trace JSON per simulated chip
+ *   --trace-cats LIST     mem,cache,barrier,kernel,sched or "all"
+ *   --trace-capacity N    tracer ring size in events
+ *   --stats-json PATH     end-of-run counters/histograms JSON
+ *   --stats-csv PATH      epoch-sampled counter time-series CSV
+ *   --stats-interval N    epoch sample period in cycles
+ * Paths may contain "%t", replaced by a per-sweep-point tag so
+ * concurrent simulation points never share an output file.
+ *
  * Simulation points are independent (one Chip each), so sweeps run
  * through cyclops::parallelSweep; results are collected in input
  * order, making the emitted tables byte-identical for any job count.
@@ -23,9 +34,11 @@
 #include <string>
 #include <vector>
 
+#include "common/config.h"
 #include "common/log.h"
 #include "common/parallel.h"
 #include "common/table.h"
+#include "common/trace.h"
 #include "common/types.h"
 
 namespace cyclops::bench
@@ -37,6 +50,7 @@ struct Options
     bool csv = false;
     u32 scale = 100;
     u32 jobs = 1;
+    ObsConfig obs; ///< observability passthrough for simulated chips
 };
 
 inline Options
@@ -56,18 +70,56 @@ parseOptions(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--jobs") == 0 &&
                    i + 1 < argc) {
             opts.jobs = SimPool::resolveJobs(u32(std::atoi(argv[++i])));
+        } else if (std::strcmp(argv[i], "--trace-out") == 0 &&
+                   i + 1 < argc) {
+            opts.obs.traceOut = argv[++i];
+        } else if (std::strcmp(argv[i], "--trace-cats") == 0 &&
+                   i + 1 < argc) {
+            opts.obs.traceCats = parseTraceCats(argv[++i]);
+        } else if (std::strcmp(argv[i], "--trace-capacity") == 0 &&
+                   i + 1 < argc) {
+            opts.obs.traceCapacity = u32(std::atoi(argv[++i]));
+        } else if (std::strcmp(argv[i], "--stats-json") == 0 &&
+                   i + 1 < argc) {
+            opts.obs.statsJson = argv[++i];
+        } else if (std::strcmp(argv[i], "--stats-csv") == 0 &&
+                   i + 1 < argc) {
+            opts.obs.statsCsv = argv[++i];
+        } else if (std::strcmp(argv[i], "--stats-interval") == 0 &&
+                   i + 1 < argc) {
+            opts.obs.statsInterval = u32(std::atoi(argv[++i]));
         } else {
             std::fprintf(
                 stderr,
-                "usage: %s [--quick] [--csv] [--scale N] [--jobs N]\n",
+                "usage: %s [--quick] [--csv] [--scale N] [--jobs N]\n"
+                "          [--trace-out P] [--trace-cats LIST]\n"
+                "          [--trace-capacity N] [--stats-json P]\n"
+                "          [--stats-csv P] [--stats-interval N]\n",
                 argv[0]);
             std::exit(2);
         }
     }
+    // Tracing to an output file needs at least one enabled category;
+    // default to all of them so --trace-out alone does what you mean.
+    if (!opts.obs.traceOut.empty() && opts.obs.traceCats == 0)
+        opts.obs.traceCats = kTraceAll;
     if (const char *env = std::getenv("CYCLOPS_BENCH_QUICK"))
         if (env[0] == '1')
             opts.quick = true;
     return opts;
+}
+
+/**
+ * A ChipConfig carrying the bench's observability options, tagged so
+ * "%t" in output paths expands uniquely per sweep point.
+ */
+inline ChipConfig
+chipConfig(const Options &opts, const std::string &tag)
+{
+    ChipConfig cfg;
+    cfg.obs = opts.obs;
+    cfg.obs.tag = tag;
+    return cfg;
 }
 
 /**

@@ -11,8 +11,10 @@ BarrierSpr::init(u32 numThreads, StatGroup *stats)
     regs_.assign(numThreads, 0);
     bitCounts_.assign(8, 0);
     orValue_ = 0;
-    if (stats)
+    if (stats) {
         stats->addCounter("barrier.sprWrites", &writes_);
+        stats->addCounter("barrier.releases", &releases_);
+    }
 }
 
 void
@@ -29,8 +31,12 @@ BarrierSpr::write(ThreadId tid, u8 value)
     for (u32 bit = 0; bit < 8; ++bit) {
         const u8 mask = u8(1u << bit);
         if ((old & mask) && !(value & mask)) {
-            if (--bitCounts_[bit] == 0)
+            if (--bitCounts_[bit] == 0) {
                 orValue_ &= ~mask;
+                // The last participant left this bit: the barrier
+                // using it as its current bit just released.
+                ++releases_;
+            }
         } else if (!(old & mask) && (value & mask)) {
             if (bitCounts_[bit]++ == 0)
                 orValue_ |= mask;

@@ -59,6 +59,7 @@ class BarrierSpr
     std::vector<u32> bitCounts_; ///< population count per bit position
 
     Counter writes_;
+    Counter releases_; ///< wired-OR bits dropping 1 -> 0 (barrier opens)
 };
 
 /**

@@ -18,7 +18,8 @@ Chip::Chip(const ChipConfig &cfg) : cfg_(cfg)
         cfg_.dcacheScratchWays * (cfg_.dcacheBytes / cfg_.dcacheAssoc);
     scratch_.assign(cfg_.numCaches(), std::vector<u8>(scratchBytes, 0));
 
-    memsys_.init(cfg_, &stats_);
+    tracer_.configure(cfg_.obs.traceCats, cfg_.obs.traceCapacity);
+    memsys_.init(cfg_, &stats_, &tracer_);
     fpus_.resize(cfg_.numFpus());
     for (u32 id = 0; id < cfg_.numFpus(); ++id)
         fpus_[id].init(id, cfg_, &stats_);
@@ -36,6 +37,31 @@ Chip::Chip(const ChipConfig &cfg) : cfg_(cfg)
 
     stats_.addCounter("chip.cycles", &cycles_);
     stats_.addCounter("chip.traps", &trapsServed_);
+
+    // Cycle-attribution gauges: chip-wide and per-quad, one per
+    // category plus the derived sleep bucket. Gauges are evaluated
+    // lazily, so registering them costs nothing during simulation.
+    auto catOf = [](const CycleBreakdown &b, u32 i) {
+        return i < kNumCycleCats ? b.cat[i] : b.sleep;
+    };
+    for (u32 c = 0; c <= kNumCycleCats; ++c) {
+        stats_.addGauge(std::string("attr.") + kCycleCatNames[c],
+                        [this, catOf, c] {
+                            return catOf(chipAttribution(), c);
+                        });
+    }
+    for (u32 q = 0; q < cfg_.numQuads(); ++q) {
+        for (u32 c = 0; c <= kNumCycleCats; ++c) {
+            stats_.addGauge(
+                strprintf("quad%u.attr.%s", q, kCycleCatNames[c]),
+                [this, catOf, q, c] {
+                    return catOf(quadAttribution(q), c);
+                });
+        }
+    }
+
+    sampler_.configure(&stats_, cfg_.obs.statsInterval);
+    sampling_ = sampler_.enabled();
 }
 
 // --- Functional memory ------------------------------------------------------
@@ -162,6 +188,9 @@ Chip::activate(ThreadId tid, Cycle when)
         fatal("activate: thread %u belongs to disabled quad %u", tid,
               quad);
     ++liveUnits_;
+    if (tracer_.on(TraceCat::Sched))
+        tracer_.instant(TraceCat::Sched, tid, "activate",
+                        std::max(when, now_));
     schedule(tid, std::max(when, now_));
 }
 
@@ -212,6 +241,8 @@ Chip::run(Cycle maxCycles)
         maxCycles == kCycleNever ? kCycleNever : now_ + maxCycles;
 
     while (liveUnits_ > 0) {
+        if (sampling_)
+            sampler_.maybeSample(now_);
         if (now_ >= limit)
             return RunExit::CycleLimit;
 
@@ -258,6 +289,8 @@ Chip::run(Cycle maxCycles)
                 if (!u->halted())
                     panic("unit %u returned never but is not halted", tid);
                 --liveUnits_;
+                if (tracer_.on(TraceCat::Sched))
+                    tracer_.instant(TraceCat::Sched, tid, "halt", now_);
             } else {
                 if (wake <= now_)
                     panic("unit %u rescheduled into the past", tid);
@@ -307,6 +340,8 @@ void
 Chip::trap(ThreadId tid, u32 code, u32 arg)
 {
     ++trapsServed_;
+    if (tracer_.on(TraceCat::Kernel))
+        tracer_.instant(TraceCat::Kernel, tid, "trap", now_, code);
     switch (code) {
       case isa::kTrapPutChar:
         console_ += char(arg);
@@ -374,6 +409,71 @@ Chip::totalInstructions() const
         if (u)
             total += u->instructions();
     return total;
+}
+
+// --- Observability ----------------------------------------------------------
+
+CycleBreakdown
+Chip::attribution(ThreadId tid) const
+{
+    CycleBreakdown b;
+    const Unit *u = units_[tid].get();
+    if (!u) {
+        b.sleep = now_;
+        return b;
+    }
+    for (u32 i = 0; i < kNumCycleCats; ++i)
+        b.cat[i] = u->catCycles(static_cast<CycleCat>(i));
+    // Everything outside the charged window is sleep. Under a cycle
+    // limit a unit's last charge may extend past now_, in which case
+    // the unit simply has no sleep this run.
+    const u64 charged = b.charged();
+    b.sleep = now_ > charged ? now_ - charged : 0;
+    return b;
+}
+
+CycleBreakdown
+Chip::quadAttribution(u32 quad) const
+{
+    CycleBreakdown b;
+    for (u32 t = 0; t < cfg_.threadsPerQuad; ++t)
+        b.add(attribution(quad * cfg_.threadsPerQuad + t));
+    return b;
+}
+
+CycleBreakdown
+Chip::chipAttribution() const
+{
+    CycleBreakdown b;
+    for (ThreadId tid = 0; tid < cfg_.numThreads; ++tid)
+        b.add(attribution(tid));
+    return b;
+}
+
+void
+Chip::writeObservability()
+{
+    sampler_.finalize(now_);
+    const ObsConfig &obs = cfg_.obs;
+    if (!obs.traceOut.empty())
+        tracer_.writeChromeJson(obs.expandPath(obs.traceOut),
+                                cfg_.numThreads);
+    if (!obs.statsJson.empty()) {
+        const std::string path = obs.expandPath(obs.statsJson);
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f)
+            fatal("cannot open stats output '%s'", path.c_str());
+        writeStatsJson(f, stats_, now_, &sampler_);
+        std::fclose(f);
+    }
+    if (!obs.statsCsv.empty()) {
+        const std::string path = obs.expandPath(obs.statsCsv);
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f)
+            fatal("cannot open stats CSV output '%s'", path.c_str());
+        sampler_.writeCsv(f);
+        std::fclose(f);
+    }
 }
 
 } // namespace cyclops::arch

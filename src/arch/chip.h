@@ -25,7 +25,9 @@
 #include "arch/offchip.h"
 #include "arch/unit.h"
 #include "common/config.h"
+#include "common/metrics.h"
 #include "common/stats.h"
+#include "common/trace.h"
 #include "isa/encoding.h"
 #include "isa/isa.h"
 #include "isa/program.h"
@@ -45,6 +47,35 @@ class Chip
     const ChipConfig &config() const { return cfg_; }
     StatGroup &stats() { return stats_; }
     Cycle now() const { return now_; }
+
+    // --- Observability --------------------------------------------------------
+
+    /** Per-chip event tracer (configured from ChipConfig::obs). */
+    Tracer &tracer() { return tracer_; }
+    const Tracer &tracer() const { return tracer_; }
+
+    /** Epoch sampler of all registered scalar statistics. */
+    const EpochSampler &sampler() const { return sampler_; }
+
+    /**
+     * Cycle attribution of one TU: every cycle between the unit's
+     * first and last activity is charged to exactly one category;
+     * the remainder of chip time (before spawn, after halt) is sleep.
+     */
+    CycleBreakdown attribution(ThreadId tid) const;
+
+    /** Summed attribution over the TUs of quad @p quad. */
+    CycleBreakdown quadAttribution(u32 quad) const;
+
+    /** Summed attribution over every TU on the chip. */
+    CycleBreakdown chipAttribution() const;
+
+    /**
+     * Write the configured observability outputs (trace JSON, stats
+     * JSON, series CSV) to ChipConfig::obs paths; no-op when none are
+     * set. Call after run().
+     */
+    void writeObservability();
 
     // --- Functional memory --------------------------------------------------
 
@@ -156,6 +187,9 @@ class Chip
 
     ChipConfig cfg_;
     StatGroup stats_;
+    Tracer tracer_;
+    EpochSampler sampler_;
+    bool sampling_ = false;
 
     std::vector<u8> dram_;
     std::vector<std::vector<u8>> scratch_; ///< per-cache scratch storage

@@ -124,13 +124,16 @@ DCache::access(const CacheAccess &req, MemSystem &fabric)
 {
     const LatencyConfig &lat = cfg_->lat;
     const Cycle grant = grantPort(req.arrive);
+    // Queueing (contention) share of the final latency, reported so the
+    // requesting TU can split its wait into service vs contention.
+    const u64 portWait = grant - req.arrive;
 
     if (req.scratch) {
         if (scratchBytes_ == 0)
             fatal("scratchpad access to cache %u, but no ways are "
                   "partitioned (set dcacheScratchWays)", id_);
         ++scratchAccesses_;
-        return CacheResult{grant + lat.memLocalHit, true};
+        return CacheResult{grant + lat.memLocalHit, true, portWait};
     }
 
     const u32 line = req.addr / cfg_->dcacheLineBytes;
@@ -154,7 +157,7 @@ DCache::access(const CacheAccess &req, MemSystem &fabric)
                 ++loadMerges_;
             return CacheResult{std::max(grant + lat.memLocalHit,
                                         hitLine->fillDone),
-                               true};
+                               true, portWait};
         }
         if (bytesThere || filling) {
             // Plain hit, or merge with the fill in flight.
@@ -167,7 +170,7 @@ DCache::access(const CacheAccess &req, MemSystem &fabric)
                 hitLine->validMask |= reqMask;
                 hitLine->dirtyMask |= reqMask;
             }
-            return CacheResult{ready, true};
+            return CacheResult{ready, true, portWait};
         }
         // Line present but the requested bytes were never fetched
         // (allocate-no-fetch residue): fetch and merge the line.
@@ -182,7 +185,8 @@ DCache::access(const CacheAccess &req, MemSystem &fabric)
         if (req.atomic)
             hitLine->dirtyMask |= reqMask;
         fills_.push_back(fillDone);
-        return CacheResult{fillDone + lat.bankToCache, false};
+        return CacheResult{fillDone + lat.bankToCache, false,
+                           portWait + (bg.start - bankReq)};
     }
 
     // ---- Miss path ----
@@ -210,7 +214,8 @@ DCache::access(const CacheAccess &req, MemSystem &fabric)
         way.fillDone = start;
         ++misses_;
         ++storeAllocs_;
-        return CacheResult{start + lat.memLocalHit, false};
+        return CacheResult{start + lat.memLocalHit, false,
+                           portWait + (start - grant)};
     }
 
     const Cycle bankReq = start + lat.missToBank;
@@ -223,7 +228,8 @@ DCache::access(const CacheAccess &req, MemSystem &fabric)
     way.fillDone = fillDone;
     fills_.push_back(fillDone);
     ++misses_;
-    return CacheResult{fillDone + lat.bankToCache, false};
+    return CacheResult{fillDone + lat.bankToCache, false,
+                       portWait + (start - grant) + (bg.start - bankReq)};
 }
 
 Cycle

@@ -47,6 +47,7 @@ struct CacheResult
 {
     Cycle ready = 0;  ///< data available at this cache
     bool hit = false; ///< tag hit (scratch accesses always hit)
+    u64 queueWait = 0; ///< queueing cycles: port + MSHR + bank queue
 };
 
 /** Timing model of one quad data cache. */

@@ -7,9 +7,10 @@ namespace cyclops::arch
 {
 
 void
-MemSystem::init(const ChipConfig &cfg, StatGroup *stats)
+MemSystem::init(const ChipConfig &cfg, StatGroup *stats, Tracer *tracer)
 {
     cfg_ = &cfg;
+    tracer_ = tracer;
     caches_.resize(cfg.numCaches());
     banks_.resize(cfg.numBanks);
     availBanks_.clear();
@@ -206,7 +207,19 @@ MemSystem::access(Cycle now, ThreadId tid, Addr ea, u8 bytes, MemKind kind)
         remote ? ++remoteMisses_ : ++localMisses_;
     }
 
-    return MemTiming{ready, target, remote, res.hit};
+    if (tracer_ && tracer_->enabled()) {
+        static const char *const kKindNames[] = {"load", "store", "atomic",
+                                                 "prefetch"};
+        tracer_->complete(TraceCat::Mem, tid,
+                          kKindNames[static_cast<u8>(kind)], now,
+                          ready - now, ea);
+        if (!res.hit && !scratch)
+            tracer_->complete(TraceCat::Cache, tid,
+                              remote ? "remoteMiss" : "localMiss", now,
+                              ready - now, ea);
+    }
+
+    return MemTiming{ready, target, remote, res.hit, res.queueWait};
 }
 
 Cycle

@@ -25,6 +25,7 @@
 #include "arch/membank.h"
 #include "common/config.h"
 #include "common/stats.h"
+#include "common/trace.h"
 
 namespace cyclops::arch
 {
@@ -39,6 +40,7 @@ struct MemTiming
     CacheId cache = 0;  ///< cache that serviced the request
     bool remote = false;
     bool hit = false;
+    u64 queueWait = 0;  ///< contention share of the latency (queueing)
 };
 
 /** The data-memory fabric of one chip. */
@@ -47,8 +49,12 @@ class MemSystem
   public:
     MemSystem() = default;
 
-    /** Build caches and banks from the configuration. */
-    void init(const ChipConfig &cfg, StatGroup *stats);
+    /**
+     * Build caches and banks from the configuration. @p tracer (may be
+     * null) receives mem/cache events for every access.
+     */
+    void init(const ChipConfig &cfg, StatGroup *stats,
+              Tracer *tracer = nullptr);
 
     /**
      * One data access from thread @p tid at cycle @p now.
@@ -146,6 +152,7 @@ class MemSystem
     void updateBankGeometry();
 
     const ChipConfig *cfg_ = nullptr;
+    Tracer *tracer_ = nullptr;
     std::vector<DCache> caches_;
     std::vector<MemBank> banks_;
     std::vector<BankId> availBanks_;

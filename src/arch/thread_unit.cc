@@ -29,10 +29,14 @@ ThreadUnit::setReg(unsigned index, u32 value)
 }
 
 void
-ThreadUnit::setRegReady(unsigned index, Cycle at)
+ThreadUnit::setRegReady(unsigned index, Cycle at, CycleCat producer,
+                        u64 queueing)
 {
-    if (index != 0)
+    if (index != 0) {
         ready_[index] = at;
+        prodCat_[index] = static_cast<u8>(producer);
+        prodQueue_[index] = queueing;
+    }
 }
 
 double
@@ -53,15 +57,16 @@ ThreadUnit::setRegPair(unsigned even, double value)
     setReg(even + 1, u32(raw >> 32));
 }
 
-Cycle
+ThreadUnit::Hazard
 ThreadUnit::hazardsClearAt(const Instr &instr) const
 {
     const InstrMeta &m = isa::meta(instr.op);
-    Cycle at = 0;
+    Hazard h;
     auto consider = [&](unsigned reg, bool pair) {
-        at = std::max(at, ready_[reg]);
-        if (pair)
-            at = std::max(at, ready_[reg + 1]);
+        if (ready_[reg] > h.at)
+            h = {ready_[reg], reg};
+        if (pair && ready_[reg + 1] > h.at)
+            h = {ready_[reg + 1], reg + 1};
     };
     if (m.readsRa)
         consider(instr.ra, m.fpPairRa);
@@ -69,7 +74,7 @@ ThreadUnit::hazardsClearAt(const Instr &instr) const
         consider(instr.rb, m.fpPairRb);
     if (m.readsRd || m.writesRd)
         consider(instr.rd, m.fpPairRd);
-    return at;
+    return h;
 }
 
 Cycle
@@ -83,17 +88,28 @@ ThreadUnit::tick(Cycle now)
         const Cycle ready = chip_.icacheOf(tid_).refill(
             now, pib_.windowBase(pc_), chip_.memsys());
         pib_.load(pc_);
-        accountStall(now, ready);
-        return std::max(ready, now + 1);
+        const Cycle wake = std::max(ready, now + 1);
+        accountWait(now, wake, CycleCat::IcacheMiss);
+        Tracer &tr = chip_.tracer();
+        if (tr.on(TraceCat::Cache))
+            tr.complete(TraceCat::Cache, tid_, "pibRefill", now,
+                        wake - now, pc_);
+        return wake;
     }
 
     const Instr &instr = chip_.decodedAt(pc_);
 
-    // Register dependences (sources, and WAW on the destination).
-    const Cycle hazard = hazardsClearAt(instr);
-    if (hazard > now) {
-        accountStall(now, hazard);
-        return hazard;
+    // Register dependences (sources, and WAW on the destination):
+    // charge the wait to whatever the producing instruction was
+    // waiting on (its stall category and queueing share).
+    const Hazard hazard = hazardsClearAt(instr);
+    if (hazard.at > now) {
+        accountMemWait(now, hazard.at,
+                       static_cast<CycleCat>(prodCat_[hazard.reg]),
+                       prodQueue_[hazard.reg]);
+        // The queueing share is charged once, not per retry.
+        prodQueue_[hazard.reg] = 0;
+        return hazard.at;
     }
 
     return issue(now, instr);
@@ -141,7 +157,7 @@ ThreadUnit::issue(Cycle now, const Instr &instr)
         }
         setReg(rd, result);
         setRegReady(rd, now + 1);
-        accountIssue(1);
+        accountIssue(now, 1);
         pc_ = nextPc;
         return now + 1;
       }
@@ -150,8 +166,9 @@ ThreadUnit::issue(Cycle now, const Instr &instr)
         const u64 product = u64(regs_[ra]) * u64(regs_[rb]);
         setReg(rd, instr.op == Opcode::Mul ? u32(product)
                                            : u32(product >> 32));
-        setRegReady(rd, now + lat.intMulExec + lat.intMulLat);
-        accountIssue(lat.intMulExec);
+        setRegReady(rd, now + lat.intMulExec + lat.intMulLat,
+                    CycleCat::FpuArb);
+        accountIssue(now, lat.intMulExec);
         pc_ = nextPc;
         return now + lat.intMulExec;
       }
@@ -171,7 +188,7 @@ ThreadUnit::issue(Cycle now, const Instr &instr)
         }
         setReg(rd, result);
         setRegReady(rd, now + lat.intDivExec);
-        accountIssue(lat.intDivExec);
+        accountIssue(now, lat.intDivExec);
         pc_ = nextPc;
         return now + lat.intDivExec;
       }
@@ -199,13 +216,13 @@ ThreadUnit::issue(Cycle now, const Instr &instr)
             setReg(rd, pc_ + 4);
             setRegReady(rd, now + lat.branchExec);
             pc_ = target;
-            accountIssue(lat.branchExec);
+            accountIssue(now, lat.branchExec);
             return now + lat.branchExec;
           }
           default: panic("bad branch opcode");
         }
         pc_ = taken ? pc_ + 4 + u32(imm) * 4 : nextPc;
-        accountIssue(lat.branchExec);
+        accountIssue(now, lat.branchExec);
         return now + lat.branchExec;
       }
 
@@ -214,9 +231,9 @@ ThreadUnit::issue(Cycle now, const Instr &instr)
       case UnitClass::Atomic: {
         mem_.prune(now);
         if (mem_.full()) {
-            const Cycle wake = mem_.earliest();
-            accountStall(now, wake);
-            return std::max(wake, now + 1);
+            const Cycle wake = std::max(mem_.earliest(), now + 1);
+            accountWait(now, wake, CycleCat::DcacheMiss);
+            return wake;
         }
         // Atomics address through ra alone (rb is the operand); the
         // indexed loads/stores (lwx/ldx/...) add ra + rb.
@@ -246,7 +263,7 @@ ThreadUnit::issue(Cycle now, const Instr &instr)
             MemTiming t = chip_.memsys().access(now, tid_, ea, 4,
                                                 MemKind::Atomic);
             setReg(rd, old);
-            setRegReady(rd, t.ready);
+            setRegReady(rd, t.ready, CycleCat::DcacheMiss, t.queueWait);
             mem_.add(t.ready);
         } else if (m.unit == UnitClass::Load) {
             u64 raw = chip_.memRead(ea, m.memBytes, tid_);
@@ -261,11 +278,14 @@ ThreadUnit::issue(Cycle now, const Instr &instr)
             if (m.memBytes == 8) {
                 setReg(rd, u32(raw));
                 setReg(rd + 1, u32(raw >> 32));
-                setRegReady(rd, t.ready);
-                setRegReady(rd + 1, t.ready);
+                setRegReady(rd, t.ready, CycleCat::DcacheMiss,
+                            t.queueWait);
+                setRegReady(rd + 1, t.ready, CycleCat::DcacheMiss,
+                            t.queueWait);
             } else {
                 setReg(rd, u32(raw));
-                setRegReady(rd, t.ready);
+                setRegReady(rd, t.ready, CycleCat::DcacheMiss,
+                            t.queueWait);
             }
             mem_.add(t.ready);
         } else {
@@ -278,7 +298,7 @@ ThreadUnit::issue(Cycle now, const Instr &instr)
                                                 MemKind::Store);
             mem_.add(t.ready);
         }
-        accountIssue(1);
+        accountIssue(now, 1);
         pc_ = nextPc;
         return now + 1;
       }
@@ -298,7 +318,7 @@ ThreadUnit::issue(Cycle now, const Instr &instr)
         }
         Cycle resultAt = 0;
         if (!chip_.fpuOf(tid_).dispatch(now, port, &resultAt)) {
-            accountStall(now, now + 1);
+            accountWait(now, now + 1, CycleCat::FpuArb);
             return now + 1; // shared FPU busy: retry (round-robin)
         }
         switch (instr.op) {
@@ -360,12 +380,12 @@ ThreadUnit::issue(Cycle now, const Instr &instr)
           default: panic("bad FP opcode");
         }
         if (m.fpPairRd) {
-            setRegReady(rd, resultAt);
-            setRegReady(rd + 1, resultAt);
+            setRegReady(rd, resultAt, CycleCat::FpuArb);
+            setRegReady(rd + 1, resultAt, CycleCat::FpuArb);
         } else {
-            setRegReady(rd, resultAt);
+            setRegReady(rd, resultAt, CycleCat::FpuArb);
         }
-        accountIssue(1);
+        accountIssue(now, 1);
         pc_ = nextPc;
         return now + 1;
       }
@@ -373,11 +393,21 @@ ThreadUnit::issue(Cycle now, const Instr &instr)
       case UnitClass::Spr: {
         if (instr.op == Opcode::Mfspr) {
             setReg(rd, chip_.readSpr(tid_, u32(imm)));
-            setRegReady(rd, now + lat.sprLat);
+            // Waiting on a barrier-SPR read is barrier time; other
+            // SPRs charge like any long-latency functional unit.
+            setRegReady(rd, now + lat.sprLat,
+                        u32(imm) == isa::kSprBarrier ? CycleCat::BarrierWait
+                                                     : CycleCat::FpuArb);
         } else {
             chip_.writeSpr(tid_, u32(imm), regs_[ra]);
+            if (u32(imm) == isa::kSprBarrier) {
+                Tracer &tr = chip_.tracer();
+                if (tr.on(TraceCat::Barrier))
+                    tr.instant(TraceCat::Barrier, tid_, "mtspr.barrier",
+                               now, regs_[ra]);
+            }
         }
-        accountIssue(1);
+        accountIssue(now, 1);
         pc_ = nextPc;
         return now + 1;
       }
@@ -385,11 +415,11 @@ ThreadUnit::issue(Cycle now, const Instr &instr)
       case UnitClass::Sync: {
         mem_.prune(now);
         if (!mem_.empty()) {
-            const Cycle wake = mem_.latest();
-            accountStall(now, wake);
-            return std::max(wake, now + 1);
+            const Cycle wake = std::max(mem_.latest(), now + 1);
+            accountWait(now, wake, CycleCat::DcacheMiss);
+            return wake;
         }
-        accountIssue(1);
+        accountIssue(now, 1);
         pc_ = nextPc;
         return now + 1;
       }
@@ -397,9 +427,9 @@ ThreadUnit::issue(Cycle now, const Instr &instr)
       case UnitClass::CacheOp: {
         mem_.prune(now);
         if (mem_.full()) {
-            const Cycle wake = mem_.earliest();
-            accountStall(now, wake);
-            return std::max(wake, now + 1);
+            const Cycle wake = std::max(mem_.earliest(), now + 1);
+            accountWait(now, wake, CycleCat::DcacheMiss);
+            return wake;
         }
         const Addr ea = regs_[ra] + u32(imm);
         Cycle done;
@@ -418,7 +448,7 @@ ThreadUnit::issue(Cycle now, const Instr &instr)
           default: panic("bad cache op");
         }
         mem_.add(done);
-        accountIssue(1);
+        accountIssue(now, 1);
         pc_ = nextPc;
         return now + 1;
       }
@@ -426,18 +456,18 @@ ThreadUnit::issue(Cycle now, const Instr &instr)
       case UnitClass::Misc: {
         if (instr.op == Opcode::Halt) {
             markHalted();
-            accountIssue(1);
+            accountIssue(now, 1);
             return kCycleNever;
         }
         if (instr.op == Opcode::Trap) {
             if (u32(imm) == isa::kTrapExit) {
                 markHalted();
-                accountIssue(1);
+                accountIssue(now, 1);
                 return kCycleNever;
             }
             chip_.trap(tid_, u32(imm), regs_[4]);
         }
-        accountIssue(1);
+        accountIssue(now, 1);
         pc_ = nextPc;
         return now + 1;
       }

@@ -54,19 +54,34 @@ class ThreadUnit : public Unit
     void setPc(PhysAddr pc) { pc_ = pc; }
 
   private:
+    /** The register (and its ready time) that delays an issue longest. */
+    struct Hazard {
+        Cycle at = 0;
+        unsigned reg = 0;
+    };
+
     /** Issue one instruction; returns the next cycle to run. */
     Cycle issue(Cycle now, const isa::Instr &instr);
 
-    /** Earliest cycle all of @p instr's register hazards clear. */
-    Cycle hazardsClearAt(const isa::Instr &instr) const;
+    /** Latest-clearing register hazard of @p instr (sources + WAW). */
+    Hazard hazardsClearAt(const isa::Instr &instr) const;
 
     Cycle regReadyAt(unsigned index) const { return ready_[index]; }
-    void setRegReady(unsigned index, Cycle at);
+
+    /**
+     * Mark @p index ready at @p at, remembering which stall category a
+     * dependent instruction waiting on it should charge, and how many
+     * of the wait cycles were memory-path queueing (contention).
+     */
+    void setRegReady(unsigned index, Cycle at,
+                     CycleCat producer = CycleCat::Run, u64 queueing = 0);
 
     Chip &chip_;
     PhysAddr pc_;
     std::array<u32, isa::kNumRegs> regs_{};
     std::array<Cycle, isa::kNumRegs> ready_{};
+    std::array<u8, isa::kNumRegs> prodCat_{};  ///< CycleCat per register
+    std::array<u64, isa::kNumRegs> prodQueue_{};
     OutstandingMem mem_;
     Pib pib_;
 };

@@ -20,6 +20,62 @@
 namespace cyclops::arch
 {
 
+/**
+ * Where one thread-unit cycle went — the Figure 7 total/run/stall
+ * split, generalized to the paper's individual stall causes. Every
+ * cycle between a unit's first and last activity is charged to exactly
+ * one category; cycles outside that window (before spawn, after halt,
+ * or parked between kernel dispatches) are "sleep".
+ */
+enum class CycleCat : u8 {
+    Run = 0,            ///< issuing/executing instructions
+    IcacheMiss = 1,     ///< waiting on a PIB refill through the I-cache
+    DcacheMiss = 2,     ///< waiting on data-memory results (service time)
+    BankContention = 3, ///< queueing share of memory waits (ports/banks)
+    FpuArb = 4,         ///< FPU/long-latency functional-unit waits
+    BarrierWait = 5,    ///< barrier entry and spin waits
+};
+
+inline constexpr u32 kNumCycleCats = 6;
+
+/** Display names; index kNumCycleCats is the derived "sleep" bucket. */
+inline constexpr const char *kCycleCatNames[kNumCycleCats + 1] = {
+    "run",  "icacheMiss",  "dcacheMiss",
+    "bankContention", "fpuArb", "barrierWait", "sleep"};
+
+/** Per-category cycle totals for one TU, one quad, or the whole chip. */
+struct CycleBreakdown {
+    u64 cat[kNumCycleCats] = {};
+    u64 sleep = 0;
+
+    u64 &operator[](CycleCat c) { return cat[static_cast<u8>(c)]; }
+    u64 operator[](CycleCat c) const { return cat[static_cast<u8>(c)]; }
+
+    /** Cycles charged to an explicit category (excludes sleep). */
+    u64
+    charged() const
+    {
+        u64 sum = 0;
+        for (u64 v : cat)
+            sum += v;
+        return sum;
+    }
+
+    /** All cycles including sleep. */
+    u64 total() const { return charged() + sleep; }
+
+    /** Indexed access; index kNumCycleCats is the sleep bucket. */
+    u64 value(u32 i) const { return i < kNumCycleCats ? cat[i] : sleep; }
+
+    void
+    add(const CycleBreakdown &other)
+    {
+        for (u32 i = 0; i < kNumCycleCats; ++i)
+            cat[i] += other.cat[i];
+        sleep += other.sleep;
+    }
+};
+
 /** One schedulable hardware thread context. */
 class Unit
 {
@@ -44,37 +100,94 @@ class Unit
     ThreadId tid() const { return tid_; }
 
     /** Cycles spent issuing/executing instructions. */
-    u64 runCycles() const { return runCycles_; }
+    u64 runCycles() const { return cat_[static_cast<u8>(CycleCat::Run)]; }
 
     /** Cycles spent stalled on operands or shared resources. */
-    u64 stallCycles() const { return stallCycles_; }
+    u64 stallCycles() const { return chargedCycles() - runCycles(); }
+
+    /** Cycles charged to @p c. */
+    u64 catCycles(CycleCat c) const { return cat_[static_cast<u8>(c)]; }
+
+    /** All cycles charged to any category (= run + stall). */
+    u64
+    chargedCycles() const
+    {
+        u64 sum = 0;
+        for (u64 v : cat_)
+            sum += v;
+        return sum;
+    }
+
+    /**
+     * First cycle any charge begins / one past the last cycle charged.
+     * The accounting invariant — every cycle between them charged to
+     * exactly one category — is lastChargeEnd() - firstChargeAt() ==
+     * chargedCycles(), which tests assert per TU.
+     */
+    Cycle firstChargeAt() const { return firstChargeAt_; }
+    Cycle lastChargeEnd() const { return lastChargeEnd_; }
 
     /** Instructions issued. */
     u64 instructions() const { return instructions_; }
 
   protected:
-    /** Record the issue of one instruction occupying @p exec cycles. */
+    /**
+     * Record the issue at @p now of one instruction occupying @p exec
+     * cycles: charges [now, now+exec) as Run.
+     */
     void
-    accountIssue(u32 exec)
+    accountIssue(Cycle now, u32 exec)
     {
-        runCycles_ += exec;
+        cat_[static_cast<u8>(CycleCat::Run)] += exec;
         ++instructions_;
+        touch(now, now + exec);
     }
 
-    /** Record a blocked interval [now, wake). */
+    /** Charge the blocked interval [now, wake) to @p cat. */
     void
-    accountStall(Cycle now, Cycle wake)
+    accountWait(Cycle now, Cycle wake, CycleCat cat)
     {
-        if (wake > now)
-            stallCycles_ += wake - now;
+        if (wake <= now)
+            return;
+        cat_[static_cast<u8>(cat)] += wake - now;
+        touch(now, wake);
+    }
+
+    /**
+     * Charge a memory wait [now, wake): up to @p queueing cycles of it
+     * are contention (time the request spent queued at a cache port,
+     * MSHR or bank) and go to BankContention; the rest — the intrinsic
+     * service time — goes to @p cat.
+     */
+    void
+    accountMemWait(Cycle now, Cycle wake, CycleCat cat, u64 queueing)
+    {
+        if (wake <= now)
+            return;
+        const u64 span = wake - now;
+        const u64 queued = std::min(span, queueing);
+        cat_[static_cast<u8>(CycleCat::BankContention)] += queued;
+        cat_[static_cast<u8>(cat)] += span - queued;
+        touch(now, wake);
     }
 
     void markHalted() { halted_ = true; }
 
+    /** Extend the charged window to cover [start, end). */
+    void
+    touch(Cycle start, Cycle end)
+    {
+        if (start < firstChargeAt_)
+            firstChargeAt_ = start;
+        if (end > lastChargeEnd_)
+            lastChargeEnd_ = end;
+    }
+
     ThreadId tid_;
     bool halted_ = false;
-    u64 runCycles_ = 0;
-    u64 stallCycles_ = 0;
+    u64 cat_[kNumCycleCats] = {};
+    Cycle firstChargeAt_ = kCycleNever;
+    Cycle lastChargeEnd_ = 0;
     u64 instructions_ = 0;
 };
 

@@ -53,7 +53,7 @@ isPow2(u64 value)
     return value != 0 && (value & (value - 1)) == 0;
 }
 
-/** log2 of a power of two. */
+/** floor(log2(value)) for value >= 1; exact log2 for powers of two. */
 constexpr unsigned
 log2i(u64 value)
 {

@@ -6,6 +6,18 @@
 namespace cyclops
 {
 
+std::string
+ObsConfig::expandPath(const std::string &path) const
+{
+    std::string out = path;
+    size_t pos = 0;
+    while ((pos = out.find("%t", pos)) != std::string::npos) {
+        out.replace(pos, 2, tag);
+        pos += tag.size();
+    }
+    return out;
+}
+
 void
 ChipConfig::validate() const
 {

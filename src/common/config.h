@@ -29,6 +29,8 @@
 #ifndef CYCLOPS_COMMON_CONFIG_H
 #define CYCLOPS_COMMON_CONFIG_H
 
+#include <string>
+
 #include "common/types.h"
 
 namespace cyclops
@@ -77,6 +79,34 @@ struct LatencyConfig
 };
 
 /**
+ * Observability configuration: cycle-attribution export, event tracing
+ * and epoch-sampled metrics. All default-off; none of the options may
+ * change simulated timing (asserted by determinism tests).
+ *
+ * Output paths may contain "%t", replaced by @ref tag at write time so
+ * sweep points running concurrently never share a file.
+ */
+struct ObsConfig
+{
+    u32 statsInterval = 0;     ///< epoch sample period in cycles (0 = off)
+    u8 traceCats = 0;          ///< TraceCat bitmask (see common/trace.h)
+    u32 traceCapacity = 65536; ///< ring-buffer capacity in events
+    std::string traceOut;      ///< Chrome-trace JSON path ("" = off)
+    std::string statsJson;     ///< end-of-run stats JSON path ("" = off)
+    std::string statsCsv;      ///< epoch-series CSV path ("" = off)
+    std::string tag;           ///< substituted for "%t" in output paths
+
+    bool
+    anyOutput() const
+    {
+        return !traceOut.empty() || !statsJson.empty() || !statsCsv.empty();
+    }
+
+    /** @p path with every "%t" replaced by the tag. */
+    std::string expandPath(const std::string &path) const;
+};
+
+/**
  * Structural configuration of one Cyclops chip.
  *
  * The architecture does not fix the number of components at each level
@@ -122,6 +152,7 @@ struct ChipConfig
     u64 clockHz = 500'000'000; ///< 500 MHz
 
     LatencyConfig lat;
+    ObsConfig obs;
 
     // Derived quantities ------------------------------------------------
     u32 numQuads() const { return numThreads / threadsPerQuad; }

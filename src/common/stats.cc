@@ -10,7 +10,7 @@ namespace cyclops
 void
 StatGroup::addCounter(const std::string &name, Counter *counter)
 {
-    if (counterIndex_.count(name))
+    if (counterIndex_.count(name) || gaugeIndex_.count(name))
         panic("duplicate counter registration: %s", name.c_str());
     counterIndex_[name] = counters_.size();
     counters_.emplace_back(name, counter);
@@ -19,7 +19,19 @@ StatGroup::addCounter(const std::string &name, Counter *counter)
 void
 StatGroup::addHistogram(const std::string &name, Histogram *histogram)
 {
+    if (histogramIndex_.count(name))
+        panic("duplicate histogram registration: %s", name.c_str());
+    histogramIndex_[name] = histograms_.size();
     histograms_.emplace_back(name, histogram);
+}
+
+void
+StatGroup::addGauge(const std::string &name, GaugeFn fn)
+{
+    if (counterIndex_.count(name) || gaugeIndex_.count(name))
+        panic("duplicate gauge registration: %s", name.c_str());
+    gaugeIndex_[name] = gauges_.size();
+    gauges_.emplace_back(name, std::move(fn));
 }
 
 void
@@ -35,37 +47,73 @@ u64
 StatGroup::counterValue(const std::string &name) const
 {
     auto it = counterIndex_.find(name);
-    if (it == counterIndex_.end())
-        fatal("unknown counter: %s", name.c_str());
-    return counters_[it->second].second->value();
+    if (it != counterIndex_.end())
+        return counters_[it->second].second->value();
+    auto git = gaugeIndex_.find(name);
+    if (git != gaugeIndex_.end())
+        return gauges_[git->second].second();
+    fatal("unknown counter: %s", name.c_str());
+    return 0;
 }
 
 const Histogram *
 StatGroup::histogram(const std::string &name) const
 {
-    for (const auto &[histName, h] : histograms_)
-        if (histName == name)
-            return h;
-    return nullptr;
+    auto it = histogramIndex_.find(name);
+    return it == histogramIndex_.end() ? nullptr
+                                       : histograms_[it->second].second;
 }
 
 std::vector<std::pair<std::string, u64>>
 StatGroup::counters() const
 {
     std::vector<std::pair<std::string, u64>> out;
-    out.reserve(counters_.size());
+    out.reserve(counters_.size() + gauges_.size());
     for (const auto &[name, c] : counters_)
         out.emplace_back(name, c->value());
+    for (const auto &[name, fn] : gauges_)
+        out.emplace_back(name, fn());
     return out;
+}
+
+std::vector<std::pair<std::string, const Histogram *>>
+StatGroup::histograms() const
+{
+    std::vector<std::pair<std::string, const Histogram *>> out;
+    out.reserve(histograms_.size());
+    for (const auto &[name, h] : histograms_)
+        out.emplace_back(name, h);
+    return out;
+}
+
+std::vector<std::string>
+StatGroup::scalarNames() const
+{
+    std::vector<std::string> out;
+    out.reserve(counters_.size() + gauges_.size());
+    for (const auto &[name, c] : counters_)
+        out.push_back(name);
+    for (const auto &[name, fn] : gauges_)
+        out.push_back(name);
+    return out;
+}
+
+void
+StatGroup::sampleScalars(std::vector<u64> &out) const
+{
+    for (const auto &[name, c] : counters_)
+        out.push_back(c->value());
+    for (const auto &[name, fn] : gauges_)
+        out.push_back(fn());
 }
 
 std::string
 StatGroup::dump() const
 {
     std::ostringstream os;
-    for (const auto &[name, c] : counters_)
+    for (const auto &[name, value] : counters())
         os << strprintf("%-48s %20llu\n", name.c_str(),
-                        static_cast<unsigned long long>(c->value()));
+                        static_cast<unsigned long long>(value));
     for (const auto &[name, h] : histograms_) {
         os << strprintf("%-48s n=%llu mean=%.2f max=%llu\n", name.c_str(),
                         static_cast<unsigned long long>(h->samples()),

@@ -11,10 +11,13 @@
 #ifndef CYCLOPS_COMMON_STATS_H
 #define CYCLOPS_COMMON_STATS_H
 
+#include <algorithm>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "common/bitops.h"
 #include "common/types.h"
 
 namespace cyclops
@@ -46,9 +49,10 @@ class Histogram
     void
     sample(u64 value)
     {
-        unsigned bucket = 0;
-        while (bucket + 1 < kBuckets && (1ull << (bucket + 1)) <= value)
-            ++bucket;
+        // Bucket i holds values in [2^i, 2^(i+1)), i.e. floor(log2),
+        // with 0 landing in bucket 0 and the top bucket open-ended.
+        const unsigned bucket =
+            value ? std::min(log2i(value), kBuckets - 1) : 0;
         ++counts_[bucket];
         sum_ += value;
         ++n_;
@@ -86,23 +90,42 @@ class Histogram
 class StatGroup
 {
   public:
+    /** A derived statistic, evaluated on demand at dump/sample time. */
+    using GaugeFn = std::function<u64()>;
+
     /** Register a counter under @p name. */
     void addCounter(const std::string &name, Counter *counter);
 
     /** Register a histogram under @p name. */
     void addHistogram(const std::string &name, Histogram *histogram);
 
-    /** Reset every registered statistic to zero. */
+    /** Register a gauge under @p name. Shares the counter namespace. */
+    void addGauge(const std::string &name, GaugeFn fn);
+
+    /** Reset every registered statistic to zero (gauges are derived). */
     void resetAll();
 
-    /** Value of a registered counter; fatal() if the name is unknown. */
+    /** Value of a registered counter or gauge; fatal() if unknown. */
     u64 counterValue(const std::string &name) const;
 
     /** Registered histogram by name; nullptr if unknown. */
     const Histogram *histogram(const std::string &name) const;
 
-    /** All registered counters in registration order (name, value). */
+    /** All counters then gauges, in registration order (name, value). */
     std::vector<std::pair<std::string, u64>> counters() const;
+
+    /** All registered histograms in registration order. */
+    std::vector<std::pair<std::string, const Histogram *>> histograms() const;
+
+    /**
+     * Scalar column names (counters then gauges, registration order).
+     * Stable across a chip's lifetime: registration happens only at
+     * construction, so epoch samples share one header.
+     */
+    std::vector<std::string> scalarNames() const;
+
+    /** Current scalar values in scalarNames() order, appended to @p out. */
+    void sampleScalars(std::vector<u64> &out) const;
 
     /** Multi-line human-readable dump of all statistics. */
     std::string dump() const;
@@ -110,7 +133,10 @@ class StatGroup
   private:
     std::vector<std::pair<std::string, Counter *>> counters_;
     std::vector<std::pair<std::string, Histogram *>> histograms_;
+    std::vector<std::pair<std::string, GaugeFn>> gauges_;
     std::map<std::string, size_t> counterIndex_;
+    std::map<std::string, size_t> gaugeIndex_;
+    std::map<std::string, size_t> histogramIndex_;
 };
 
 } // namespace cyclops

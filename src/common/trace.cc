@@ -1,0 +1,128 @@
+#include "common/trace.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace cyclops
+{
+
+const char *const kTraceCatNames[kNumTraceCats] = {
+    "mem", "cache", "barrier", "kernel", "sched"};
+
+u8
+parseTraceCats(const std::string &spec)
+{
+    if (spec.empty() || spec == "none")
+        return 0;
+    if (spec == "all")
+        return kTraceAll;
+    u8 mask = 0;
+    size_t pos = 0;
+    while (pos < spec.size()) {
+        size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string name = spec.substr(pos, comma - pos);
+        bool found = false;
+        for (u32 i = 0; i < kNumTraceCats; ++i) {
+            if (name == kTraceCatNames[i]) {
+                mask |= u8(1u << i);
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            fatal("unknown trace category '%s' (valid: "
+                  "mem,cache,barrier,kernel,sched,all,none)",
+                  name.c_str());
+        pos = comma + 1;
+    }
+    return mask;
+}
+
+void
+Tracer::configure(u8 mask, u32 capacity)
+{
+    mask_ = mask;
+    next_ = 0;
+    filled_ = false;
+    dropped_ = 0;
+    ring_.clear();
+    if (mask_ && capacity)
+        ring_.resize(capacity);
+}
+
+std::vector<Tracer::Event>
+Tracer::sorted() const
+{
+    std::vector<Event> out;
+    out.reserve(size());
+    if (filled_)
+        out.insert(out.end(), ring_.begin() + next_, ring_.end());
+    out.insert(out.end(), ring_.begin(), ring_.begin() + next_);
+    std::stable_sort(out.begin(), out.end(),
+                     [](const Event &a, const Event &b) {
+                         if (a.start != b.start)
+                             return a.start < b.start;
+                         return a.tid < b.tid;
+                     });
+    return out;
+}
+
+void
+Tracer::writeChromeJson(std::FILE *out, u32 numTracks) const
+{
+    // ts/dur are microseconds in the trace-event format; we map one
+    // simulated cycle to one microsecond so Perfetto's time axis reads
+    // directly in cycles.
+    std::fputs("{\n  \"displayTimeUnit\": \"ns\",\n"
+               "  \"traceEvents\": [\n",
+               out);
+    std::fprintf(out,
+                 "    {\"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"name\": "
+                 "\"process_name\", \"args\": {\"name\": \"cyclops\"}}");
+    for (u32 t = 0; t < numTracks; ++t) {
+        std::fprintf(out,
+                     ",\n    {\"ph\": \"M\", \"pid\": 1, \"tid\": %u, "
+                     "\"name\": \"thread_name\", \"args\": {\"name\": "
+                     "\"tu%u\"}}",
+                     t, t);
+    }
+    for (const Event &ev : sorted()) {
+        const char *cat = kTraceCatNames[ev.cat];
+        if (ev.phase == 'X') {
+            std::fprintf(out,
+                         ",\n    {\"ph\": \"X\", \"pid\": 1, \"tid\": %u, "
+                         "\"name\": \"%s\", \"cat\": \"%s\", \"ts\": %llu, "
+                         "\"dur\": %llu, \"args\": {\"arg\": %llu}}",
+                         ev.tid, ev.name, cat,
+                         static_cast<unsigned long long>(ev.start),
+                         static_cast<unsigned long long>(ev.dur),
+                         static_cast<unsigned long long>(ev.arg));
+        } else {
+            std::fprintf(out,
+                         ",\n    {\"ph\": \"i\", \"pid\": 1, \"tid\": %u, "
+                         "\"name\": \"%s\", \"cat\": \"%s\", \"ts\": %llu, "
+                         "\"s\": \"t\", \"args\": {\"arg\": %llu}}",
+                         ev.tid, ev.name, cat,
+                         static_cast<unsigned long long>(ev.start),
+                         static_cast<unsigned long long>(ev.arg));
+        }
+    }
+    std::fprintf(out,
+                 "\n  ],\n  \"otherData\": {\"droppedEvents\": %llu}\n}\n",
+                 static_cast<unsigned long long>(dropped_));
+}
+
+void
+Tracer::writeChromeJson(const std::string &path, u32 numTracks) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("cannot open trace output '%s'", path.c_str());
+    writeChromeJson(f, numTracks);
+    std::fclose(f);
+}
+
+} // namespace cyclops

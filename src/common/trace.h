@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Ring-buffer event tracer with Chrome trace-event JSON export.
+ *
+ * One Tracer instance belongs to one Chip, so concurrent simulations
+ * (parallelSweep) never share tracer state. Events are recorded into a
+ * preallocated ring of fixed-size PODs: recording performs no
+ * allocation, and when a category is disabled the record call is a
+ * single mask test. Event names must be string literals (the tracer
+ * stores the pointer, not a copy).
+ *
+ * Export follows the Chrome trace-event format ("traceEvents" array of
+ * phase "X"/"i"/"M" objects) so the output loads directly in Perfetto
+ * or chrome://tracing. One simulated cycle is mapped to one
+ * microsecond; thread-unit ids become per-process thread tracks.
+ */
+
+#ifndef CYCLOPS_COMMON_TRACE_H
+#define CYCLOPS_COMMON_TRACE_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace cyclops
+{
+
+/** Runtime-toggled event categories, one bit each. */
+enum class TraceCat : u8 {
+    Mem = 0,     ///< memory-system accesses (loads/stores/atomics)
+    Cache = 1,   ///< cache misses and refills
+    Barrier = 2, ///< barrier entry/release
+    Kernel = 3,  ///< traps and kernel services
+    Sched = 4,   ///< thread activation/halt
+};
+
+inline constexpr u32 kNumTraceCats = 5;
+extern const char *const kTraceCatNames[kNumTraceCats];
+
+/** Bit for @p cat in a category mask. */
+constexpr u8
+traceBit(TraceCat cat)
+{
+    return static_cast<u8>(1u << static_cast<u8>(cat));
+}
+
+/** All categories enabled. */
+inline constexpr u8 kTraceAll = (1u << kNumTraceCats) - 1;
+
+/**
+ * Parse a comma-separated category list ("mem,barrier", "all", "none",
+ * "") into a mask. fatal() on an unknown category name.
+ */
+u8 parseTraceCats(const std::string &spec);
+
+class Tracer
+{
+  public:
+    /** One recorded event; fixed-size, name must outlive the tracer. */
+    struct Event {
+        Cycle start;      ///< cycle the event begins
+        Cycle dur;        ///< duration in cycles (0 for instants)
+        const char *name; ///< static string; never freed
+        u64 arg;          ///< one free-form argument ("arg" in JSON)
+        u32 tid;          ///< thread-unit track
+        u8 cat;           ///< TraceCat
+        u8 phase;         ///< 'X' complete or 'i' instant
+    };
+
+    /**
+     * Set the enabled-category mask and ring capacity. Buffer space is
+     * allocated here (once); a zero mask keeps the tracer disabled and
+     * allocates nothing.
+     */
+    void configure(u8 mask, u32 capacity);
+
+    /** True if @p cat is enabled (single load+test on the hot path). */
+    bool on(TraceCat cat) const { return mask_ & traceBit(cat); }
+
+    /** True if any category is enabled. */
+    bool enabled() const { return mask_ != 0; }
+
+    /** Record a complete event spanning [start, start+dur). */
+    void
+    complete(TraceCat cat, u32 tid, const char *name, Cycle start,
+             Cycle dur, u64 arg = 0)
+    {
+        if (!on(cat))
+            return;
+        record({start, dur, name, arg, tid, static_cast<u8>(cat), 'X'});
+    }
+
+    /** Record an instantaneous event at @p at. */
+    void
+    instant(TraceCat cat, u32 tid, const char *name, Cycle at, u64 arg = 0)
+    {
+        if (!on(cat))
+            return;
+        record({at, 0, name, arg, tid, static_cast<u8>(cat), 'i'});
+    }
+
+    /** Number of events currently retained (<= capacity). */
+    size_t size() const { return filled_ ? ring_.size() : next_; }
+
+    /** Events that overwrote older ones once the ring filled. */
+    u64 dropped() const { return dropped_; }
+
+    /**
+     * Retained events in chronological order (by start cycle, then tid,
+     * then recording order). Not a hot-path call.
+     */
+    std::vector<Event> sorted() const;
+
+    /** Write the retained events as Chrome trace-event JSON. */
+    void writeChromeJson(std::FILE *out, u32 numTracks) const;
+
+    /** Convenience: writeChromeJson to @p path; fatal() on I/O error. */
+    void writeChromeJson(const std::string &path, u32 numTracks) const;
+
+  private:
+    void
+    record(const Event &ev)
+    {
+        if (ring_.empty())
+            return;
+        if (filled_)
+            ++dropped_;
+        ring_[next_] = ev;
+        if (++next_ == ring_.size()) {
+            next_ = 0;
+            filled_ = true;
+        }
+    }
+
+    std::vector<Event> ring_;
+    size_t next_ = 0;
+    bool filled_ = false;
+    u64 dropped_ = 0;
+    u8 mask_ = 0;
+};
+
+} // namespace cyclops
+
+#endif // CYCLOPS_COMMON_TRACE_H

@@ -6,6 +6,7 @@
 namespace cyclops::exec
 {
 
+using arch::CycleCat;
 using arch::MemKind;
 using arch::MemTiming;
 
@@ -100,7 +101,7 @@ GuestUnit::tick(Cycle now)
         if (!pending_) {
             if (top_.done()) {
                 markHalted();
-                accountIssue(1); // the final halt
+                accountIssue(now, 1); // the final halt
                 return kCycleNever;
             }
             panic("guest coroutine suspended without posting an op");
@@ -131,13 +132,15 @@ GuestUnit::step(Cycle now, MicroOp &op)
     // Dependence on the current chain (in-order issue of dependent code).
     const bool needsChain = !op.indep && op.kind != OpKind::Sync;
     if (needsChain && chainReady_ > now) {
-        accountStall(now, chainReady_);
+        accountMemWait(now, chainReady_, chainCat_, chainQueue_);
+        chainQueue_ = 0; // the queueing share is charged once
         return {false, chainReady_};
     }
 
     switch (op.kind) {
       case OpKind::Alu: {
-        accountIssue(op.count);
+        // A zero-count op still occupies the one cycle its tick takes.
+        accountIssue(now, std::max<u32>(op.count, 1));
         // Independent ALU work (loop overhead) does not produce a
         // value the chain waits on; dependent ALU work replaces it.
         if (!op.indep)
@@ -146,18 +149,18 @@ GuestUnit::step(Cycle now, MicroOp &op)
       }
 
       case OpKind::Branch: {
-        accountIssue(lat.branchExec);
+        accountIssue(now, lat.branchExec);
         return {true, now + lat.branchExec};
       }
 
       case OpKind::Fpu: {
         Cycle resultAt = 0;
         if (!chip_.fpuOf(tid_).dispatch(now, op.fpu, &resultAt)) {
-            accountStall(now, now + 1);
+            accountWait(now, now + 1, CycleCat::FpuArb);
             return {false, now + 1};
         }
-        accountIssue(1);
-        chainReady_ = std::max(chainReady_, resultAt);
+        accountIssue(now, 1);
+        setChain(resultAt, CycleCat::FpuArb, 0);
         return {true, now + 1};
       }
 
@@ -165,14 +168,14 @@ GuestUnit::step(Cycle now, MicroOp &op)
         mem_.prune(now);
         if (mem_.full()) {
             const Cycle wake = mem_.earliest();
-            accountStall(now, wake);
+            accountWait(now, wake, CycleCat::DcacheMiss);
             return {false, wake};
         }
         MemTiming t = issueMem(now, MemKind::Load, op.ea, op.bytes,
                                &op.result);
         mem_.add(t.ready);
-        chainReady_ = std::max(chainReady_, t.ready);
-        accountIssue(1);
+        setChain(t.ready, CycleCat::DcacheMiss, t.queueWait);
+        accountIssue(now, 1);
         return {true, now + 1};
       }
 
@@ -180,13 +183,13 @@ GuestUnit::step(Cycle now, MicroOp &op)
         mem_.prune(now);
         if (mem_.full()) {
             const Cycle wake = mem_.earliest();
-            accountStall(now, wake);
+            accountWait(now, wake, CycleCat::DcacheMiss);
             return {false, wake};
         }
         MemTiming t = issueMem(now, MemKind::Store, op.ea, op.bytes,
                                &op.value);
         mem_.add(t.ready);
-        accountIssue(1);
+        accountIssue(now, 1);
         return {true, now + 1};
       }
 
@@ -196,7 +199,7 @@ GuestUnit::step(Cycle now, MicroOp &op)
         mem_.prune(now);
         if (mem_.full()) {
             const Cycle wake = mem_.earliest();
-            accountStall(now, wake);
+            accountWait(now, wake, CycleCat::DcacheMiss);
             return {false, wake};
         }
         const u32 old = u32(chip_.memRead(op.ea, 4, tid_));
@@ -214,8 +217,8 @@ GuestUnit::step(Cycle now, MicroOp &op)
             chip_.memsys().access(now, tid_, op.ea, 4, MemKind::Atomic);
         op.result = old;
         mem_.add(t.ready);
-        chainReady_ = std::max(chainReady_, t.ready);
-        accountIssue(1);
+        setChain(t.ready, CycleCat::DcacheMiss, t.queueWait);
+        accountIssue(now, 1);
         return {true, now + 1};
       }
 
@@ -223,14 +226,15 @@ GuestUnit::step(Cycle now, MicroOp &op)
         mem_.prune(now);
         if (!mem_.empty()) {
             const Cycle wake = mem_.latest();
-            accountStall(now, wake);
+            accountWait(now, wake, CycleCat::DcacheMiss);
             return {false, wake};
         }
         if (chainReady_ > now) {
-            accountStall(now, chainReady_);
+            accountMemWait(now, chainReady_, chainCat_, chainQueue_);
+            chainQueue_ = 0;
             return {false, chainReady_};
         }
-        accountIssue(1);
+        accountIssue(now, 1);
         return {true, now + 1};
       }
 
@@ -257,20 +261,25 @@ GuestUnit::stepHwBarrier(Cycle now, MicroOp &op)
         // the three ALU instructions computing the new register value.
         mySpr_ = proto.enterValue(mySpr_);
         chip_.barrier().write(tid_, mySpr_);
-        accountIssue(4);
+        accountIssue(now, 4);
         barStage_ = 1;
+        barEnterAt_ = now;
         return {false, now + 4};
     }
 
     // Spin: mfspr + mask + branch. The SPR read result is available
     // after sprLat; the dependent branch waits for it.
     const u8 orValue = chip_.barrier().read();
-    accountIssue(3);
+    accountIssue(now, 3);
     if (proto.released(orValue)) {
         proto.consumeRelease();
+        Tracer &tr = chip_.tracer();
+        if (tr.on(TraceCat::Barrier))
+            tr.complete(TraceCat::Barrier, tid_, "hwBarrier", barEnterAt_,
+                        now + 3 - barEnterAt_, op.count);
         return {true, now + 3};
     }
-    accountStall(now + 3, now + 3 + lat.sprLat);
+    accountWait(now + 3, now + 3 + lat.sprLat, CycleCat::BarrierWait);
     return {false, now + 3 + lat.sprLat};
 }
 
@@ -279,7 +288,7 @@ GuestUnit::stepCentral(Cycle now, MicroOp &op)
 {
     CentralBarrier &bar = *op.central;
     if (bar.count == 1) {
-        accountIssue(1);
+        accountIssue(now, 1);
         return {true, now + 1};
     }
 
@@ -291,22 +300,31 @@ GuestUnit::stepCentral(Cycle now, MicroOp &op)
         chip_.memWrite(bar.counterEa, 4, old + 1, tid_);
         MemTiming t = chip_.memsys().access(now, tid_, bar.counterEa, 4,
                                             MemKind::Atomic);
-        accountIssue(2); // xori + amoadd
+        accountIssue(now, 2); // xori + amoadd
         barScratch_ = old + 1;
         barStage_ = barScratch_ == bar.count ? 2 : 1;
+        barEnterAt_ = now;
         // The arrival count gates the branch: wait for the result.
-        accountStall(now + 2, t.ready);
+        accountWait(now + 2, t.ready, CycleCat::BarrierWait);
         return {false, std::max(t.ready, now + 2)};
       }
       case 1: {
         // Spin on the release flag written by the last arriver.
         u64 flag = 0;
         MemTiming t = issueMem(now, MemKind::Load, bar.senseEa, 4, &flag);
-        accountIssue(3); // load + compare + branch
-        if (u32(flag) == bar.localSense[softIdx_])
-            return {true, std::max(t.ready + 2, now + 3)};
-        accountStall(now + 3, t.ready + 2);
-        return {false, std::max(t.ready + 2, now + 3)};
+        accountIssue(now, 3); // load + compare + branch
+        const Cycle at = std::max(t.ready + 2, now + 3);
+        // The dependent compare/branch wait on the load is barrier time
+        // whether or not this iteration observes the release.
+        accountWait(now + 3, at, CycleCat::BarrierWait);
+        if (u32(flag) == bar.localSense[softIdx_]) {
+            Tracer &tr = chip_.tracer();
+            if (tr.on(TraceCat::Barrier))
+                tr.complete(TraceCat::Barrier, tid_, "centralBarrier",
+                            barEnterAt_, at - barEnterAt_);
+            return {true, at};
+        }
+        return {false, at};
       }
       case 2: {
         // Last thread: reset the counter, then release everyone.
@@ -314,7 +332,11 @@ GuestUnit::stepCentral(Cycle now, MicroOp &op)
         issueMem(now, MemKind::Store, bar.counterEa, 4, &zero);
         u64 sense = bar.localSense[softIdx_];
         issueMem(now + 1, MemKind::Store, bar.senseEa, 4, &sense);
-        accountIssue(2);
+        accountIssue(now, 2);
+        Tracer &tr = chip_.tracer();
+        if (tr.on(TraceCat::Barrier))
+            tr.complete(TraceCat::Barrier, tid_, "centralBarrier",
+                        barEnterAt_, now + 2 - barEnterAt_);
         return {true, now + 2};
       }
     }
@@ -327,7 +349,7 @@ GuestUnit::stepTree(Cycle now, MicroOp &op)
     TreeBarrier &bar = *op.tree;
     const u32 self = softIdx_;
     if (bar.count == 1) {
-        accountIssue(1);
+        accountIssue(now, 1);
         return {true, now + 1};
     }
 
@@ -338,8 +360,9 @@ GuestUnit::stepTree(Cycle now, MicroOp &op)
       case 0: {
         // New round; leaves skip the child wait.
         ++bar.round[self];
-        accountIssue(1);
+        accountIssue(now, 1);
         barStage_ = children > 0 ? 1 : 2;
+        barEnterAt_ = now;
         return {false, now + 1};
       }
       case 1: {
@@ -347,14 +370,13 @@ GuestUnit::stepTree(Cycle now, MicroOp &op)
         u64 arrived = 0;
         MemTiming t =
             issueMem(now, MemKind::Load, bar.arriveEa(self), 4, &arrived);
-        accountIssue(3); // load + compare + branch
+        accountIssue(now, 3); // load + compare + branch
+        const Cycle at = std::max(t.ready + 2, now + 3);
+        accountWait(now + 3, at, CycleCat::BarrierWait);
         const u64 expected = u64(children) * bar.round[self];
-        if (arrived >= expected) {
+        if (arrived >= expected)
             barStage_ = isRoot ? 4 : 2;
-            return {false, std::max(t.ready + 2, now + 3)};
-        }
-        accountStall(now + 3, t.ready + 2);
-        return {false, std::max(t.ready + 2, now + 3)};
+        return {false, at};
       }
       case 2: {
         // Notify the parent.
@@ -362,7 +384,7 @@ GuestUnit::stepTree(Cycle now, MicroOp &op)
         const u32 old = u32(chip_.memRead(parentEa, 4, tid_));
         chip_.memWrite(parentEa, 4, old + 1, tid_);
         chip_.memsys().access(now, tid_, parentEa, 4, MemKind::Atomic);
-        accountIssue(1);
+        accountIssue(now, 1);
         barStage_ = 3;
         return {false, now + 1};
       }
@@ -371,23 +393,30 @@ GuestUnit::stepTree(Cycle now, MicroOp &op)
         u64 flag = 0;
         MemTiming t =
             issueMem(now, MemKind::Load, bar.releaseEa(self), 4, &flag);
-        accountIssue(3);
+        accountIssue(now, 3);
+        const Cycle at = std::max(t.ready + 2, now + 3);
+        accountWait(now + 3, at, CycleCat::BarrierWait);
         if (flag >= bar.round[self]) {
             barStage_ = 4;
             barChild_ = 0;
-            return {false, std::max(t.ready + 2, now + 3)};
         }
-        accountStall(now + 3, t.ready + 2);
-        return {false, std::max(t.ready + 2, now + 3)};
+        return {false, at};
       }
       case 4: {
         // Release our children, one store per child.
-        if (barChild_ >= children)
+        if (barChild_ >= children) {
+            // The final check cycle is part of the barrier, not run.
+            accountWait(now, now + 1, CycleCat::BarrierWait);
+            Tracer &tr = chip_.tracer();
+            if (tr.on(TraceCat::Barrier))
+                tr.complete(TraceCat::Barrier, tid_, "treeBarrier",
+                            barEnterAt_, now + 1 - barEnterAt_);
             return {true, now + 1};
+        }
         const u32 child = bar.radix * self + 1 + barChild_;
         u64 round = bar.round[self];
         issueMem(now, MemKind::Store, bar.releaseEa(child), 4, &round);
-        accountIssue(1);
+        accountIssue(now, 1);
         ++barChild_;
         return {false, now + 1};
       }

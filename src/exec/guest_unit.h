@@ -66,7 +66,24 @@ class GuestUnit : public arch::Unit
     size_t opIdx_ = 0;
     bool pending_ = false;
 
+    /**
+     * Update the dependence chain: remember what the newest producer
+     * was waiting on so a later chain stall charges the right category
+     * (and its queueing share, once).
+     */
+    void
+    setChain(Cycle ready, arch::CycleCat cat, u64 queueing)
+    {
+        if (ready > chainReady_) {
+            chainReady_ = ready;
+            chainCat_ = cat;
+            chainQueue_ = queueing;
+        }
+    }
+
     Cycle chainReady_ = 0;
+    arch::CycleCat chainCat_ = arch::CycleCat::Run;
+    u64 chainQueue_ = 0;
     arch::OutstandingMem mem_;
 
     // Hardware barrier protocol state.
@@ -77,6 +94,7 @@ class GuestUnit : public arch::Unit
     u32 barStage_ = 0;
     u32 barChild_ = 0;
     u64 barScratch_ = 0;
+    Cycle barEnterAt_ = 0; ///< entry cycle, for the barrier trace span
 };
 
 } // namespace cyclops::exec

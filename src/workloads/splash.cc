@@ -64,6 +64,8 @@ harvest(arch::Chip &chip, SplashResult *result)
     result->runCycles = chip.totalRunCycles();
     result->stallCycles = chip.totalStallCycles();
     result->instructions = chip.totalInstructions();
+    result->attr = chip.chipAttribution();
+    chip.writeObservability();
 
     StatGroup &stats = chip.stats();
     result->loads = stats.counterValue("mem.loads");

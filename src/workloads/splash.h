@@ -14,6 +14,7 @@
 #ifndef CYCLOPS_WORKLOADS_SPLASH_H
 #define CYCLOPS_WORKLOADS_SPLASH_H
 
+#include "arch/unit.h"
 #include "common/config.h"
 #include "exec/barriers.h"
 #include "exec/engine.h"
@@ -48,6 +49,9 @@ struct SplashResult
     u64 stallCycles = 0;    ///< cycles threads were stalled for resources
     u64 instructions = 0;
     bool verified = false;
+
+    /** Chip-wide cycle attribution (sums the per-TU breakdowns). */
+    arch::CycleBreakdown attr;
 
     // Memory-system aggregates (diagnosis and the ablation benches).
     u64 loads = 0;

@@ -334,7 +334,8 @@ verify(Chip &chip, const StreamConfig &cfg, const Layout &lay)
 Cycle
 timedRun(const StreamConfig &cfg, const ChipConfig &chipCfg,
          const Layout &lay, u32 iterations, bool *verified,
-         u64 *instructions = nullptr)
+         u64 *instructions = nullptr,
+         arch::CycleBreakdown *attr = nullptr)
 {
     Chip chip(chipCfg);
     kernel::Kernel kern(chip, cfg.policy);
@@ -347,6 +348,12 @@ timedRun(const StreamConfig &cfg, const ChipConfig &chipCfg,
         *verified = verify(chip, cfg, lay);
     if (instructions)
         *instructions += chip.totalInstructions();
+    if (attr) {
+        // Only the long run exports: it is the representative steady-
+        // state simulation, and a second export would clobber its files.
+        *attr = chip.chipAttribution();
+        chip.writeObservability();
+    }
     return chip.now();
 }
 
@@ -366,14 +373,16 @@ runStream(const StreamConfig &cfg, const ChipConfig &chipCfg)
     // out boundary overlap with the cold first iteration's tail.
     bool verified = false;
     u64 instructions = 0;
+    arch::CycleBreakdown attr;
     const Cycle shortRun =
         timedRun(cfg, chipCfg, lay, 2, nullptr, &instructions);
     const Cycle longRun =
-        timedRun(cfg, chipCfg, lay, 4, &verified, &instructions);
+        timedRun(cfg, chipCfg, lay, 4, &verified, &instructions, &attr);
     const Cycle iter =
         longRun > shortRun ? (longRun - shortRun) / 2 : shortRun;
 
     StreamResult result;
+    result.attr = attr;
     result.iterationCycles = iter;
     result.simCycles = shortRun + longRun;
     result.instructions = instructions;

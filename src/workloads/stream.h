@@ -31,6 +31,7 @@
 
 #include <string>
 
+#include "arch/unit.h"
 #include "common/config.h"
 #include "kernel/kernel.h"
 
@@ -82,6 +83,9 @@ struct StreamResult
     // timed runs of the differencing scheme.
     u64 simCycles = 0;          ///< simulated chip cycles executed
     u64 instructions = 0;       ///< guest instructions executed
+
+    /** Chip-wide cycle attribution of the long (4-iteration) run. */
+    arch::CycleBreakdown attr;
 };
 
 /**

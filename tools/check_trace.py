@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Validate the simulator's observability outputs.
+
+Used by the ctest smoke tests (and handy interactively):
+
+  check_trace.py --trace trace.json   validate Chrome-trace JSON
+  check_trace.py --stats stats.json   validate the stats JSON
+  check_trace.py --csv series.csv     validate the epoch-series CSV
+
+Any number of the options may be combined; the script exits non-zero
+with a message on the first malformed file.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_trace: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_trace(path: str) -> None:
+    """Chrome trace-event JSON as Perfetto/about:tracing load it."""
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(f"{path}: missing traceEvents array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail(f"{path}: traceEvents is not a list")
+    n_spans = 0
+    for i, ev in enumerate(events):
+        for key in ("ph", "pid"):
+            if key not in ev:
+                fail(f"{path}: event {i} missing '{key}'")
+        ph = ev["ph"]
+        if ph == "M":
+            if "name" not in ev or "args" not in ev:
+                fail(f"{path}: metadata event {i} malformed")
+            continue
+        for key in ("name", "tid", "ts", "cat"):
+            if key not in ev:
+                fail(f"{path}: event {i} missing '{key}'")
+        if ph == "X":
+            if "dur" not in ev or ev["dur"] < 0:
+                fail(f"{path}: complete event {i} has bad duration")
+            n_spans += 1
+        elif ph == "i":
+            if ev.get("s") not in ("t", "p", "g"):
+                fail(f"{path}: instant event {i} missing scope")
+        else:
+            fail(f"{path}: event {i} has unknown phase '{ph}'")
+    # Chronological order within the array is not required by the
+    # format, but the tracer sorts: verify so regressions surface.
+    ts = [ev["ts"] for ev in events if ev["ph"] != "M"]
+    if ts != sorted(ts):
+        fail(f"{path}: events not sorted by timestamp")
+    print(f"{path}: ok ({len(events)} events, {n_spans} spans)")
+
+
+def check_stats(path: str) -> None:
+    with open(path) as f:
+        doc = json.load(f)
+    for key in ("cycles", "counters", "histograms"):
+        if key not in doc:
+            fail(f"{path}: missing '{key}'")
+    if not isinstance(doc["cycles"], int) or doc["cycles"] < 0:
+        fail(f"{path}: bad cycle count")
+    for name, value in doc["counters"].items():
+        if not isinstance(value, int):
+            fail(f"{path}: counter '{name}' is not an integer")
+    for name, h in doc["histograms"].items():
+        for key in ("n", "sum", "max", "buckets"):
+            if key not in h:
+                fail(f"{path}: histogram '{name}' missing '{key}'")
+        if sum(h["buckets"]) != h["n"]:
+            fail(f"{path}: histogram '{name}' buckets do not sum to n")
+    # The attribution gauges must cover every simulated cycle: summed
+    # over the 7 categories they equal cycles * numThreads, but the
+    # thread count is not in the file, so check divisibility instead.
+    attr = {k: v for k, v in doc["counters"].items()
+            if k.startswith("attr.")}
+    if attr:
+        total = sum(attr.values())
+        if doc["cycles"] and total % doc["cycles"] != 0:
+            fail(f"{path}: attribution total {total} is not a "
+                 f"multiple of the {doc['cycles']}-cycle run")
+    print(f"{path}: ok ({len(doc['counters'])} counters, "
+          f"{len(doc['histograms'])} histograms)")
+
+
+def check_csv(path: str) -> None:
+    with open(path) as f:
+        lines = f.read().splitlines()
+    if not lines:
+        fail(f"{path}: empty")
+    header = lines[0].split(",")
+    if header[0] != "cycle":
+        fail(f"{path}: first column must be 'cycle'")
+    prev_cycle = -1
+    for i, line in enumerate(lines[1:], start=2):
+        row = line.split(",")
+        if len(row) != len(header):
+            fail(f"{path}: line {i} has {len(row)} fields, "
+                 f"want {len(header)}")
+        try:
+            values = [int(v) for v in row]
+        except ValueError:
+            fail(f"{path}: line {i} has a non-integer field")
+        if values[0] <= prev_cycle:
+            fail(f"{path}: sample cycles not strictly increasing "
+                 f"at line {i}")
+        prev_cycle = values[0]
+    print(f"{path}: ok ({len(lines) - 1} samples, "
+          f"{len(header) - 1} counters)")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", action="append", default=[],
+                        help="Chrome-trace JSON file to validate")
+    parser.add_argument("--stats", action="append", default=[],
+                        help="stats JSON file to validate")
+    parser.add_argument("--csv", action="append", default=[],
+                        help="epoch-series CSV file to validate")
+    args = parser.parse_args()
+    if not (args.trace or args.stats or args.csv):
+        fail("nothing to check (use --trace/--stats/--csv)")
+    for path in args.trace:
+        check_trace(path)
+    for path in args.stats:
+        check_stats(path)
+    for path in args.csv:
+        check_csv(path)
+
+
+if __name__ == "__main__":
+    main()

@@ -9,6 +9,14 @@
  *   cyclops-run --stats prog.s         dump every statistic at exit
  *   cyclops-run --disasm prog.s        print the assembled code, don't run
  *
+ * Observability (DESIGN.md section 10):
+ *   --stats-json out.json    end-of-run counters/histograms as JSON
+ *   --stats-csv out.csv      epoch-sampled counter time-series as CSV
+ *   --stats-interval N       sample period in cycles (enables the series)
+ *   --trace-out trace.json   Chrome-trace events (load in Perfetto)
+ *   --trace-cats LIST        mem,cache,barrier,kernel,sched or "all"
+ *   --trace-capacity N       tracer ring size in events
+ *
  * Threads start at the `start` label (or address 0) with the kernel's
  * register conventions: r1 = stack pointer, r4 = software thread
  * index, r5 = thread count. Console output (traps) goes to stdout.
@@ -21,7 +29,9 @@
 #include <string>
 
 #include "arch/chip.h"
+#include "common/config.h"
 #include "common/log.h"
+#include "common/trace.h"
 #include "isa/assembler.h"
 #include "isa/disassembler.h"
 #include "kernel/kernel.h"
@@ -36,7 +46,11 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [-t N] [--balanced] [--stats] [--disasm] "
-                 "[--max-cycles N] prog.s\n",
+                 "[--max-cycles N]\n"
+                 "       [--stats-json P] [--stats-csv P] "
+                 "[--stats-interval N]\n"
+                 "       [--trace-out P] [--trace-cats LIST] "
+                 "[--trace-capacity N] prog.s\n",
                  argv0);
     std::exit(2);
 }
@@ -51,6 +65,7 @@ main(int argc, char **argv)
     bool dumpStats = false;
     bool disasmOnly = false;
     u64 maxCycles = 1'000'000'000ull;
+    ObsConfig obs;
     const char *path = nullptr;
 
     for (int i = 1; i < argc; ++i) {
@@ -65,6 +80,24 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--max-cycles") == 0 &&
                    i + 1 < argc) {
             maxCycles = u64(std::atoll(argv[++i]));
+        } else if (std::strcmp(argv[i], "--stats-json") == 0 &&
+                   i + 1 < argc) {
+            obs.statsJson = argv[++i];
+        } else if (std::strcmp(argv[i], "--stats-csv") == 0 &&
+                   i + 1 < argc) {
+            obs.statsCsv = argv[++i];
+        } else if (std::strcmp(argv[i], "--stats-interval") == 0 &&
+                   i + 1 < argc) {
+            obs.statsInterval = u32(std::atoi(argv[++i]));
+        } else if (std::strcmp(argv[i], "--trace-out") == 0 &&
+                   i + 1 < argc) {
+            obs.traceOut = argv[++i];
+        } else if (std::strcmp(argv[i], "--trace-cats") == 0 &&
+                   i + 1 < argc) {
+            obs.traceCats = parseTraceCats(argv[++i]);
+        } else if (std::strcmp(argv[i], "--trace-capacity") == 0 &&
+                   i + 1 < argc) {
+            obs.traceCapacity = u32(std::atoi(argv[++i]));
         } else if (argv[i][0] == '-') {
             usage(argv[0]);
         } else if (path) {
@@ -99,7 +132,12 @@ main(int argc, char **argv)
         return 0;
     }
 
-    arch::Chip chip;
+    // Tracing to a file without an explicit category list records all.
+    if (!obs.traceOut.empty() && obs.traceCats == 0)
+        obs.traceCats = kTraceAll;
+    ChipConfig chipCfg;
+    chipCfg.obs = obs;
+    arch::Chip chip(chipCfg);
     kernel::Kernel kern(chip, balanced ? kernel::AllocPolicy::Balanced
                                        : kernel::AllocPolicy::Sequential);
     kern.load(prog);
@@ -109,6 +147,7 @@ main(int argc, char **argv)
     kern.spawn(threads, prog.entry);
 
     const arch::RunExit exit = kern.run(maxCycles);
+    chip.writeObservability();
     std::fputs(chip.console().c_str(), stdout);
     if (exit == arch::RunExit::CycleLimit) {
         std::fprintf(stderr, "\n[cycle limit %llu reached]\n",

@@ -1,0 +1,36 @@
+# Observability smoke program: each software thread sums a shared
+# 16-word vector and stores its result into a per-thread output slot.
+# Exercises loads, stores, integer ops and loops, so a traced run
+# produces mem/cache events on every thread. Run, for example:
+#
+#   cyclops-run -t 4 --trace-out trace.json --stats-json stats.json \
+#       --stats-csv series.csv --stats-interval 100 tools/smoke.s
+#
+# r4 = software thread index (kernel convention).
+
+    .text
+start:
+    la      r10, vec        # element pointer
+    li      r11, 16         # remaining elements
+    li      r12, 0          # accumulator
+loop:
+    lw      r13, 0(r10)
+    add     r12, r12, r13
+    addi    r10, r10, 4
+    subi    r11, r11, 1
+    bnez    r11, loop
+
+    la      r14, out        # out[tid] = sum
+    slli    r15, r4, 2
+    add     r14, r14, r15
+    sw      r12, 0(r14)
+    halt
+
+    .data
+    .align 64
+vec:
+    .word 1, 2, 3, 4, 5, 6, 7, 8
+    .word 9, 10, 11, 12, 13, 14, 15, 16
+    .align 64
+out:
+    .space 512
