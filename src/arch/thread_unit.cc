@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "arch/chip.h"
+#include "common/bitops.h"
 #include "common/log.h"
 
 namespace cyclops::arch
@@ -366,7 +367,7 @@ ThreadUnit::issue(Cycle now, const Instr &instr)
             setRegPair(rd, double(s32(regs_[ra])));
             break;
           case Opcode::Fcvtwd:
-            setReg(rd, u32(s32(regPair(ra))));
+            setReg(rd, u32(f64ToS32(regPair(ra))));
             break;
           case Opcode::Fclt:
             setReg(rd, regPair(ra) < regPair(rb));

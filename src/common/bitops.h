@@ -8,6 +8,7 @@
 #define CYCLOPS_COMMON_BITOPS_H
 
 #include <bit>
+#include <cmath>
 #include <type_traits>
 
 #include "common/types.h"
@@ -72,6 +73,25 @@ constexpr u64
 roundDown(u64 value, u64 align)
 {
     return value & ~(align - 1);
+}
+
+/**
+ * Double-to-int32 conversion with defined behaviour on every input
+ * (the plain C++ cast is undefined outside [INT32_MIN, INT32_MAX]):
+ * out-of-range values saturate, NaN converts to zero. Both the timing
+ * frontend and the architectural reference interpreter use this, so
+ * fcvtwd results are comparable bit-for-bit.
+ */
+inline s32
+f64ToS32(double value)
+{
+    if (std::isnan(value))
+        return 0;
+    if (value >= 2147483647.0)
+        return 2147483647;
+    if (value <= -2147483648.0)
+        return -2147483647 - 1;
+    return static_cast<s32>(value);
 }
 
 /**

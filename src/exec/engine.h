@@ -43,8 +43,10 @@ class GuestEngine
 
     /** Heap over the chip's free memory for workload buffers. */
     kernel::Heap &heap() { return heap_; }
+    const kernel::Heap &heap() const { return heap_; }
 
     arch::Chip &chip() { return chip_; }
+    const arch::Chip &chip() const { return chip_; }
 
     u32 usableThreads() const { return u32(order_.size()); }
 

@@ -262,6 +262,13 @@ class Assembler
                 return err(lineNo, "bad offset in '" + token + "'");
             offset = *parsed;
         }
+        // "." is the address of the instruction being assembled, so
+        // ".+8" / ".-12" express pc-relative targets (the form the
+        // disassembler emits for branches).
+        if (name == ".") {
+            *out = static_cast<s64>(pc()) + offset;
+            return true;
+        }
         auto it = symbols_.find(name);
         if (it == symbols_.end())
             return err(lineNo, "undefined symbol '" + name + "'");

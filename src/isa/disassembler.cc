@@ -40,11 +40,15 @@ disassemble(const Instr &instr)
                              instr.imm);
         return strprintf("%s r%u, r%u, %d", name, instr.rd, instr.ra,
                          instr.imm);
+      // Branch offsets are encoded in words relative to the next
+      // instruction; print them as pc-relative byte targets (".+8",
+      // ".-12") so the output reassembles to the identical encoding.
       case Format::B:
-        return strprintf("%s r%u, r%u, %d", name, instr.ra, instr.rb,
-                         instr.imm);
+        return strprintf("%s r%u, r%u, .%+d", name, instr.ra, instr.rb,
+                         4 + instr.imm * 4);
       case Format::J:
-        return strprintf("%s r%u, %d", name, instr.rd, instr.imm);
+        return strprintf("%s r%u, .%+d", name, instr.rd,
+                         4 + instr.imm * 4);
       case Format::U:
         return strprintf("%s r%u, %d", name, instr.rd, instr.imm);
     }

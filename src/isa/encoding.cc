@@ -35,10 +35,24 @@ validOperands(const Instr &instr)
         return false;
     if (m.fpPairRb && m.readsRb && !pairOk(instr.rb))
         return false;
+    // Canonical encoding: operand fields the instruction neither reads
+    // nor writes must be zero. The disassembler omits such fields, so
+    // allowing junk there would break disasm -> asm round-trips (and
+    // make two encodings of the same instruction compare unequal).
+    const bool usesRd = m.readsRd || m.writesRd;
+    if (!usesRd && instr.rd != 0)
+        return false;
+    if (!m.readsRa && instr.ra != 0)
+        return false;
+    if (!m.readsRb && instr.rb != 0)
+        return false;
     switch (m.format) {
       case Format::R:
         return instr.imm == 0;
       case Format::I:
+        if (instr.op == Opcode::Halt)
+            return instr.imm == 0; // imm field is ignored and not printed
+        [[fallthrough]];
       case Format::B:
         return instr.imm >= immMin(kImmBitsI) &&
                instr.imm <= immMax(kImmBitsI);

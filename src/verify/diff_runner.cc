@@ -1,0 +1,179 @@
+#include "verify/diff_runner.h"
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "arch/chip.h"
+#include "arch/thread_unit.h"
+#include "common/log.h"
+#include "isa/disassembler.h"
+
+namespace cyclops::verify
+{
+
+DiffConfig::DiffConfig()
+{
+    // A small (but structurally complete: 2 quads, 1 I-cache, 4 banks)
+    // chip keeps per-iteration construction and the final memory
+    // comparison cheap across hundreds of fuzz iterations.
+    chip.numThreads = 8;
+    chip.numBanks = 4;
+    chip.bankBytes = 256 * 1024;
+}
+
+namespace
+{
+
+/** The instruction the reference thread is about to execute. */
+std::string
+describePc(const RefInterpreter &ref, u32 pc)
+{
+    const isa::Instr *in = ref.decodedAt(pc);
+    if (!in)
+        return strprintf("pc=0x%06x (outside text)", pc);
+    return strprintf("pc=0x%06x: %s", pc, isa::disassemble(*in).c_str());
+}
+
+std::string
+classHistogram(const std::array<u64, kNumUnitClasses> &counts)
+{
+    std::string out;
+    for (unsigned c = 0; c < kNumUnitClasses; ++c) {
+        if (counts[c] == 0)
+            continue;
+        static constexpr const char *kClassNames[kNumUnitClasses] = {
+            "IntAlu", "IntMul", "IntDiv", "Branch", "Load",  "Store",
+            "Atomic", "FpAdd",  "FpMul",  "FpDiv",  "FpSqrt", "Fma",
+            "Spr",    "Sync",   "CacheOp", "Misc",
+        };
+        out += strprintf("%s%s=%llu", out.empty() ? "" : " ",
+                         kClassNames[c],
+                         static_cast<unsigned long long>(counts[c]));
+    }
+    return out;
+}
+
+/** First differing register / pc between the two models, or "". */
+std::string
+stateDiff(const arch::ThreadUnit &tu, const RefThread &rt)
+{
+    std::string out;
+    for (unsigned r = 0; r < isa::kNumRegs; ++r) {
+        if (tu.reg(r) != rt.regs[r])
+            out += strprintf("  r%u: chip=0x%08x ref=0x%08x\n", r,
+                             tu.reg(r), rt.regs[r]);
+    }
+    if (tu.pc() != rt.pc)
+        out += strprintf("  pc: chip=0x%06x ref=0x%06x\n", u32(tu.pc()),
+                         rt.pc);
+    return out;
+}
+
+} // namespace
+
+DiffResult
+runDiff(const GenProgram &gp, const DiffConfig &cfg)
+{
+    DiffResult res;
+
+    arch::Chip chip(cfg.chip);
+    chip.loadProgram(gp.program);
+
+    std::vector<arch::ThreadUnit *> tus(gp.threads);
+    for (u32 t = 0; t < gp.threads; ++t) {
+        auto tu = std::make_unique<arch::ThreadUnit>(t, chip,
+                                                     gp.program.entry);
+        tus[t] = tu.get();
+        chip.setUnit(t, std::move(tu));
+        chip.activate(t);
+    }
+
+    RefInterpreter ref(gp.program, chip.config().memBytes(),
+                       cfg.chip.numThreads);
+    ref.setMutation(cfg.mutation);
+
+    std::vector<u64> committed(gp.threads, 0);
+
+    while (chip.liveUnits() > 0) {
+        if (chip.now() >= cfg.maxCycles) {
+            res.timeout = true;
+            res.message = strprintf(
+                "timeout after %llu cycles (%llu instructions)",
+                static_cast<unsigned long long>(chip.now()),
+                static_cast<unsigned long long>(chip.totalInstructions()));
+            res.cycles = chip.now();
+            return res;
+        }
+        chip.run(1);
+
+        for (u32 t = 0; t < gp.threads; ++t) {
+            while (committed[t] < tus[t]->instructions()) {
+                const u32 atPc = ref.thread(t).pc;
+                const StepStatus st = ref.step(t);
+                ++committed[t];
+                if (st == StepStatus::Unsupported) {
+                    res.unsupported = true;
+                    res.message = ref.error();
+                    return res;
+                }
+                const std::string diff = stateDiff(*tus[t], ref.thread(t));
+                if (!diff.empty()) {
+                    res.divergentThread = t;
+                    res.divergentInstr = committed[t];
+                    res.cycles = chip.now();
+                    res.classCounts = ref.classCounts();
+                    res.message = strprintf(
+                        "thread %u diverged at instruction #%llu\n"
+                        "  %s\n%s  executed so far: %s\n",
+                        t,
+                        static_cast<unsigned long long>(committed[t]),
+                        describePc(ref, atPc).c_str(), diff.c_str(),
+                        classHistogram(ref.classCounts()).c_str());
+                    return res;
+                }
+            }
+        }
+    }
+
+    // Per-thread halt agreement.
+    for (u32 t = 0; t < gp.threads; ++t) {
+        if (!ref.thread(t).halted) {
+            res.divergentThread = t;
+            res.message = strprintf(
+                "thread %u: chip halted but reference did not (at %s)", t,
+                describePc(ref, ref.thread(t).pc).c_str());
+            return res;
+        }
+    }
+
+    // Final memory image.
+    const u32 memBytes = chip.config().memBytes();
+    std::vector<u8> chipMem(memBytes);
+    chip.readPhys(0, chipMem.data(), memBytes);
+    if (std::memcmp(chipMem.data(), ref.memory().data(), memBytes) != 0) {
+        u32 at = 0;
+        while (chipMem[at] == ref.memory()[at])
+            ++at;
+        res.message = strprintf(
+            "memory diverged at pa=0x%06x: chip=0x%02x ref=0x%02x", at,
+            chipMem[at], ref.memory()[at]);
+        return res;
+    }
+
+    // Console output.
+    if (chip.console() != ref.console()) {
+        res.message =
+            strprintf("console diverged:\n  chip: \"%s\"\n  ref:  \"%s\"",
+                      chip.console().c_str(), ref.console().c_str());
+        return res;
+    }
+
+    res.ok = true;
+    res.cycles = chip.now();
+    res.instructions = chip.totalInstructions();
+    res.classCounts = ref.classCounts();
+    return res;
+}
+
+} // namespace cyclops::verify

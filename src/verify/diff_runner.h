@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Differential runner: executes one program on both the ThreadUnit
+ * timing frontend and the architectural reference interpreter, in
+ * lockstep, and reports the first divergence.
+ *
+ * The ThreadUnit executes functionally at issue time, so after every
+ * simulated cycle each TU's committed-instruction count tells exactly
+ * how many reference steps bring that thread to the same architectural
+ * point; registers and pc are compared per committed instruction, and
+ * memory plus console output once at the end of the run.
+ */
+
+#ifndef CYCLOPS_VERIFY_DIFF_RUNNER_H
+#define CYCLOPS_VERIFY_DIFF_RUNNER_H
+
+#include <array>
+#include <string>
+
+#include "common/config.h"
+#include "verify/prog_gen.h"
+#include "verify/ref_interp.h"
+
+namespace cyclops::verify
+{
+
+/** Parameters of one differential run. */
+struct DiffConfig
+{
+    u64 maxCycles = 200'000;            ///< timeout (runaway programs)
+    Mutation mutation = Mutation::None; ///< harness self-test hook
+    ChipConfig chip;                    ///< timing side configuration
+
+    DiffConfig();
+};
+
+/** Outcome of one differential run. */
+struct DiffResult
+{
+    bool ok = false;
+    bool timeout = false;     ///< hit maxCycles (not a divergence)
+    bool unsupported = false; ///< left the verifiable subset
+    std::string message;      ///< human-readable report when !ok
+
+    u32 divergentThread = 0;
+    u64 divergentInstr = 0; ///< per-thread committed-instruction index
+
+    u64 cycles = 0;
+    u64 instructions = 0;
+    std::array<u64, kNumUnitClasses> classCounts{};
+
+    /** A genuine divergence (what the fuzzer and shrinker look for). */
+    bool diverged() const { return !ok && !timeout && !unsupported; }
+};
+
+/** Run @p gp on both models and compare. */
+DiffResult runDiff(const GenProgram &gp, const DiffConfig &cfg);
+
+} // namespace cyclops::verify
+
+#endif // CYCLOPS_VERIFY_DIFF_RUNNER_H

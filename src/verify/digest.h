@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Architectural state digests: order-stable FNV-1a fingerprints of
+ * memory ranges and register files, for cheap cross-run and cross-model
+ * equality checks (determinism tests, golden-state comparisons).
+ */
+
+#ifndef CYCLOPS_VERIFY_DIGEST_H
+#define CYCLOPS_VERIFY_DIGEST_H
+
+#include <vector>
+
+#include "arch/chip.h"
+#include "common/types.h"
+
+namespace cyclops::verify
+{
+
+inline constexpr u64 kFnvOffset = 0xCBF29CE484222325ull;
+inline constexpr u64 kFnvPrime = 0x100000001B3ull;
+
+/** Fold @p bytes into a running FNV-1a state. */
+inline u64
+fnv1a(const void *data, size_t bytes, u64 state = kFnvOffset)
+{
+    const u8 *p = static_cast<const u8 *>(data);
+    for (size_t i = 0; i < bytes; ++i) {
+        state ^= p[i];
+        state *= kFnvPrime;
+    }
+    return state;
+}
+
+/** Digest of the physical memory range [base, base + bytes). */
+inline u64
+memDigest(const arch::Chip &chip, PhysAddr base, u32 bytes)
+{
+    std::vector<u8> buf(bytes);
+    chip.readPhys(base, buf.data(), bytes);
+    return fnv1a(buf.data(), buf.size());
+}
+
+} // namespace cyclops::verify
+
+#endif // CYCLOPS_VERIFY_DIGEST_H

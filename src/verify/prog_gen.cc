@@ -1,0 +1,543 @@
+#include "verify/prog_gen.h"
+
+#include <cstring>
+
+#include "arch/interest_group.h"
+#include "common/bitops.h"
+#include "common/log.h"
+#include "common/rng.h"
+#include "isa/disassembler.h"
+#include "isa/encoding.h"
+
+namespace cyclops::verify
+{
+
+using isa::Format;
+using isa::Instr;
+using isa::Opcode;
+
+namespace
+{
+
+// Register map (see the header comment).
+constexpr u8 kIntPool[] = {8, 9, 10, 11, 12, 13, 14, 15};
+constexpr u8 kPairPool[] = {32, 34, 36, 38, 40, 42, 44, 46};
+constexpr u8 kOwnBase = 20;
+constexpr u8 kSharedBase = 21;
+constexpr u8 kCounters[] = {22, 23, 24, 25};
+constexpr u8 kAddrTmp = 26;
+constexpr u8 kAtomTmp = 27;
+constexpr u8 kLink = 61;
+
+constexpr u32 kSharedBytes = 512;
+constexpr u32 kOwnBytes = 256;
+
+// Fixed prologue layout. The li constants embed the data base address,
+// which depends on the final text length; generate() and the shrinker's
+// compaction pass patch these indices after the length is known.
+constexpr u32 kOwnLui = 2, kOwnOri = 3, kSharedLui = 5, kSharedOri = 6;
+
+/** 13-bit logical immediate (0..8191) as its signed encoding field. */
+s32
+logicalField(u32 low13)
+{
+    return low13 >= 4096 ? s32(low13) - 8192 : s32(low13);
+}
+
+void
+patchLi(std::vector<Instr> &text, u32 luiIndex, u32 value)
+{
+    text[luiIndex].imm = s32((value >> 13) & 0x7FFFF);
+    text[luiIndex + 1].imm = logicalField(value & 0x1FFF);
+}
+
+/** Emission state for one generated program. */
+struct Gen
+{
+    Rng rng;
+    std::vector<Instr> text;
+    u32 threads;
+    u8 countersUsed = 0;
+
+    explicit Gen(const GenOptions &opts)
+        : rng(opts.seed), threads(opts.threads)
+    {}
+
+    u8 pool() { return kIntPool[rng.below(std::size(kIntPool))]; }
+    u8 pair() { return kPairPool[rng.below(std::size(kPairPool))]; }
+
+    void emitR(Opcode op, u8 rd, u8 ra, u8 rb)
+    {
+        text.push_back({op, rd, ra, rb, 0});
+    }
+    void emitI(Opcode op, u8 rd, u8 ra, s32 imm)
+    {
+        text.push_back({op, rd, ra, 0, imm});
+    }
+
+    /** A random interest-group field, any non-scratch size class. */
+    u8 igField()
+    {
+        static constexpr arch::IgClass kClasses[] = {
+            arch::IgClass::Own,  arch::IgClass::All,
+            arch::IgClass::Sixteen, arch::IgClass::Eight,
+            arch::IgClass::Four, arch::IgClass::Pair,
+            arch::IgClass::One,
+        };
+        return arch::igEncode(kClasses[rng.below(std::size(kClasses))],
+                              u8(rng.below(32)));
+    }
+
+    // --- Single-instruction ops (safe inside branch shadows) -----------
+
+    void aluR()
+    {
+        static constexpr Opcode kOps[] = {
+            Opcode::Add, Opcode::Sub, Opcode::And, Opcode::Or,
+            Opcode::Xor, Opcode::Nor, Opcode::Sll, Opcode::Srl,
+            Opcode::Sra, Opcode::Slt, Opcode::Sltu,
+        };
+        emitR(kOps[rng.below(std::size(kOps))], pool(), pool(), pool());
+    }
+
+    void aluI()
+    {
+        static constexpr Opcode kOps[] = {
+            Opcode::Addi, Opcode::Andi, Opcode::Ori,  Opcode::Xori,
+            Opcode::Slli, Opcode::Srli, Opcode::Srai, Opcode::Slti,
+            Opcode::Sltiu,
+        };
+        const Opcode op = kOps[rng.below(std::size(kOps))];
+        s32 imm;
+        if (op == Opcode::Slli || op == Opcode::Srli || op == Opcode::Srai)
+            imm = s32(rng.below(32));
+        else
+            imm = s32(rng.range(-4096, 4095));
+        emitI(op, pool(), pool(), imm);
+        if (rng.chance(0.1))
+            text.back() = {Opcode::Lui, pool(), 0, 0,
+                           s32(rng.below(1u << 19))};
+    }
+
+    void mulDiv()
+    {
+        static constexpr Opcode kOps[] = {Opcode::Mul, Opcode::Mulhu,
+                                          Opcode::Div, Opcode::Divu};
+        emitR(kOps[rng.below(std::size(kOps))], pool(), pool(), pool());
+    }
+
+    void fp()
+    {
+        switch (rng.below(8)) {
+          case 0: {
+            static constexpr Opcode kOps[] = {Opcode::Faddd, Opcode::Fsubd,
+                                              Opcode::Fmuld, Opcode::Fdivd};
+            emitR(kOps[rng.below(4)], pair(), pair(), pair());
+            break;
+          }
+          case 1:
+            emitR(rng.chance(0.5) ? Opcode::Fmadd : Opcode::Fmsub, pair(),
+                  pair(), pair());
+            break;
+          case 2: {
+            static constexpr Opcode kOps[] = {
+                Opcode::Fsqrtd, Opcode::Fnegd, Opcode::Fabsd, Opcode::Fmovd};
+            emitR(kOps[rng.below(4)], pair(), pair(), 0);
+            break;
+          }
+          case 3: {
+            static constexpr Opcode kOps[] = {Opcode::Fadds, Opcode::Fsubs,
+                                              Opcode::Fmuls};
+            emitR(kOps[rng.below(3)], pool(), pool(), pool());
+            break;
+          }
+          case 4: emitR(Opcode::Fcvtdw, pair(), pool(), 0); break;
+          case 5: emitR(Opcode::Fcvtwd, pool(), pair(), 0); break;
+          default: {
+            static constexpr Opcode kOps[] = {Opcode::Fclt, Opcode::Fcle,
+                                              Opcode::Fceq};
+            emitR(kOps[rng.below(3)], pool(), pair(), pair());
+            break;
+          }
+        }
+    }
+
+    void spr()
+    {
+        static constexpr u8 kSafeSprs[] = {isa::kSprTid, isa::kSprNThreads,
+                                           isa::kSprMemSize};
+        emitI(Opcode::Mfspr, pool(), 0, kSafeSprs[rng.below(3)]);
+    }
+
+    void simple()
+    {
+        switch (rng.below(10)) {
+          case 0: case 1: case 2: aluR(); break;
+          case 3: case 4: case 5: aluI(); break;
+          case 6: mulDiv(); break;
+          case 7: case 8: fp(); break;
+          default: spr(); break;
+        }
+    }
+
+    // --- Memory ---------------------------------------------------------
+
+    void load()
+    {
+        static constexpr Opcode kOps[] = {Opcode::Lb, Opcode::Lbu,
+                                          Opcode::Lh, Opcode::Lhu,
+                                          Opcode::Lw, Opcode::Ld};
+        const Opcode op = kOps[rng.below(std::size(kOps))];
+        const u32 size = isa::meta(op).memBytes;
+        const bool shared = rng.chance(0.5);
+        const u32 region = shared ? kSharedBytes : kOwnBytes;
+        const s32 disp = s32(rng.below(region / size) * size);
+        emitI(op, op == Opcode::Ld ? pair() : pool(),
+              shared ? kSharedBase : kOwnBase, disp);
+    }
+
+    void store()
+    {
+        static constexpr Opcode kOps[] = {Opcode::Sb, Opcode::Sh,
+                                          Opcode::Sw, Opcode::Sd};
+        const Opcode op = kOps[rng.below(std::size(kOps))];
+        const u32 size = isa::meta(op).memBytes;
+        const s32 disp = s32(rng.below(kOwnBytes / size) * size);
+        emitI(op, op == Opcode::Sd ? pair() : pool(), kOwnBase, disp);
+    }
+
+    void indexed()
+    {
+        const bool wide = rng.chance(0.4);
+        // Mask a pool value into an aligned in-region offset.
+        emitI(Opcode::Andi, kAddrTmp, pool(), wide ? 0xF8 : 0xFC);
+        switch (rng.below(4)) {
+          case 0:
+            emitR(wide ? Opcode::Ldx : Opcode::Lwx,
+                  wide ? pair() : pool(),
+                  rng.chance(0.5) ? kSharedBase : kOwnBase, kAddrTmp);
+            break;
+          default:
+            emitR(wide ? Opcode::Sdx : Opcode::Swx,
+                  wide ? pair() : pool(), kOwnBase, kAddrTmp);
+            break;
+        }
+    }
+
+    void atomic()
+    {
+        emitI(Opcode::Addi, kAtomTmp, kOwnBase,
+              s32(rng.below(kOwnBytes / 4) * 4));
+        switch (rng.below(4)) {
+          case 0: emitR(Opcode::Amoadd, pool(), kAtomTmp, pool()); break;
+          case 1: emitR(Opcode::Amoswap, pool(), kAtomTmp, pool()); break;
+          case 2: emitR(Opcode::Amocas, pool(), kAtomTmp, pool()); break;
+          default: emitR(Opcode::Amotas, pool(), kAtomTmp, 0); break;
+        }
+    }
+
+    void cacheOp()
+    {
+        static constexpr Opcode kOps[] = {Opcode::Pref, Opcode::Dcbf,
+                                          Opcode::Dcbi};
+        emitI(kOps[rng.below(3)], 0, kOwnBase,
+              s32(rng.below(kOwnBytes / 4) * 4));
+    }
+
+    // --- Control --------------------------------------------------------
+
+    void forwardSkip()
+    {
+        static constexpr Opcode kOps[] = {Opcode::Beq,  Opcode::Bne,
+                                          Opcode::Blt,  Opcode::Bge,
+                                          Opcode::Bltu, Opcode::Bgeu};
+        const u32 span = 1 + u32(rng.below(3));
+        text.push_back({kOps[rng.below(std::size(kOps))], 0, pool(),
+                        pool(), s32(span)});
+        for (u32 i = 0; i < span; ++i)
+            simple();
+    }
+
+    void boundedLoop()
+    {
+        if (countersUsed >= std::size(kCounters))
+            return simple();
+        const u8 rc = kCounters[countersUsed++];
+        const s32 trips = s32(1 + rng.below(4));
+        emitI(Opcode::Addi, rc, 0, trips);
+        const u32 body = 2 + u32(rng.below(4));
+        for (u32 i = 0; i < body; ++i)
+            simple();
+        emitI(Opcode::Addi, rc, rc, -1);
+        text.push_back({Opcode::Bne, 0, rc, 0, -s32(body + 2)});
+    }
+
+    void jalSkip()
+    {
+        const u32 span = u32(rng.below(3));
+        text.push_back({Opcode::Jal, 0, 0, 0, s32(span)});
+        for (u32 i = 0; i < span; ++i)
+            simple(); // dead code, but must stay decodable
+    }
+
+    void jalrHop()
+    {
+        // jal captures the next pc; the jalr lands just past itself, so
+        // the hop is control-safe while exercising link arithmetic.
+        text.push_back({Opcode::Jal, kLink, 0, 0, 0});
+        const u32 span = u32(rng.below(3));
+        for (u32 i = 0; i < span; ++i)
+            simple();
+        emitI(Opcode::Jalr, 0, kLink, s32(4 * (span + 1)));
+    }
+
+    void guardedPrint()
+    {
+        // Only thread 0 may write the console (single deterministic
+        // writer); r4 is the trap argument and is restored to the
+        // thread index afterwards.
+        emitI(Opcode::Mfspr, kAddrTmp, 0, isa::kSprTid);
+        text.push_back({Opcode::Bne, 0, kAddrTmp, 0, 3});
+        emitI(Opcode::Addi, 4, pool(), 0);
+        emitI(Opcode::Trap, 0, 0,
+              rng.chance(0.5) ? isa::kTrapPutInt : isa::kTrapPutHex);
+        emitI(Opcode::Mfspr, 4, 0, isa::kSprTid);
+    }
+
+    void bodyItem()
+    {
+        switch (rng.below(20)) {
+          case 0: case 1: case 2: aluR(); break;
+          case 3: case 4: aluI(); break;
+          case 5: mulDiv(); break;
+          case 6: case 7: load(); break;
+          case 8: case 9: store(); break;
+          case 10: indexed(); break;
+          case 11: atomic(); break;
+          case 12: case 13: fp(); break;
+          case 14: spr(); break;
+          case 15: emitR(Opcode::Sync, 0, 0, 0); break;
+          case 16: cacheOp(); break;
+          case 17: forwardSkip(); break;
+          case 18: boundedLoop(); break;
+          default:
+            switch (rng.below(3)) {
+              case 0: jalSkip(); break;
+              case 1: jalrHop(); break;
+              default: guardedPrint(); break;
+            }
+            break;
+        }
+    }
+};
+
+/** Encode @p gp.text into gp.program.text. */
+void
+encodeText(GenProgram &gp)
+{
+    gp.program.text.clear();
+    gp.program.text.reserve(gp.text.size());
+    for (const Instr &i : gp.text)
+        gp.program.text.push_back(isa::encodeOrDie(i));
+}
+
+} // namespace
+
+GenProgram
+generate(const GenOptions &opts)
+{
+    Gen g(opts);
+    GenProgram gp;
+    gp.threads = opts.threads;
+    gp.seed = opts.seed;
+
+    const u8 ownField = g.igField();
+    const u8 sharedField = g.igField();
+
+    // Prologue: region bases, then seed the integer and FP pools from
+    // shared data so random computation starts from seeded values.
+    g.emitI(Opcode::Mfspr, kAddrTmp, 0, isa::kSprTid);
+    g.emitI(Opcode::Slli, kAddrTmp, kAddrTmp, 8); // tid * kOwnBytes
+    g.emitI(Opcode::Lui, kOwnBase, 0, 0);         // patched below
+    g.emitI(Opcode::Ori, kOwnBase, kOwnBase, 0);  // patched below
+    g.emitR(Opcode::Add, kOwnBase, kOwnBase, kAddrTmp);
+    g.emitI(Opcode::Lui, kSharedBase, 0, 0);      // patched below
+    g.emitI(Opcode::Ori, kSharedBase, kSharedBase, 0); // patched below
+    for (unsigned i = 0; i < 4; ++i)
+        g.emitI(Opcode::Lw, kIntPool[i], kSharedBase,
+                s32(128 + 4 * i + g.rng.below(16) * 4));
+    for (unsigned i = 0; i < 4; ++i)
+        g.emitI(Opcode::Ld, kPairPool[i], kSharedBase,
+                s32(g.rng.below(16) * 8));
+    gp.prologueLen = u32(g.text.size());
+
+    for (u32 i = 0; i < opts.bodyOps; ++i)
+        g.bodyItem();
+
+    if (g.rng.chance(0.5))
+        g.guardedPrint();
+    if (g.rng.chance(0.25))
+        g.emitI(Opcode::Trap, 0, 0, isa::kTrapExit);
+    else
+        g.emitI(Opcode::Halt, 0, 0, 0);
+
+    // Data image: 16 doubles + random words shared (read-only), then
+    // one private 256-byte region per thread.
+    gp.text = std::move(g.text);
+    const u32 textEnd = u32(gp.text.size()) * 4;
+    gp.program.textBase = 0;
+    gp.program.dataBase = u32(roundUp(textEnd, 64));
+    gp.program.entry = 0;
+    gp.program.symbols["start"] = 0;
+
+    const u32 sharedPa = gp.program.dataBase;
+    const u32 ownPa = sharedPa + kSharedBytes;
+    patchLi(gp.text, kOwnLui, arch::igAddr(ownField, ownPa));
+    patchLi(gp.text, kSharedLui, arch::igAddr(sharedField, sharedPa));
+
+    gp.program.data.resize(kSharedBytes + opts.threads * kOwnBytes);
+    for (unsigned i = 0; i < 16; ++i) {
+        const double v = g.rng.uniform(-1000.0, 1000.0);
+        std::memcpy(&gp.program.data[8 * i], &v, 8);
+    }
+    for (size_t i = 128; i + 8 <= gp.program.data.size(); i += 8) {
+        const u64 v = g.rng.next();
+        std::memcpy(&gp.program.data[i], &v, 8);
+    }
+
+    encodeText(gp);
+    return gp;
+}
+
+GenProgram
+withText(const GenProgram &base, std::vector<Instr> text)
+{
+    GenProgram gp = base;
+    gp.text = std::move(text);
+    encodeText(gp);
+    return gp;
+}
+
+std::string
+GenProgram::toAsm() const
+{
+    std::string out = strprintf("; fuzz reproducer: seed=%llu threads=%u\n"
+                                ".text\nstart:\n",
+                                static_cast<unsigned long long>(seed),
+                                threads);
+    for (const isa::Instr &i : text)
+        out += "    " + isa::disassemble(i) + "\n";
+    out += ".data\n";
+    for (size_t off = 0; off + 4 <= program.data.size(); off += 4) {
+        u32 word;
+        std::memcpy(&word, &program.data[off], 4);
+        out += strprintf("    .word 0x%08x\n", word);
+    }
+    return out;
+}
+
+GenProgram
+shrink(const GenProgram &failing,
+       const std::function<bool(const GenProgram &)> &stillFails)
+{
+    GenProgram cur = failing;
+
+    // Pass 1: replace instructions with nop while the failure persists.
+    // The prologue and the final terminator are protected: removing the
+    // address setup could alias the threads' private regions, and a
+    // program must still halt.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (u32 i = cur.prologueLen; i + 1 < u32(cur.text.size()); ++i) {
+            if (cur.text[i].op == Opcode::Nop)
+                continue;
+            std::vector<Instr> t = cur.text;
+            t[i] = Instr{};
+            GenProgram cand = withText(cur, std::move(t));
+            if (stillFails(cand)) {
+                cur = std::move(cand);
+                changed = true;
+            }
+        }
+    }
+
+    // Pass 2: reduce surviving loop trip counts to one.
+    for (u32 i = cur.prologueLen; i < u32(cur.text.size()); ++i) {
+        const Instr &in = cur.text[i];
+        const bool counterInit =
+            in.op == Opcode::Addi && in.ra == 0 && in.rd >= kCounters[0] &&
+            in.rd <= kCounters[std::size(kCounters) - 1] && in.imm > 1;
+        if (!counterInit)
+            continue;
+        std::vector<Instr> t = cur.text;
+        t[i].imm = 1;
+        GenProgram cand = withText(cur, std::move(t));
+        if (stillFails(cand))
+            cur = std::move(cand);
+    }
+
+    // Pass 3: compact the nops out, adjusting branch offsets. A jalr's
+    // displacement is relative to a link register value, which index
+    // remapping cannot fix, so programs that kept one stay uncompacted.
+    for (const Instr &in : cur.text)
+        if (in.op == Opcode::Jalr)
+            return cur;
+
+    const u32 n = u32(cur.text.size());
+    std::vector<u32> newIndex(n + 1);
+    std::vector<Instr> packed;
+    u32 removed = 0;
+    for (u32 i = 0; i < n; ++i) {
+        newIndex[i] = i - removed;
+        if (i >= cur.prologueLen && cur.text[i].op == Opcode::Nop &&
+            i + 1 < n) {
+            ++removed;
+            continue;
+        }
+        packed.push_back(cur.text[i]);
+    }
+    newIndex[n] = n - removed;
+    if (removed == 0)
+        return cur;
+
+    for (u32 i = 0; i < n; ++i) {
+        const Instr &in = cur.text[i];
+        const isa::InstrMeta &m = isa::meta(in.op);
+        const bool relative = m.format == Format::B ||
+                              m.format == Format::J;
+        if (!relative)
+            continue;
+        const u32 j = newIndex[i];
+        if (j >= packed.size() || !(packed[j] == in))
+            continue; // the branch itself was removed
+        const s64 oldTarget = s64(i) + 1 + in.imm;
+        if (oldTarget < 0 || oldTarget > s64(n))
+            continue; // out-of-image target: leave untouched
+        // A removed-nop target falls through to the next survivor,
+        // which newIndex already names.
+        packed[j].imm = s32(s64(newIndex[u32(oldTarget)]) - s64(j) - 1);
+    }
+
+    GenProgram cand = withText(cur, std::move(packed));
+    const u32 textEnd =
+        cand.program.textBase + u32(cand.text.size()) * 4;
+    cand.program.dataBase = u32(roundUp(textEnd, 64));
+    const u8 ownFieldHi = u8(cur.text[kOwnLui].imm >> 11);
+    (void)ownFieldHi;
+    // Re-point the prologue li constants at the moved data sections,
+    // preserving each region's interest-group field.
+    auto liValue = [](const std::vector<Instr> &t, u32 lui) {
+        return (u32(t[lui].imm) << 13) |
+               (u32(t[lui + 1].imm) & 0x1FFF);
+    };
+    const u32 ownEa = liValue(cur.text, kOwnLui);
+    const u32 sharedEa = liValue(cur.text, kSharedLui);
+    const u32 delta = cur.program.dataBase - cand.program.dataBase;
+    patchLi(cand.text, kOwnLui, ownEa - delta);
+    patchLi(cand.text, kSharedLui, sharedEa - delta);
+    encodeText(cand);
+    return stillFails(cand) ? cand : cur;
+}
+
+} // namespace cyclops::verify

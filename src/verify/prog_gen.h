@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Seeded random program generator and failure shrinker for the
+ * differential fuzzer.
+ *
+ * Generated programs are SPMD (every thread runs the same text) and
+ * well-formed by construction:
+ *  - every backward branch is a loop bounded by a dedicated counter
+ *    register that body code never clobbers, so programs terminate;
+ *  - memory operations are naturally aligned and address a per-thread
+ *    private write region or a shared read-only region, so multi-TU
+ *    runs are deterministic regardless of interleaving;
+ *  - console traps are guarded to thread 0 only (single writer);
+ *  - timing-dependent SPRs (cycle counters, barrier) are never read.
+ *
+ * The register map reserves r20/r21 (region base addresses),
+ * r22..r25 (loop counters), r26/r27 (address temporaries) and
+ * r60/r61 (link registers); random computation uses r8..r15 for
+ * integers and the even pairs r32..r46 for doubles.
+ */
+
+#ifndef CYCLOPS_VERIFY_PROG_GEN_H
+#define CYCLOPS_VERIFY_PROG_GEN_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "isa/isa.h"
+#include "isa/program.h"
+
+namespace cyclops::verify
+{
+
+/** Generation parameters. */
+struct GenOptions
+{
+    u64 seed = 1;
+    u32 threads = 1;    ///< SPMD hardware threads 0..threads-1
+    u32 bodyOps = 48;   ///< top-level body items (loops add more)
+};
+
+/** A generated program plus the structure the shrinker needs. */
+struct GenProgram
+{
+    isa::Program program;
+    std::vector<isa::Instr> text; ///< decoded text, 1:1 with program.text
+    u32 threads = 1;
+    u64 seed = 0;
+    u32 prologueLen = 0; ///< setup instructions the shrinker must keep
+
+    /**
+     * Dump as assemblable .s text (pc-relative branches, .word data).
+     * Reassembling yields a bit-identical image: the generator places
+     * data at the assembler's convention, roundUp(text end, 64).
+     */
+    std::string toAsm() const;
+};
+
+/** Generate one random program. */
+GenProgram generate(const GenOptions &opts);
+
+/** Rebuild a GenProgram after the shrinker edited its text. */
+GenProgram withText(const GenProgram &base,
+                    std::vector<isa::Instr> text);
+
+/**
+ * Shrink a failing program to a smaller reproducer: repeatedly nop out
+ * instructions while @p stillFails holds, then compact surviving nops
+ * out of the image (fixing up branch offsets). The prologue and any
+ * program containing jalr (whose link-relative displacement cannot be
+ * re-targeted) are kept intact during compaction.
+ */
+GenProgram shrink(const GenProgram &failing,
+                  const std::function<bool(const GenProgram &)> &stillFails);
+
+} // namespace cyclops::verify
+
+#endif // CYCLOPS_VERIFY_PROG_GEN_H

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Architectural reference interpreter: the golden model.
+ *
+ * Executes a Program over a flat byte-addressed memory with no timing,
+ * no caches, no pipeline — only the architectural contract of the ISA:
+ * 64 registers per thread, little-endian memory at igPhys(ea), SPR
+ * side effects, and console traps. The differential runner steps it in
+ * lockstep with the ThreadUnit timing frontend and compares state
+ * after every committed instruction.
+ *
+ * Scratchpad interest groups, the barrier SPR and the cycle-counter
+ * SPRs are timing-dependent and deliberately unsupported: a program
+ * touching them reports StepStatus::Unsupported rather than producing
+ * a bogus comparison.
+ */
+
+#ifndef CYCLOPS_VERIFY_REF_INTERP_H
+#define CYCLOPS_VERIFY_REF_INTERP_H
+
+#include <array>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/isa.h"
+#include "isa/program.h"
+
+namespace cyclops::verify
+{
+
+inline constexpr unsigned kNumUnitClasses = 16;
+
+/** Result of stepping one reference thread. */
+enum class StepStatus : u8
+{
+    Ok,          ///< one instruction executed
+    Halted,      ///< thread is (now) halted
+    Unsupported, ///< program left the verifiable subset; see error()
+};
+
+/**
+ * Deliberate semantic bugs injectable into the reference model, used
+ * to mutation-test the differential harness itself: a diff run with a
+ * mutation enabled must FAIL, proving the harness can catch a real
+ * divergence of the same class.
+ */
+enum class Mutation : u8
+{
+    None,
+    AddOffByOne,  ///< add computes a + b + 1
+    SltuFlipped,  ///< sltu computes a > b
+    LbZeroExtends ///< lb forgets the sign extension
+};
+
+/** One thread's architectural state in the reference model. */
+struct RefThread
+{
+    std::array<u32, isa::kNumRegs> regs{};
+    u32 pc = 0;
+    bool halted = false;
+    u64 instructions = 0;
+};
+
+/** The golden-model interpreter over one program image. */
+class RefInterpreter
+{
+  public:
+    /**
+     * @param program    image to execute (text is predecoded)
+     * @param memBytes   size of the flat physical memory
+     * @param numThreads value of the NTHREADS SPR
+     */
+    RefInterpreter(const isa::Program &program, u32 memBytes,
+                   u32 numThreads);
+
+    /** Thread state; created on first use with pc = program entry. */
+    RefThread &thread(u32 tid);
+
+    /** Inject a semantic bug (harness self-test). */
+    void setMutation(Mutation m) { mutation_ = m; }
+
+    /** Execute one instruction on @p tid. */
+    StepStatus step(u32 tid);
+
+    /** Run @p tid until it halts or @p maxInstrs execute. */
+    StepStatus run(u32 tid, u64 maxInstrs);
+
+    /** Why the last step returned Unsupported. */
+    const std::string &error() const { return error_; }
+
+    /** Console output accumulated by traps, in execution order. */
+    const std::string &console() const { return console_; }
+
+    /** The flat memory image (for final-state comparison). */
+    const std::vector<u8> &memory() const { return mem_; }
+
+    /** Executed-instruction histogram over isa::UnitClass. */
+    const std::array<u64, kNumUnitClasses> &classCounts() const
+    {
+        return classCounts_;
+    }
+
+    /** Decoded instruction at @p pc, or nullptr outside text. */
+    const isa::Instr *decodedAt(u32 pc) const;
+
+  private:
+    bool memRead(u32 ea, u8 bytes, u64 *value);
+    bool memWrite(u32 ea, u8 bytes, u64 value);
+
+    double regPair(const RefThread &t, unsigned even) const;
+    void setRegPair(RefThread &t, unsigned even, double value);
+    static void setReg(RefThread &t, unsigned index, u32 value);
+
+    StepStatus unsupported(const RefThread &t, const std::string &why);
+
+    isa::Program program_;
+    std::vector<isa::Instr> decoded_;
+    std::vector<u8> mem_;
+    u32 numThreads_;
+    std::map<u32, RefThread> threads_;
+    std::string console_;
+    std::string error_;
+    std::array<u64, kNumUnitClasses> classCounts_{};
+    Mutation mutation_ = Mutation::None;
+};
+
+} // namespace cyclops::verify
+
+#endif // CYCLOPS_VERIFY_REF_INTERP_H

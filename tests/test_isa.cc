@@ -42,31 +42,31 @@ TEST_P(EncodingRoundTrip, EncodeDecodeIdentity)
             u8 r = u8(rng.below(kNumRegs));
             return pair ? u8(r & ~1u) : r;
         };
+        // Canonical encoding: operand fields the instruction neither
+        // reads nor writes stay zero (Instr{} default).
+        if (m.readsRd || m.writesRd)
+            instr.rd = reg(m.fpPairRd);
+        if (m.readsRa)
+            instr.ra = reg(m.fpPairRa);
+        if (m.readsRb)
+            instr.rb = reg(m.fpPairRb);
         switch (m.format) {
           case Format::R:
-            instr.rd = reg(m.fpPairRd);
-            instr.ra = reg(m.fpPairRa);
-            instr.rb = reg(m.fpPairRb);
             break;
           case Format::I:
-            instr.rd = reg(m.fpPairRd);
-            instr.ra = reg(false);
-            instr.imm = s32(rng.range(immMin(kImmBitsI),
-                                      immMax(kImmBitsI)));
+            if (op != Opcode::Halt)
+                instr.imm = s32(rng.range(immMin(kImmBitsI),
+                                          immMax(kImmBitsI)));
             break;
           case Format::B:
-            instr.ra = reg(false);
-            instr.rb = reg(false);
             instr.imm = s32(rng.range(immMin(kImmBitsI),
                                       immMax(kImmBitsI)));
             break;
           case Format::J:
-            instr.rd = reg(false);
             instr.imm = s32(rng.range(immMin(kImmBitsJ),
                                       immMax(kImmBitsJ)));
             break;
           case Format::U:
-            instr.rd = reg(false);
             instr.imm = s32(rng.range(0, immMax(kImmBitsU) * 2 + 1));
             break;
         }
@@ -76,7 +76,27 @@ TEST_P(EncodingRoundTrip, EncodeDecodeIdentity)
         Instr back;
         ASSERT_TRUE(decode(word, &back));
         EXPECT_EQ(instr, back) << mnemonic(op);
+        EXPECT_TRUE(validOperands(back)) << mnemonic(op);
     }
+}
+
+TEST(Encoding, RejectsJunkInUnusedOperandFields)
+{
+    u32 word = 0;
+    // sync reads and writes nothing: any register field must be zero.
+    EXPECT_FALSE(encode(Instr{Opcode::Sync, 5, 0, 0, 0}, &word));
+    EXPECT_FALSE(encode(Instr{Opcode::Sync, 0, 0, 3, 0}, &word));
+    // mfspr names no source register; mtspr no destination.
+    EXPECT_FALSE(encode(Instr{Opcode::Mfspr, 5, 6, 0, 0}, &word));
+    EXPECT_FALSE(encode(Instr{Opcode::Mtspr, 5, 6, 0, 0}, &word));
+    // R-format carries no immediate.
+    EXPECT_FALSE(validOperands(Instr{Opcode::Add, 1, 2, 3, 7}));
+    // halt ignores (and must zero) its immediate field.
+    EXPECT_FALSE(encode(Instr{Opcode::Halt, 0, 0, 0, 1}, &word));
+    // The canonical forms all encode.
+    EXPECT_TRUE(encode(Instr{Opcode::Sync, 0, 0, 0, 0}, &word));
+    EXPECT_TRUE(encode(Instr{Opcode::Mfspr, 5, 0, 0, 2}, &word));
+    EXPECT_TRUE(encode(Instr{Opcode::Mtspr, 0, 6, 0, 4}, &word));
 }
 
 INSTANTIATE_TEST_SUITE_P(AllOpcodes, EncodingRoundTrip,
@@ -116,56 +136,71 @@ TEST(Encoding, RejectsBadOpcodeField)
 // Disassembler round-trips through the assembler.
 // ---------------------------------------------------------------------------
 
+namespace
+{
+
+/** A random instruction in canonical operand form. */
+Instr
+randomCanonical(Opcode op, Rng &rng)
+{
+    const InstrMeta &m = meta(op);
+    Instr instr;
+    instr.op = op;
+    auto reg = [&](bool pair) {
+        u8 r = u8(rng.below(kNumRegs));
+        return pair ? u8(r & ~1u) : r;
+    };
+    if (m.readsRd || m.writesRd)
+        instr.rd = reg(m.fpPairRd);
+    if (m.readsRa)
+        instr.ra = reg(m.fpPairRa);
+    if (m.readsRb)
+        instr.rb = reg(m.fpPairRb);
+    switch (m.format) {
+      case Format::R:
+        break;
+      case Format::I:
+        if (op != Opcode::Halt)
+            instr.imm = s32(rng.range(immMin(kImmBitsI),
+                                      immMax(kImmBitsI)));
+        break;
+      case Format::B:
+        instr.imm =
+            s32(rng.range(immMin(kImmBitsI), immMax(kImmBitsI)));
+        break;
+      case Format::J:
+        instr.imm =
+            s32(rng.range(immMin(kImmBitsJ), immMax(kImmBitsJ)));
+        break;
+      case Format::U:
+        instr.imm = s32(rng.range(0, immMax(kImmBitsU) * 2 + 1));
+        break;
+    }
+    return instr;
+}
+
+} // namespace
+
 TEST(Disassembler, RoundTripsThroughAssembler)
 {
+    // Every opcode — including branches and jumps, whose pc-relative
+    // targets print as `.+N` — with fuzzed operands: the disassembly
+    // must reassemble to the identical machine word.
     Rng rng(42);
     for (unsigned opIdx = 0; opIdx < kNumOpcodes; ++opIdx) {
         const auto op = static_cast<Opcode>(opIdx);
-        const InstrMeta &m = meta(op);
-        // Branch offsets are label-relative in assembly; skip control
-        // flow (covered by the assembler tests).
-        if (m.unit == UnitClass::Branch)
-            continue;
-        Instr instr;
-        instr.op = op;
-        if (m.fpPairRd)
-            instr.rd = 8;
-        else if (m.unit == UnitClass::CacheOp)
-            instr.rd = 0; // pref/dcbf/dcbi take no destination
-        else
-            instr.rd = 5;
-        instr.ra = m.readsRa ? (m.fpPairRa ? 10 : 6) : 0;
-        instr.rb = m.readsRb ? (m.fpPairRb ? 12 : 7) : 0;
-        if (m.format == Format::I || m.format == Format::U)
-            instr.imm = (op == Opcode::Mfspr || op == Opcode::Mtspr)
-                            ? 4
-                            : 48;
-        if (op == Opcode::Mfspr)
-            instr.ra = 0; // no source-register operand in the syntax
-        if (op == Opcode::Mtspr)
-            instr.rd = 0; // no destination operand in the syntax
-        if (m.format == Format::I) {
-            instr.rb = 0;
+        for (int trial = 0; trial < 50; ++trial) {
+            const Instr instr = randomCanonical(op, rng);
+            const std::string text =
+                ".text\n" + disassemble(instr) + "\n";
+            AsmResult result = assemble(text);
+            ASSERT_TRUE(result.ok) << mnemonic(op) << ": "
+                                   << result.error << " [" << text << "]";
+            ASSERT_EQ(result.program.text.size(), 1u) << mnemonic(op);
+            Instr back;
+            ASSERT_TRUE(decode(result.program.text[0], &back));
+            EXPECT_EQ(instr, back) << mnemonic(op) << " | " << text;
         }
-        if (m.format == Format::U || m.format == Format::J)
-            instr.ra = instr.rb = 0;
-        if (op == Opcode::Halt || op == Opcode::Trap) {
-            instr.rd = instr.ra = instr.rb = 0;
-            instr.imm = op == Opcode::Trap ? 1 : 0;
-        }
-        if (m.unit == UnitClass::Misc || m.unit == UnitClass::Sync) {
-            if (m.format == Format::R)
-                instr = Instr{op, 0, 0, 0, 0};
-        }
-
-        const std::string text = ".text\n" + disassemble(instr) + "\n";
-        AsmResult result = assemble(text);
-        ASSERT_TRUE(result.ok)
-            << mnemonic(op) << ": " << result.error << " [" << text << "]";
-        ASSERT_EQ(result.program.text.size(), 1u) << mnemonic(op);
-        Instr back;
-        ASSERT_TRUE(decode(result.program.text[0], &back));
-        EXPECT_EQ(instr, back) << mnemonic(op) << " | " << text;
     }
 }
 

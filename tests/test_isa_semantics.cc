@@ -168,7 +168,8 @@ runFpOp(Opcode op, double a, double b)
     builder.ld(8, 0, 4);
     builder.ld(10, 8, 4);
     builder.fmovd(12, 8); // rd also serves as the FMA accumulator
-    builder.emitR(op, 12, 8, 10);
+    // Unary ops must encode rb = 0 (canonical operand check).
+    builder.emitR(op, 12, 8, meta(op).readsRb ? 10 : 0);
     builder.sd(12, 0, 4);
     builder.sync();
     builder.halt();

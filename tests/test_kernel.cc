@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Kernel-layer tests: the simulated-memory heap (bump + coalescing
+ * free list) and the sense-reversing central software barrier run on
+ * real ThreadUnits.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "arch/chip.h"
+#include "arch/interest_group.h"
+#include "arch/thread_unit.h"
+#include "isa/builder.h"
+#include "kernel/heap.h"
+#include "kernel/sync.h"
+
+using namespace cyclops;
+using kernel::Heap;
+
+// --- Heap --------------------------------------------------------------------
+
+TEST(Heap, BumpAllocationIsContiguousAndAligned)
+{
+    Heap h(0x1000, 0x2000);
+    const PhysAddr a = h.alloc(24, 8);
+    const PhysAddr b = h.alloc(10, 8);
+    const PhysAddr c = h.alloc(1, 64);
+    EXPECT_EQ(a, 0x1000u);
+    EXPECT_EQ(b, a + 24);
+    EXPECT_EQ(c % 64, 0u);
+    EXPECT_GE(c, b + 10);
+    EXPECT_EQ(h.remaining(), 0x2000u - (c + 1));
+}
+
+TEST(Heap, ZeroByteAllocationRoundsUpToAlignment)
+{
+    Heap h(0, 256);
+    const PhysAddr a = h.alloc(0, 16);
+    const PhysAddr b = h.alloc(0, 16);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(b - a, 16u);
+}
+
+TEST(Heap, FreeListReusesReleasedBlock)
+{
+    Heap h(0, 0x1000);
+    const PhysAddr a = h.alloc(96);
+    const PhysAddr b = h.alloc(96);
+    h.free(a);
+    // First fit: the released block satisfies an equal-sized request.
+    EXPECT_EQ(h.alloc(96), a);
+    h.free(b);
+    EXPECT_EQ(h.alloc(64), b);
+}
+
+TEST(Heap, FreeCoalescesNeighbours)
+{
+    Heap h(0, 0x1000);
+    const PhysAddr a = h.alloc(64);
+    const PhysAddr b = h.alloc(64);
+    const PhysAddr c = h.alloc(64);
+    h.alloc(64); // guard so the region below brk stays occupied
+    h.free(a);
+    h.free(c);
+    h.free(b); // joins [a,b) and [c,c+64) into one 192-byte block
+    EXPECT_EQ(h.alloc(192), a);
+}
+
+TEST(Heap, AlignmentSlackIsReturnedToFreeList)
+{
+    Heap h(8, 0x1000);
+    const PhysAddr a = h.alloc(8);   // 8
+    h.alloc(8);                      // 16, keeps brk away
+    h.free(a);
+    const PhysAddr big = h.alloc(8, 64); // can't fit at 8: bumps
+    EXPECT_EQ(big % 64, 0u);
+    // The freed 8-byte block at 0 still satisfies a small request.
+    EXPECT_EQ(h.alloc(8), a);
+}
+
+TEST(Heap, ResetDropsAllAllocations)
+{
+    Heap h(0x100, 0x200);
+    h.alloc(32);
+    h.alloc(32);
+    h.reset();
+    EXPECT_EQ(h.alloc(32), 0x100u);
+}
+
+TEST(HeapDeathTest, ExhaustionIsFatal)
+{
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+    Heap h(0, 128);
+    h.alloc(64);
+    EXPECT_EXIT(h.alloc(128), testing::ExitedWithCode(1), "exhausted");
+}
+
+TEST(HeapDeathTest, BadAlignmentIsFatal)
+{
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+    Heap h(0, 128);
+    EXPECT_EXIT(h.alloc(8, 24), testing::ExitedWithCode(1),
+                "power of two");
+}
+
+// --- Sense-reversing software barrier ----------------------------------------
+
+namespace
+{
+
+/**
+ * N threads: result[tid] = tid + 1; barrier; sum = result[0..N);
+ * barrier (reversed sense); check[tid] = sum. Without the barrier a
+ * fast thread would sum unwritten slots.
+ */
+void
+runBarrierProgram(u32 n)
+{
+    using arch::igAddr;
+    using arch::kIgDefault;
+
+    isa::ProgramBuilder b(0);
+    kernel::SwBarrierAsm bar(b, 10, 11, 12);
+    const u32 result = b.allocData(4 * n, 64);
+    const u32 check = b.allocData(4 * n, 64);
+
+    b.mfspr(4, isa::kSprTid);
+    bar.emitInit(b);
+    b.li(5, n);
+    b.li(6, igAddr(kIgDefault, result));
+    b.slli(7, 4, 2);
+    b.add(7, 7, 6);
+    b.addi(8, 4, 1);
+    b.sw(8, 0, 7);
+    bar.emitEnter(b, 5);
+    b.li(9, 0);  // sum
+    b.li(13, 0); // i
+    auto loop = b.newLabel();
+    b.bind(loop);
+    b.slli(7, 13, 2);
+    b.add(7, 7, 6);
+    b.lw(8, 0, 7);
+    b.add(9, 9, 8);
+    b.addi(13, 13, 1);
+    b.bne(13, 5, loop);
+    bar.emitEnter(b, 5); // second use: the reversed sense
+    b.li(6, igAddr(kIgDefault, check));
+    b.slli(7, 4, 2);
+    b.add(7, 7, 6);
+    b.sw(9, 0, 7);
+    b.halt();
+    const isa::Program prog = b.finish();
+
+    arch::Chip chip;
+    chip.loadProgram(prog);
+    for (u32 t = 0; t < n; ++t) {
+        chip.setUnit(t,
+                     std::make_unique<arch::ThreadUnit>(t, chip, 0));
+        chip.activate(t);
+    }
+    ASSERT_EQ(chip.run(10'000'000), arch::RunExit::AllHalted);
+
+    const u32 expected = n * (n + 1) / 2;
+    for (u32 t = 0; t < n; ++t) {
+        u32 got = 0;
+        chip.readPhys(check + 4 * t, &got, 4);
+        EXPECT_EQ(got, expected) << "thread " << t << " of " << n;
+    }
+    // The last arriver of each episode resets the counter.
+    u32 counter = ~0u;
+    chip.readPhys(bar.counterAddr(), &counter, 4);
+    EXPECT_EQ(counter, 0u);
+}
+
+} // namespace
+
+TEST(SwBarrier, SeparatesPhasesAcrossThreadCounts)
+{
+    for (u32 n : {1u, 2u, 7u, 16u})
+        runBarrierProgram(n);
+}

@@ -134,3 +134,85 @@ TEST(Net, RejectsBadEndpoints)
         },
         "");
 }
+
+namespace
+{
+
+/** Hop count a dimension contributes under DOR. */
+u32
+dimHops(u32 from, u32 to, u32 dim, bool torus)
+{
+    if (!torus)
+        return to >= from ? to - from : from - to;
+    const u32 fwd = to >= from ? to - from : to + dim - from;
+    const u32 bwd = dim - fwd;
+    return fwd == 0 ? 0 : (fwd <= bwd ? fwd : bwd);
+}
+
+} // namespace
+
+TEST(Net, HopCountsExhaustiveMeshVsTorus)
+{
+    // A mixed-extent grid with a degenerate 1-wide Z dimension.
+    NetConfig cfg;
+    cfg.dimX = 4;
+    cfg.dimY = 3;
+    cfg.dimZ = 1;
+    for (bool torus : {false, true}) {
+        cfg.torus = torus;
+        Fabric fabric(cfg);
+        for (u32 s = 0; s < cfg.numChips(); ++s) {
+            for (u32 d = 0; d < cfg.numChips(); ++d) {
+                const Coord cs = fabric.coordOf(s);
+                const Coord cd = fabric.coordOf(d);
+                const u32 expected =
+                    dimHops(cs.x, cd.x, cfg.dimX, torus) +
+                    dimHops(cs.y, cd.y, cfg.dimY, torus) +
+                    dimHops(cs.z, cd.z, cfg.dimZ, torus);
+                EXPECT_EQ(fabric.hops(s, d), expected)
+                    << (torus ? "torus " : "mesh ") << s << "->" << d;
+                EXPECT_EQ(fabric.route(s, d).size(), expected);
+            }
+        }
+    }
+}
+
+TEST(Net, TorusWraparoundBeatsMeshOnFarPairs)
+{
+    NetConfig cfg;
+    cfg.dimX = 8;
+    cfg.dimY = 4;
+    cfg.dimZ = 2;
+    Fabric torus(cfg);
+    cfg.torus = false;
+    Fabric mesh(cfg);
+    const u32 s = torus.chipAt({0, 0, 0});
+    const u32 d = torus.chipAt({7, 3, 1});
+    EXPECT_EQ(mesh.hops(s, d), 7u + 3 + 1);
+    EXPECT_EQ(torus.hops(s, d), 1u + 1 + 1); // all wraparound
+    // In a 2-wide dimension both ways are one hop.
+    EXPECT_EQ(torus.hops(torus.chipAt({0, 0, 0}),
+                         torus.chipAt({0, 0, 1})),
+              1u);
+}
+
+TEST(Net, DegenerateOneWideDimensionsNeverRoute)
+{
+    NetConfig cfg;
+    cfg.dimX = 1;
+    cfg.dimY = 1;
+    cfg.dimZ = 5;
+    cfg.torus = true;
+    Fabric fabric(cfg);
+    EXPECT_EQ(fabric.hops(0, 0), 0u);
+    EXPECT_TRUE(fabric.route(0, 0).empty());
+    for (u32 d = 1; d < 5; ++d) {
+        for (const auto &[chip, dir] : fabric.route(0, d)) {
+            (void)chip;
+            EXPECT_TRUE(dir == Dir::ZPlus || dir == Dir::ZMinus);
+        }
+    }
+    // Around the 5-ring: 0 -> 3 is two hops backwards.
+    EXPECT_EQ(fabric.hops(0, 3), 2u);
+    EXPECT_EQ(fabric.route(0, 3)[0].second, Dir::ZMinus);
+}

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Differential verification subsystem tests: golden-model semantics,
+ * generator determinism and well-formedness, mutation-tested harness
+ * sensitivity (an injected semantic bug must be caught and shrunk),
+ * reproducer round-trips, and timing-invariance of architectural state.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "arch/chip.h"
+#include "arch/thread_unit.h"
+#include "exec/engine.h"
+#include "isa/assembler.h"
+#include "verify/diff_runner.h"
+#include "verify/digest.h"
+#include "verify/fuzz.h"
+#include "verify/prog_gen.h"
+#include "verify/ref_interp.h"
+
+using namespace cyclops;
+using namespace cyclops::verify;
+
+namespace
+{
+
+/** Run @p src on the reference interpreter, one thread. */
+RefInterpreter
+refRun(const std::string &src, u64 maxInstrs = 10'000)
+{
+    const isa::Program prog = isa::assembleOrDie(src, 0);
+    RefInterpreter ref(prog, 1 << 20, 1);
+    EXPECT_EQ(ref.run(0, maxInstrs), StepStatus::Halted);
+    return ref;
+}
+
+} // namespace
+
+// --- Reference interpreter semantics ---------------------------------------
+
+TEST(RefInterp, ArithmeticAndConsole)
+{
+    RefInterpreter ref = refRun(R"(
+        .text
+        start:
+            li   r8, 1000
+            li   r9, -58
+            add  r4, r8, r9
+            trap 2          ; print r4 as %d
+            halt
+    )");
+    EXPECT_EQ(ref.console(), "942");
+    EXPECT_EQ(ref.thread(0).regs[4], 942u);
+    EXPECT_EQ(ref.thread(0).instructions, 5u);
+}
+
+TEST(RefInterp, LoadStoreAndBranches)
+{
+    RefInterpreter ref = refRun(R"(
+        .text
+        start:
+            la   r10, buf
+            li   r8, 0       ; i
+            li   r9, 0       ; sum
+        loop:
+            slli r11, r8, 2
+            add  r11, r11, r10
+            sw   r8, 0(r11)
+            lw   r12, 0(r11)
+            add  r9, r9, r12
+            addi r8, r8, 1
+            li   r13, 5
+            bne  r8, r13, loop
+            halt
+        .data
+        buf: .space 32
+    )");
+    EXPECT_EQ(ref.thread(0).regs[9], 0u + 1 + 2 + 3 + 4);
+    // 8 loop instructions x 5 trips + 4 setup (la is lui+ori) + halt.
+    EXPECT_EQ(ref.thread(0).instructions, 8u * 5 + 4 + 1);
+}
+
+TEST(RefInterp, UnsupportedOutsideSubset)
+{
+    const isa::Program prog = isa::assembleOrDie(R"(
+        .text
+        start:
+            mtspr 4, r8     ; barrier SPR: timing-dependent
+            halt
+    )", 0);
+    RefInterpreter ref(prog, 1 << 20, 1);
+    EXPECT_EQ(ref.run(0, 10), StepStatus::Unsupported);
+    EXPECT_NE(ref.error().find("mtspr"), std::string::npos);
+}
+
+TEST(RefInterp, ClassCountsAttributeInstructions)
+{
+    RefInterpreter ref = refRun(R"(
+        .text
+        start:
+            li   r8, 7
+            mul  r9, r8, r8
+            la   r10, v
+            ld   r32, 0(r10)
+            faddd r34, r32, r32
+            halt
+        .data
+        v: .double 1.5
+    )");
+    const auto &counts = ref.classCounts();
+    EXPECT_EQ(counts[u8(isa::UnitClass::IntMul)], 1u);
+    EXPECT_EQ(counts[u8(isa::UnitClass::Load)], 1u);
+    EXPECT_EQ(counts[u8(isa::UnitClass::FpAdd)], 1u);
+    EXPECT_EQ(counts[u8(isa::UnitClass::Misc)], 1u); // halt
+}
+
+// --- Generator ---------------------------------------------------------------
+
+TEST(ProgGen, DeterministicForSeed)
+{
+    GenOptions opts;
+    opts.seed = 12345;
+    opts.threads = 4;
+    const GenProgram a = generate(opts);
+    const GenProgram b = generate(opts);
+    EXPECT_EQ(a.program.text, b.program.text);
+    EXPECT_EQ(a.program.data, b.program.data);
+    EXPECT_NE(generate({.seed = 54321, .threads = 4}).program.text,
+              a.program.text);
+}
+
+TEST(ProgGen, ToAsmReassemblesIdentically)
+{
+    for (u64 seed : {1ull, 99ull, 123456789ull}) {
+        const GenProgram gp = generate({.seed = seed, .threads = 3});
+        const isa::AsmResult res = isa::assemble(gp.toAsm(), 0);
+        ASSERT_TRUE(res.ok) << res.error;
+        EXPECT_EQ(res.program.text, gp.program.text) << "seed " << seed;
+        EXPECT_EQ(res.program.data, gp.program.data) << "seed " << seed;
+        EXPECT_EQ(res.program.dataBase, gp.program.dataBase);
+        EXPECT_EQ(res.program.entry, gp.program.entry);
+    }
+}
+
+TEST(ProgGen, GeneratedProgramsTerminateAndDiffClean)
+{
+    for (u64 seed = 1; seed <= 8; ++seed) {
+        const GenProgram gp =
+            generate({.seed = seed, .threads = 1 + u32(seed % 4)});
+        const DiffResult r = runDiff(gp, DiffConfig{});
+        EXPECT_TRUE(r.ok) << "seed " << seed << ": " << r.message;
+        EXPECT_GT(r.instructions, 0u);
+    }
+}
+
+// --- Differential harness sensitivity (mutation testing) ---------------------
+
+TEST(DiffRunner, CatchesInjectedSemanticBugs)
+{
+    for (Mutation m : {Mutation::AddOffByOne, Mutation::SltuFlipped,
+                       Mutation::LbZeroExtends}) {
+        FuzzOptions opts;
+        opts.iters = 100; // stops at the first divergence
+        opts.mutation = m;
+        const FuzzResult res = fuzzLoop(opts);
+        EXPECT_EQ(res.divergences, 1u) << "mutation " << int(m);
+        EXPECT_FALSE(res.report.empty());
+        EXPECT_NE(res.report.find("diverged"), std::string::npos);
+    }
+}
+
+TEST(DiffRunner, ShrinksToMinimalReproducer)
+{
+    FuzzOptions opts;
+    opts.iters = 100;
+    opts.mutation = Mutation::AddOffByOne;
+    const FuzzResult res = fuzzLoop(opts);
+    ASSERT_EQ(res.divergences, 1u);
+    // The fixed prologue (15 instructions) is protected; everything the
+    // failure does not need must have been nopped out and compacted.
+    EXPECT_LE(res.reproducerLen, 20u);
+    EXPECT_NE(res.reproducer.find("start:"), std::string::npos);
+    // The reproducer reassembles.
+    const isa::AsmResult as = isa::assemble(res.reproducer, 0);
+    EXPECT_TRUE(as.ok) << as.error;
+}
+
+TEST(Fuzz, CampaignIsDeterministic)
+{
+    FuzzOptions opts;
+    opts.iters = 25;
+    const FuzzResult a = fuzzLoop(opts);
+    const FuzzResult b = fuzzLoop(opts);
+    EXPECT_EQ(a.executed, b.executed);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.divergences, 0u);
+    EXPECT_EQ(b.divergences, 0u);
+}
+
+// --- Timing-invariance of architectural state --------------------------------
+
+TEST(Verify, ArchStateInvariantUnderTimingKnobs)
+{
+    const GenProgram gp = generate({.seed = 77, .threads = 2});
+
+    auto finalDigest = [&](bool pib, bool burst, u32 outstanding) {
+        DiffConfig cfg;
+        cfg.chip.pibEnabled = pib;
+        cfg.chip.burstEnabled = burst;
+        cfg.chip.maxOutstandingMem = outstanding;
+        arch::Chip chip(cfg.chip);
+        chip.loadProgram(gp.program);
+        for (u32 t = 0; t < gp.threads; ++t) {
+            chip.setUnit(t, std::make_unique<arch::ThreadUnit>(
+                                t, chip, gp.program.entry));
+            chip.activate(t);
+        }
+        EXPECT_EQ(chip.run(1'000'000), arch::RunExit::AllHalted);
+        return memDigest(chip, 0, chip.config().memBytes());
+    };
+
+    const u64 base = finalDigest(true, true, 4);
+    EXPECT_EQ(base, finalDigest(false, true, 4));
+    EXPECT_EQ(base, finalDigest(true, false, 1));
+    EXPECT_EQ(base, finalDigest(false, false, 2));
+}
+
+TEST(Verify, EngineExposesConstState)
+{
+    arch::Chip chip;
+    exec::GuestEngine engine(chip);
+    const exec::GuestEngine &ce = engine;
+    EXPECT_EQ(&ce.chip(), &chip);
+    EXPECT_GT(ce.heap().limit(), ce.heap().base());
+    EXPECT_EQ(memDigest(ce.chip(), 0, 4096),
+              memDigest(ce.chip(), 0, 4096));
+}
