@@ -61,14 +61,16 @@ secondsSince(std::chrono::steady_clock::time_point start)
 
 Measurement
 measureStream(const char *name, StreamKernel kernel, u32 threads,
-              u32 ept)
+              u32 ept, u32 profInterval = 0)
 {
     StreamConfig cfg;
     cfg.kernel = kernel;
     cfg.threads = threads;
     cfg.elementsPerThread = ept;
+    ChipConfig chipCfg;
+    chipCfg.obs.profInterval = profInterval;
     const auto start = std::chrono::steady_clock::now();
-    const StreamResult result = runStream(cfg);
+    const StreamResult result = runStream(cfg, chipCfg);
     Measurement m;
     m.name = name;
     m.wallSeconds = secondsSince(start);
@@ -121,9 +123,26 @@ measureSweep(const Options &opts, const std::vector<u32> &sizes)
     return m;
 }
 
+/** The profiler-overhead experiment: one workload, sampling on/off. */
+struct Overhead
+{
+    u32 profInterval = 0;
+    Measurement off;
+    Measurement on;
+
+    double
+    overheadPct() const
+    {
+        return off.cyclesPerSec() > 0
+                   ? (1.0 - on.cyclesPerSec() / off.cyclesPerSec()) * 100
+                   : 0;
+    }
+};
+
 void
 writeJson(const char *path, const Options &opts,
-          const std::vector<Measurement> &measurements)
+          const std::vector<Measurement> &measurements,
+          const Overhead &overhead)
 {
     std::FILE *f = std::fopen(path, "w");
     if (!f) {
@@ -133,6 +152,15 @@ writeJson(const char *path, const Options &opts,
     std::fprintf(f, "{\n  \"benchmark\": \"simperf\",\n");
     std::fprintf(f, "  \"quick\": %s,\n", opts.quick ? "true" : "false");
     std::fprintf(f, "  \"jobs\": %u,\n", opts.jobs);
+    std::fprintf(f,
+                 "  \"profilerOverhead\": {\"workload\": \"%s\", "
+                 "\"profInterval\": %u, "
+                 "\"disabledCyclesPerSec\": %.0f, "
+                 "\"enabledCyclesPerSec\": %.0f, "
+                 "\"overheadPct\": %.2f},\n",
+                 overhead.off.name.c_str(), overhead.profInterval,
+                 overhead.off.cyclesPerSec(), overhead.on.cyclesPerSec(),
+                 overhead.overheadPct());
     std::fprintf(f, "  \"workloads\": [\n");
     for (size_t i = 0; i < measurements.size(); ++i) {
         const Measurement &m = measurements[i];
@@ -187,6 +215,25 @@ main(int argc, char **argv)
                    2000}));
     }
 
+    // Profiler overhead: the same workload with PC sampling enabled
+    // (no file output) vs disabled. The simulated cycle counts must
+    // match exactly — the profiler never changes simulated timing.
+    Overhead overhead;
+    overhead.profInterval = 256;
+    const u32 ohEpt = opts.quick ? 500 : 2000;
+    overhead.off = measureStream("stream_triad_profoff",
+                                 StreamKernel::Triad, 126, ohEpt);
+    overhead.on =
+        measureStream("stream_triad_profon", StreamKernel::Triad, 126,
+                      ohEpt, overhead.profInterval);
+    if (overhead.on.simCycles != overhead.off.simCycles)
+        warn("simperf: profiler changed simulated timing (%llu != "
+             "%llu cycles)",
+             static_cast<unsigned long long>(overhead.on.simCycles),
+             static_cast<unsigned long long>(overhead.off.simCycles));
+    ms.push_back(overhead.off);
+    ms.push_back(overhead.on);
+
     Table table({"workload", "sim cycles", "instructions", "wall s",
                  "Mcycles/s", "sim MIPS"});
     for (const Measurement &m : ms) {
@@ -198,7 +245,7 @@ main(int argc, char **argv)
     }
     cyclops::bench::emit(opts, table);
 
-    writeJson("BENCH_simperf.json", opts, ms);
+    writeJson("BENCH_simperf.json", opts, ms, overhead);
     cyclops::bench::note(opts, "Wrote BENCH_simperf.json");
     return 0;
 }

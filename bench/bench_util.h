@@ -17,6 +17,10 @@
  *   --stats-json PATH     end-of-run counters/histograms JSON
  *   --stats-csv PATH      epoch-sampled counter time-series CSV
  *   --stats-interval N    epoch sample period in cycles
+ *   --prof-out PATH       PC-sampling profile (JSON + .folded +
+ *                         .heatmap.csv per simulated chip)
+ *   --prof-interval N     PC sample period in cycles (default 512
+ *                         when --prof-out is given)
  * Paths may contain "%t", replaced by a per-sweep-point tag so
  * concurrent simulation points never share an output file.
  *
@@ -88,13 +92,20 @@ parseOptions(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--stats-interval") == 0 &&
                    i + 1 < argc) {
             opts.obs.statsInterval = u32(std::atoi(argv[++i]));
+        } else if (std::strcmp(argv[i], "--prof-out") == 0 &&
+                   i + 1 < argc) {
+            opts.obs.profOut = argv[++i];
+        } else if (std::strcmp(argv[i], "--prof-interval") == 0 &&
+                   i + 1 < argc) {
+            opts.obs.profInterval = u32(std::atoi(argv[++i]));
         } else {
             std::fprintf(
                 stderr,
                 "usage: %s [--quick] [--csv] [--scale N] [--jobs N]\n"
                 "          [--trace-out P] [--trace-cats LIST]\n"
                 "          [--trace-capacity N] [--stats-json P]\n"
-                "          [--stats-csv P] [--stats-interval N]\n",
+                "          [--stats-csv P] [--stats-interval N]\n"
+                "          [--prof-out P] [--prof-interval N]\n",
                 argv[0]);
             std::exit(2);
         }
@@ -103,6 +114,9 @@ parseOptions(int argc, char **argv)
     // default to all of them so --trace-out alone does what you mean.
     if (!opts.obs.traceOut.empty() && opts.obs.traceCats == 0)
         opts.obs.traceCats = kTraceAll;
+    // Same convenience for profiling: --prof-out alone enables sampling.
+    if (!opts.obs.profOut.empty() && opts.obs.profInterval == 0)
+        opts.obs.profInterval = 512;
     if (const char *env = std::getenv("CYCLOPS_BENCH_QUICK"))
         if (env[0] == '1')
             opts.quick = true;

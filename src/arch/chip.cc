@@ -62,6 +62,16 @@ Chip::Chip(const ChipConfig &cfg) : cfg_(cfg)
 
     sampler_.configure(&stats_, cfg_.obs.statsInterval);
     sampling_ = sampler_.enabled();
+
+    profiler_.configure(cfg_.obs.profInterval, cfg_.numThreads);
+    profiling_ = profiler_.enabled();
+    active_.assign(cfg_.numThreads, 0);
+    if (profiling_)
+        profNext_ = profiler_.interval();
+    // The bank heatmap rides along with any profiling: it must cover
+    // the whole run for its row sums to match the bank access totals.
+    if (profiling_ || !cfg_.obs.profOut.empty())
+        memsys_.enableHeatmap();
 }
 
 // --- Functional memory ------------------------------------------------------
@@ -147,6 +157,8 @@ Chip::loadProgram(const isa::Program &program)
         writePhys(program.dataBase, program.data.data(),
                   u32(program.data.size()));
 
+    profiler_.setTextRange(program.textBase, program.textBytes());
+
     decoded_.resize(program.text.size());
     for (size_t i = 0; i < program.text.size(); ++i) {
         if (!isa::decode(program.text[i], &decoded_[i]))
@@ -188,6 +200,7 @@ Chip::activate(ThreadId tid, Cycle when)
         fatal("activate: thread %u belongs to disabled quad %u", tid,
               quad);
     ++liveUnits_;
+    active_[tid] = 1;
     if (tracer_.on(TraceCat::Sched))
         tracer_.instant(TraceCat::Sched, tid, "activate",
                         std::max(when, now_));
@@ -243,6 +256,8 @@ Chip::run(Cycle maxCycles)
     while (liveUnits_ > 0) {
         if (sampling_)
             sampler_.maybeSample(now_);
+        if (profiling_ && now_ >= profNext_)
+            samplePcs();
         if (now_ >= limit)
             return RunExit::CycleLimit;
 
@@ -289,6 +304,7 @@ Chip::run(Cycle maxCycles)
                 if (!u->halted())
                     panic("unit %u returned never but is not halted", tid);
                 --liveUnits_;
+                active_[tid] = 0;
                 if (tracer_.on(TraceCat::Sched))
                     tracer_.instant(TraceCat::Sched, tid, "halt", now_);
             } else {
@@ -301,6 +317,25 @@ Chip::run(Cycle maxCycles)
         ++now_;
     }
     return RunExit::AllHalted;
+}
+
+// Take the PC samples due at or before now_. The cycle engine only
+// fast-forwards across event-free gaps, so every thread's PC is
+// unchanged since the skipped boundaries: one weighted record per unit
+// stands for all of them.
+void
+Chip::samplePcs()
+{
+    const u64 interval = profiler_.interval();
+    const u64 weight = (now_ - profNext_) / interval + 1;
+    for (ThreadId tid = 0; tid < cfg_.numThreads; ++tid) {
+        if (!active_[tid])
+            continue;
+        PhysAddr pc = 0;
+        const bool mapped = units_[tid]->samplePc(&pc);
+        profiler_.record(tid, mapped, pc, weight);
+    }
+    profNext_ += weight * interval;
 }
 
 // --- SPRs and traps -----------------------------------------------------------
@@ -322,8 +357,36 @@ Chip::readSpr(ThreadId tid, u32 spr)
       case isa::kSprMemSize:
         return memsys_.availableMemBytes() / 1024;
       default:
-        fatal("mfspr of unknown SPR %u (thread %u)", spr, tid);
+        break;
     }
+    if (spr >= isa::kSprCntBase && spr < isa::kSprCntEnd) {
+        // The performance counter file: low 32 bits of the per-TU
+        // counts. Reads on a thread with no unit installed return 0.
+        const Unit *u = units_[tid].get();
+        if (!u)
+            return 0;
+        switch (spr) {
+          case isa::kSprCntCycles:
+            return u32(u->chargedCycles());
+          case isa::kSprCntInstret:
+            return u32(u->instructions());
+          case isa::kSprCntDcacheHit:
+            return u32(u->dcacheHits());
+          case isa::kSprCntDcacheMiss:
+            return u32(u->dcacheMisses());
+          case isa::kSprCntIcacheMiss:
+            return u32(u->icacheMisses());
+          case isa::kSprCntBankStall:
+            return u32(u->catCycles(CycleCat::BankContention));
+          case isa::kSprCntFpuStall:
+            return u32(u->catCycles(CycleCat::FpuArb));
+          case isa::kSprCntBarrier:
+            return u32(u->catCycles(CycleCat::BarrierWait));
+        }
+    }
+    // Reads of reserved/unimplemented SPR numbers are architecturally
+    // defined to return 0 (documented in isa.h and DESIGN.md section 12).
+    return 0;
 }
 
 void
@@ -474,6 +537,9 @@ Chip::writeObservability()
         sampler_.writeCsv(f);
         std::fclose(f);
     }
+    if (!obs.profOut.empty())
+        profiler_.writeOutputs(obs.expandPath(obs.profOut), program_,
+                               memsys_, cfg_, now_);
 }
 
 } // namespace cyclops::arch

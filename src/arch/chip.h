@@ -23,6 +23,7 @@
 #include "arch/icache.h"
 #include "arch/memsys.h"
 #include "arch/offchip.h"
+#include "arch/profiler.h"
 #include "arch/unit.h"
 #include "common/config.h"
 #include "common/metrics.h"
@@ -56,6 +57,9 @@ class Chip
 
     /** Epoch sampler of all registered scalar statistics. */
     const EpochSampler &sampler() const { return sampler_; }
+
+    /** PC-sampling profiler (enabled by ChipConfig::obs.profInterval). */
+    const Profiler &profiler() const { return profiler_; }
 
     /**
      * Cycle attribution of one TU: every cycle between the unit's
@@ -185,11 +189,17 @@ class Chip
     Cycle nextWheelEvent() const;
     u8 *memPtr(Addr ea, u8 bytes, ThreadId tid);
 
+    void samplePcs();
+
     ChipConfig cfg_;
     StatGroup stats_;
     Tracer tracer_;
     EpochSampler sampler_;
     bool sampling_ = false;
+    Profiler profiler_;
+    bool profiling_ = false;
+    Cycle profNext_ = kCycleNever;
+    std::vector<u8> active_; ///< activated and not yet halted, per TU
 
     std::vector<u8> dram_;
     std::vector<std::vector<u8>> scratch_; ///< per-cache scratch storage

@@ -113,7 +113,7 @@ DCache::writeback(Line &line, u32 set, Cycle when, MemSystem &fabric)
         if (line.dirtyMask & blockMask)
             ++dirtyBlocks;
     }
-    fabric.postWrite(when, lineAddrOf(line, set), dirtyBlocks);
+    fabric.postWrite(when, lineAddrOf(line, set), dirtyBlocks, id_);
     ++writebacks_;
     wbBlocks_ += dirtyBlocks;
     line.dirtyMask = 0;
@@ -178,7 +178,7 @@ DCache::access(const CacheAccess &req, MemSystem &fabric)
         const Cycle bankReq = grant + lat.missToBank;
         BankGrant bg = fabric.fetchLine(
             bankReq, line * cfg_->dcacheLineBytes,
-            cfg_->dcacheLineBytes / cfg_->memBlockBytes);
+            cfg_->dcacheLineBytes / cfg_->memBlockBytes, id_);
         const Cycle fillDone = bg.start + bg.transferCycles;
         hitLine->validMask = fullMask_;
         hitLine->fillDone = std::max(hitLine->fillDone, fillDone);
@@ -221,7 +221,7 @@ DCache::access(const CacheAccess &req, MemSystem &fabric)
     const Cycle bankReq = start + lat.missToBank;
     BankGrant bg =
         fabric.fetchLine(bankReq, line * cfg_->dcacheLineBytes,
-                         cfg_->dcacheLineBytes / cfg_->memBlockBytes);
+                         cfg_->dcacheLineBytes / cfg_->memBlockBytes, id_);
     const Cycle fillDone = bg.start + bg.transferCycles;
     way.validMask = fullMask_;
     way.dirtyMask = req.store ? reqMask : 0;

@@ -49,7 +49,8 @@ ICache::lookupInsert(PhysAddr lineAddr, Cycle now)
 }
 
 Cycle
-ICache::refill(Cycle now, PhysAddr addr, MemSystem &fabric)
+ICache::refill(Cycle now, PhysAddr addr, MemSystem &fabric, u32 quad,
+               u32 *missesOut)
 {
     const Cycle grant = std::max(now, portFree_);
     portWaitCycles_ += grant - now;
@@ -59,6 +60,7 @@ ICache::refill(Cycle now, PhysAddr addr, MemSystem &fabric)
     // determines readiness (interleaved banks serve them in parallel).
     const u32 windowBytes = cfg_->pibEntries * 4;
     Cycle ready = grant + cfg_->lat.icacheHitRefill;
+    u32 lineMisses = 0;
     for (PhysAddr lineAddr = PhysAddr(roundDown(addr, cfg_->icacheLineBytes));
          lineAddr < addr + windowBytes;
          lineAddr += cfg_->icacheLineBytes) {
@@ -67,13 +69,16 @@ ICache::refill(Cycle now, PhysAddr addr, MemSystem &fabric)
             continue;
         }
         ++misses_;
+        ++lineMisses;
         const Cycle bankReq = grant + cfg_->lat.missToBank;
         BankGrant bg = fabric.fetchLine(
             bankReq, lineAddr,
-            cfg_->icacheLineBytes / cfg_->memBlockBytes);
+            cfg_->icacheLineBytes / cfg_->memBlockBytes, quad);
         ready = std::max(ready, bg.start + bg.transferCycles +
                                     cfg_->lat.bankToCache);
     }
+    if (missesOut)
+        *missesOut = lineMisses;
     return ready;
 }
 

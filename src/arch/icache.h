@@ -32,9 +32,12 @@ class ICache
 
     /**
      * Refill a thread's PIB window starting at @p addr (the aligned
-     * base of the window). Returns the cycle the PIB is usable.
+     * base of the window) for a thread of quad @p quad. Returns the
+     * cycle the PIB is usable; if @p missesOut is non-null it receives
+     * the number of I-cache line misses this refill took.
      */
-    Cycle refill(Cycle now, PhysAddr addr, MemSystem &fabric);
+    Cycle refill(Cycle now, PhysAddr addr, MemSystem &fabric, u32 quad,
+                 u32 *missesOut = nullptr);
 
     u64 hits() const { return hits_.value(); }
     u64 misses() const { return misses_.value(); }

@@ -56,6 +56,9 @@ class MemBank
     /** Number of reserve() calls. */
     u64 accesses() const { return accesses_.value(); }
 
+    /** Requester cycles spent queued behind a busy bank. */
+    u64 queueCycles() const { return queueCycles_.value(); }
+
   private:
     static constexpr PhysAddr kRowBytes = 1024; ///< open-row granularity
     static constexpr Cycle kRowOpenWindow = 8;  ///< idle cycles row stays open

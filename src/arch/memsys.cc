@@ -102,20 +102,46 @@ MemSystem::routeInfo(PhysAddr addr) const
     return {BankId(r.bank - banks_.data()), r.bankAddr};
 }
 
-BankGrant
-MemSystem::fetchLine(Cycle req, PhysAddr lineAddr, u32 blocks)
+void
+MemSystem::enableHeatmap()
 {
-    BankRoute r = route(lineAddr);
-    return r.bank->reserve(req, blocks, r.bankAddr);
+    heatOn_ = true;
+    heatAccess_.assign(size_t(cfg_->numCaches()) * cfg_->numBanks, 0);
+    heatConflict_.assign(size_t(cfg_->numCaches()) * cfg_->numBanks, 0);
 }
 
 void
-MemSystem::postWrite(Cycle when, PhysAddr lineAddr, u32 blocks)
+MemSystem::noteBank(CacheId requester, const BankRoute &r, Cycle req,
+                    const BankGrant &grant)
+{
+    const BankId bank = BankId(r.bank - banks_.data());
+    const size_t idx = size_t(requester) * cfg_->numBanks + bank;
+    ++heatAccess_[idx];
+    if (grant.start > req)
+        ++heatConflict_[idx];
+}
+
+BankGrant
+MemSystem::fetchLine(Cycle req, PhysAddr lineAddr, u32 blocks,
+                     CacheId requester)
+{
+    BankRoute r = route(lineAddr);
+    BankGrant grant = r.bank->reserve(req, blocks, r.bankAddr);
+    if (heatOn_)
+        noteBank(requester, r, req, grant);
+    return grant;
+}
+
+void
+MemSystem::postWrite(Cycle when, PhysAddr lineAddr, u32 blocks,
+                     CacheId requester)
 {
     if (blocks == 0)
         return;
     BankRoute r = route(lineAddr);
-    r.bank->reserve(when, blocks, r.bankAddr);
+    BankGrant grant = r.bank->reserve(when, blocks, r.bankAddr);
+    if (heatOn_)
+        noteBank(requester, r, when, grant);
 }
 
 CacheId
@@ -205,6 +231,12 @@ MemSystem::access(Cycle now, ThreadId tid, Addr ea, u8 bytes, MemKind kind)
         remote ? ++remoteHits_ : ++localHits_;
     } else {
         remote ? ++remoteMisses_ : ++localMisses_;
+    }
+    if (heatOn_) {
+        const u32 cls = static_cast<u8>(entry.cls);
+        ++igAccess_[cls];
+        if (!scratch)
+            res.hit ? ++igHit_[cls] : ++igMiss_[cls];
     }
 
     if (tracer_ && tracer_->enabled()) {

@@ -75,11 +75,16 @@ class MemSystem
 
     // --- Bank services used by the caches and the I-path ---------------
 
-    /** Fetch @p blocks 32-byte blocks starting at @p lineAddr. */
-    BankGrant fetchLine(Cycle req, PhysAddr lineAddr, u32 blocks);
+    /**
+     * Fetch @p blocks 32-byte blocks starting at @p lineAddr on behalf
+     * of requester quad @p requester (feeds the bank heatmap).
+     */
+    BankGrant fetchLine(Cycle req, PhysAddr lineAddr, u32 blocks,
+                        CacheId requester);
 
     /** Posted write of @p blocks blocks (evictions); timing only. */
-    void postWrite(Cycle when, PhysAddr lineAddr, u32 blocks);
+    void postWrite(Cycle when, PhysAddr lineAddr, u32 blocks,
+                   CacheId requester);
 
     // --- Topology -------------------------------------------------------
 
@@ -93,6 +98,7 @@ class MemSystem
     DCache &dcache(CacheId id) { return caches_[id]; }
     const DCache &dcache(CacheId id) const { return caches_[id]; }
     MemBank &bank(BankId id) { return banks_[id]; }
+    const MemBank &bank(BankId id) const { return banks_[id]; }
 
     /** Resolve the target cache of an effective address for @p tid. */
     CacheId routeCache(Addr ea, ThreadId tid) const;
@@ -138,6 +144,30 @@ class MemSystem
     /** Number of operational banks. */
     u32 availableBanks() const { return u32(availBanks_.size()); }
 
+    // --- Memory-system heatmaps (profiling) -----------------------------
+
+    /**
+     * Start accumulating the (quad x bank) access/conflict matrices and
+     * the per-interest-group-class hit/miss breakdown. Off by default;
+     * the hot paths test one flag when disabled. Accumulation never
+     * affects timing.
+     */
+    void enableHeatmap();
+
+    bool heatmapEnabled() const { return heatOn_; }
+
+    /** Bank accesses by requester quad: row-major numCaches x numBanks. */
+    const std::vector<u64> &heatAccess() const { return heatAccess_; }
+
+    /** Accesses that found their bank busy (grant.start > request). */
+    const std::vector<u64> &heatConflict() const { return heatConflict_; }
+
+    /** Per-IgClass access/hit/miss counts, indexed by IgClass value. */
+    static constexpr u32 kNumIgClasses = 8;
+    const u64 *igAccesses() const { return igAccess_; }
+    const u64 *igHits() const { return igHit_; }
+    const u64 *igMisses() const { return igMiss_; }
+
   private:
     struct BankRoute
     {
@@ -146,6 +176,8 @@ class MemSystem
     };
 
     BankRoute route(PhysAddr addr);
+    void noteBank(CacheId requester, const BankRoute &r, Cycle req,
+                  const BankGrant &grant);
     CacheId routeCacheEntry(const RouteEntry &entry, Addr ea,
                             ThreadId tid) const;
     void rebuildRouteLut();
@@ -167,6 +199,14 @@ class MemSystem
     u32 bankMask_ = 15;
 
     std::array<RouteEntry, 256> routeLut_;
+
+    // Heatmap accumulators (see enableHeatmap()).
+    bool heatOn_ = false;
+    std::vector<u64> heatAccess_;
+    std::vector<u64> heatConflict_;
+    u64 igAccess_[kNumIgClasses] = {};
+    u64 igHit_[kNumIgClasses] = {};
+    u64 igMiss_[kNumIgClasses] = {};
 
     Counter loads_;
     Counter stores_;

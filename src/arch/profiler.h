@@ -1,0 +1,97 @@
+/**
+ * @file
+ * PC-sampling profiler: every profInterval cycles the chip records the
+ * program counter of every active thread unit into a per-TU histogram.
+ * At the end of the run the histograms are symbolized against the
+ * assembler symbol table and exported as a hot-PC/hot-symbol JSON
+ * report, flamegraph-compatible folded-stacks text, and a (quad x
+ * bank) memory heatmap CSV.
+ *
+ * Sampling never changes simulated timing (the determinism tests cover
+ * a profiled run), and the chip skips the sampling hook entirely when
+ * profInterval is 0.
+ */
+
+#ifndef CYCLOPS_ARCH_PROFILER_H
+#define CYCLOPS_ARCH_PROFILER_H
+
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/types.h"
+
+namespace cyclops::isa
+{
+class Program;
+}
+
+namespace cyclops::arch
+{
+
+class MemSystem;
+
+/** Per-TU PC-sample histograms and their export. */
+class Profiler
+{
+  public:
+    /** Size per-TU state; @p interval 0 disables sampling. */
+    void configure(u32 interval, u32 numThreads);
+
+    bool enabled() const { return interval_ > 0; }
+    u32 interval() const { return interval_; }
+
+    /**
+     * Tell the profiler where program text lives, so samples can be
+     * binned densely by word. Samples taken with no text range (the
+     * execution-driven frontend) count as unmapped.
+     */
+    void setTextRange(PhysAddr base, u32 bytes);
+
+    /**
+     * Record @p weight samples of thread @p tid at @p pc. @p mapped is
+     * false when the unit has no architectural PC.
+     */
+    void record(ThreadId tid, bool mapped, PhysAddr pc, u64 weight);
+
+    /** Total samples recorded (mapped + unmapped). */
+    u64 totalSamples() const;
+
+    /**
+     * Write the profile report to @p base (JSON), @p base.folded
+     * (flamegraph folded stacks) and @p base.heatmap.csv (the memory
+     * system's (quad x bank) access/conflict matrices).
+     */
+    void writeOutputs(const std::string &base, const isa::Program &prog,
+                      const MemSystem &memsys, const ChipConfig &cfg,
+                      Cycle now) const;
+
+  private:
+    struct PcCount
+    {
+        PhysAddr pc;
+        u64 samples;
+    };
+
+    /** Sorted (addr, name) view of the text symbols of @p prog. */
+    std::vector<std::pair<PhysAddr, std::string>>
+    textSymbols(const isa::Program &prog) const;
+
+    void writeJson(const std::string &path, const isa::Program &prog,
+                   const MemSystem &memsys, const ChipConfig &cfg,
+                   Cycle now) const;
+    void writeFolded(const std::string &path,
+                     const isa::Program &prog) const;
+    void writeHeatmapCsv(const std::string &path, const MemSystem &memsys,
+                         const ChipConfig &cfg) const;
+
+    u32 interval_ = 0;
+    PhysAddr textBase_ = 0;
+    u32 textWords_ = 0;
+    std::vector<std::vector<u64>> bins_; ///< per-TU, lazily sized
+    std::vector<u64> unmapped_;          ///< per-TU out-of-text samples
+};
+
+} // namespace cyclops::arch
+
+#endif // CYCLOPS_ARCH_PROFILER_H

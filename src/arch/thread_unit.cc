@@ -86,8 +86,11 @@ ThreadUnit::tick(Cycle now)
 
     // Instruction supply: the PIB must hold the current PC.
     if (!pib_.contains(pc_)) {
+        u32 lineMisses = 0;
         const Cycle ready = chip_.icacheOf(tid_).refill(
-            now, pib_.windowBase(pc_), chip_.memsys());
+            now, pib_.windowBase(pc_), chip_.memsys(),
+            tid_ / chip_.config().threadsPerQuad, &lineMisses);
+        noteImiss(lineMisses);
         pib_.load(pc_);
         const Cycle wake = std::max(ready, now + 1);
         accountWait(now, wake, CycleCat::IcacheMiss);
@@ -263,6 +266,7 @@ ThreadUnit::issue(Cycle now, const Instr &instr)
                 chip_.memWrite(ea, 4, fresh, tid_);
             MemTiming t = chip_.memsys().access(now, tid_, ea, 4,
                                                 MemKind::Atomic);
+            noteDmem(t.hit);
             setReg(rd, old);
             setRegReady(rd, t.ready, CycleCat::DcacheMiss, t.queueWait);
             mem_.add(t.ready);
@@ -276,6 +280,7 @@ ThreadUnit::issue(Cycle now, const Instr &instr)
             MemTiming t = chip_.memsys().access(now, tid_, ea,
                                                 m.memBytes,
                                                 MemKind::Load);
+            noteDmem(t.hit);
             if (m.memBytes == 8) {
                 setReg(rd, u32(raw));
                 setReg(rd + 1, u32(raw >> 32));
@@ -297,6 +302,7 @@ ThreadUnit::issue(Cycle now, const Instr &instr)
             MemTiming t = chip_.memsys().access(now, tid_, ea,
                                                 m.memBytes,
                                                 MemKind::Store);
+            noteDmem(t.hit);
             mem_.add(t.ready);
         }
         accountIssue(now, 1);
@@ -435,11 +441,13 @@ ThreadUnit::issue(Cycle now, const Instr &instr)
         const Addr ea = regs_[ra] + u32(imm);
         Cycle done;
         switch (instr.op) {
-          case Opcode::Pref:
-            done = chip_.memsys()
-                       .access(now, tid_, ea, 4, MemKind::Prefetch)
-                       .ready;
+          case Opcode::Pref: {
+            MemTiming t =
+                chip_.memsys().access(now, tid_, ea, 4, MemKind::Prefetch);
+            noteDmem(t.hit);
+            done = t.ready;
             break;
+          }
           case Opcode::Dcbf:
             done = chip_.memsys().flush(now, tid_, ea);
             break;

@@ -53,6 +53,13 @@ class ThreadUnit : public Unit
     PhysAddr pc() const { return pc_; }
     void setPc(PhysAddr pc) { pc_ = pc; }
 
+    bool
+    samplePc(PhysAddr *pc) const override
+    {
+        *pc = pc_;
+        return true;
+    }
+
   private:
     /** The register (and its ready time) that delays an issue longest. */
     struct Hazard {

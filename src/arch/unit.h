@@ -130,7 +130,35 @@ class Unit
     /** Instructions issued. */
     u64 instructions() const { return instructions_; }
 
+    /** Per-TU cache event counts (guest-visible via counter SPRs). */
+    u64 dcacheHits() const { return dcacheHits_; }
+    u64 dcacheMisses() const { return dcacheMisses_; }
+    u64 icacheMisses() const { return icacheMisses_; }
+
+    /**
+     * Current architectural PC for the PC-sampling profiler. Frontends
+     * without a program counter (the coroutine adapter) return false and
+     * are sampled as unmapped.
+     */
+    virtual bool samplePc(PhysAddr *pc) const
+    {
+        (void)pc;
+        return false;
+    }
+
   protected:
+    /** Count one data-side cache access against this TU. */
+    void
+    noteDmem(bool hit)
+    {
+        if (hit)
+            ++dcacheHits_;
+        else
+            ++dcacheMisses_;
+    }
+
+    /** Count @p misses I-cache line misses against this TU. */
+    void noteImiss(u64 misses) { icacheMisses_ += misses; }
     /**
      * Record the issue at @p now of one instruction occupying @p exec
      * cycles: charges [now, now+exec) as Run.
@@ -189,6 +217,9 @@ class Unit
     Cycle firstChargeAt_ = kCycleNever;
     Cycle lastChargeEnd_ = 0;
     u64 instructions_ = 0;
+    u64 dcacheHits_ = 0;
+    u64 dcacheMisses_ = 0;
+    u64 icacheMisses_ = 0;
 };
 
 /**

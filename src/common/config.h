@@ -91,15 +91,20 @@ struct ObsConfig
     u32 statsInterval = 0;     ///< epoch sample period in cycles (0 = off)
     u8 traceCats = 0;          ///< TraceCat bitmask (see common/trace.h)
     u32 traceCapacity = 65536; ///< ring-buffer capacity in events
+    u32 profInterval = 0;      ///< PC-sample period in cycles (0 = off)
     std::string traceOut;      ///< Chrome-trace JSON path ("" = off)
     std::string statsJson;     ///< end-of-run stats JSON path ("" = off)
     std::string statsCsv;      ///< epoch-series CSV path ("" = off)
+    std::string profOut;       ///< profile JSON path ("" = off); also
+                               ///< writes <path>.folded and
+                               ///< <path>.heatmap.csv
     std::string tag;           ///< substituted for "%t" in output paths
 
     bool
     anyOutput() const
     {
-        return !traceOut.empty() || !statsJson.empty() || !statsCsv.empty();
+        return !traceOut.empty() || !statsJson.empty() ||
+               !statsCsv.empty() || !profOut.empty();
     }
 
     /** @p path with every "%t" replaced by the tag. */

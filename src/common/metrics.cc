@@ -20,9 +20,9 @@ EpochSampler::configure(const StatGroup *stats, u32 intervalCycles)
 }
 
 void
-EpochSampler::record(Cycle at)
+EpochSampler::record(Cycle at, bool force)
 {
-    if (rows() >= kMaxRows) {
+    if (rows() >= kMaxRows && !force) {
         ++droppedRows_;
         return;
     }
@@ -37,8 +37,12 @@ EpochSampler::finalize(Cycle now)
     if (!enabled())
         return;
     maybeSample(now);
+    // The end-of-run row carries the run's final totals, so it must
+    // survive the row cap (force): dropping it would make a capped
+    // series end mid-run. finalize stays idempotent — once a row
+    // exists at `now`, repeated calls add nothing.
     if (sampleCycles_.empty() || sampleCycles_.back() < now)
-        record(now);
+        record(now, /*force=*/true);
 }
 
 void

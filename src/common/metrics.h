@@ -56,7 +56,13 @@ class EpochSampler
         }
     }
 
-    /** Record one final row at @p now (end of run), if past the last. */
+    /**
+     * Record one final row at @p now (end of run), if past the last.
+     * The final row is flushed exactly once even when the run is
+     * shorter than one epoch, ends exactly on an epoch boundary, the
+     * row cap was hit mid-run, or finalize is called repeatedly (the
+     * exporters call it once per output file).
+     */
     void finalize(Cycle now);
 
     u32 rows() const { return static_cast<u32>(sampleCycles_.size()); }
@@ -75,7 +81,7 @@ class EpochSampler
     void writeCsv(std::FILE *out) const;
 
   private:
-    void record(Cycle at);
+    void record(Cycle at, bool force = false);
 
     const StatGroup *stats_ = nullptr;
     u32 interval_ = 0;

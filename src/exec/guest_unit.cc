@@ -78,7 +78,9 @@ GuestUnit::issueMem(Cycle now, MemKind kind, Addr ea, u8 bytes,
       case MemKind::Atomic:
         break; // caller performs the read-modify-write
     }
-    return chip_.memsys().access(now, tid_, ea, bytes, kind);
+    MemTiming t = chip_.memsys().access(now, tid_, ea, bytes, kind);
+    noteDmem(t.hit);
+    return t;
 }
 
 Cycle
@@ -215,6 +217,7 @@ GuestUnit::step(Cycle now, MicroOp &op)
             chip_.memWrite(op.ea, 4, fresh, tid_);
         MemTiming t =
             chip_.memsys().access(now, tid_, op.ea, 4, MemKind::Atomic);
+        noteDmem(t.hit);
         op.result = old;
         mem_.add(t.ready);
         setChain(t.ready, CycleCat::DcacheMiss, t.queueWait);
@@ -300,6 +303,7 @@ GuestUnit::stepCentral(Cycle now, MicroOp &op)
         chip_.memWrite(bar.counterEa, 4, old + 1, tid_);
         MemTiming t = chip_.memsys().access(now, tid_, bar.counterEa, 4,
                                             MemKind::Atomic);
+        noteDmem(t.hit);
         accountIssue(now, 2); // xori + amoadd
         barScratch_ = old + 1;
         barStage_ = barScratch_ == bar.count ? 2 : 1;
@@ -383,7 +387,9 @@ GuestUnit::stepTree(Cycle now, MicroOp &op)
         const Addr parentEa = bar.arriveEa(bar.parent(self));
         const u32 old = u32(chip_.memRead(parentEa, 4, tid_));
         chip_.memWrite(parentEa, 4, old + 1, tid_);
-        chip_.memsys().access(now, tid_, parentEa, 4, MemKind::Atomic);
+        noteDmem(chip_.memsys()
+                     .access(now, tid_, parentEa, 4, MemKind::Atomic)
+                     .hit);
         accountIssue(now, 1);
         barStage_ = 3;
         return {false, now + 1};

@@ -697,6 +697,25 @@ class Assembler
             emit({Opcode::Jalr, 0, kLinkReg, 0, 0});
             return true;
         }
+        if (m == "rdcounter") {
+            // rdcounter rd, <name|index>: read a performance counter
+            // SPR. The operand is a counter name (cycles, instret,
+            // dhit, dmiss, imiss, bankstall, fpustall, barrier) or a
+            // counter index 0..7.
+            u8 rd;
+            if (!needOperands(line, 2) || !getReg(line, 0, &rd))
+                return false;
+            unsigned spr;
+            if (!counterFromName(line.operands[1], &spr)) {
+                auto index = parseInt(line.operands[1]);
+                if (!index || *index < 0 || *index >= kNumCounterSprs)
+                    return err(ln, "unknown counter '" +
+                                       line.operands[1] + "'");
+                spr = kSprCntBase + unsigned(*index);
+            }
+            emit({Opcode::Mfspr, rd, 0, 0, static_cast<s32>(spr)});
+            return true;
+        }
 
         // ---- Real instructions ----
         Opcode op;

@@ -112,6 +112,9 @@ class ProgramBuilder
     void mfspr(u8 rd, u8 spr) { emitI(Opcode::Mfspr, rd, 0, spr); }
     void mtspr(u8 spr, u8 ra) { emitI(Opcode::Mtspr, 0, ra, spr); }
 
+    /** rdcounter rd, idx: read performance counter @p idx (0..7). */
+    void rdcounter(u8 rd, u8 idx) { mfspr(rd, u8(kSprCntBase + idx)); }
+
     /** Load an arbitrary 32-bit constant (1 or 2 instructions). */
     void li(u8 rd, u32 value);
 

@@ -26,8 +26,14 @@ disassemble(const Instr &instr)
             return name;
         if (instr.op == Opcode::Trap)
             return strprintf("%s %d", name, instr.imm);
-        if (instr.op == Opcode::Mfspr)
+        if (instr.op == Opcode::Mfspr) {
+            // Counter-file reads print as the rdcounter pseudo-op (the
+            // named form reassembles to the identical encoding).
+            if (instr.imm >= s32(kSprCntBase) && instr.imm < s32(kSprCntEnd))
+                return strprintf("rdcounter r%u, %s", instr.rd,
+                                 counterName(unsigned(instr.imm)));
             return strprintf("%s r%u, %d", name, instr.rd, instr.imm);
+        }
         if (instr.op == Opcode::Mtspr)
             return strprintf("%s %d, r%u", name, instr.imm, instr.ra);
         if (m.unit == UnitClass::CacheOp)

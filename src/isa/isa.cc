@@ -134,6 +134,37 @@ opcodeFromMnemonic(const std::string &name, Opcode *out)
     return true;
 }
 
+namespace
+{
+
+/** Operand names for the rdcounter pseudo-op, indexed from kSprCntBase. */
+const char *const kCounterNames[kNumCounterSprs] = {
+    "cycles", "instret", "dhit", "dmiss",
+    "imiss", "bankstall", "fpustall", "barrier",
+};
+
+} // namespace
+
+const char *
+counterName(unsigned spr)
+{
+    if (spr < kSprCntBase || spr >= kSprCntEnd)
+        panic("SPR %u is not a performance counter", spr);
+    return kCounterNames[spr - kSprCntBase];
+}
+
+bool
+counterFromName(const std::string &name, unsigned *spr)
+{
+    for (unsigned i = 0; i < kNumCounterSprs; ++i) {
+        if (name == kCounterNames[i]) {
+            *spr = kSprCntBase + i;
+            return true;
+        }
+    }
+    return false;
+}
+
 bool
 isMemOp(Opcode op)
 {

@@ -42,7 +42,15 @@ inline constexpr unsigned kLinkReg = 63;
 /** Stack pointer register by software convention. */
 inline constexpr unsigned kStackReg = 1;
 
-/** Special purpose register numbers. */
+/**
+ * Special purpose register numbers.
+ *
+ * SPRs 8..15 form the per-TU performance counter file (read-only,
+ * low 32 bits of each count; see DESIGN.md section 12). Reads of any
+ * unimplemented/reserved SPR number return 0; writes to anything but
+ * the barrier register are architecturally undefined (the simulator
+ * treats them as fatal).
+ */
 enum Spr : u8
 {
     kSprTid = 0,      ///< hardware thread id (read-only)
@@ -52,7 +60,28 @@ enum Spr : u8
     kSprBarrier = 4,  ///< 8-bit wired-OR barrier register
     kSprMemSize = 5,  ///< available memory in KB (fault remap, read-only)
     kNumSprs = 6,
+
+    // Performance counter file (rdcounter pseudo-op reads these).
+    kSprCntBase = 8,
+    kSprCntCycles = 8,     ///< cycles this TU has been charged
+    kSprCntInstret = 9,    ///< instructions retired
+    kSprCntDcacheHit = 10, ///< D-cache hits (loads/stores/atomics/pref)
+    kSprCntDcacheMiss = 11, ///< D-cache misses
+    kSprCntIcacheMiss = 12, ///< I-cache line misses on PIB refills
+    kSprCntBankStall = 13,  ///< cycles stalled on memory-bank conflicts
+    kSprCntFpuStall = 14,   ///< cycles stalled on FPU arbitration
+    kSprCntBarrier = 15,    ///< cycles waiting at the hardware barrier
+    kSprCntEnd = 16,
 };
+
+/** Number of performance counters in the counter file. */
+inline constexpr unsigned kNumCounterSprs = kSprCntEnd - kSprCntBase;
+
+/** Mnemonic counter name for SPR @p spr in [kSprCntBase, kSprCntEnd). */
+const char *counterName(unsigned spr);
+
+/** Look up a counter SPR by rdcounter operand name; false if unknown. */
+bool counterFromName(const std::string &name, unsigned *spr);
 
 /** Trap codes recognized by the resident kernel (I-format imm field). */
 enum TrapCode : u32

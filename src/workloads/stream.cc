@@ -1,5 +1,6 @@
 #include "workloads/stream.h"
 
+#include <cctype>
 #include <cmath>
 #include <cstring>
 #include <vector>
@@ -35,6 +36,19 @@ namespace
 {
 
 constexpr double kScalar = 3.0;
+
+/** Bytes per thread in the rdcounter snapshot buffer (2 × 8 × u32). */
+constexpr u32 kCntBytesPerThread = 64;
+
+/** Symbol naming the inner kernel loop, e.g. "triad_kernel". */
+std::string
+kernelSymbol(StreamKernel kernel)
+{
+    std::string name = streamKernelName(kernel);
+    for (char &c : name)
+        c = char(std::tolower(static_cast<unsigned char>(c)));
+    return name + "_kernel";
+}
 
 /** Per-thread slice of the iteration space. */
 struct Slice
@@ -218,7 +232,16 @@ buildProgram(const StreamConfig &cfg, const Layout &lay, u32 iterations)
         b.pokeWord(table + t * 32 + 16, cfg.unroll * s.strideBytes);
     }
 
+    // Per-thread counter snapshot buffer: 8 u32s at entry to the
+    // kernel loop, 8 more at exit (see StreamConfig::counterTable).
+    u32 cntBuf = 0;
+    if (cfg.counterTable) {
+        cntBuf = b.allocData(cfg.threads * kCntBytesPerThread, 64);
+        b.defineSymbol("cnt_buf", cntBuf);
+    }
+
     // r4 = software thread index (set by the kernel at spawn).
+    b.defineSymbol("stream_setup", b.here());
     b.slli(20, 4, 5); // ×32
     b.li(21, igAddr(kIgDefault, table));
     b.add(21, 21, 20);
@@ -231,14 +254,27 @@ buildProgram(const StreamConfig &cfg, const Layout &lay, u32 iterations)
     b.ld(8, 0, 22);   // scalar s
     b.li(30, s32(iterations));
 
+    if (cfg.counterTable) {
+        // r2 = &cnt_buf[tid]; dump the counter file before the loop.
+        b.slli(2, 4, 6); // ×64
+        b.li(3, igAddr(kIgDefault, cntBuf));
+        b.add(2, 2, 3);
+        for (u32 k = 0; k < isa::kNumCounterSprs; ++k) {
+            b.rdcounter(3, u8(k));
+            b.sw(3, s32(k * 4), 2);
+        }
+    }
+
     auto outer = b.newLabel();
     auto inner = b.newLabel();
     b.bind(outer);
+    b.defineSymbol("stream_outer", b.here());
     b.mv(10, 24);
     b.mv(11, 25);
     b.mv(12, 26);
     b.mv(29, 28);
     b.bind(inner);
+    b.defineSymbol(kernelSymbol(cfg.kernel), b.here());
     emitBody(b, cfg.kernel, cfg.unroll, lay.slices[0].strideBytes);
     b.add(10, 10, 23);
     b.add(11, 11, 23);
@@ -247,6 +283,13 @@ buildProgram(const StreamConfig &cfg, const Layout &lay, u32 iterations)
     b.bne(29, 0, inner);
     b.addi(30, 30, -1);
     b.bne(30, 0, outer);
+    b.defineSymbol("stream_epilogue", b.here());
+    if (cfg.counterTable) {
+        for (u32 k = 0; k < isa::kNumCounterSprs; ++k) {
+            b.rdcounter(3, u8(k));
+            b.sw(3, s32(32 + k * 4), 2);
+        }
+    }
     b.halt();
 
     return b.finish();
@@ -330,12 +373,43 @@ verify(Chip &chip, const StreamConfig &cfg, const Layout &lay)
     return true;
 }
 
+/**
+ * Fold the guest's rdcounter snapshots into the per-region counter
+ * table: "setup" is the entry snapshot (thread start to loop entry),
+ * "kernel" the exit-minus-entry delta, each summed over all threads.
+ */
+void
+readCounterTable(const Chip &chip, const StreamConfig &cfg,
+                 StreamResult *out)
+{
+    const u32 cntBuf = chip.program().symbol("cnt_buf");
+    for (u32 t = 0; t < cfg.threads; ++t) {
+        u32 snap[2][isa::kNumCounterSprs];
+        chip.readPhys(cntBuf + t * kCntBytesPerThread, snap,
+                      sizeof(snap));
+        for (u32 k = 0; k < isa::kNumCounterSprs; ++k) {
+            out->setupCounters[k] += snap[0][k];
+            out->kernelCounters[k] += u32(snap[1][k] - snap[0][k]);
+        }
+    }
+    std::string &tbl = out->counterTable;
+    tbl = strprintf("STREAM %s counter regions (%u threads, summed)\n",
+                    streamKernelName(cfg.kernel), cfg.threads);
+    tbl += strprintf("%-10s %14s %14s\n", "counter", "setup", "kernel");
+    for (u32 k = 0; k < isa::kNumCounterSprs; ++k)
+        tbl += strprintf(
+            "%-10s %14llu %14llu\n",
+            isa::counterName(isa::kSprCntBase + k),
+            static_cast<unsigned long long>(out->setupCounters[k]),
+            static_cast<unsigned long long>(out->kernelCounters[k]));
+}
+
 /** Run with @p iterations kernel repetitions; returns total cycles. */
 Cycle
 timedRun(const StreamConfig &cfg, const ChipConfig &chipCfg,
          const Layout &lay, u32 iterations, bool *verified,
          u64 *instructions = nullptr,
-         arch::CycleBreakdown *attr = nullptr)
+         StreamResult *longRunOut = nullptr)
 {
     Chip chip(chipCfg);
     kernel::Kernel kern(chip, cfg.policy);
@@ -348,10 +422,12 @@ timedRun(const StreamConfig &cfg, const ChipConfig &chipCfg,
         *verified = verify(chip, cfg, lay);
     if (instructions)
         *instructions += chip.totalInstructions();
-    if (attr) {
+    if (longRunOut) {
         // Only the long run exports: it is the representative steady-
         // state simulation, and a second export would clobber its files.
-        *attr = chip.chipAttribution();
+        longRunOut->attr = chip.chipAttribution();
+        if (cfg.counterTable)
+            readCounterTable(chip, cfg, longRunOut);
         chip.writeObservability();
     }
     return chip.now();
@@ -373,16 +449,14 @@ runStream(const StreamConfig &cfg, const ChipConfig &chipCfg)
     // out boundary overlap with the cold first iteration's tail.
     bool verified = false;
     u64 instructions = 0;
-    arch::CycleBreakdown attr;
+    StreamResult result;
     const Cycle shortRun =
         timedRun(cfg, chipCfg, lay, 2, nullptr, &instructions);
-    const Cycle longRun =
-        timedRun(cfg, chipCfg, lay, 4, &verified, &instructions, &attr);
+    const Cycle longRun = timedRun(cfg, chipCfg, lay, 4, &verified,
+                                   &instructions, &result);
     const Cycle iter =
         longRun > shortRun ? (longRun - shortRun) / 2 : shortRun;
 
-    StreamResult result;
-    result.attr = attr;
     result.iterationCycles = iter;
     result.simCycles = shortRun + longRun;
     result.instructions = instructions;

@@ -29,10 +29,12 @@
 #ifndef CYCLOPS_WORKLOADS_STREAM_H
 #define CYCLOPS_WORKLOADS_STREAM_H
 
+#include <array>
 #include <string>
 
 #include "arch/unit.h"
 #include "common/config.h"
+#include "isa/isa.h"
 #include "kernel/kernel.h"
 
 namespace cyclops::workloads
@@ -68,6 +70,14 @@ struct StreamConfig
     u32 unroll = 1;               ///< 1 or 4 (hand-unrolling)
     u32 cyclicGroup = 8;          ///< threads per cyclic group
     kernel::AllocPolicy policy = kernel::AllocPolicy::Sequential;
+
+    /**
+     * Instrument the program with guest-side rdcounter snapshots: each
+     * thread dumps the counter file before and after its kernel loop
+     * into a shared buffer, and the host folds the snapshots into a
+     * per-region counter table (StreamResult::counterTable).
+     */
+    bool counterTable = false;
 };
 
 /** Measured result of one STREAM experiment. */
@@ -86,6 +96,13 @@ struct StreamResult
 
     /** Chip-wide cycle attribution of the long (4-iteration) run. */
     arch::CycleBreakdown attr;
+
+    // Guest-visible counter-file region table (StreamConfig::
+    // counterTable): counter sums over all threads, split at the
+    // guest's own rdcounter snapshots around the kernel loop.
+    std::array<u64, isa::kNumCounterSprs> setupCounters{};
+    std::array<u64, isa::kNumCounterSprs> kernelCounters{};
+    std::string counterTable; ///< formatted region table ("" when off)
 };
 
 /**

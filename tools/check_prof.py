@@ -1,0 +1,230 @@
+#!/usr/bin/env python3
+"""Validate and summarize the simulator's profiler outputs.
+
+A --prof-out run writes three files from one base path: the JSON
+report (base), flamegraph folded stacks (base.folded) and the bank
+heatmap (base.heatmap.csv). This script cross-checks all three:
+
+  check_prof.py --validate prof.json      schema + cross-file invariants
+  check_prof.py --report prof.json        top symbols and bank utilization
+  check_prof.py --report prof.json --top 5
+
+Validation enforces the internal accounting identities (per-thread
+sample counts sum to the total, folded-stack weights sum to the total,
+every access-matrix column sums to the bank's own access counter), so
+a run through it is a real consistency proof, not just a JSON parse.
+Exits non-zero with a message on the first violation.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_prof: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path: str) -> dict:
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict):
+        fail(f"{path}: not a JSON object")
+    return doc
+
+
+def check_json(path: str, doc: dict) -> None:
+    for key in ("profInterval", "cycles", "samples", "unmappedSamples",
+                "symbols", "hotPcs", "threads", "igClasses", "banks"):
+        if key not in doc:
+            fail(f"{path}: missing '{key}'")
+    for key in ("profInterval", "cycles", "samples", "unmappedSamples"):
+        if not isinstance(doc[key], int) or doc[key] < 0:
+            fail(f"{path}: '{key}' is not a non-negative integer")
+    total = doc["samples"]
+    if doc["unmappedSamples"] > total:
+        fail(f"{path}: unmappedSamples exceeds samples")
+
+    sym_total = 0
+    prev = None
+    for i, s in enumerate(doc["symbols"]):
+        for key in ("symbol", "addr", "samples", "pct"):
+            if key not in s:
+                fail(f"{path}: symbols[{i}] missing '{key}'")
+        if prev is not None and s["samples"] > prev:
+            fail(f"{path}: symbols not sorted by samples descending")
+        prev = s["samples"]
+        sym_total += s["samples"]
+    if sym_total != total:
+        fail(f"{path}: symbol samples sum to {sym_total}, "
+             f"want {total}")
+
+    prev = None
+    for i, h in enumerate(doc["hotPcs"]):
+        for key in ("pc", "symbol", "samples"):
+            if key not in h:
+                fail(f"{path}: hotPcs[{i}] missing '{key}'")
+        if prev is not None and h["samples"] > prev:
+            fail(f"{path}: hotPcs not sorted by samples descending")
+        prev = h["samples"]
+    if len(doc["hotPcs"]) > 32:
+        fail(f"{path}: more than 32 hot PCs")
+
+    thread_total = sum(t["samples"] for t in doc["threads"])
+    if thread_total != total:
+        fail(f"{path}: per-thread samples sum to {thread_total}, "
+             f"want {total}")
+    for t in doc["threads"]:
+        if t["samples"] == 0:
+            fail(f"{path}: tid {t['tid']} listed with zero samples")
+
+    for i, c in enumerate(doc["igClasses"]):
+        for key in ("class", "accesses", "hits", "misses"):
+            if key not in c:
+                fail(f"{path}: igClasses[{i}] missing '{key}'")
+        # Scratchpad accesses are counted but are neither cache hits
+        # nor misses, hence <= rather than ==.
+        if c["hits"] + c["misses"] > c["accesses"]:
+            fail(f"{path}: igClass '{c['class']}' hits+misses exceed "
+                 f"accesses")
+    for i, b in enumerate(doc["banks"]):
+        for key in ("bank", "accesses", "busyCycles", "queueCycles"):
+            if key not in b:
+                fail(f"{path}: banks[{i}] missing '{key}'")
+    print(f"{path}: ok ({total} samples, {len(doc['symbols'])} symbols)")
+
+
+def check_folded(path: str, doc: dict) -> None:
+    total = 0
+    with open(path) as f:
+        for ln, line in enumerate(f, start=1):
+            line = line.rstrip("\n")
+            if not line:
+                fail(f"{path}: blank line {ln}")
+            stack, sep, count = line.rpartition(" ")
+            if not sep or not count.isdigit():
+                fail(f"{path}: line {ln} is not 'stack count'")
+            if not stack.startswith("tu") or ";" not in stack:
+                fail(f"{path}: line {ln} stack must be 'tuN;symbol'")
+            total += int(count)
+    if total != doc["samples"]:
+        fail(f"{path}: folded weights sum to {total}, "
+             f"want {doc['samples']} samples")
+    print(f"{path}: ok ({total} folded samples)")
+
+
+def read_heatmap(path: str) -> dict:
+    with open(path) as f:
+        lines = f.read().splitlines()
+    if not lines:
+        fail(f"{path}: empty")
+    header = lines[0].split(",")
+    if header[:2] != ["row", "quad"] or \
+            any(h != f"bank{i}" for i, h in enumerate(header[2:])):
+        fail(f"{path}: bad header '{lines[0]}'")
+    banks = len(header) - 2
+    out = {"banks": banks, "access": [], "conflict": [], "totals": None}
+    for ln, line in enumerate(lines[1:], start=2):
+        row = line.split(",")
+        if len(row) != len(header):
+            fail(f"{path}: line {ln} has {len(row)} fields, "
+                 f"want {len(header)}")
+        try:
+            values = [int(v) for v in row[2:]]
+        except ValueError:
+            fail(f"{path}: line {ln} has a non-integer count")
+        if row[0] in ("access", "conflict"):
+            out[row[0]].append(values)
+        elif row[0] == "bankAccesses":
+            out["totals"] = values
+        else:
+            fail(f"{path}: line {ln} has unknown row kind '{row[0]}'")
+    if out["totals"] is None:
+        fail(f"{path}: missing bankAccesses row")
+    if len(out["access"]) != len(out["conflict"]):
+        fail(f"{path}: access/conflict matrices differ in height")
+    return out
+
+
+def check_heatmap(path: str) -> None:
+    hm = read_heatmap(path)
+    for b in range(hm["banks"]):
+        col = sum(row[b] for row in hm["access"])
+        if col != hm["totals"][b]:
+            fail(f"{path}: bank {b} access column sums to {col}, "
+                 f"bank counted {hm['totals'][b]}")
+    for q, (acc, conf) in enumerate(zip(hm["access"], hm["conflict"])):
+        for b in range(hm["banks"]):
+            if conf[b] > acc[b]:
+                fail(f"{path}: quad {q} bank {b} has more conflicts "
+                     f"than accesses")
+    print(f"{path}: ok ({len(hm['access'])} quads x {hm['banks']} "
+          f"banks, {sum(hm['totals'])} bank accesses)")
+
+
+def validate(base: str) -> None:
+    doc = load(base)
+    check_json(base, doc)
+    check_folded(base + ".folded", doc)
+    check_heatmap(base + ".heatmap.csv")
+
+
+def report(base: str, top: int) -> None:
+    doc = load(base)
+    total = doc["samples"]
+    print(f"profile: {doc['cycles']} cycles, {total} samples "
+          f"(interval {doc['profInterval']}), "
+          f"{len(doc['threads'])} sampled threads")
+    print(f"\ntop {top} symbols:")
+    print(f"  {'symbol':<24} {'samples':>10} {'pct':>7}")
+    for s in doc["symbols"][:top]:
+        print(f"  {s['symbol']:<24} {s['samples']:>10} "
+              f"{s['pct']:>6.2f}%")
+
+    banks = doc["banks"]
+    total_acc = sum(b["accesses"] for b in banks)
+    busy = sum(b["busyCycles"] for b in banks)
+    queue = sum(b["queueCycles"] for b in banks)
+    used = sum(1 for b in banks if b["accesses"] > 0)
+    print(f"\nbank utilization: {used}/{len(banks)} banks used, "
+          f"{total_acc} accesses, {busy} busy cycles, "
+          f"{queue} queue cycles")
+    if total_acc:
+        hottest = max(banks, key=lambda b: b["accesses"])
+        mean = total_acc / len(banks)
+        print(f"  hottest bank {hottest['bank']}: "
+              f"{hottest['accesses']} accesses "
+              f"({hottest['accesses'] / mean:.2f}x the mean)")
+    print("\nig class hit rates:")
+    for c in doc["igClasses"]:
+        if c["accesses"] == 0:
+            continue
+        lookups = c["hits"] + c["misses"]
+        rate = 100.0 * c["hits"] / lookups if lookups else 0.0
+        print(f"  {c['class']:<8} {c['accesses']:>10} accesses "
+              f"{rate:>6.2f}% hit")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--validate", action="append", default=[],
+                        metavar="BASE",
+                        help="profile base path to validate (checks "
+                             "BASE, BASE.folded, BASE.heatmap.csv)")
+    parser.add_argument("--report", action="append", default=[],
+                        metavar="BASE",
+                        help="profile base path to summarize")
+    parser.add_argument("--top", type=int, default=10,
+                        help="symbols to show in --report (default 10)")
+    args = parser.parse_args()
+    if not (args.validate or args.report):
+        fail("nothing to do (use --validate/--report)")
+    for base in args.validate:
+        validate(base)
+    for base in args.report:
+        report(base, args.top)
+
+
+if __name__ == "__main__":
+    main()

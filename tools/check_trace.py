@@ -30,6 +30,12 @@ def check_trace(path: str) -> None:
     events = doc["traceEvents"]
     if not isinstance(events, list):
         fail(f"{path}: traceEvents is not a list")
+    # A trace with no events at all (empty ring export, or metadata
+    # only) is valid Chrome-trace JSON and must be accepted: Perfetto
+    # loads it, and the tracer emits it when nothing was recorded.
+    if not events:
+        print(f"{path}: ok (empty trace)")
+        return
     n_spans = 0
     for i, ev in enumerate(events):
         for key in ("ph", "pid"):

@@ -16,6 +16,11 @@
  *   --trace-out trace.json   Chrome-trace events (load in Perfetto)
  *   --trace-cats LIST        mem,cache,barrier,kernel,sched or "all"
  *   --trace-capacity N       tracer ring size in events
+ *   --prof-out base          PC-sampling profile: base (JSON report),
+ *                            base.folded (flamegraph folded stacks),
+ *                            base.heatmap.csv (bank heatmap)
+ *   --prof-interval N        sample period in cycles (default 512
+ *                            when --prof-out is given)
  *
  * Threads start at the `start` label (or address 0) with the kernel's
  * register conventions: r1 = stack pointer, r4 = software thread
@@ -50,7 +55,8 @@ usage(const char *argv0)
                  "       [--stats-json P] [--stats-csv P] "
                  "[--stats-interval N]\n"
                  "       [--trace-out P] [--trace-cats LIST] "
-                 "[--trace-capacity N] prog.s\n",
+                 "[--trace-capacity N]\n"
+                 "       [--prof-out P] [--prof-interval N] prog.s\n",
                  argv0);
     std::exit(2);
 }
@@ -98,6 +104,12 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--trace-capacity") == 0 &&
                    i + 1 < argc) {
             obs.traceCapacity = u32(std::atoi(argv[++i]));
+        } else if (std::strcmp(argv[i], "--prof-out") == 0 &&
+                   i + 1 < argc) {
+            obs.profOut = argv[++i];
+        } else if (std::strcmp(argv[i], "--prof-interval") == 0 &&
+                   i + 1 < argc) {
+            obs.profInterval = u32(std::atoi(argv[++i]));
         } else if (argv[i][0] == '-') {
             usage(argv[0]);
         } else if (path) {
@@ -135,6 +147,9 @@ main(int argc, char **argv)
     // Tracing to a file without an explicit category list records all.
     if (!obs.traceOut.empty() && obs.traceCats == 0)
         obs.traceCats = kTraceAll;
+    // Profiling to a file without an explicit period samples densely.
+    if (!obs.profOut.empty() && obs.profInterval == 0)
+        obs.profInterval = 512;
     ChipConfig chipCfg;
     chipCfg.obs = obs;
     arch::Chip chip(chipCfg);

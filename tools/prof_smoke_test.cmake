@@ -1,0 +1,45 @@
+# CTest script: run cyclops-run with the PC-sampling profiler enabled
+# twice, require byte-identical outputs (the profiler must be
+# deterministic), and validate all three files with check_prof.py.
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+foreach(run a b)
+    execute_process(
+        COMMAND ${RUNNER} -t 4
+            --prof-out ${WORK_DIR}/prof_${run}.json --prof-interval 16
+            ${PROGRAM}
+        RESULT_VARIABLE run_rc
+        OUTPUT_VARIABLE run_out
+        ERROR_VARIABLE run_err)
+    if(NOT run_rc EQUAL 0)
+        message(FATAL_ERROR
+            "cyclops-run failed (${run_rc}):\n${run_out}\n${run_err}")
+    endif()
+endforeach()
+
+foreach(suffix "" ".folded" ".heatmap.csv")
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${WORK_DIR}/prof_a.json${suffix}
+            ${WORK_DIR}/prof_b.json${suffix}
+        RESULT_VARIABLE same_rc)
+    if(NOT same_rc EQUAL 0)
+        message(FATAL_ERROR
+            "profiler output prof.json${suffix} differs between two "
+            "identical runs (nondeterministic profiler)")
+    endif()
+endforeach()
+
+execute_process(
+    COMMAND ${PYTHON} ${CHECKER}
+        --validate ${WORK_DIR}/prof_a.json
+        --report ${WORK_DIR}/prof_a.json
+    RESULT_VARIABLE check_rc
+    OUTPUT_VARIABLE check_out
+    ERROR_VARIABLE check_err)
+if(NOT check_rc EQUAL 0)
+    message(FATAL_ERROR
+        "check_prof.py failed (${check_rc}):\n${check_out}\n${check_err}")
+endif()
+message(STATUS "${check_out}")
