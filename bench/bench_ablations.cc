@@ -6,7 +6,10 @@
  *  2. allocate-without-fetch store misses vs fetch-on-write;
  *  3. data-cache associativity 1/2/4/8 ("variable associativity");
  *  4. prefetch instruction buffer on/off;
- *  5. scratchpad (way-partitioned fast memory) vs plain cached access.
+ *  5. scratchpad (way-partitioned fast memory) vs plain cached access;
+ *  6. degraded chips (paper section 5): STREAM on a chip with a dead
+ *     bank, a dead quad, or both, emitted to
+ *     BENCH_fault_ablations.json.
  *
  * Each uses STREAM or a focused kernel and reports the metric the
  * mechanism targets.
@@ -234,5 +237,72 @@ main(int argc, char **argv)
                     Table::num(s64(scratchStencil(true)))});
     scratch.addRow({"plain cached", Table::num(s64(scratchStencil(false)))});
     cyclops::bench::emit(opts, scratch);
+
+    // ---- 6. Degraded chips -----------------------------------------------------------
+    cyclops::bench::banner(
+        opts, "Ablation 6: degraded chips (paper section 5)",
+        "\"the approach to hardware faults is to disable the affected "
+        "component and keep the chip in service\"");
+    struct DegradedPoint
+    {
+        const char *name;
+        std::vector<u32> banks;
+        std::vector<u32> quads;
+    };
+    // 120 threads fit the healthy chip and a chip missing one quad
+    // (126 - 4 = 122 schedulable TUs) alike, so the comparison
+    // isolates the lost bandwidth/capacity, not a lost workload.
+    const std::vector<DegradedPoint> points = {
+        {"healthy", {}, {}},
+        {"1 dead bank", {5}, {}},
+        {"1 dead quad", {}, {3}},
+        {"dead bank + dead quad", {5}, {3}},
+    };
+    const auto degraded = cyclops::bench::sweep(
+        opts, points, [&](const DegradedPoint &p) {
+            ChipConfig chip;
+            chip.fault.disabledBanks = p.banks;
+            chip.fault.disabledQuads = p.quads;
+            return stream(chip, 120, largeEpt, 4);
+        });
+    Table deg({"configuration", "Copy GB/s (120 thr, large)",
+               "cycles/iter", "verified"});
+    for (size_t i = 0; i < points.size(); ++i)
+        deg.addRow({points[i].name,
+                    Table::num(degraded[i].totalGBs, 2),
+                    Table::num(s64(degraded[i].iterationCycles)),
+                    degraded[i].verified ? "yes" : "no"});
+    cyclops::bench::emit(opts, deg);
+
+    if (std::FILE *f = std::fopen("BENCH_fault_ablations.json", "w")) {
+        std::fprintf(f,
+                     "{\n  \"benchmark\": \"fault_ablations\",\n"
+                     "  \"quick\": %s,\n  \"threads\": 120,\n"
+                     "  \"points\": [\n",
+                     opts.quick ? "true" : "false");
+        for (size_t i = 0; i < points.size(); ++i) {
+            std::fprintf(f, "    {\"name\": \"%s\", \"disabledBanks\": [",
+                         points[i].name);
+            for (size_t j = 0; j < points[i].banks.size(); ++j)
+                std::fprintf(f, "%s%u", j ? ", " : "", points[i].banks[j]);
+            std::fprintf(f, "], \"disabledQuads\": [");
+            for (size_t j = 0; j < points[i].quads.size(); ++j)
+                std::fprintf(f, "%s%u", j ? ", " : "", points[i].quads[j]);
+            std::fprintf(
+                f,
+                "], \"copyGBs\": %.3f, \"iterationCycles\": %llu, "
+                "\"verified\": %s}%s\n",
+                degraded[i].totalGBs,
+                static_cast<unsigned long long>(
+                    degraded[i].iterationCycles),
+                degraded[i].verified ? "true" : "false",
+                i + 1 < points.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        cyclops::bench::note(opts, "Wrote BENCH_fault_ablations.json");
+    } else {
+        warn("ablations: cannot write BENCH_fault_ablations.json");
+    }
     return 0;
 }

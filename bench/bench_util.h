@@ -9,6 +9,11 @@
  *   --jobs N  run independent simulation points on N host threads
  *             (0 = all hardware threads; also CYCLOPS_BENCH_JOBS)
  *
+ * Degraded-chip passthrough (see DESIGN.md section 13; repeatable):
+ *   --disable-tu/quad/fpu/dcache/icache/bank N   fuse off a component
+ *   --cache-ways N    live D-cache ways per set (0 = all)
+ *   --watchdog N      deadlock-watchdog window in cycles (0 = off)
+ *
  * Observability passthrough (see DESIGN.md section 10; all default-off
  * and none of them change the simulated timing):
  *   --trace-out PATH      Chrome-trace JSON per simulated chip
@@ -54,7 +59,8 @@ struct Options
     bool csv = false;
     u32 scale = 100;
     u32 jobs = 1;
-    ObsConfig obs; ///< observability passthrough for simulated chips
+    ObsConfig obs;     ///< observability passthrough for simulated chips
+    FaultConfig fault; ///< degraded-chip fault map for simulated chips
 };
 
 inline Options
@@ -98,10 +104,41 @@ parseOptions(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--prof-interval") == 0 &&
                    i + 1 < argc) {
             opts.obs.profInterval = u32(std::atoi(argv[++i]));
+        } else if (std::strcmp(argv[i], "--disable-tu") == 0 &&
+                   i + 1 < argc) {
+            opts.fault.disabledTus.push_back(u32(std::atoi(argv[++i])));
+        } else if (std::strcmp(argv[i], "--disable-quad") == 0 &&
+                   i + 1 < argc) {
+            opts.fault.disabledQuads.push_back(u32(std::atoi(argv[++i])));
+        } else if (std::strcmp(argv[i], "--disable-fpu") == 0 &&
+                   i + 1 < argc) {
+            opts.fault.disabledFpus.push_back(u32(std::atoi(argv[++i])));
+        } else if (std::strcmp(argv[i], "--disable-dcache") == 0 &&
+                   i + 1 < argc) {
+            opts.fault.disabledDcaches.push_back(
+                u32(std::atoi(argv[++i])));
+        } else if (std::strcmp(argv[i], "--disable-icache") == 0 &&
+                   i + 1 < argc) {
+            opts.fault.disabledIcaches.push_back(
+                u32(std::atoi(argv[++i])));
+        } else if (std::strcmp(argv[i], "--disable-bank") == 0 &&
+                   i + 1 < argc) {
+            opts.fault.disabledBanks.push_back(u32(std::atoi(argv[++i])));
+        } else if (std::strcmp(argv[i], "--cache-ways") == 0 &&
+                   i + 1 < argc) {
+            opts.fault.cacheWays = u32(std::atoi(argv[++i]));
+        } else if (std::strcmp(argv[i], "--watchdog") == 0 &&
+                   i + 1 < argc) {
+            opts.fault.watchdogCycles = u64(std::atoll(argv[++i]));
         } else {
             std::fprintf(
                 stderr,
                 "usage: %s [--quick] [--csv] [--scale N] [--jobs N]\n"
+                "          [--disable-tu N] [--disable-quad N] "
+                "[--disable-fpu N]\n"
+                "          [--disable-dcache N] [--disable-icache N]\n"
+                "          [--disable-bank N] [--cache-ways N] "
+                "[--watchdog N]\n"
                 "          [--trace-out P] [--trace-cats LIST]\n"
                 "          [--trace-capacity N] [--stats-json P]\n"
                 "          [--stats-csv P] [--stats-interval N]\n"
@@ -133,6 +170,12 @@ chipConfig(const Options &opts, const std::string &tag)
     ChipConfig cfg;
     cfg.obs = opts.obs;
     cfg.obs.tag = tag;
+    cfg.fault = opts.fault;
+    if (const std::string err = cfg.check(); !err.empty()) {
+        std::fprintf(stderr, "bad chip configuration: %s\n",
+                     err.c_str());
+        std::exit(2);
+    }
     return cfg;
 }
 

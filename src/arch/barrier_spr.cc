@@ -18,10 +18,25 @@ BarrierSpr::init(u32 numThreads, StatGroup *stats)
 }
 
 void
+BarrierSpr::setAlive(const std::vector<u8> &alive)
+{
+    alive_ = alive;
+    if (alive_.empty())
+        return;
+    // Zero dead threads' registers via write() so the incremental
+    // per-bit counts stay consistent, then drop them from the OR.
+    for (ThreadId tid = 0; tid < regs_.size(); ++tid)
+        if (!alive_[tid] && regs_[tid] != 0)
+            write(tid, 0);
+}
+
+void
 BarrierSpr::write(ThreadId tid, u8 value)
 {
     if (tid >= regs_.size())
         panic("BarrierSpr::write from unknown thread %u", tid);
+    if (!alive_.empty() && !alive_[tid] && value != 0)
+        return;
     const u8 old = regs_[tid];
     if (old == value)
         return;

@@ -45,6 +45,15 @@ class BarrierSpr
     /** Write thread @p tid's 8-bit register. */
     void write(ThreadId tid, u8 value);
 
+    /**
+     * Mask the wired OR to alive TUs (degraded chip): dead threads'
+     * registers are forced to zero and later writes from them are
+     * ignored, so a fused-off TU can never hold a barrier bit high.
+     * @p alive has one nonzero byte per alive thread; an empty vector
+     * restores the everyone-alive default.
+     */
+    void setAlive(const std::vector<u8> &alive);
+
     /** Read the OR of all registers (what any mfspr returns). */
     u8 read() const { return orValue_; }
 
@@ -55,6 +64,7 @@ class BarrierSpr
     void recomputeOr();
 
     std::vector<u8> regs_;
+    std::vector<u8> alive_; ///< empty = all threads alive
     u8 orValue_ = 0;
     std::vector<u32> bitCounts_; ///< population count per bit position
 

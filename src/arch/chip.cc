@@ -1,5 +1,7 @@
 #include "arch/chip.h"
 
+#include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cstring>
 
@@ -8,6 +10,47 @@
 
 namespace cyclops::arch
 {
+
+namespace
+{
+// Signal number of a pending stop request, 0 for none. A plain atomic
+// store, so POSIX signal handlers may call requestRunStop() directly.
+std::atomic<int> gStopSignal{0};
+} // namespace
+
+void
+requestRunStop(int sig)
+{
+    gStopSignal.store(sig, std::memory_order_relaxed);
+}
+
+void
+clearRunStop()
+{
+    gStopSignal.store(0, std::memory_order_relaxed);
+}
+
+bool
+runStopRequested()
+{
+    return gStopSignal.load(std::memory_order_relaxed) != 0;
+}
+
+const char *
+runExitName(RunExitReason reason)
+{
+    switch (reason) {
+      case RunExitReason::AllHalted:
+        return "allHalted";
+      case RunExitReason::CycleLimit:
+        return "cycleLimit";
+      case RunExitReason::Watchdog:
+        return "watchdog";
+      case RunExitReason::Signal:
+        return "signal";
+    }
+    return "?";
+}
 
 Chip::Chip(const ChipConfig &cfg) : cfg_(cfg)
 {
@@ -31,6 +74,10 @@ Chip::Chip(const ChipConfig &cfg) : cfg_(cfg)
 
     units_.resize(cfg_.numThreads);
     quadEnabled_.assign(cfg_.numQuads(), true);
+    tuEnabled_.assign(cfg_.numThreads, true);
+    fpuEnabled_.assign(cfg_.numQuads(), true);
+    icEnabled_.assign(cfg_.numICaches(), true);
+    applyFaultMap();
 
     wheel_.assign(kWheelSize, {});
     due_.reserve(cfg_.numThreads);
@@ -85,10 +132,13 @@ Chip::memPtr(Addr ea, u8 bytes, ThreadId tid)
     const PhysAddr pa = igPhys(ea);
     if (ig.cls == IgClass::Scratch) {
         const CacheId cache = ig.index & (cfg_.numCaches() - 1);
+        if (!memsys_.cacheEnabled(cache))
+            guestCheck("scratchpad access to disabled cache %u "
+                       "(thread %u)", cache, tid);
         auto &mem = scratch_[cache];
         if (mem.empty())
-            fatal("scratchpad access to cache %u with no partitioned "
-                  "ways (thread %u)", cache, tid);
+            guestCheck("scratchpad access to cache %u with no "
+                       "partitioned ways (thread %u)", cache, tid);
         // The partitioned scratch size is ways * 2 KB and need not be a
         // power of two (e.g. 3 ways = 6 KB), so the window wrap must be
         // a real modulo; pow2 sizes keep the single-cycle mask.
@@ -96,15 +146,16 @@ Chip::memPtr(Addr ea, u8 bytes, ThreadId tid)
         const u32 offset =
             isPow2(size) ? (pa & (size - 1)) : (pa % size);
         if (offset % bytes != 0)
-            fatal("misaligned scratch access at 0x%08x", ea);
+            guestCheck("misaligned scratch access at 0x%08x", ea);
         return &mem[offset];
     }
     if (pa % bytes != 0)
-        fatal("misaligned %u-byte access at 0x%08x (thread %u)", bytes,
-              ea, tid);
+        guestCheck("misaligned %u-byte access at 0x%08x (thread %u)",
+                   bytes, ea, tid);
     if (pa + bytes > memsys_.availableMemBytes())
-        fatal("access at 0x%06x beyond available memory (%u KB)", pa,
-              memsys_.availableMemBytes() / 1024);
+        guestCrash("access at 0x%06x beyond available memory (%u KB) "
+                   "(thread %u)", pa,
+                   memsys_.availableMemBytes() / 1024, tid);
     return &dram_[pa];
 }
 
@@ -173,8 +224,8 @@ Chip::decodedAt(PhysAddr pc) const
 {
     const PhysAddr base = program_.textBase;
     if (pc < base || pc >= base + program_.textBytes() || pc % 4 != 0)
-        fatal("PC 0x%06x outside program text [0x%06x, 0x%06x)", pc,
-              base, base + program_.textBytes());
+        guestCrash("PC 0x%06x outside program text [0x%06x, 0x%06x)", pc,
+                   base, base + program_.textBytes());
     return decoded_[(pc - base) / 4];
 }
 
@@ -195,10 +246,11 @@ Chip::activate(ThreadId tid, Cycle when)
 {
     if (tid >= cfg_.numThreads || !units_[tid])
         fatal("activate: no unit installed on thread %u", tid);
-    const u32 quad = tid / cfg_.threadsPerQuad;
-    if (!quadEnabled_[quad])
-        fatal("activate: thread %u belongs to disabled quad %u", tid,
-              quad);
+    if (!tuAlive_[tid])
+        fatal("activate: thread %u is not operational (dead TU, quad "
+              "or I-cache)", tid);
+    // New work disarms any accumulated progress-free interval.
+    lastProgressCycle_ = std::max(now_, when);
     ++liveUnits_;
     active_[tid] = 1;
     if (tracer_.on(TraceCat::Sched))
@@ -250,16 +302,44 @@ Chip::nextWheelEvent() const
 RunExit
 Chip::run(Cycle maxCycles)
 {
-    const Cycle limit =
-        maxCycles == kCycleNever ? kCycleNever : now_ + maxCycles;
+    // A large finite budget near the top of the cycle space must clamp
+    // rather than wrap: now_ + maxCycles can overflow after repeated
+    // run() calls even when the caller's budget is constant.
+    const Cycle limit = maxCycles >= kCycleNever - now_
+                            ? kCycleNever
+                            : now_ + maxCycles;
 
     while (liveUnits_ > 0) {
         if (sampling_)
             sampler_.maybeSample(now_);
         if (profiling_ && now_ >= profNext_)
             samplePcs();
+        if (now_ >= svcNext_) {
+            // Low-frequency service point: host stop requests and the
+            // deadlock watchdog. Both are cycle-domain so results stay
+            // deterministic — only the *reaction* to a host signal
+            // depends on wall-clock time.
+            svcNext_ = now_ + kServiceInterval;
+            const int sig = gStopSignal.load(std::memory_order_relaxed);
+            if (sig != 0) {
+                RunExit e(RunExitReason::Signal, now_);
+                e.signal = sig;
+                return e;
+            }
+            const u64 sum = progressSum();
+            if (sum != lastProgressSum_) {
+                lastProgressSum_ = sum;
+                lastProgressCycle_ = now_;
+            } else if (cfg_.fault.watchdogCycles != 0 &&
+                       now_ - lastProgressCycle_ >=
+                           cfg_.fault.watchdogCycles) {
+                RunExit e(RunExitReason::Watchdog, now_);
+                e.diagnostic = watchdogDump();
+                return e;
+            }
+        }
         if (now_ >= limit)
-            return RunExit::CycleLimit;
+            return {RunExitReason::CycleLimit, now_};
 
         // Gather the units due this cycle. The due buffer and the slot
         // vector both keep their capacity across cycles (a swap would
@@ -316,7 +396,7 @@ Chip::run(Cycle maxCycles)
         ++cycles_;
         ++now_;
     }
-    return RunExit::AllHalted;
+    return {RunExitReason::AllHalted, now_};
 }
 
 // Take the PC samples due at or before now_. The cycle engine only
@@ -396,7 +476,8 @@ Chip::writeSpr(ThreadId tid, u32 spr, u32 value)
         barrier_.write(tid, u8(value));
         return;
     }
-    fatal("mtspr to read-only or unknown SPR %u (thread %u)", spr, tid);
+    guestCheck("mtspr to read-only or unknown SPR %u (thread %u)", spr,
+               tid);
 }
 
 void
@@ -416,7 +497,7 @@ Chip::trap(ThreadId tid, u32 code, u32 arg)
         console_ += strprintf("0x%x", arg);
         break;
       default:
-        fatal("unknown trap %u from thread %u", code, tid);
+        guestCheck("unknown trap %u from thread %u", code, tid);
     }
 }
 
@@ -436,10 +517,115 @@ Chip::disableQuad(u32 quad)
     if (quad >= cfg_.numQuads())
         fatal("disableQuad: no quad %u", quad);
     quadEnabled_[quad] = false;
+    fpuEnabled_[quad] = false;
     memsys_.disableCache(quad);
+    recomputeAlive();
     inform("quad %u disabled (threads %u-%u, cache %u)", quad,
            quad * cfg_.threadsPerQuad,
            (quad + 1) * cfg_.threadsPerQuad - 1, quad);
+}
+
+// Fuse off the components named in ChipConfig::fault before boot.
+// validate() already bounds every index; duplicates are harmless
+// after deduplication here.
+void
+Chip::applyFaultMap()
+{
+    const FaultConfig &f = cfg_.fault;
+    auto unique = [](std::vector<u32> ids) {
+        std::sort(ids.begin(), ids.end());
+        ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+        return ids;
+    };
+    for (u32 b : unique(f.disabledBanks))
+        memsys_.failBank(b);
+    for (u32 q : unique(f.disabledQuads)) {
+        quadEnabled_[q] = false;
+        fpuEnabled_[q] = false;
+        memsys_.disableCache(q);
+    }
+    for (u32 c : unique(f.disabledDcaches)) {
+        // The quad's TUs keep running; their Own-class references are
+        // remapped by the fabric (see MemSystem::rebuildRouteLut).
+        if (memsys_.cacheEnabled(c))
+            memsys_.disableCache(c);
+    }
+    for (u32 q : f.disabledFpus)
+        fpuEnabled_[q] = false;
+    for (u32 ic : f.disabledIcaches)
+        icEnabled_[ic] = false;
+    for (u32 t : f.disabledTus)
+        tuEnabled_[t] = false;
+    recomputeAlive();
+    if (f.anyDegraded()) {
+        u32 usable = 0;
+        for (ThreadId t = 0; t < cfg_.numThreads; ++t)
+            usable += tuSchedulable_[t];
+        inform("degraded chip: %u of %u TUs schedulable, %u banks, "
+               "cache mask 0x%08x", usable, cfg_.numThreads,
+               memsys_.availableBanks(), memsys_.enabledCacheMask());
+    }
+}
+
+void
+Chip::recomputeAlive()
+{
+    tuAlive_.assign(cfg_.numThreads, false);
+    tuSchedulable_.assign(cfg_.numThreads, false);
+    std::vector<u8> alive(cfg_.numThreads, 0);
+    for (ThreadId t = 0; t < cfg_.numThreads; ++t) {
+        const u32 quad = t / cfg_.threadsPerQuad;
+        const u32 ic = quad / cfg_.quadsPerICache;
+        const bool a =
+            tuEnabled_[t] && quadEnabled_[quad] && icEnabled_[ic];
+        tuAlive_[t] = a;
+        tuSchedulable_[t] = a && fpuEnabled_[quad];
+        alive[t] = a;
+    }
+    barrier_.setAlive(alive);
+}
+
+// --- Deadlock watchdog ------------------------------------------------------
+
+u64
+Chip::progressSum() const
+{
+    u64 sum = 0;
+    for (const auto &u : units_)
+        if (u)
+            sum += u->progressEvents();
+    return sum;
+}
+
+std::string
+Chip::watchdogDump() const
+{
+    std::string s = strprintf(
+        "deadlock watchdog: no forward progress for %llu cycles "
+        "(cycle %llu, %u live units)\n",
+        static_cast<unsigned long long>(cfg_.fault.watchdogCycles),
+        static_cast<unsigned long long>(now_), liveUnits_);
+    s += strprintf("  barrier wired-OR: 0x%02x\n", barrier_.read());
+    for (ThreadId tid = 0; tid < cfg_.numThreads; ++tid) {
+        if (!active_[tid] || !units_[tid])
+            continue;
+        const Unit *u = units_[tid].get();
+        PhysAddr pc = 0;
+        const bool mapped = u->samplePc(&pc);
+        s += strprintf(
+            "  tu %3u: pc=%s instret=%llu progress=%llu "
+            "barrier=0x%02x lastPoll(pc=0x%06llx loc=0x%08llx "
+            "value=0x%llx)\n",
+            tid,
+            mapped ? strprintf("0x%06x", pc).c_str() : "<unmapped>",
+            static_cast<unsigned long long>(u->instructions()),
+            static_cast<unsigned long long>(u->progressEvents()),
+            barrier_.threadValue(tid),
+            static_cast<unsigned long long>(u->pollPc()),
+            static_cast<unsigned long long>(u->pollLoc()),
+            static_cast<unsigned long long>(u->pollValue()));
+    }
+    return s;
 }
 
 // --- Aggregates ------------------------------------------------------------------

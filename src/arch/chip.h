@@ -37,7 +37,71 @@ namespace cyclops::arch
 {
 
 /** Why Chip::run returned. */
-enum class RunExit { AllHalted, CycleLimit };
+enum class RunExitReason : u8 {
+    AllHalted,  ///< every activated unit executed its halt
+    CycleLimit, ///< maxCycles elapsed
+    Watchdog,   ///< no unit made forward progress for watchdogCycles
+    Signal,     ///< requestRunStop() was called (SIGINT/SIGTERM/alarm)
+};
+
+/** Display name of @p reason ("allHalted", "watchdog", ...). */
+const char *runExitName(RunExitReason reason);
+
+/**
+ * Result of Chip::run. Implicitly comparable against RunExitReason so
+ * the historical `run() == RunExit::AllHalted` idiom still compiles:
+ * RunExit::AllHalted and friends are static constants of the reason
+ * enum, and operator== compares the reason field.
+ */
+struct RunExit
+{
+    static constexpr RunExitReason AllHalted = RunExitReason::AllHalted;
+    static constexpr RunExitReason CycleLimit = RunExitReason::CycleLimit;
+    static constexpr RunExitReason Watchdog = RunExitReason::Watchdog;
+    static constexpr RunExitReason Signal = RunExitReason::Signal;
+
+    RunExitReason reason = RunExitReason::AllHalted;
+    Cycle at = 0;        ///< chip time when run() returned
+    int signal = 0;      ///< host signal number for Reason::Signal
+    std::string diagnostic; ///< per-TU state dump for Reason::Watchdog
+
+    RunExit() = default;
+    RunExit(RunExitReason r, Cycle when) : reason(r), at(when) {}
+
+    friend bool
+    operator==(const RunExit &e, RunExitReason r)
+    {
+        return e.reason == r;
+    }
+    friend bool
+    operator==(RunExitReason r, const RunExit &e)
+    {
+        return e.reason == r;
+    }
+    friend bool
+    operator!=(const RunExit &e, RunExitReason r)
+    {
+        return e.reason != r;
+    }
+    friend bool
+    operator!=(RunExitReason r, const RunExit &e)
+    {
+        return e.reason != r;
+    }
+};
+
+/**
+ * Ask every running Chip on this host to stop at its next service
+ * point (~1 K cycles); run() then returns RunExit::Signal carrying
+ * @p sig. Async-signal-safe — call it from SIGINT/SIGTERM handlers.
+ */
+void requestRunStop(int sig);
+
+/** Clear a pending stop request (call before reusing the process). */
+void clearRunStop();
+
+/** True if a stop has been requested and not yet cleared. */
+bool runStopRequested();
 
 /** One Cyclops chip. */
 class Chip
@@ -169,6 +233,22 @@ class Chip
     /** True if the quad is operational. */
     bool quadEnabled(u32 quad) const { return quadEnabled_[quad]; }
 
+    /**
+     * True if TU @p tid can execute at all: the TU itself, its quad
+     * and its I-cache are alive. A TU with a dead FPU or D-cache is
+     * still alive (FP issue or scratch access faults the guest).
+     */
+    bool tuAlive(ThreadId tid) const { return tuAlive_[tid]; }
+
+    /**
+     * True if the kernel should schedule work on @p tid: alive and
+     * its quad's FPU works, so any workload runs unmodified.
+     */
+    bool tuSchedulable(ThreadId tid) const { return tuSchedulable_[tid]; }
+
+    /** True if quad @p quad's FPU is operational. */
+    bool fpuEnabled(u32 quad) const { return fpuEnabled_[quad]; }
+
     // --- Aggregate statistics ----------------------------------------------------
 
     /** Sum of run cycles over all units. */
@@ -190,6 +270,10 @@ class Chip
     u8 *memPtr(Addr ea, u8 bytes, ThreadId tid);
 
     void samplePcs();
+    void applyFaultMap();
+    void recomputeAlive();
+    u64 progressSum() const;
+    std::string watchdogDump() const;
 
     ChipConfig cfg_;
     StatGroup stats_;
@@ -216,6 +300,20 @@ class Chip
 
     std::vector<std::unique_ptr<Unit>> units_;
     std::vector<bool> quadEnabled_;
+    std::vector<bool> tuEnabled_;
+    std::vector<bool> fpuEnabled_;
+    std::vector<bool> icEnabled_;
+    std::vector<bool> tuAlive_;
+    std::vector<bool> tuSchedulable_;
+
+    // Deadlock watchdog (serviced every kServiceInterval cycles; state
+    // persists across run() calls so single-stepping drivers still arm
+    // it). lastProgressCycle_ tracks the last service point at which
+    // the chip-wide progress-event sum advanced.
+    static constexpr Cycle kServiceInterval = 1024;
+    Cycle svcNext_ = kServiceInterval;
+    u64 lastProgressSum_ = 0;
+    Cycle lastProgressCycle_ = 0;
 
     // Cycle engine: timing wheel + far-future heap. A one-bit-per-slot
     // occupancy bitmap makes the idle fast-forward a countr_zero scan

@@ -16,6 +16,12 @@ DCache::init(CacheId id, const ChipConfig &cfg, StatGroup *stats)
     cfg_ = &cfg;
     numSets_ = cfg.dcacheSets();
     waysBegin_ = cfg.dcacheScratchWays;
+    // Reduced-way degradation: fault.cacheWays live ways per set (the
+    // remaining ways' SRAM is fused off). Geometry (set indexing) is
+    // unchanged; validate() guarantees at least one live way.
+    waysEnd_ = cfg.fault.cacheWays != 0
+                   ? waysBegin_ + cfg.fault.cacheWays
+                   : cfg.dcacheAssoc;
     scratchBytes_ = cfg.dcacheScratchWays *
                     (cfg.dcacheBytes / cfg.dcacheAssoc);
     fullMask_ = cfg.dcacheLineBytes >= 64
@@ -53,7 +59,7 @@ DCache::lookup(PhysAddr addr)
     const u32 set = line & (numSets_ - 1);
     const u32 tag = line / numSets_;
     Line *base = &lines_[size_t(set) * cfg_->dcacheAssoc];
-    for (u32 way = waysBegin_; way < cfg_->dcacheAssoc; ++way)
+    for (u32 way = waysBegin_; way < waysEnd_; ++way)
         if (base[way].valid && base[way].tag == tag)
             return &base[way];
     return nullptr;
@@ -70,7 +76,7 @@ DCache::victim(u32 set, Cycle now)
 {
     Line *base = &lines_[size_t(set) * cfg_->dcacheAssoc];
     Line *best = nullptr;
-    for (u32 way = waysBegin_; way < cfg_->dcacheAssoc; ++way) {
+    for (u32 way = waysBegin_; way < waysEnd_; ++way) {
         Line &line = base[way];
         if (!line.valid)
             return line;
@@ -83,7 +89,7 @@ DCache::victim(u32 set, Cycle now)
     if (!best) {
         // Every way is mid-fill; fall back to the LRU regardless (its
         // fill will simply be wasted). Extremely rare by construction.
-        for (u32 way = waysBegin_; way < cfg_->dcacheAssoc; ++way) {
+        for (u32 way = waysBegin_; way < waysEnd_; ++way) {
             Line &line = base[way];
             if (!best || line.lastUse < best->lastUse)
                 best = &line;
@@ -130,8 +136,8 @@ DCache::access(const CacheAccess &req, MemSystem &fabric)
 
     if (req.scratch) {
         if (scratchBytes_ == 0)
-            fatal("scratchpad access to cache %u, but no ways are "
-                  "partitioned (set dcacheScratchWays)", id_);
+            guestCheck("scratchpad access to cache %u, but no ways are "
+                       "partitioned (set dcacheScratchWays)", id_);
         ++scratchAccesses_;
         return CacheResult{grant + lat.memLocalHit, true, portWait};
     }
@@ -262,6 +268,16 @@ bool
 DCache::probe(PhysAddr addr) const
 {
     return lookup(addr) != nullptr;
+}
+
+bool
+DCache::faultLine(u32 idx)
+{
+    Line &line = lines_[idx % lines_.size()];
+    const bool wasValid = line.valid;
+    line.valid = false;
+    line.validMask = line.dirtyMask = 0;
+    return wasValid;
 }
 
 } // namespace cyclops::arch

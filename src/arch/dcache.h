@@ -74,6 +74,22 @@ class DCache
     /** Number of resident lines whose tag matches @p addr's line. */
     u32 scratchBytes() const { return scratchBytes_; }
 
+    /** Total line slots (sets x ways), for fault-injection targeting. */
+    u32 numLines() const { return u32(lines_.size()); }
+
+    /**
+     * Transient fault in line slot @p idx: drop it from the directory
+     * (valid/dirty cleared) as if its tag array glitched. Returns true
+     * if the slot held a valid line. Timing-directory design means
+     * functional data is unaffected — this perturbs timing only, which
+     * fault campaigns must classify as masked.
+     */
+    bool faultLine(u32 idx);
+
+    /** First and one-past-last way usable as cache (fault model). */
+    u32 waysBegin() const { return waysBegin_; }
+    u32 waysEnd() const { return waysEnd_; }
+
   private:
     struct Line
     {
@@ -98,6 +114,7 @@ class DCache
     const ChipConfig *cfg_ = nullptr;
     u32 numSets_ = 0;
     u32 waysBegin_ = 0; ///< first way usable as cache (after scratch ways)
+    u32 waysEnd_ = 0;   ///< one past the last live way (reduced-way faults)
     u32 scratchBytes_ = 0;
     u64 fullMask_ = 0;  ///< valid mask covering the whole line
     std::vector<Line> lines_; ///< sets * assoc, way-major within a set

@@ -53,6 +53,23 @@ MemSystem::rebuildRouteLut()
         entry.memberCount = u8(igGroupMembers(ig, cfg_->numCaches(),
                                               cacheMask_, entry.members));
     }
+
+    // Own-class references of a TU whose local cache is dead are served
+    // by the next alive cache (scanning upward with wrap-around):
+    // locality is lost, but the address space stays fully usable on a
+    // degraded chip.
+    ownRemap_.assign(cfg_->numCaches(), 0);
+    for (CacheId c = 0; c < cfg_->numCaches(); ++c) {
+        CacheId target = c;
+        for (u32 i = 0; i < cfg_->numCaches(); ++i) {
+            const CacheId cand = (c + i) % cfg_->numCaches();
+            if (cacheEnabled(cand)) {
+                target = cand;
+                break;
+            }
+        }
+        ownRemap_[c] = target;
+    }
 }
 
 void
@@ -150,7 +167,7 @@ MemSystem::routeCacheEntry(const RouteEntry &entry, Addr ea,
 {
     switch (entry.cls) {
       case IgClass::Own:
-        return localCacheOf(tid);
+        return ownRemap_[localCacheOf(tid)];
       case IgClass::Scratch:
         return entry.index & (cfg_->numCaches() - 1);
       default: {
@@ -183,11 +200,18 @@ MemSystem::access(Cycle now, ThreadId tid, Addr ea, u8 bytes, MemKind kind)
     if (bytes == 0 || bytes > 8 || !isPow2(bytes))
         panic("memory access of %u bytes", bytes);
     if (pa % bytes != 0)
-        fatal("misaligned %u-byte access at 0x%08x by thread %u", bytes,
-              ea, tid);
+        guestCheck("misaligned %u-byte access at 0x%08x by thread %u",
+                   bytes, ea, tid);
     if (!scratch && pa + bytes > availableMemBytes())
-        fatal("physical address 0x%06x beyond available memory (%u KB) "
-              "— thread %u", pa, availableMemBytes() / 1024, tid);
+        guestCrash("physical address 0x%06x beyond available memory "
+                   "(%u KB) — thread %u", pa,
+                   availableMemBytes() / 1024, tid);
+    if (scratch) {
+        const CacheId sc = entry.index & (cfg_->numCaches() - 1);
+        if (!cacheEnabled(sc))
+            guestCheck("scratchpad access to disabled cache %u "
+                       "(thread %u)", sc, tid);
+    }
 
     const CacheId target = routeCacheEntry(entry, ea, tid);
     const CacheId local = localCacheOf(tid);

@@ -62,7 +62,8 @@ class MemSystem
      * @param ea  32-bit effective address (interest group in bits 31:24)
      * @param bytes access size, naturally aligned (1, 2, 4 or 8)
      *
-     * fatal()s on misaligned or out-of-range guest addresses.
+     * Throws GuestError on misaligned or out-of-range guest addresses
+     * (guestCheck/guestCrash — the host process survives).
      */
     MemTiming access(Cycle now, ThreadId tid, Addr ea, u8 bytes,
                      MemKind kind);
@@ -138,6 +139,9 @@ class MemSystem
     /** Bitmask of operational caches. */
     u32 enabledCacheMask() const { return cacheMask_; }
 
+    /** True if cache @p id is operational. */
+    bool cacheEnabled(CacheId id) const { return (cacheMask_ >> id) & 1u; }
+
     /** Bytes of embedded memory currently addressable (MEMSZ SPR). */
     u32 availableMemBytes() const;
 
@@ -199,6 +203,7 @@ class MemSystem
     u32 bankMask_ = 15;
 
     std::array<RouteEntry, 256> routeLut_;
+    std::vector<CacheId> ownRemap_; ///< Own-class target per local cache
 
     // Heatmap accumulators (see enableHeatmap()).
     bool heatOn_ = false;

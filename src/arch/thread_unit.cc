@@ -159,6 +159,10 @@ ThreadUnit::issue(Cycle now, const Instr &instr)
           case Opcode::Lui: result = u32(imm) << 13; break;
           default: panic("bad IntAlu opcode");
         }
+        // Watchdog food: producing a *new* value is forward progress; a
+        // spin loop recomputing the same mask/compare result is not.
+        if (rd != 0 && regs_[rd] != result)
+            noteProgress();
         setReg(rd, result);
         setRegReady(rd, now + 1);
         accountIssue(now, 1);
@@ -167,6 +171,7 @@ ThreadUnit::issue(Cycle now, const Instr &instr)
       }
 
       case UnitClass::IntMul: {
+        noteProgress();
         const u64 product = u64(regs_[ra]) * u64(regs_[rb]);
         setReg(rd, instr.op == Opcode::Mul ? u32(product)
                                            : u32(product >> 32));
@@ -178,6 +183,7 @@ ThreadUnit::issue(Cycle now, const Instr &instr)
       }
 
       case UnitClass::IntDiv: {
+        noteProgress();
         u32 result;
         const u32 a = regs_[ra], b = regs_[rb];
         if (b == 0) {
@@ -250,6 +256,10 @@ ThreadUnit::issue(Cycle now, const Instr &instr)
 
         if (m.unit == UnitClass::Atomic) {
             const u32 old = u32(chip_.memRead(ea, 4, tid_));
+            // Polling semantics: amotas/amocas re-reading a held lock
+            // makes no progress; a changing value (amoadd tickets,
+            // released locks) does.
+            notePoll(pc_, ea, old);
             u32 fresh = old;
             bool doWrite = true;
             switch (instr.op) {
@@ -277,6 +287,7 @@ ThreadUnit::issue(Cycle now, const Instr &instr)
               case Opcode::Lh: raw = u32(s32(s16(raw))); break;
               default: break;
             }
+            notePoll(pc_, ea, raw);
             MemTiming t = chip_.memsys().access(now, tid_, ea,
                                                 m.memBytes,
                                                 MemKind::Load);
@@ -295,6 +306,7 @@ ThreadUnit::issue(Cycle now, const Instr &instr)
             }
             mem_.add(t.ready);
         } else {
+            noteProgress();
             u64 value = regs_[rd];
             if (m.memBytes == 8)
                 value |= u64(regs_[rd + 1]) << 32;
@@ -386,6 +398,7 @@ ThreadUnit::issue(Cycle now, const Instr &instr)
             break;
           default: panic("bad FP opcode");
         }
+        noteProgress();
         if (m.fpPairRd) {
             setRegReady(rd, resultAt, CycleCat::FpuArb);
             setRegReady(rd + 1, resultAt, CycleCat::FpuArb);
@@ -399,13 +412,19 @@ ThreadUnit::issue(Cycle now, const Instr &instr)
 
       case UnitClass::Spr: {
         if (instr.op == Opcode::Mfspr) {
-            setReg(rd, chip_.readSpr(tid_, u32(imm)));
+            const u32 sprValue = chip_.readSpr(tid_, u32(imm));
+            // SPRs live in their own poll namespace, above the 32-bit
+            // effective-address space. Barrier spins re-read the same
+            // OR value (no progress); cycle-counter reads change.
+            notePoll(pc_, (u64(1) << 40) | u32(imm), sprValue);
+            setReg(rd, sprValue);
             // Waiting on a barrier-SPR read is barrier time; other
             // SPRs charge like any long-latency functional unit.
             setRegReady(rd, now + lat.sprLat,
                         u32(imm) == isa::kSprBarrier ? CycleCat::BarrierWait
                                                      : CycleCat::FpuArb);
         } else {
+            noteProgress();
             chip_.writeSpr(tid_, u32(imm), regs_[ra]);
             if (u32(imm) == isa::kSprBarrier) {
                 Tracer &tr = chip_.tracer();
@@ -426,6 +445,7 @@ ThreadUnit::issue(Cycle now, const Instr &instr)
             accountWait(now, wake, CycleCat::DcacheMiss);
             return wake;
         }
+        noteProgress();
         accountIssue(now, 1);
         pc_ = nextPc;
         return now + 1;
@@ -456,6 +476,7 @@ ThreadUnit::issue(Cycle now, const Instr &instr)
             break;
           default: panic("bad cache op");
         }
+        noteProgress();
         mem_.add(done);
         accountIssue(now, 1);
         pc_ = nextPc;
@@ -476,6 +497,7 @@ ThreadUnit::issue(Cycle now, const Instr &instr)
             }
             chip_.trap(tid_, u32(imm), regs_[4]);
         }
+        noteProgress();
         accountIssue(now, 1);
         pc_ = nextPc;
         return now + 1;

@@ -146,6 +146,21 @@ class Unit
         return false;
     }
 
+    /**
+     * Forward-progress events observed so far — food for the chip-wide
+     * deadlock watchdog. Retired instructions do *not* count: a TU
+     * spinning on a barrier retires load/compare/branch forever. Both
+     * frontends instead report an event when they do something a spin
+     * loop cannot: write a new value, store, or poll a location whose
+     * value changed since the last poll at the same site.
+     */
+    u64 progressEvents() const { return progressEvents_; }
+
+    /** Last location polled (notePoll) — watchdog diagnostics. */
+    PhysAddr pollPc() const { return pollPc_; }
+    u64 pollLoc() const { return pollLoc_; }
+    u64 pollValue() const { return pollValue_; }
+
   protected:
     /** Count one data-side cache access against this TU. */
     void
@@ -199,7 +214,28 @@ class Unit
         touch(now, wake);
     }
 
-    void markHalted() { halted_ = true; }
+    void markHalted() { halted_ = true; ++progressEvents_; }
+
+    /** Report an unconditional forward-progress event. */
+    void noteProgress() { ++progressEvents_; }
+
+    /**
+     * Report a poll: a read of @p loc at site @p pc that produced
+     * @p value. Progress only if the (site, location, value) tuple
+     * differs from the previous poll — a spin loop re-reading an
+     * unchanged barrier SPR or lock word generates none, while a
+     * consumer seeing a producer's write does.
+     */
+    void
+    notePoll(PhysAddr pc, u64 loc, u64 value)
+    {
+        if (pc != pollPc_ || loc != pollLoc_ || value != pollValue_) {
+            pollPc_ = pc;
+            pollLoc_ = loc;
+            pollValue_ = value;
+            ++progressEvents_;
+        }
+    }
 
     /** Extend the charged window to cover [start, end). */
     void
@@ -220,6 +256,10 @@ class Unit
     u64 dcacheHits_ = 0;
     u64 dcacheMisses_ = 0;
     u64 icacheMisses_ = 0;
+    u64 progressEvents_ = 0;
+    PhysAddr pollPc_ = ~PhysAddr(0);
+    u64 pollLoc_ = ~u64(0);
+    u64 pollValue_ = 0;
 };
 
 /**

@@ -1,5 +1,7 @@
 #include "common/config.h"
 
+#include <algorithm>
+
 #include "common/bitops.h"
 #include "common/log.h"
 
@@ -18,78 +20,164 @@ ObsConfig::expandPath(const std::string &path) const
     return out;
 }
 
-void
-ChipConfig::validate() const
+namespace
+{
+
+/** "" if every id in @p ids is below @p count, else an error message. */
+std::string
+checkIds(const std::vector<u32> &ids, u32 count, const char *what)
+{
+    for (u32 id : ids) {
+        if (id >= count)
+            return strprintf("fault.%s: no such component %u "
+                             "(chip has %u)", what, id, count);
+    }
+    return "";
+}
+
+bool
+contains(const std::vector<u32> &ids, u32 id)
+{
+    return std::find(ids.begin(), ids.end(), id) != ids.end();
+}
+
+} // namespace
+
+std::string
+ChipConfig::check() const
 {
     if (!isPow2(numThreads) || numThreads == 0)
-        fatal("numThreads (%u) must be a nonzero power of two", numThreads);
+        return strprintf("numThreads (%u) must be a nonzero power of two",
+                         numThreads);
     if (!isPow2(threadsPerQuad) || threadsPerQuad == 0 ||
         numThreads % threadsPerQuad != 0) {
-        fatal("threadsPerQuad (%u) must be a power of two dividing "
-              "numThreads (%u)", threadsPerQuad, numThreads);
+        return strprintf("threadsPerQuad (%u) must be a power of two "
+                         "dividing numThreads (%u)", threadsPerQuad,
+                         numThreads);
     }
     if (quadsPerICache == 0 || numQuads() % quadsPerICache != 0)
-        fatal("quadsPerICache (%u) must divide numQuads (%u)",
-              quadsPerICache, numQuads());
+        return strprintf("quadsPerICache (%u) must divide numQuads (%u)",
+                         quadsPerICache, numQuads());
     if (reservedThreads >= numThreads)
-        fatal("reservedThreads (%u) must be < numThreads (%u)",
-              reservedThreads, numThreads);
+        return strprintf("reservedThreads (%u) must be < numThreads (%u)",
+                         reservedThreads, numThreads);
 
     if (!isPow2(dcacheLineBytes) || dcacheLineBytes < 8 ||
         dcacheLineBytes > 256)
-        fatal("dcacheLineBytes (%u) must be a power of two in [8,256]",
-              dcacheLineBytes);
+        return strprintf("dcacheLineBytes (%u) must be a power of two "
+                         "in [8,256]", dcacheLineBytes);
     if (!isPow2(dcacheAssoc) || dcacheAssoc == 0 || dcacheAssoc > 8)
-        fatal("dcacheAssoc (%u) must be 1, 2, 4 or 8 (\"up to 8-way\")",
-              dcacheAssoc);
+        return strprintf("dcacheAssoc (%u) must be 1, 2, 4 or 8 "
+                         "(\"up to 8-way\")", dcacheAssoc);
     if (dcacheBytes % (dcacheLineBytes * dcacheAssoc) != 0)
-        fatal("dcacheBytes (%u) must be divisible by line*assoc",
-              dcacheBytes);
+        return strprintf("dcacheBytes (%u) must be divisible by "
+                         "line*assoc", dcacheBytes);
     if (dcacheScratchWays >= dcacheAssoc)
-        fatal("dcacheScratchWays (%u) must leave at least one cache way "
-              "(assoc %u)", dcacheScratchWays, dcacheAssoc);
+        return strprintf("dcacheScratchWays (%u) must leave at least one "
+                         "cache way (assoc %u)", dcacheScratchWays,
+                         dcacheAssoc);
     if (dcacheMshrs == 0)
-        fatal("dcacheMshrs must be nonzero");
+        return "dcacheMshrs must be nonzero";
 
     if (!isPow2(icacheLineBytes) || icacheLineBytes < 8)
-        fatal("icacheLineBytes (%u) must be a power of two >= 8",
-              icacheLineBytes);
+        return strprintf("icacheLineBytes (%u) must be a power of two "
+                         ">= 8", icacheLineBytes);
     if (!isPow2(icacheAssoc) || icacheAssoc == 0)
-        fatal("icacheAssoc (%u) must be a power of two", icacheAssoc);
+        return strprintf("icacheAssoc (%u) must be a power of two",
+                         icacheAssoc);
     if (pibEntries == 0 || !isPow2(pibEntries))
-        fatal("pibEntries (%u) must be a power of two", pibEntries);
+        return strprintf("pibEntries (%u) must be a power of two",
+                         pibEntries);
 
     if (!isPow2(numBanks) || numBanks == 0)
-        fatal("numBanks (%u) must be a nonzero power of two", numBanks);
+        return strprintf("numBanks (%u) must be a nonzero power of two",
+                         numBanks);
     if (!isPow2(memBlockBytes) || memBlockBytes == 0)
-        fatal("memBlockBytes (%u) must be a nonzero power of two",
-              memBlockBytes);
+        return strprintf("memBlockBytes (%u) must be a nonzero power "
+                         "of two", memBlockBytes);
     if (dcacheLineBytes % memBlockBytes != 0)
-        fatal("dcacheLineBytes (%u) must be a multiple of memBlockBytes "
-              "(%u)", dcacheLineBytes, memBlockBytes);
+        return strprintf("dcacheLineBytes (%u) must be a multiple of "
+                         "memBlockBytes (%u)", dcacheLineBytes,
+                         memBlockBytes);
     if (physAddrBits == 0 || physAddrBits > 24)
-        fatal("physAddrBits (%u) must be in [1,24]: the upper 8 bits of "
-              "the 32-bit effective address carry the interest group",
-              physAddrBits);
+        return strprintf("physAddrBits (%u) must be in [1,24]: the upper "
+                         "8 bits of the 32-bit effective address carry "
+                         "the interest group", physAddrBits);
     if (memBytes() > (1u << physAddrBits))
-        fatal("total memory (%u bytes) exceeds the physical address "
-              "space (%u bits)", memBytes(), physAddrBits);
+        return strprintf("total memory (%u bytes) exceeds the physical "
+                         "address space (%u bits)", memBytes(),
+                         physAddrBits);
 
     if (maxOutstandingMem == 0)
-        fatal("maxOutstandingMem must be nonzero");
+        return "maxOutstandingMem must be nonzero";
     if (numRegs != 64)
-        fatal("the Cyclops ISA defines 64 registers; numRegs=%u", numRegs);
+        return strprintf("the Cyclops ISA defines 64 registers; "
+                         "numRegs=%u", numRegs);
 
     if (lat.memLocalMiss <= lat.memLocalHit ||
         lat.memRemoteHit <= lat.memLocalHit ||
         lat.memRemoteMiss <= lat.memRemoteHit) {
-        fatal("memory latencies must be ordered: localHit < remoteHit "
-              "< remoteMiss and localHit < localMiss");
+        return "memory latencies must be ordered: localHit < remoteHit "
+               "< remoteMiss and localHit < localMiss";
     }
     if (lat.bankBurstBlockCycles > lat.bankBlockCycles)
-        fatal("burst block service (%u) must not exceed the normal "
-              "block service (%u)", lat.bankBurstBlockCycles,
-              lat.bankBlockCycles);
+        return strprintf("burst block service (%u) must not exceed the "
+                         "normal block service (%u)",
+                         lat.bankBurstBlockCycles, lat.bankBlockCycles);
+
+    // --- Fault map ----------------------------------------------------
+    std::string err;
+    if (!(err = checkIds(fault.disabledTus, numThreads, "disabledTus"))
+             .empty())
+        return err;
+    if (!(err = checkIds(fault.disabledQuads, numQuads(),
+                         "disabledQuads")).empty())
+        return err;
+    if (!(err = checkIds(fault.disabledFpus, numFpus(), "disabledFpus"))
+             .empty())
+        return err;
+    if (!(err = checkIds(fault.disabledDcaches, numCaches(),
+                         "disabledDcaches")).empty())
+        return err;
+    if (!(err = checkIds(fault.disabledIcaches, numICaches(),
+                         "disabledIcaches")).empty())
+        return err;
+    if (!(err = checkIds(fault.disabledBanks, numBanks,
+                         "disabledBanks")).empty())
+        return err;
+
+    // At least one bank and one cache must survive: the memory fabric
+    // cannot route with zero members.
+    u32 deadBanks = 0;
+    for (u32 b = 0; b < numBanks; ++b)
+        deadBanks += contains(fault.disabledBanks, b);
+    if (deadBanks >= numBanks)
+        return "fault map disables every memory bank";
+    u32 deadCaches = 0;
+    for (u32 c = 0; c < numCaches(); ++c) {
+        if (contains(fault.disabledDcaches, c) ||
+            contains(fault.disabledQuads, c))
+            ++deadCaches;
+    }
+    if (deadCaches >= numCaches())
+        return "fault map disables every data cache";
+
+    if (fault.cacheWays != 0) {
+        if (fault.cacheWays > dcacheAssoc - dcacheScratchWays)
+            return strprintf("fault.cacheWays (%u) exceeds the %u ways "
+                             "available after scratch partitioning",
+                             fault.cacheWays,
+                             dcacheAssoc - dcacheScratchWays);
+    }
+    return "";
+}
+
+void
+ChipConfig::validate() const
+{
+    const std::string err = check();
+    if (!err.empty())
+        fatal("%s", err.c_str());
 }
 
 } // namespace cyclops

@@ -30,6 +30,7 @@
 #define CYCLOPS_COMMON_CONFIG_H
 
 #include <string>
+#include <vector>
 
 #include "common/types.h"
 
@@ -112,6 +113,46 @@ struct ObsConfig
 };
 
 /**
+ * Fault model of one chip (paper section 5: the cellular argument is
+ * that the system keeps running when individual cells are defective).
+ *
+ * The disabled-component lists describe a *degraded* chip, applied at
+ * construction: dead cells are fused off before boot, and the kernel
+ * enumerates what remains. Disabling a quad takes its four TUs, its
+ * D-cache and its FPU; disabling an FPU only removes its quad's TUs
+ * from kernel scheduling (the cache keeps serving interest groups);
+ * disabling a D-cache leaves its TUs running with remapped locality;
+ * disabling an I-cache starves its two quads of instruction supply, so
+ * their TUs become unusable.
+ *
+ * watchdogCycles arms the chip-wide deadlock watchdog: if no TU makes
+ * forward progress (see DESIGN.md section 13) for that many cycles,
+ * Chip::run returns RunExit::Watchdog with a per-TU state dump.
+ */
+struct FaultConfig
+{
+    std::vector<u32> disabledTus;     ///< dead thread units
+    std::vector<u32> disabledQuads;   ///< dead quads (TUs + cache + FPU)
+    std::vector<u32> disabledFpus;    ///< dead FPUs (quad index)
+    std::vector<u32> disabledDcaches; ///< dead data caches (quad index)
+    std::vector<u32> disabledIcaches; ///< dead instruction caches
+    std::vector<u32> disabledBanks;   ///< dead memory banks (MEMSZ remap)
+    u32 cacheWays = 0;     ///< live data-cache ways per set (0 = all)
+    u64 watchdogCycles = 4'000'000; ///< progress-free cycles before
+                                    ///< the watchdog fires (0 = off)
+
+    /** True if any component is disabled or ways are reduced. */
+    bool
+    anyDegraded() const
+    {
+        return !disabledTus.empty() || !disabledQuads.empty() ||
+               !disabledFpus.empty() || !disabledDcaches.empty() ||
+               !disabledIcaches.empty() || !disabledBanks.empty() ||
+               cacheWays != 0;
+    }
+};
+
+/**
  * Structural configuration of one Cyclops chip.
  *
  * The architecture does not fix the number of components at each level
@@ -158,6 +199,7 @@ struct ChipConfig
 
     LatencyConfig lat;
     ObsConfig obs;
+    FaultConfig fault;
 
     // Derived quantities ------------------------------------------------
     u32 numQuads() const { return numThreads / threadsPerQuad; }
@@ -185,7 +227,15 @@ struct ChipConfig
                static_cast<double>(clockHz);
     }
 
-    /** Validate invariants; calls fatal() on a malformed configuration. */
+    /**
+     * Check invariants; returns the first violation as a message, or ""
+     * for a well-formed configuration. Library code never terminates
+     * the host on user input: CLI frontends print the message with
+     * usage text and exit nonzero.
+     */
+    std::string check() const;
+
+    /** check(), escalated: calls fatal() on a malformed configuration. */
     void validate() const;
 };
 

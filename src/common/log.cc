@@ -115,4 +115,24 @@ debugLog(const char *fmt, ...)
     std::fprintf(stderr, "debug: %s\n", s.c_str());
 }
 
+void
+guestCheck(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string s = vstrprintf(args, fmt);
+    va_end(args);
+    throw GuestError(GuestError::Kind::Check, s);
+}
+
+void
+guestCrash(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string s = vstrprintf(args, fmt);
+    va_end(args);
+    throw GuestError(GuestError::Kind::Crash, s);
+}
+
 } // namespace cyclops

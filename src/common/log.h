@@ -9,12 +9,19 @@
  *               invalid argument). Exits with status 1.
  *  - warn()   -> functionality that may be imperfect but continues.
  *  - inform() -> normal status messages.
+ *
+ * Guest misbehaviour is different from both: a simulated program doing
+ * something architecturally invalid (misaligned access, wild PC) must
+ * not kill the host process — fault-injection campaigns and fuzzers
+ * need to observe and classify it. Those paths throw GuestError via
+ * guestCheck()/guestCrash() instead.
  */
 
 #ifndef CYCLOPS_COMMON_LOG_H
 #define CYCLOPS_COMMON_LOG_H
 
 #include <cstdarg>
+#include <stdexcept>
 #include <string>
 
 namespace cyclops
@@ -52,6 +59,41 @@ void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /** Verbose diagnostic output (Debug level only). */
 void debugLog(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * An architecturally invalid action by the simulated program.
+ *
+ * Check: the hardware *detects* the condition and could raise a precise
+ * exception (misaligned access, write to an unknown SPR, access to a
+ * disabled scratchpad window). Crash: wild execution with no defined
+ * recovery (PC outside the program text, access beyond physical
+ * memory). Fault-injection campaigns map Check to "detected" and Crash
+ * to "crash"; interactive frontends report the message and exit
+ * nonzero.
+ */
+class GuestError : public std::runtime_error
+{
+  public:
+    enum class Kind { Check, Crash };
+
+    GuestError(Kind kind, const std::string &what)
+        : std::runtime_error(what), kind_(kind)
+    {
+    }
+
+    Kind kind() const { return kind_; }
+
+  private:
+    Kind kind_;
+};
+
+/** Throw GuestError{Check} with a printf-formatted message. */
+[[noreturn]] void guestCheck(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Throw GuestError{Crash} with a printf-formatted message. */
+[[noreturn]] void guestCrash(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
 
 } // namespace cyclops
 

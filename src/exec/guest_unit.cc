@@ -141,6 +141,7 @@ GuestUnit::step(Cycle now, MicroOp &op)
 
     switch (op.kind) {
       case OpKind::Alu: {
+        noteProgress();
         // A zero-count op still occupies the one cycle its tick takes.
         accountIssue(now, std::max<u32>(op.count, 1));
         // Independent ALU work (loop overhead) does not produce a
@@ -161,6 +162,7 @@ GuestUnit::step(Cycle now, MicroOp &op)
             accountWait(now, now + 1, CycleCat::FpuArb);
             return {false, now + 1};
         }
+        noteProgress();
         accountIssue(now, 1);
         setChain(resultAt, CycleCat::FpuArb, 0);
         return {true, now + 1};
@@ -175,6 +177,9 @@ GuestUnit::step(Cycle now, MicroOp &op)
         }
         MemTiming t = issueMem(now, MemKind::Load, op.ea, op.bytes,
                                &op.result);
+        // Polling semantics: re-reading an unchanged location is not
+        // forward progress; streaming reads (changing ea) are.
+        notePoll(0, op.ea, op.result);
         mem_.add(t.ready);
         setChain(t.ready, CycleCat::DcacheMiss, t.queueWait);
         accountIssue(now, 1);
@@ -188,6 +193,7 @@ GuestUnit::step(Cycle now, MicroOp &op)
             accountWait(now, wake, CycleCat::DcacheMiss);
             return {false, wake};
         }
+        noteProgress();
         MemTiming t = issueMem(now, MemKind::Store, op.ea, op.bytes,
                                &op.value);
         mem_.add(t.ready);
@@ -205,6 +211,7 @@ GuestUnit::step(Cycle now, MicroOp &op)
             return {false, wake};
         }
         const u32 old = u32(chip_.memRead(op.ea, 4, tid_));
+        notePoll(0, op.ea, old);
         u32 fresh = old;
         bool doWrite = true;
         if (op.kind == OpKind::AmoAdd)
@@ -237,6 +244,7 @@ GuestUnit::step(Cycle now, MicroOp &op)
             chainQueue_ = 0;
             return {false, chainReady_};
         }
+        noteProgress();
         accountIssue(now, 1);
         return {true, now + 1};
       }
@@ -256,7 +264,7 @@ GuestUnit::stepHwBarrier(Cycle now, MicroOp &op)
 {
     const LatencyConfig &lat = chip_.config().lat;
     if (op.count >= arch::kNumHwBarriers)
-        fatal("hardware barrier id %u out of range", op.count);
+        guestCheck("hardware barrier id %u out of range", op.count);
     arch::HwBarrierProtocol &proto = hwProto_[op.count];
 
     if (barStage_ == 0) {
@@ -264,6 +272,7 @@ GuestUnit::stepHwBarrier(Cycle now, MicroOp &op)
         // the three ALU instructions computing the new register value.
         mySpr_ = proto.enterValue(mySpr_);
         chip_.barrier().write(tid_, mySpr_);
+        noteProgress();
         accountIssue(now, 4);
         barStage_ = 1;
         barEnterAt_ = now;
@@ -272,10 +281,14 @@ GuestUnit::stepHwBarrier(Cycle now, MicroOp &op)
 
     // Spin: mfspr + mask + branch. The SPR read result is available
     // after sprLat; the dependent branch waits for it.
+    // The spin itself generates no progress events; only observing the
+    // release does. A barrier nobody else ever enters therefore starves
+    // the watchdog, which is exactly what "deadlock" means here.
     const u8 orValue = chip_.barrier().read();
     accountIssue(now, 3);
     if (proto.released(orValue)) {
         proto.consumeRelease();
+        noteProgress();
         Tracer &tr = chip_.tracer();
         if (tr.on(TraceCat::Barrier))
             tr.complete(TraceCat::Barrier, tid_, "hwBarrier", barEnterAt_,
@@ -291,6 +304,7 @@ GuestUnit::stepCentral(Cycle now, MicroOp &op)
 {
     CentralBarrier &bar = *op.central;
     if (bar.count == 1) {
+        noteProgress();
         accountIssue(now, 1);
         return {true, now + 1};
     }
@@ -298,6 +312,7 @@ GuestUnit::stepCentral(Cycle now, MicroOp &op)
     switch (barStage_) {
       case 0: {
         // Flip the local sense and fetch-and-add the counter.
+        noteProgress();
         bar.localSense[softIdx_] ^= 1;
         const u32 old = u32(chip_.memRead(bar.counterEa, 4, tid_));
         chip_.memWrite(bar.counterEa, 4, old + 1, tid_);
@@ -322,6 +337,7 @@ GuestUnit::stepCentral(Cycle now, MicroOp &op)
         // whether or not this iteration observes the release.
         accountWait(now + 3, at, CycleCat::BarrierWait);
         if (u32(flag) == bar.localSense[softIdx_]) {
+            noteProgress();
             Tracer &tr = chip_.tracer();
             if (tr.on(TraceCat::Barrier))
                 tr.complete(TraceCat::Barrier, tid_, "centralBarrier",
@@ -332,6 +348,7 @@ GuestUnit::stepCentral(Cycle now, MicroOp &op)
       }
       case 2: {
         // Last thread: reset the counter, then release everyone.
+        noteProgress();
         u64 zero = 0;
         issueMem(now, MemKind::Store, bar.counterEa, 4, &zero);
         u64 sense = bar.localSense[softIdx_];
@@ -353,6 +370,7 @@ GuestUnit::stepTree(Cycle now, MicroOp &op)
     TreeBarrier &bar = *op.tree;
     const u32 self = softIdx_;
     if (bar.count == 1) {
+        noteProgress();
         accountIssue(now, 1);
         return {true, now + 1};
     }
@@ -363,6 +381,7 @@ GuestUnit::stepTree(Cycle now, MicroOp &op)
     switch (barStage_) {
       case 0: {
         // New round; leaves skip the child wait.
+        noteProgress();
         ++bar.round[self];
         accountIssue(now, 1);
         barStage_ = children > 0 ? 1 : 2;
@@ -378,12 +397,15 @@ GuestUnit::stepTree(Cycle now, MicroOp &op)
         const Cycle at = std::max(t.ready + 2, now + 3);
         accountWait(now + 3, at, CycleCat::BarrierWait);
         const u64 expected = u64(children) * bar.round[self];
-        if (arrived >= expected)
+        if (arrived >= expected) {
+            noteProgress();
             barStage_ = isRoot ? 4 : 2;
+        }
         return {false, at};
       }
       case 2: {
         // Notify the parent.
+        noteProgress();
         const Addr parentEa = bar.arriveEa(bar.parent(self));
         const u32 old = u32(chip_.memRead(parentEa, 4, tid_));
         chip_.memWrite(parentEa, 4, old + 1, tid_);
@@ -403,6 +425,7 @@ GuestUnit::stepTree(Cycle now, MicroOp &op)
         const Cycle at = std::max(t.ready + 2, now + 3);
         accountWait(now + 3, at, CycleCat::BarrierWait);
         if (flag >= bar.round[self]) {
+            noteProgress();
             barStage_ = 4;
             barChild_ = 0;
         }
@@ -421,6 +444,7 @@ GuestUnit::stepTree(Cycle now, MicroOp &op)
         }
         const u32 child = bar.radix * self + 1 + barChild_;
         u64 round = bar.round[self];
+        noteProgress();
         issueMem(now, MemKind::Store, bar.releaseEa(child), 4, &round);
         accountIssue(now, 1);
         ++barChild_;

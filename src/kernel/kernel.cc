@@ -22,7 +22,10 @@ threadOrder(const arch::Chip &chip, AllocPolicy policy)
     auto push = [&](ThreadId tid) {
         if (tid >= firstReserved)
             return;
-        if (!chip.quadEnabled(tid / tpq))
+        // Boot-time enumeration on a degraded chip: skip TUs that are
+        // dead (TU/quad/I-cache) or whose quad lost its FPU, so every
+        // workload runs unmodified with a dense logical thread space.
+        if (!chip.tuSchedulable(tid))
             return;
         order.push_back(tid);
     };

@@ -33,7 +33,8 @@ enum class AllocPolicy { Sequential, Balanced };
 
 /**
  * Compute the hardware-thread order for a policy on a chip, excluding
- * reserved system threads and threads of disabled quads.
+ * reserved system threads and any TU that is not schedulable on a
+ * degraded chip (dead TU, quad, I-cache or FPU).
  */
 std::vector<ThreadId> threadOrder(const arch::Chip &chip,
                                   AllocPolicy policy);

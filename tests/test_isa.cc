@@ -435,18 +435,15 @@ TEST(Execution, ConsoleOutput)
     EXPECT_EQ(chip->console(), "Hi\n");
 }
 
-TEST(Execution, MisalignedAccessDies)
+TEST(Execution, MisalignedAccessThrows)
 {
-    EXPECT_DEATH(
-        {
-            setLogLevel(LogLevel::Quiet);
-            runAsm(R"(
-                li r4, 2
-                lw r5, 0(r4)
-                halt
-            )");
-        },
-        "");
+    // Misaligned accesses raise a precise, detectable guest exception.
+    EXPECT_THROW(runAsm(R"(
+                     li r4, 2
+                     lw r5, 0(r4)
+                     halt
+                 )"),
+                 GuestError);
 }
 
 TEST(Execution, R0IsHardwiredZero)

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Validate a cyclops-faultcamp JSON report.
+
+Checks the schema, the per-injection fields, and the campaign
+invariants:
+  - counts sum to the iteration count and match the injection list;
+  - every injection is in exactly one of the five outcome classes;
+  - iterations are contiguous and in order (0..N-1);
+  - kind-specific target fields are present and well-formed;
+  - cache-line faults are architecturally inert (timing-directory
+    caches; functional data lives in flat DRAM) so they must classify
+    as masked;
+  - detected/crash outcomes carry a diagnostic detail string.
+
+With --compare, additionally require a second report file to be
+byte-identical (determinism across job counts).
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "cyclops-faultcamp-v1"
+OUTCOMES = ("masked", "detected", "sdc", "crash", "hang")
+KINDS = ("register", "memory", "cacheLine")
+KIND_FIELDS = {
+    "register": ("thread", "reg", "bit"),
+    "memory": ("addr", "bit"),
+    "cacheLine": ("cache", "line"),
+}
+
+
+def fail(msg):
+    print(f"check_faultcamp: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_injection(i, inj):
+    where = f"injection {i}"
+    for field in ("iter", "seed", "kind", "cycle", "outcome", "cycles"):
+        if field not in inj:
+            fail(f"{where}: missing field '{field}'")
+    if inj["iter"] != i:
+        fail(f"{where}: iter {inj['iter']} out of order")
+    if inj["kind"] not in KINDS:
+        fail(f"{where}: unknown kind '{inj['kind']}'")
+    if inj["outcome"] not in OUTCOMES:
+        fail(f"{where}: unknown outcome '{inj['outcome']}'")
+    if not isinstance(inj["cycle"], int) or inj["cycle"] < 1:
+        fail(f"{where}: injection cycle must be a positive integer")
+    for field in KIND_FIELDS[inj["kind"]]:
+        if field not in inj:
+            fail(f"{where}: {inj['kind']} fault missing '{field}'")
+        if not isinstance(inj[field], int) or inj[field] < 0:
+            fail(f"{where}: field '{field}' must be a nonneg integer")
+    if inj["kind"] == "register" and not 1 <= inj["reg"] <= 63:
+        fail(f"{where}: register {inj['reg']} out of range 1..63")
+    if inj["kind"] == "cacheLine" and inj["outcome"] != "masked":
+        fail(f"{where}: cache-line fault classified '{inj['outcome']}' "
+             "(timing-only faults must be masked)")
+    if inj["outcome"] in ("detected", "crash") and not inj.get("detail"):
+        fail(f"{where}: outcome '{inj['outcome']}' has no detail")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("report", help="campaign JSON report")
+    ap.add_argument("--compare", metavar="FILE",
+                    help="second report that must be byte-identical")
+    args = ap.parse_args()
+
+    with open(args.report, "rb") as f:
+        raw = f.read()
+    camp = json.loads(raw)
+
+    if camp.get("schema") != SCHEMA:
+        fail(f"schema is {camp.get('schema')!r}, want {SCHEMA!r}")
+    for field in ("campaign", "counts", "injections"):
+        if field not in camp:
+            fail(f"missing top-level field '{field}'")
+
+    meta = camp["campaign"]
+    for field in ("seed", "iterations", "threads", "bodyOps",
+                  "maxCycles", "watchdogCycles"):
+        if field not in meta:
+            fail(f"campaign header missing '{field}'")
+
+    injections = camp["injections"]
+    if len(injections) != meta["iterations"]:
+        fail(f"{len(injections)} injections but "
+             f"{meta['iterations']} iterations")
+
+    tally = dict.fromkeys(OUTCOMES, 0)
+    for i, inj in enumerate(injections):
+        check_injection(i, inj)
+        tally[inj["outcome"]] += 1
+
+    counts = camp["counts"]
+    if set(counts) != set(OUTCOMES):
+        fail(f"counts keys {sorted(counts)} != {sorted(OUTCOMES)}")
+    if counts != tally:
+        fail(f"counts {counts} disagree with injection list {tally}")
+    if sum(counts.values()) != meta["iterations"]:
+        fail("counts do not sum to the iteration count")
+
+    if args.compare:
+        with open(args.compare, "rb") as f:
+            other = f.read()
+        if raw != other:
+            fail(f"{args.report} and {args.compare} differ "
+                 "(campaign is not deterministic)")
+
+    print(f"check_faultcamp: OK: {meta['iterations']} injections, " +
+          " ".join(f"{k}={v}" for k, v in counts.items()))
+
+
+if __name__ == "__main__":
+    main()

@@ -9,6 +9,17 @@
  *   cyclops-run --stats prog.s         dump every statistic at exit
  *   cyclops-run --disasm prog.s        print the assembled code, don't run
  *
+ * Degraded chips and robustness (DESIGN.md section 13):
+ *   --disable-tu N     fuse off one thread unit       (repeatable)
+ *   --disable-quad N   fuse off a quad: TUs+FPU+cache (repeatable)
+ *   --disable-fpu N    fuse off one quad's FPU        (repeatable)
+ *   --disable-dcache N fuse off one data cache        (repeatable)
+ *   --disable-icache N fuse off one I-cache           (repeatable)
+ *   --disable-bank N   fail one memory bank           (repeatable)
+ *   --cache-ways N     live ways per D-cache set (0 = all)
+ *   --watchdog N       deadlock watchdog window in cycles (0 = off)
+ *   --timeout-seconds N  wall-clock limit (graceful stop via SIGALRM)
+ *
  * Observability (DESIGN.md section 10):
  *   --stats-json out.json    end-of-run counters/histograms as JSON
  *   --stats-csv out.csv      epoch-sampled counter time-series as CSV
@@ -25,13 +36,20 @@
  * Threads start at the `start` label (or address 0) with the kernel's
  * register conventions: r1 = stack pointer, r4 = software thread
  * index, r5 = thread count. Console output (traps) goes to stdout.
+ *
+ * Exit status: 0 success, 1 guest fault or host error, 2 usage or
+ * configuration error, 3 cycle limit, 4 deadlock watchdog,
+ * 128+signal on SIGINT/SIGTERM/timeout (state flushed first).
  */
 
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+
+#include <unistd.h>
 
 #include "arch/chip.h"
 #include "common/config.h"
@@ -52,13 +70,49 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s [-t N] [--balanced] [--stats] [--disasm] "
                  "[--max-cycles N]\n"
+                 "       [--disable-tu N] [--disable-quad N] "
+                 "[--disable-fpu N]\n"
+                 "       [--disable-dcache N] [--disable-icache N] "
+                 "[--disable-bank N]\n"
+                 "       [--cache-ways N] [--watchdog N] "
+                 "[--timeout-seconds N]\n"
                  "       [--stats-json P] [--stats-csv P] "
                  "[--stats-interval N]\n"
                  "       [--trace-out P] [--trace-cats LIST] "
                  "[--trace-capacity N]\n"
                  "       [--prof-out P] [--prof-interval N] prog.s\n",
                  argv0);
+}
+
+/**
+ * Report a malformed command line and exit 2. CLI mistakes are user
+ * errors with structured messages, never fatal()/abort paths.
+ */
+[[noreturn]] void
+argError(const char *argv0, const std::string &why)
+{
+    std::fprintf(stderr, "%s: %s\n", argv0, why.c_str());
+    usage(argv0);
     std::exit(2);
+}
+
+/** Parse a whole-string nonnegative integer; false on malformed input. */
+bool
+parseU64(const char *text, u64 *out)
+{
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text, &end, 0);
+    if (end == text || *end != '\0' ||
+        std::strchr(text, '-') != nullptr)
+        return false;
+    *out = v;
+    return true;
+}
+
+void
+stopHandler(int sig)
+{
+    arch::requestRunStop(sig);
 }
 
 } // namespace
@@ -71,65 +125,98 @@ main(int argc, char **argv)
     bool dumpStats = false;
     bool disasmOnly = false;
     u64 maxCycles = 1'000'000'000ull;
+    u64 timeoutSeconds = 0;
     ObsConfig obs;
+    FaultConfig faultCfg;
     const char *path = nullptr;
 
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "-t") == 0 && i + 1 < argc) {
-            threads = u32(std::atoi(argv[++i]));
-        } else if (std::strcmp(argv[i], "--balanced") == 0) {
+        const char *arg = argv[i];
+        // Flags taking one numeric operand share checked parsing.
+        auto num = [&]() -> u64 {
+            if (i + 1 >= argc)
+                argError(argv[0],
+                         strprintf("%s needs a numeric argument", arg));
+            u64 v = 0;
+            if (!parseU64(argv[++i], &v))
+                argError(argv[0],
+                         strprintf("%s: '%s' is not a nonnegative "
+                                   "number", arg, argv[i]));
+            return v;
+        };
+        if (std::strcmp(arg, "-t") == 0) {
+            threads = u32(num());
+        } else if (std::strcmp(arg, "--balanced") == 0) {
             balanced = true;
-        } else if (std::strcmp(argv[i], "--stats") == 0) {
+        } else if (std::strcmp(arg, "--stats") == 0) {
             dumpStats = true;
-        } else if (std::strcmp(argv[i], "--disasm") == 0) {
+        } else if (std::strcmp(arg, "--disasm") == 0) {
             disasmOnly = true;
-        } else if (std::strcmp(argv[i], "--max-cycles") == 0 &&
-                   i + 1 < argc) {
-            maxCycles = u64(std::atoll(argv[++i]));
-        } else if (std::strcmp(argv[i], "--stats-json") == 0 &&
+        } else if (std::strcmp(arg, "--max-cycles") == 0) {
+            maxCycles = num();
+        } else if (std::strcmp(arg, "--disable-tu") == 0) {
+            faultCfg.disabledTus.push_back(u32(num()));
+        } else if (std::strcmp(arg, "--disable-quad") == 0) {
+            faultCfg.disabledQuads.push_back(u32(num()));
+        } else if (std::strcmp(arg, "--disable-fpu") == 0) {
+            faultCfg.disabledFpus.push_back(u32(num()));
+        } else if (std::strcmp(arg, "--disable-dcache") == 0) {
+            faultCfg.disabledDcaches.push_back(u32(num()));
+        } else if (std::strcmp(arg, "--disable-icache") == 0) {
+            faultCfg.disabledIcaches.push_back(u32(num()));
+        } else if (std::strcmp(arg, "--disable-bank") == 0) {
+            faultCfg.disabledBanks.push_back(u32(num()));
+        } else if (std::strcmp(arg, "--cache-ways") == 0) {
+            faultCfg.cacheWays = u32(num());
+        } else if (std::strcmp(arg, "--watchdog") == 0) {
+            faultCfg.watchdogCycles = num();
+        } else if (std::strcmp(arg, "--timeout-seconds") == 0) {
+            timeoutSeconds = num();
+        } else if (std::strcmp(arg, "--stats-json") == 0 &&
                    i + 1 < argc) {
             obs.statsJson = argv[++i];
-        } else if (std::strcmp(argv[i], "--stats-csv") == 0 &&
-                   i + 1 < argc) {
+        } else if (std::strcmp(arg, "--stats-csv") == 0 && i + 1 < argc) {
             obs.statsCsv = argv[++i];
-        } else if (std::strcmp(argv[i], "--stats-interval") == 0 &&
-                   i + 1 < argc) {
-            obs.statsInterval = u32(std::atoi(argv[++i]));
-        } else if (std::strcmp(argv[i], "--trace-out") == 0 &&
-                   i + 1 < argc) {
+        } else if (std::strcmp(arg, "--stats-interval") == 0) {
+            obs.statsInterval = u32(num());
+        } else if (std::strcmp(arg, "--trace-out") == 0 && i + 1 < argc) {
             obs.traceOut = argv[++i];
-        } else if (std::strcmp(argv[i], "--trace-cats") == 0 &&
+        } else if (std::strcmp(arg, "--trace-cats") == 0 &&
                    i + 1 < argc) {
             obs.traceCats = parseTraceCats(argv[++i]);
-        } else if (std::strcmp(argv[i], "--trace-capacity") == 0 &&
-                   i + 1 < argc) {
-            obs.traceCapacity = u32(std::atoi(argv[++i]));
-        } else if (std::strcmp(argv[i], "--prof-out") == 0 &&
-                   i + 1 < argc) {
+        } else if (std::strcmp(arg, "--trace-capacity") == 0) {
+            obs.traceCapacity = u32(num());
+        } else if (std::strcmp(arg, "--prof-out") == 0 && i + 1 < argc) {
             obs.profOut = argv[++i];
-        } else if (std::strcmp(argv[i], "--prof-interval") == 0 &&
-                   i + 1 < argc) {
-            obs.profInterval = u32(std::atoi(argv[++i]));
-        } else if (argv[i][0] == '-') {
-            usage(argv[0]);
+        } else if (std::strcmp(arg, "--prof-interval") == 0) {
+            obs.profInterval = u32(num());
+        } else if (arg[0] == '-') {
+            argError(argv[0], strprintf("unknown argument '%s'", arg));
         } else if (path) {
-            usage(argv[0]);
+            argError(argv[0], "more than one program file");
         } else {
-            path = argv[i];
+            path = arg;
         }
     }
-    if (!path || threads == 0)
-        usage(argv[0]);
+    if (!path)
+        argError(argv[0], "no program file");
+    if (threads == 0)
+        argError(argv[0], "-t must be nonzero");
 
     std::ifstream in(path);
-    if (!in)
-        fatal("cannot open %s", path);
+    if (!in) {
+        std::fprintf(stderr, "%s: cannot open %s\n", argv[0], path);
+        return 1;
+    }
     std::stringstream buffer;
     buffer << in.rdbuf();
 
     isa::AsmResult result = isa::assemble(buffer.str());
-    if (!result.ok)
-        fatal("%s: %s", path, result.error.c_str());
+    if (!result.ok) {
+        std::fprintf(stderr, "%s: %s: %s\n", argv[0], path,
+                     result.error.c_str());
+        return 1;
+    }
     const isa::Program &prog = result.program;
 
     if (disasmOnly) {
@@ -152,22 +239,65 @@ main(int argc, char **argv)
         obs.profInterval = 512;
     ChipConfig chipCfg;
     chipCfg.obs = obs;
+    chipCfg.fault = faultCfg;
+    // A bad configuration (fault map out of range, no surviving cache,
+    // ...) is a user error: report it structurally, don't abort.
+    if (const std::string err = chipCfg.check(); !err.empty())
+        argError(argv[0], err);
+
+    // Stop gracefully on ^C / kill / wall-clock timeout: the run loop
+    // returns at its next service point and all state gets flushed.
+    std::signal(SIGINT, stopHandler);
+    std::signal(SIGTERM, stopHandler);
+    if (timeoutSeconds != 0) {
+        std::signal(SIGALRM, stopHandler);
+        alarm(u32(timeoutSeconds));
+    }
+
     arch::Chip chip(chipCfg);
     kernel::Kernel kern(chip, balanced ? kernel::AllocPolicy::Balanced
                                        : kernel::AllocPolicy::Sequential);
     kern.load(prog);
     if (threads > kern.usableThreads())
-        fatal("-t %u exceeds the %u usable threads", threads,
-              kern.usableThreads());
+        argError(argv[0],
+                 strprintf("-t %u exceeds the %u usable threads",
+                           threads, kern.usableThreads()));
     kern.spawn(threads, prog.entry);
 
-    const arch::RunExit exit = kern.run(maxCycles);
+    arch::RunExit exit;
+    try {
+        exit = kern.run(maxCycles);
+    } catch (const GuestError &err) {
+        std::fputs(chip.console().c_str(), stdout);
+        std::fprintf(stderr, "\n[guest %s at cycle %llu: %s]\n",
+                     err.kind() == GuestError::Kind::Check ? "fault"
+                                                           : "crash",
+                     static_cast<unsigned long long>(chip.now()),
+                     err.what());
+        return 1;
+    }
     chip.writeObservability();
     std::fputs(chip.console().c_str(), stdout);
-    if (exit == arch::RunExit::CycleLimit) {
+
+    switch (exit.reason) {
+      case arch::RunExitReason::CycleLimit:
         std::fprintf(stderr, "\n[cycle limit %llu reached]\n",
                      static_cast<unsigned long long>(maxCycles));
         return 3;
+      case arch::RunExitReason::Watchdog:
+        std::fprintf(stderr, "\n[deadlock watchdog]\n%s",
+                     exit.diagnostic.c_str());
+        return 4;
+      case arch::RunExitReason::Signal:
+        std::fprintf(stderr,
+                     "\n[stopped by %s at cycle %llu; state flushed]\n",
+                     exit.signal == SIGALRM
+                         ? "wall-clock timeout"
+                         : exit.signal == SIGINT ? "SIGINT" : "SIGTERM",
+                     static_cast<unsigned long long>(exit.at));
+        return 128 + exit.signal;
+      case arch::RunExitReason::AllHalted:
+        break;
     }
 
     std::fprintf(stderr,

@@ -1,0 +1,36 @@
+; Two-TU hardware-barrier deadlock. Both threads arm barrier 0; after
+; a software handshake, thread 0 enters barrier 0 and spins for its
+; current-cycle bit to drop, while thread 1 mistakenly waits on
+; barrier 1 (which nobody armed). Neither bit ever changes.
+        mfspr   r3, 0
+        li      r20, 1          ; barrier 0 current-cycle bit
+        li      r21, 2          ; barrier 0 next-cycle bit
+        mv      r22, r20
+        mtspr   4, r22          ; arm barrier 0
+        la      r10, ready
+        bnez    r3, thread1
+wait0:                          ; wait until thread 1 is armed
+        lw      r11, 0(r10)
+        beqz    r11, wait0
+        nor     r23, r20, r0    ; enter barrier 0
+        and     r22, r22, r23
+        or      r22, r22, r21
+        mtspr   4, r22
+spin0:
+        mfspr   r23, 4
+        and     r24, r23, r20
+        bnez    r24, spin0      ; thread 1 holds bit 0 forever
+        halt
+thread1:
+        li      r11, 1
+        sw      r11, 0(r10)     ; handshake: armed
+        li      r24, 4          ; barrier 1 current-cycle bit
+spin1:
+        mfspr   r23, 4
+        and     r25, r23, r24
+        beqz    r25, spin1      ; nobody ever arms barrier 1
+        halt
+        .data
+        .align 64
+ready:
+        .word 0

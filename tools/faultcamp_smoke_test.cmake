@@ -1,0 +1,40 @@
+# CTest script: run two identical fault-injection campaigns at
+# different job counts, require byte-identical reports, and validate
+# the schema and campaign invariants with check_faultcamp.py.
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+execute_process(
+    COMMAND ${RUNNER} --seed 3 --iters 40 --jobs 0
+        --out ${WORK_DIR}/camp_parallel.json
+    RESULT_VARIABLE run_rc
+    OUTPUT_VARIABLE run_out
+    ERROR_VARIABLE run_err)
+if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR
+        "cyclops-faultcamp failed (${run_rc}):\n${run_out}\n${run_err}")
+endif()
+
+execute_process(
+    COMMAND ${RUNNER} --seed 3 --iters 40 --jobs 1
+        --out ${WORK_DIR}/camp_serial.json
+    RESULT_VARIABLE run_rc
+    OUTPUT_VARIABLE run_out
+    ERROR_VARIABLE run_err)
+if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR
+        "cyclops-faultcamp failed (${run_rc}):\n${run_out}\n${run_err}")
+endif()
+
+execute_process(
+    COMMAND ${PYTHON} ${CHECKER} ${WORK_DIR}/camp_parallel.json
+        --compare ${WORK_DIR}/camp_serial.json
+    RESULT_VARIABLE check_rc
+    OUTPUT_VARIABLE check_out
+    ERROR_VARIABLE check_err)
+if(NOT check_rc EQUAL 0)
+    message(FATAL_ERROR
+        "check_faultcamp.py failed (${check_rc}):\n"
+        "${check_out}\n${check_err}")
+endif()
+message(STATUS "${check_out}")
