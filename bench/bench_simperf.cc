@@ -7,8 +7,13 @@
  * Not a paper figure — this tracks the repo's own performance
  * trajectory so optimization PRs can show wins and regressions are
  * caught. Measures representative serial workloads (STREAM kernels
- * and the SPLASH-2 FFT) plus the aggregate throughput of a parallel
- * sweep at --jobs, and emits machine-readable BENCH_simperf.json.
+ * and the SPLASH-2 FFT), the aggregate throughput of a parallel
+ * sweep at --jobs, and the cycle-engine comparison (serial vs the
+ * sharded engine at 1/2/4/8 workers vs sampled fast-forward) on the
+ * 126-thread STREAM Triad point, and emits machine-readable
+ * BENCH_simperf.json. The sharded rows double as a determinism check:
+ * their simulated cycle and instruction counts must equal the serial
+ * engine's exactly, at every worker count.
  *
  * Wall-clock numbers vary run to run and host to host; the simulated
  * cycle counts printed alongside are deterministic and double as a
@@ -16,7 +21,9 @@
  */
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <thread>
 
 #include "bench_util.h"
 #include "workloads/splash.h"
@@ -123,6 +130,94 @@ measureSweep(const Options &opts, const std::vector<u32> &sizes)
     return m;
 }
 
+/** One engine-comparison row: a named engine setup and its result. */
+struct EngineRow
+{
+    std::string name;   ///< "serial", "sharded", "sampled"
+    u32 workers = 0;    ///< sharded worker count (0 otherwise)
+    Measurement m;
+    double speedup = 0; ///< serial wall / this wall
+};
+
+/** Run the engine-comparison workload under @p engine. */
+Measurement
+measureEngine(const char *name, const EngineConfig &engine, u32 ept)
+{
+    StreamConfig cfg;
+    cfg.kernel = StreamKernel::Triad;
+    cfg.threads = 126;
+    cfg.elementsPerThread = ept;
+    ChipConfig chipCfg;
+    chipCfg.engine = engine;
+    const auto start = std::chrono::steady_clock::now();
+    const StreamResult result = runStream(cfg, chipCfg);
+    Measurement m;
+    m.name = name;
+    m.wallSeconds = secondsSince(start);
+    m.simCycles = result.simCycles;
+    m.instructions = result.instructions;
+    m.attr = result.attr;
+    if (!result.verified)
+        warn("simperf: %s failed verification", name);
+    return m;
+}
+
+/**
+ * The cycle-engine comparison on the 126-thread Triad point: serial
+ * reference, sharded at 1/2/4/8 workers (results must be identical),
+ * and sampled fast-forward (results approximate; the error is
+ * reported). Returns the rows; @p samplingErrorPct receives the
+ * sampled engine's simulated-cycle error against serial.
+ */
+std::vector<EngineRow>
+measureEngines(u32 ept, double *samplingErrorPct)
+{
+    std::vector<EngineRow> rows;
+
+    EngineConfig serial;
+    rows.push_back({"serial", 0,
+                    measureEngine("engine_serial", serial, ept), 1.0});
+    // Copy, not reference: the push_backs below reallocate the vector.
+    const Measurement ref = rows[0].m;
+
+    for (u32 w : {1u, 2u, 4u, 8u}) {
+        EngineConfig sharded;
+        sharded.kind = EngineKind::Sharded;
+        sharded.workers = w;
+        EngineRow row{strprintf("sharded_w%u", w), w,
+                      measureEngine(
+                          strprintf("engine_sharded_w%u", w).c_str(),
+                          sharded, ept),
+                      0};
+        if (row.m.simCycles != ref.simCycles ||
+            row.m.instructions != ref.instructions)
+            warn("simperf: sharded engine (%u workers) diverged from "
+                 "serial: %llu/%llu cycles, %llu/%llu instructions",
+                 w, static_cast<unsigned long long>(row.m.simCycles),
+                 static_cast<unsigned long long>(ref.simCycles),
+                 static_cast<unsigned long long>(row.m.instructions),
+                 static_cast<unsigned long long>(ref.instructions));
+        rows.push_back(row);
+    }
+
+    EngineConfig sampled;
+    sampled.sampled = true;
+    rows.push_back({"sampled", 0,
+                    measureEngine("engine_sampled", sampled, ept), 0});
+    *samplingErrorPct =
+        ref.simCycles > 0
+            ? std::fabs(double(rows.back().m.simCycles) -
+                        double(ref.simCycles)) /
+                  double(ref.simCycles) * 100.0
+            : 0.0;
+
+    for (EngineRow &row : rows)
+        row.speedup = row.m.wallSeconds > 0
+                          ? ref.wallSeconds / row.m.wallSeconds
+                          : 0;
+    return rows;
+}
+
 /** The profiler-overhead experiment: one workload, sampling on/off. */
 struct Overhead
 {
@@ -142,7 +237,9 @@ struct Overhead
 void
 writeJson(const char *path, const Options &opts,
           const std::vector<Measurement> &measurements,
-          const Overhead &overhead)
+          const Overhead &overhead,
+          const std::vector<EngineRow> &engines,
+          double samplingErrorPct)
 {
     std::FILE *f = std::fopen(path, "w");
     if (!f) {
@@ -152,6 +249,24 @@ writeJson(const char *path, const Options &opts,
     std::fprintf(f, "{\n  \"benchmark\": \"simperf\",\n");
     std::fprintf(f, "  \"quick\": %s,\n", opts.quick ? "true" : "false");
     std::fprintf(f, "  \"jobs\": %u,\n", opts.jobs);
+    std::fprintf(f, "  \"hostCores\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(f, "  \"engines\": [\n");
+    for (size_t i = 0; i < engines.size(); ++i) {
+        const EngineRow &e = engines[i];
+        std::fprintf(f,
+                     "    {\"name\": \"%s\", \"workers\": %u, "
+                     "\"simCycles\": %llu, \"instructions\": %llu, "
+                     "\"wallSeconds\": %.6f, \"mips\": %.3f, "
+                     "\"speedup\": %.3f}%s\n",
+                     e.name.c_str(), e.workers,
+                     static_cast<unsigned long long>(e.m.simCycles),
+                     static_cast<unsigned long long>(e.m.instructions),
+                     e.m.wallSeconds, e.m.mips(), e.speedup,
+                     i + 1 < engines.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"samplingErrorPct\": %.4f,\n", samplingErrorPct);
     std::fprintf(f,
                  "  \"profilerOverhead\": {\"workload\": \"%s\", "
                  "\"profInterval\": %u, "
@@ -234,6 +349,15 @@ main(int argc, char **argv)
     ms.push_back(overhead.off);
     ms.push_back(overhead.on);
 
+    // Cycle-engine comparison (see measureEngines). On hosts with too
+    // few cores for the crew the sharded rows measure synchronization
+    // overhead, not speedup — consumers gate on hostCores.
+    double samplingErrorPct = 0;
+    const std::vector<EngineRow> engines =
+        measureEngines(opts.quick ? 500 : 2000, &samplingErrorPct);
+    for (const EngineRow &e : engines)
+        ms.push_back(e.m);
+
     Table table({"workload", "sim cycles", "instructions", "wall s",
                  "Mcycles/s", "sim MIPS"});
     for (const Measurement &m : ms) {
@@ -244,8 +368,13 @@ main(int argc, char **argv)
                       Table::num(m.mips(), 2)});
     }
     cyclops::bench::emit(opts, table);
+    cyclops::bench::note(
+        opts, strprintf("sampled-engine cycle error vs serial: %.2f%%",
+                        samplingErrorPct)
+                  .c_str());
 
-    writeJson("BENCH_simperf.json", opts, ms, overhead);
+    writeJson("BENCH_simperf.json", opts, ms, overhead, engines,
+              samplingErrorPct);
     cyclops::bench::note(opts, "Wrote BENCH_simperf.json");
     return 0;
 }

@@ -27,6 +27,7 @@
 #include "arch/unit.h"
 #include "common/config.h"
 #include "common/metrics.h"
+#include "common/parallel.h"
 #include "common/stats.h"
 #include "common/trace.h"
 #include "isa/encoding.h"
@@ -194,6 +195,16 @@ class Chip
     /** Number of activated, not-yet-halted units. */
     u32 liveUnits() const { return liveUnits_; }
 
+    /** Resolved sharded-engine worker count (0 with the serial engine). */
+    u32 shardWorkers() const { return shardWorkers_; }
+
+    /**
+     * Worker domain owning @p tid under the sharded engine. Domains are
+     * contiguous quad-aligned tid ranges, so this is a plain division
+     * of the quad split; only meaningful when shardWorkers() > 0.
+     */
+    u32 shardDomainOf(ThreadId tid) const;
+
     // --- Shared hardware reachable from units ---------------------------------
 
     MemSystem &memsys() { return memsys_; }
@@ -204,6 +215,45 @@ class Chip
     icacheOf(ThreadId tid)
     {
         return icaches_[tid / (cfg_.threadsPerQuad * cfg_.quadsPerICache)];
+    }
+
+    /**
+     * True while the engine simulates timing in full detail. Always
+     * true unless EngineConfig::sampled put the chip in a functional
+     * fast-forward window (see DESIGN.md section 14).
+     */
+    bool timingDetail() const { return detail_; }
+
+    /**
+     * One data-memory timing access, routed to the detailed fabric or
+     * the sampled fast path depending on the current engine window.
+     * Units call this instead of memsys().access() directly.
+     */
+    MemTiming
+    dmem(Cycle now, ThreadId tid, Addr ea, u8 bytes, MemKind kind)
+    {
+        return detail_ ? memsys_.access(now, tid, ea, bytes, kind)
+                       : memsys_.accessSampled(now, tid, ea, bytes, kind);
+    }
+
+    /** PIB refill counterpart of dmem(): detailed or sampled I-cache. */
+    Cycle
+    icacheRefill(Cycle now, ThreadId tid, PhysAddr base, u32 *missesOut)
+    {
+        ICache &ic = icacheOf(tid);
+        if (detail_)
+            return ic.refill(now, base, memsys_,
+                             tid / cfg_.threadsPerQuad, missesOut);
+        return ic.refillSampled(now, base, missesOut);
+    }
+
+    /** True if decodedAt(pc) would succeed (no-throw probe). */
+    bool
+    pcDecodable(PhysAddr pc) const
+    {
+        return pc >= program_.textBase &&
+               pc < program_.textBase + program_.textBytes() &&
+               pc % 4 == 0;
     }
 
     /** Value of special purpose register @p spr as read by @p tid. */
@@ -273,7 +323,13 @@ class Chip
     void applyFaultMap();
     void recomputeAlive();
     u64 progressSum() const;
+    u64 progressSumEngine();
     std::string watchdogDump() const;
+
+    // Sharded engine (see DESIGN.md section 14).
+    void setupShardEngine();
+    void finishTick(ThreadId tid, Unit *u, Cycle wake);
+    void tickSharded(size_t n, size_t start);
 
     ChipConfig cfg_;
     StatGroup stats_;
@@ -330,6 +386,22 @@ class Chip
     std::vector<ThreadId> due_; ///< reusable due-this-cycle buffer
 
     std::string console_;
+
+    // Sharded engine state (empty/idle for the serial engine). Domains
+    // are contiguous quad-aligned tid ranges; worker w owns tids in
+    // [domainBegin_[w], domainBegin_[w+1]).
+    std::unique_ptr<ShardCrew> crew_;
+    u32 shardWorkers_ = 0;
+    std::vector<ThreadId> domainBegin_;
+    std::vector<u64> domainProgress_; ///< per-domain watchdog aggregate
+    std::vector<ThreadId> canon_;     ///< canonical service order, per cycle
+    std::vector<Cycle> wakes_;        ///< phase-A results per canon_ slot
+    std::vector<Cycle> quadDeferAt_;  ///< cycle a quad last saw a defer
+    bool inShardPhaseA_ = false;      ///< BarrierSpr mutation-guard flag
+
+    // Sampled fast-forward mode (EngineConfig::sampled).
+    bool sampledOn_ = false;
+    bool detail_ = true;
 
     Counter cycles_;
     Counter trapsServed_;

@@ -79,17 +79,19 @@ ThreadUnit::hazardsClearAt(const Instr &instr) const
 }
 
 Cycle
-ThreadUnit::tick(Cycle now)
+ThreadUnit::tickImpl(Cycle now, bool localOnly, bool fpuOk)
 {
     if (halted_)
         return kCycleNever;
 
-    // Instruction supply: the PIB must hold the current PC.
+    // Instruction supply: the PIB must hold the current PC. Refills go
+    // through the shared I-cache (two quads) and the memory fabric.
     if (!pib_.contains(pc_)) {
+        if (localOnly)
+            return kTickDeferred;
         u32 lineMisses = 0;
-        const Cycle ready = chip_.icacheOf(tid_).refill(
-            now, pib_.windowBase(pc_), chip_.memsys(),
-            tid_ / chip_.config().threadsPerQuad, &lineMisses);
+        const Cycle ready = chip_.icacheRefill(
+            now, tid_, pib_.windowBase(pc_), &lineMisses);
         noteImiss(lineMisses);
         pib_.load(pc_);
         const Cycle wake = std::max(ready, now + 1);
@@ -100,6 +102,11 @@ ThreadUnit::tick(Cycle now)
                         wake - now, pc_);
         return wake;
     }
+
+    // A wild PC raises GuestError from decodedAt(); defer so the throw
+    // happens serially at this unit's canonical position.
+    if (localOnly && !chip_.pcDecodable(pc_))
+        return kTickDeferred;
 
     const Instr &instr = chip_.decodedAt(pc_);
 
@@ -116,11 +123,12 @@ ThreadUnit::tick(Cycle now)
         return hazard.at;
     }
 
-    return issue(now, instr);
+    return issue(now, instr, localOnly, fpuOk);
 }
 
 Cycle
-ThreadUnit::issue(Cycle now, const Instr &instr)
+ThreadUnit::issue(Cycle now, const Instr &instr, bool localOnly,
+                  bool fpuOk)
 {
     const ChipConfig &cfg = chip_.config();
     const LatencyConfig &lat = cfg.lat;
@@ -245,6 +253,8 @@ ThreadUnit::issue(Cycle now, const Instr &instr)
             accountWait(now, wake, CycleCat::DcacheMiss);
             return wake;
         }
+        if (localOnly)
+            return kTickDeferred; // fabric access commits in phase B
         // Atomics address through ra alone (rb is the operand); the
         // indexed loads/stores (lwx/ldx/...) add ra + rb.
         const bool indexed =
@@ -274,8 +284,7 @@ ThreadUnit::issue(Cycle now, const Instr &instr)
             }
             if (doWrite)
                 chip_.memWrite(ea, 4, fresh, tid_);
-            MemTiming t = chip_.memsys().access(now, tid_, ea, 4,
-                                                MemKind::Atomic);
+            MemTiming t = chip_.dmem(now, tid_, ea, 4, MemKind::Atomic);
             noteDmem(t.hit);
             setReg(rd, old);
             setRegReady(rd, t.ready, CycleCat::DcacheMiss, t.queueWait);
@@ -288,9 +297,8 @@ ThreadUnit::issue(Cycle now, const Instr &instr)
               default: break;
             }
             notePoll(pc_, ea, raw);
-            MemTiming t = chip_.memsys().access(now, tid_, ea,
-                                                m.memBytes,
-                                                MemKind::Load);
+            MemTiming t =
+                chip_.dmem(now, tid_, ea, m.memBytes, MemKind::Load);
             noteDmem(t.hit);
             if (m.memBytes == 8) {
                 setReg(rd, u32(raw));
@@ -311,9 +319,8 @@ ThreadUnit::issue(Cycle now, const Instr &instr)
             if (m.memBytes == 8)
                 value |= u64(regs_[rd + 1]) << 32;
             chip_.memWrite(ea, m.memBytes, value, tid_);
-            MemTiming t = chip_.memsys().access(now, tid_, ea,
-                                                m.memBytes,
-                                                MemKind::Store);
+            MemTiming t =
+                chip_.dmem(now, tid_, ea, m.memBytes, MemKind::Store);
             noteDmem(t.hit);
             mem_.add(t.ready);
         }
@@ -327,6 +334,8 @@ ThreadUnit::issue(Cycle now, const Instr &instr)
       case UnitClass::FpDiv:
       case UnitClass::FpSqrt:
       case UnitClass::Fma: {
+        if (localOnly && !fpuOk)
+            return kTickDeferred; // quad FPU order pinned to phase B
         FpuOp port;
         switch (m.unit) {
           case UnitClass::FpAdd: port = FpuOp::Add; break;
@@ -412,6 +421,12 @@ ThreadUnit::issue(Cycle now, const Instr &instr)
 
       case UnitClass::Spr: {
         if (instr.op == Opcode::Mfspr) {
+            // The barrier SPR is the wired-OR: reads must be ordered
+            // against same-cycle writes from other domains. Everything
+            // else readSpr() serves is frozen for the cycle (clock,
+            // geometry) or owned by this unit (its counter SPRs).
+            if (localOnly && u32(imm) == isa::kSprBarrier)
+                return kTickDeferred;
             const u32 sprValue = chip_.readSpr(tid_, u32(imm));
             // SPRs live in their own poll namespace, above the 32-bit
             // effective-address space. Barrier spins re-read the same
@@ -424,6 +439,8 @@ ThreadUnit::issue(Cycle now, const Instr &instr)
                         u32(imm) == isa::kSprBarrier ? CycleCat::BarrierWait
                                                      : CycleCat::FpuArb);
         } else {
+            if (localOnly)
+                return kTickDeferred; // SPR writes hit shared chip state
             noteProgress();
             chip_.writeSpr(tid_, u32(imm), regs_[ra]);
             if (u32(imm) == isa::kSprBarrier) {
@@ -458,12 +475,14 @@ ThreadUnit::issue(Cycle now, const Instr &instr)
             accountWait(now, wake, CycleCat::DcacheMiss);
             return wake;
         }
+        if (localOnly)
+            return kTickDeferred; // fabric access commits in phase B
         const Addr ea = regs_[ra] + u32(imm);
         Cycle done;
         switch (instr.op) {
           case Opcode::Pref: {
             MemTiming t =
-                chip_.memsys().access(now, tid_, ea, 4, MemKind::Prefetch);
+                chip_.dmem(now, tid_, ea, 4, MemKind::Prefetch);
             noteDmem(t.hit);
             done = t.ready;
             break;
@@ -495,6 +514,8 @@ ThreadUnit::issue(Cycle now, const Instr &instr)
                 accountIssue(now, 1);
                 return kCycleNever;
             }
+            if (localOnly)
+                return kTickDeferred; // traps write the shared console
             chip_.trap(tid_, u32(imm), regs_[4]);
         }
         noteProgress();

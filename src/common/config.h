@@ -152,6 +152,37 @@ struct FaultConfig
     }
 };
 
+/** Which cycle engine advances the chip (see DESIGN.md section 14). */
+enum class EngineKind : u8
+{
+    Serial,  ///< single host thread, the reference engine
+    Sharded, ///< per-quad domains on host worker threads, bit-identical
+};
+
+const char *engineKindName(EngineKind kind);
+
+/** Parse "serial"/"sharded" into @p out; false on unknown names. */
+bool parseEngineKind(const char *name, EngineKind *out);
+
+/**
+ * Cycle-engine configuration: how the simulator advances the chip, not
+ * what the chip is. None of these options may change simulated results
+ * except @ref sampled, which trades timing fidelity for host speed
+ * (bounded by the golden-figure tolerance; see DESIGN.md section 14).
+ */
+struct EngineConfig
+{
+    EngineKind kind = EngineKind::Serial;
+    u32 workers = 0;    ///< sharded host workers (0 = all host cores)
+    u32 shardGrain = 8; ///< min due units per cycle to fan out a cycle
+    bool sampled = false; ///< fast-functional windows between detailed ones
+    // Sampling defaults: a 25% duty cycle with windows long enough to
+    // amortize the post-fast-window ramp-in transient. Shorter windows
+    // at the same duty cycle measurably bias the figure sweeps.
+    u32 samplePeriod = 16384; ///< sampling period in cycles
+    u32 sampleDetail = 4096;  ///< detailed-window length within the period
+};
+
 /**
  * Structural configuration of one Cyclops chip.
  *
@@ -200,6 +231,7 @@ struct ChipConfig
     LatencyConfig lat;
     ObsConfig obs;
     FaultConfig fault;
+    EngineConfig engine;
 
     // Derived quantities ------------------------------------------------
     u32 numQuads() const { return numThreads / threadsPerQuad; }

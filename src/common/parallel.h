@@ -21,6 +21,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -77,6 +78,57 @@ class SimPool
     u32 checkedIn_ = 0;                                 // guarded by mu_
     bool stop_ = false;                                 // guarded by mu_
     std::atomic<size_t> next_{0}; ///< index dispenser for the live task
+};
+
+/**
+ * A spin-synchronized crew of host threads for the sharded cycle
+ * engine's per-cycle fan-out (see DESIGN.md section 14).
+ *
+ * SimPool's mutex/condvar handshake costs microseconds per dispatch —
+ * fine for whole-simulation sweep points, hopeless for a fan-out every
+ * simulated cycle. ShardCrew instead parks workers on a spinning
+ * epoch counter: run() publishes work with one release-increment and
+ * waits for a done-counter, so a round trip is a few hundred
+ * nanoseconds when the crew is hot.
+ *
+ * The calling thread participates as worker 0; workers-1 host threads
+ * are spawned. run() invokes fn(w) for every worker index w in
+ * [0, workers) and returns after all complete. Memory ordering: writes
+ * made by the caller before run() are visible to every worker, and
+ * writes made by workers inside fn are visible to the caller after
+ * run() returns (release/acquire on the epoch and done counters).
+ *
+ * Exceptions thrown inside fn are captured and rethrown from run() on
+ * the calling thread (lowest worker index wins), after all workers
+ * have finished the epoch.
+ */
+class ShardCrew
+{
+  public:
+    /** Spawn a crew of @p workers total lanes (>= 1). */
+    explicit ShardCrew(u32 workers);
+    ~ShardCrew();
+
+    ShardCrew(const ShardCrew &) = delete;
+    ShardCrew &operator=(const ShardCrew &) = delete;
+
+    u32 workers() const { return workers_; }
+
+    /** Run fn(w) for every w in [0, workers); blocks until all done. */
+    void run(const std::function<void(u32)> &fn);
+
+  private:
+    void workerMain(u32 w);
+    void runEpoch(u32 w, const std::function<void(u32)> *fn);
+
+    u32 workers_ = 1;
+    u32 spinLimit_ = 4096; ///< 0 on oversubscribed hosts: yield at once
+    std::vector<std::thread> threads_;
+    const std::function<void(u32)> *fn_ = nullptr; ///< published by epoch_
+    bool stop_ = false;                            ///< published by epoch_
+    std::vector<std::exception_ptr> errors_;       ///< one slot per worker
+    alignas(64) std::atomic<u64> epoch_{0};
+    alignas(64) std::atomic<u32> done_{0};
 };
 
 /**

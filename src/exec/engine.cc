@@ -49,7 +49,35 @@ GuestEngine::run(Cycle maxCycles)
 {
     if (spawned_ == 0)
         fatal("GuestEngine::run with no spawned guests");
+    if (!placementChecked_) {
+        placementChecked_ = true;
+        checkShardPlacement();
+    }
     return chip_.run(maxCycles);
+}
+
+void
+GuestEngine::checkShardPlacement()
+{
+    // The sharded engine's parallelism is bounded by how many worker
+    // domains actually hold runnable units. The allocation policy
+    // (e.g. Sequential) can concentrate a small spawn into one domain,
+    // leaving the other workers spinning at each epoch barrier for
+    // nothing. Results are identical either way — this only advises.
+    const u32 w = chip_.shardWorkers();
+    if (w <= 1)
+        return;
+    std::vector<u8> used(w, 0);
+    for (u32 i = 0; i < spawned_; ++i)
+        used[chip_.shardDomainOf(order_[i])] = 1;
+    u32 occupied = 0;
+    for (u8 u : used)
+        occupied += u;
+    if (occupied < w)
+        inform("sharded engine: %u guest threads occupy %u of %u "
+               "worker domains; consider Scatter allocation or fewer "
+               "--engine-workers",
+               spawned_, occupied, w);
 }
 
 } // namespace cyclops::exec

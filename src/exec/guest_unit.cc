@@ -78,18 +78,23 @@ GuestUnit::issueMem(Cycle now, MemKind kind, Addr ea, u8 bytes,
       case MemKind::Atomic:
         break; // caller performs the read-modify-write
     }
-    MemTiming t = chip_.memsys().access(now, tid_, ea, bytes, kind);
+    MemTiming t = chip_.dmem(now, tid_, ea, bytes, kind);
     noteDmem(t.hit);
     return t;
 }
 
 Cycle
-GuestUnit::tick(Cycle now)
+GuestUnit::tickImpl(Cycle now, bool localOnly, bool fpuOk)
 {
     if (halted_)
         return kCycleNever;
 
     if (!pending_) {
+        // Resuming the coroutine runs arbitrary guest code that may
+        // touch shared host-side data structures; only canonical order
+        // is safe.
+        if (localOnly)
+            return kTickDeferred;
         // Resume the guest; it runs natively until it awaits the next
         // micro-op or the top-level coroutine finishes.
         auto h = current_ ? current_
@@ -111,7 +116,9 @@ GuestUnit::tick(Cycle now)
     }
 
     MicroOp &op = ops_[opIdx_];
-    StepResult r = step(now, op);
+    StepResult r = step(now, op, localOnly, fpuOk);
+    if (r.deferred)
+        return kTickDeferred;
     if (!r.done)
         return std::max(r.at, now + 1);
 
@@ -127,7 +134,7 @@ GuestUnit::tick(Cycle now)
 }
 
 GuestUnit::StepResult
-GuestUnit::step(Cycle now, MicroOp &op)
+GuestUnit::step(Cycle now, MicroOp &op, bool localOnly, bool fpuOk)
 {
     const LatencyConfig &lat = chip_.config().lat;
 
@@ -157,6 +164,8 @@ GuestUnit::step(Cycle now, MicroOp &op)
       }
 
       case OpKind::Fpu: {
+        if (localOnly && !fpuOk)
+            return {false, 0, true}; // quad FPU order pinned to phase B
         Cycle resultAt = 0;
         if (!chip_.fpuOf(tid_).dispatch(now, op.fpu, &resultAt)) {
             accountWait(now, now + 1, CycleCat::FpuArb);
@@ -175,6 +184,8 @@ GuestUnit::step(Cycle now, MicroOp &op)
             accountWait(now, wake, CycleCat::DcacheMiss);
             return {false, wake};
         }
+        if (localOnly)
+            return {false, 0, true}; // fabric access: phase B
         MemTiming t = issueMem(now, MemKind::Load, op.ea, op.bytes,
                                &op.result);
         // Polling semantics: re-reading an unchanged location is not
@@ -193,6 +204,8 @@ GuestUnit::step(Cycle now, MicroOp &op)
             accountWait(now, wake, CycleCat::DcacheMiss);
             return {false, wake};
         }
+        if (localOnly)
+            return {false, 0, true}; // fabric access: phase B
         noteProgress();
         MemTiming t = issueMem(now, MemKind::Store, op.ea, op.bytes,
                                &op.value);
@@ -210,6 +223,8 @@ GuestUnit::step(Cycle now, MicroOp &op)
             accountWait(now, wake, CycleCat::DcacheMiss);
             return {false, wake};
         }
+        if (localOnly)
+            return {false, 0, true}; // fabric access: phase B
         const u32 old = u32(chip_.memRead(op.ea, 4, tid_));
         notePoll(0, op.ea, old);
         u32 fresh = old;
@@ -222,8 +237,7 @@ GuestUnit::step(Cycle now, MicroOp &op)
             doWrite = old == u32(op.expect), fresh = u32(op.value);
         if (doWrite)
             chip_.memWrite(op.ea, 4, fresh, tid_);
-        MemTiming t =
-            chip_.memsys().access(now, tid_, op.ea, 4, MemKind::Atomic);
+        MemTiming t = chip_.dmem(now, tid_, op.ea, 4, MemKind::Atomic);
         noteDmem(t.hit);
         op.result = old;
         mem_.add(t.ready);
@@ -250,10 +264,16 @@ GuestUnit::step(Cycle now, MicroOp &op)
       }
 
       case OpKind::HwBarrier:
+        if (localOnly)
+            return {false, 0, true}; // barrier SPR wired-OR: phase B
         return stepHwBarrier(now, op);
       case OpKind::SwCentralBarrier:
+        if (localOnly)
+            return {false, 0, true}; // shared counter/flag: phase B
         return stepCentral(now, op);
       case OpKind::SwTreeBarrier:
+        if (localOnly)
+            return {false, 0, true}; // shared arrive/release: phase B
         return stepTree(now, op);
     }
     panic("unhandled micro-op kind");
@@ -316,8 +336,8 @@ GuestUnit::stepCentral(Cycle now, MicroOp &op)
         bar.localSense[softIdx_] ^= 1;
         const u32 old = u32(chip_.memRead(bar.counterEa, 4, tid_));
         chip_.memWrite(bar.counterEa, 4, old + 1, tid_);
-        MemTiming t = chip_.memsys().access(now, tid_, bar.counterEa, 4,
-                                            MemKind::Atomic);
+        MemTiming t =
+            chip_.dmem(now, tid_, bar.counterEa, 4, MemKind::Atomic);
         noteDmem(t.hit);
         accountIssue(now, 2); // xori + amoadd
         barScratch_ = old + 1;
@@ -409,9 +429,8 @@ GuestUnit::stepTree(Cycle now, MicroOp &op)
         const Addr parentEa = bar.arriveEa(bar.parent(self));
         const u32 old = u32(chip_.memRead(parentEa, 4, tid_));
         chip_.memWrite(parentEa, 4, old + 1, tid_);
-        noteDmem(chip_.memsys()
-                     .access(now, tid_, parentEa, 4, MemKind::Atomic)
-                     .hit);
+        noteDmem(
+            chip_.dmem(now, tid_, parentEa, 4, MemKind::Atomic).hit);
         accountIssue(now, 1);
         barStage_ = 3;
         return {false, now + 1};

@@ -27,7 +27,13 @@ class GuestUnit : public arch::Unit
     /** Install the top-level coroutine (before activation). */
     void start(GuestTask task);
 
-    Cycle tick(Cycle now) override;
+    Cycle tick(Cycle now) override { return tickImpl(now, false, true); }
+
+    Cycle
+    tickLocal(Cycle now, bool fpuOk) override
+    {
+        return tickImpl(now, true, fpuOk);
+    }
 
     arch::Chip &chip() { return chip_; }
     u32 softIdx() const { return softIdx_; }
@@ -44,9 +50,14 @@ class GuestUnit : public arch::Unit
     {
         bool done;   ///< op finished (false: re-step at @ref at)
         Cycle at;    ///< next-issue cycle (done) or wake cycle (wait)
+        bool deferred = false; ///< localOnly: needs shared state, no
+                               ///< observable change was made
     };
 
-    StepResult step(Cycle now, MicroOp &op);
+    /** tick() body shared with tickLocal() (see Unit::tickLocal). */
+    Cycle tickImpl(Cycle now, bool localOnly, bool fpuOk);
+
+    StepResult step(Cycle now, MicroOp &op, bool localOnly, bool fpuOk);
     StepResult stepHwBarrier(Cycle now, MicroOp &op);
     StepResult stepCentral(Cycle now, MicroOp &op);
     StepResult stepTree(Cycle now, MicroOp &op);

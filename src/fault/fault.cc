@@ -61,6 +61,7 @@ campaignChip(const CampaignOptions &opts)
     cfg.numBanks = 4;
     cfg.bankBytes = 256 * 1024;
     cfg.fault.watchdogCycles = opts.watchdogCycles;
+    cfg.engine = opts.engine;
     return cfg;
 }
 

@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "common/config.h"
 #include "common/types.h"
 
 namespace cyclops::fault
@@ -80,6 +81,7 @@ struct CampaignOptions
     u32 bodyOps = 48;  ///< program size knob (verify::GenOptions)
     u64 maxCycles = 200'000;      ///< per-run cycle budget (-> Hang)
     u64 watchdogCycles = 50'000;  ///< chip watchdog for injected runs
+    EngineConfig engine; ///< cycle engine for the injected runs
 };
 
 /** One iteration's result. */

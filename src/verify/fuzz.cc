@@ -32,6 +32,7 @@ fuzzLoop(const FuzzOptions &opts)
 
         DiffConfig diff;
         diff.mutation = opts.mutation;
+        diff.chip.engine = opts.engine;
         // Vary timing-only knobs: architectural results must not care.
         diff.chip.pibEnabled = mix.chance(0.9);
         diff.chip.burstEnabled = mix.chance(0.75);

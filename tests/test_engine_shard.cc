@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Sharded-engine equivalence tests: the determinism contract of
+ * DESIGN.md section 14.
+ *
+ * The sharded engine must be a pure host-side optimization — the same
+ * simulation, bit for bit, at every worker count, including on
+ * degraded chips whose quad domains are irregular. The sampled
+ * fast-forward mode is allowed to approximate timing, but must itself
+ * be deterministic and engine-independent: sampled results are
+ * identical whether the detailed windows run serially or sharded.
+ *
+ * These tests also run under the TSan preset, where they double as a
+ * data-race check on the ShardCrew epoch protocol and the engine's
+ * phase-A/phase-B handoff.
+ */
+
+#include <atomic>
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "workloads/splash.h"
+#include "workloads/stream.h"
+
+using namespace cyclops;
+using namespace cyclops::workloads;
+
+namespace
+{
+
+/** Small STREAM point: big enough to touch every subsystem. */
+StreamConfig
+streamPoint(u32 threads, u32 ept)
+{
+    StreamConfig cfg;
+    cfg.kernel = StreamKernel::Triad;
+    cfg.threads = threads;
+    cfg.elementsPerThread = ept;
+    cfg.localCaches = true;
+    cfg.unroll = 4;
+    return cfg;
+}
+
+ChipConfig
+engineChip(EngineKind kind, u32 workers, bool sampled = false)
+{
+    ChipConfig cfg;
+    cfg.engine.kind = kind;
+    cfg.engine.workers = workers;
+    cfg.engine.sampled = sampled;
+    return cfg;
+}
+
+void
+expectSameStream(const StreamResult &a, const StreamResult &b)
+{
+    EXPECT_EQ(a.iterationCycles, b.iterationCycles);
+    EXPECT_EQ(a.simCycles, b.simCycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.bytesPerIteration, b.bytesPerIteration);
+    for (u32 c = 0; c <= arch::kNumCycleCats; ++c)
+        EXPECT_EQ(a.attr.value(c), b.attr.value(c)) << "attr cat " << c;
+    EXPECT_EQ(a.verified, b.verified);
+}
+
+void
+expectSameSplash(const SplashResult &a, const SplashResult &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.runCycles, b.runCycles);
+    EXPECT_EQ(a.stallCycles, b.stallCycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.loads, b.loads);
+    EXPECT_EQ(a.stores, b.stores);
+    EXPECT_EQ(a.localHits, b.localHits);
+    EXPECT_EQ(a.remoteHits, b.remoteHits);
+    EXPECT_EQ(a.localMisses, b.localMisses);
+    EXPECT_EQ(a.remoteMisses, b.remoteMisses);
+    EXPECT_EQ(a.bankBusyCycles, b.bankBusyCycles);
+    EXPECT_EQ(a.portWaitCycles, b.portWaitCycles);
+    EXPECT_EQ(a.verified, b.verified);
+}
+
+} // namespace
+
+TEST(EngineShard, StreamMatchesSerialAtEveryWorkerCount)
+{
+    const StreamConfig point = streamPoint(16, 200);
+    const StreamResult serial =
+        runStream(point, engineChip(EngineKind::Serial, 0));
+    EXPECT_TRUE(serial.verified);
+    for (u32 workers : {1u, 2u, 4u, 8u}) {
+        const StreamResult sharded = runStream(
+            point, engineChip(EngineKind::Sharded, workers));
+        expectSameStream(serial, sharded);
+    }
+}
+
+TEST(EngineShard, FftMatchesSerial)
+{
+    // FFT exercises barriers, remote traffic and the FPU — the
+    // cross-domain paths where a stale read would first diverge.
+    const SplashResult serial = runFft(
+        8, 1024, BarrierKind::Hw, engineChip(EngineKind::Serial, 0));
+    EXPECT_TRUE(serial.verified);
+    for (u32 workers : {2u, 4u}) {
+        const SplashResult sharded =
+            runFft(8, 1024, BarrierKind::Hw,
+                   engineChip(EngineKind::Sharded, workers));
+        expectSameSplash(serial, sharded);
+    }
+}
+
+TEST(EngineShard, DegradedChipMatchesSerial)
+{
+    // Dead quads, a dead FPU and a dead bank make the quad domains
+    // irregular and shift the interest-group and MEMSZ remaps — the
+    // sharded engine must still partition and commit identically.
+    ChipConfig serialCfg = engineChip(EngineKind::Serial, 0);
+    serialCfg.fault.disabledQuads = {3, 17};
+    serialCfg.fault.disabledFpus = {5};
+    serialCfg.fault.disabledBanks = {2};
+
+    const StreamConfig point = streamPoint(8, 112);
+    const StreamResult serial = runStream(point, serialCfg);
+    EXPECT_TRUE(serial.verified);
+
+    for (u32 workers : {2u, 4u}) {
+        ChipConfig shardCfg = serialCfg;
+        shardCfg.engine.kind = EngineKind::Sharded;
+        shardCfg.engine.workers = workers;
+        expectSameStream(serial, runStream(point, shardCfg));
+    }
+}
+
+TEST(EngineShard, SampledIsEngineIndependent)
+{
+    // Sampled timing is approximate against detailed timing, but must
+    // not depend on which engine runs the detailed windows: the fast
+    // windows are serial by construction in both engines.
+    const StreamConfig point = streamPoint(16, 200);
+    const StreamResult sampledSerial =
+        runStream(point, engineChip(EngineKind::Serial, 0, true));
+    EXPECT_TRUE(sampledSerial.verified);
+    for (u32 workers : {2u, 4u}) {
+        const StreamResult sampledSharded = runStream(
+            point, engineChip(EngineKind::Sharded, workers, true));
+        expectSameStream(sampledSerial, sampledSharded);
+    }
+}
+
+TEST(EngineShard, SampledRepeatsExactly)
+{
+    const StreamConfig point = streamPoint(8, 112);
+    const ChipConfig cfg = engineChip(EngineKind::Serial, 0, true);
+    expectSameStream(runStream(point, cfg), runStream(point, cfg));
+}
+
+TEST(ShardCrew, RunsEveryWorkerExactlyOnce)
+{
+    ShardCrew crew(4);
+    EXPECT_EQ(crew.workers(), 4u);
+    std::vector<std::atomic<u32>> hits(4);
+    for (int epoch = 0; epoch < 100; ++epoch)
+        crew.run([&](u32 w) {
+            hits[w].fetch_add(1, std::memory_order_relaxed);
+        });
+    for (u32 w = 0; w < 4; ++w)
+        EXPECT_EQ(hits[w].load(), 100u) << "worker " << w;
+}
+
+TEST(ShardCrew, PublishesWritesAcrossEpochs)
+{
+    // Writes by worker w in epoch e must be visible to every worker
+    // in epoch e+1 (the engine's phase handoff relies on this).
+    ShardCrew crew(4);
+    std::vector<u64> slots(4, 0);
+    for (u64 epoch = 1; epoch <= 200; ++epoch) {
+        crew.run([&](u32 w) { slots[w] = epoch; });
+        crew.run([&](u32 w) {
+            for (u32 o = 0; o < 4; ++o)
+                if (slots[o] != epoch)
+                    ADD_FAILURE() << "worker " << w << " saw stale "
+                                  << slots[o] << " at epoch " << epoch;
+        });
+    }
+}
+
+TEST(ShardCrew, SingleWorkerRunsInline)
+{
+    ShardCrew crew(1);
+    const auto caller = std::this_thread::get_id();
+    bool sameThread = false;
+    crew.run([&](u32 w) {
+        sameThread = w == 0 && std::this_thread::get_id() == caller;
+    });
+    EXPECT_TRUE(sameThread);
+}
+
+TEST(ShardCrew, RethrowsWorkerException)
+{
+    ShardCrew crew(2);
+    EXPECT_THROW(crew.run([&](u32 w) {
+        if (w == 1)
+            throw std::runtime_error("shard failure");
+    }),
+                 std::runtime_error);
+    // The crew must stay usable after an exceptional epoch.
+    std::atomic<u32> ran{0};
+    crew.run([&](u32) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 2u);
+}

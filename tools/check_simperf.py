@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_simperf.json report.
+
+Checks the schema (top-level fields, workload entries, the cycle-
+attribution breakdown) and the cycle-engine comparison invariants:
+  - the engines list contains the serial reference, the sharded engine
+    at 1/2/4/8 workers, and the sampled engine;
+  - every sharded row reproduced the serial engine's simulated cycle
+    and instruction counts exactly (the determinism contract of
+    DESIGN.md section 14);
+  - samplingErrorPct (sampled vs serial simulated cycles) is within
+    bounds (default 5%, --max-sampling-error);
+  - wall-clock sanity: every measurement ran for a positive time and
+    positive throughput.
+
+Speedup assertions are gated on the recorded hostCores: on hosts with
+fewer than 4 cores the sharded rows measure synchronization overhead,
+not parallelism, so only the structural checks apply. With 4+ cores
+the sharded engine at 4 workers must not be slower than 60% of serial
+throughput (a loose floor — wall-clock noise is real), and with
+--require-speedup it must beat serial outright.
+"""
+
+import argparse
+import json
+import sys
+
+EXPECTED_ENGINES = (
+    ("serial", 0),
+    ("sharded_w1", 1),
+    ("sharded_w2", 2),
+    ("sharded_w4", 4),
+    ("sharded_w8", 8),
+    ("sampled", 0),
+)
+
+WORKLOAD_FIELDS = ("name", "simCycles", "instructions", "wallSeconds",
+                   "cyclesPerSec", "mips", "attribution")
+ENGINE_FIELDS = ("name", "workers", "simCycles", "instructions",
+                 "wallSeconds", "mips", "speedup")
+
+
+def fail(msg):
+    print(f"check_simperf: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_workload(i, w):
+    where = f"workload {i}"
+    for field in WORKLOAD_FIELDS:
+        if field not in w:
+            fail(f"{where}: missing field '{field}'")
+    if not isinstance(w["name"], str) or not w["name"]:
+        fail(f"{where}: empty name")
+    where = f"workload '{w['name']}'"
+    for field in ("simCycles", "instructions"):
+        if not isinstance(w[field], int) or w[field] <= 0:
+            fail(f"{where}: {field} must be a positive integer")
+    if not w["wallSeconds"] > 0:
+        fail(f"{where}: wallSeconds must be positive")
+    if not w["mips"] > 0:
+        fail(f"{where}: mips must be positive")
+    attr = w["attribution"]
+    if not isinstance(attr, dict) or not attr:
+        fail(f"{where}: attribution must be a non-empty object")
+    for cat, cycles in attr.items():
+        if not isinstance(cycles, int) or cycles < 0:
+            fail(f"{where}: attribution[{cat}] must be a nonneg integer")
+
+
+def check_engines(report, args):
+    engines = report.get("engines")
+    if not isinstance(engines, list):
+        fail("missing 'engines' array")
+    rows = {}
+    for i, e in enumerate(engines):
+        for field in ENGINE_FIELDS:
+            if field not in e:
+                fail(f"engine row {i}: missing field '{field}'")
+        rows[(e["name"], e["workers"])] = e
+    for key in EXPECTED_ENGINES:
+        if key not in rows:
+            fail(f"engines: missing row {key[0]} (workers={key[1]})")
+
+    serial = rows[("serial", 0)]
+    if serial["simCycles"] <= 0 or serial["instructions"] <= 0:
+        fail("serial engine row has no work")
+
+    # Determinism: sharded == serial, exactly, at every worker count.
+    for name, workers in EXPECTED_ENGINES:
+        if not name.startswith("sharded"):
+            continue
+        row = rows[(name, workers)]
+        for field in ("simCycles", "instructions"):
+            if row[field] != serial[field]:
+                fail(f"{name}: {field} {row[field]} != serial "
+                     f"{serial[field]} — sharded engine diverged")
+
+    err = report.get("samplingErrorPct")
+    if not isinstance(err, (int, float)) or err < 0:
+        fail("samplingErrorPct missing or negative")
+    if err > args.max_sampling_error:
+        fail(f"samplingErrorPct {err:.2f} exceeds bound "
+             f"{args.max_sampling_error:.2f}")
+
+    cores = report.get("hostCores")
+    if not isinstance(cores, int) or cores < 0:
+        fail("hostCores missing or negative")
+    if cores >= 4:
+        w4 = rows[("sharded_w4", 4)]
+        if w4["speedup"] < 0.6:
+            fail(f"sharded_w4 speedup {w4['speedup']:.2f} below 0.6 "
+                 f"on a {cores}-core host")
+        if args.require_speedup and w4["speedup"] < 1.0:
+            fail(f"sharded_w4 speedup {w4['speedup']:.2f} < 1.0 "
+                 f"on a {cores}-core host (--require-speedup)")
+    return len(engines), err, cores
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="BENCH_simperf.json path")
+    parser.add_argument("--max-sampling-error", type=float, default=5.0,
+                        help="samplingErrorPct bound (default 5.0)")
+    parser.add_argument("--require-speedup", action="store_true",
+                        help="require sharded_w4 to beat serial "
+                             "(only meaningful on 4+ core hosts)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.report) as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot read {args.report}: {e}")
+
+    if report.get("benchmark") != "simperf":
+        fail("not a simperf report")
+    workloads = report.get("workloads")
+    if not isinstance(workloads, list) or not workloads:
+        fail("missing 'workloads' array")
+    for i, w in enumerate(workloads):
+        check_workload(i, w)
+
+    overhead = report.get("profilerOverhead")
+    if not isinstance(overhead, dict):
+        fail("missing 'profilerOverhead' object")
+    for field in ("disabledCyclesPerSec", "enabledCyclesPerSec",
+                  "overheadPct"):
+        if field not in overhead:
+            fail(f"profilerOverhead: missing field '{field}'")
+
+    nengines, err, cores = check_engines(report, args)
+    print(f"check_simperf: OK: {len(workloads)} workloads, "
+          f"{nengines} engine rows, sampling error {err:.2f}%, "
+          f"{cores}-core host")
+
+
+if __name__ == "__main__":
+    main()

@@ -40,7 +40,8 @@ usage(const char *argv0, const char *why)
                  "usage: %s [--seed N] [--iters N] [--threads N] "
                  "[--body-ops N]\n"
                  "       [--max-cycles N] [--watchdog N] [--jobs N] "
-                 "[--out FILE]\n",
+                 "[--out FILE]\n"
+                 "       [--engine serial|sharded] [--engine-workers N]\n",
                  argv0);
     return 2;
 }
@@ -95,6 +96,14 @@ main(int argc, char **argv)
             numArg(&opts.watchdogCycles);
         } else if (std::strcmp(arg, "--jobs") == 0) {
             numArg(&jobs);
+        } else if (std::strcmp(arg, "--engine") == 0 && i + 1 < argc) {
+            if (!parseEngineKind(argv[++i], &opts.engine.kind))
+                return usage(argv[0],
+                             strprintf("--engine: unknown engine '%s'",
+                                       argv[i]).c_str());
+        } else if (std::strcmp(arg, "--engine-workers") == 0) {
+            numArg(&v);
+            opts.engine.workers = u32(v);
         } else if (std::strcmp(arg, "--out") == 0 && i + 1 < argc) {
             outPath = argv[++i];
         } else {

@@ -34,6 +34,7 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s [--seed N] [--iters N] [--threads N] "
                  "[--no-shrink] [--verbose]\n"
+                 "       [--engine serial|sharded] [--engine-workers N]\n"
                  "       [--mutate add-off-by-one|sltu-flipped|"
                  "lb-zero-extends]\n",
                  argv0);
@@ -61,6 +62,12 @@ main(int argc, char **argv)
             opts.shrinkOnFail = true;
         } else if (std::strcmp(argv[i], "--verbose") == 0) {
             opts.verbose = true;
+        } else if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
+            if (!parseEngineKind(argv[++i], &opts.engine.kind))
+                usage(argv[0]);
+        } else if (std::strcmp(argv[i], "--engine-workers") == 0 &&
+                   i + 1 < argc) {
+            opts.engine.workers = u32(std::atoi(argv[++i]));
         } else if (std::strcmp(argv[i], "--mutate") == 0 && i + 1 < argc) {
             const std::string name = argv[++i];
             if (name == "add-off-by-one")

@@ -20,6 +20,13 @@
  *   --watchdog N       deadlock watchdog window in cycles (0 = off)
  *   --timeout-seconds N  wall-clock limit (graceful stop via SIGALRM)
  *
+ * Engine selection (DESIGN.md section 14; same results, faster host):
+ *   --engine serial|sharded  cycle engine (default serial)
+ *   --engine-workers N       sharded-engine host workers (0 = auto)
+ *   --engine-sampled         fast-functional + sampled-timing mode
+ *   --sample-period N        sampling period in cycles
+ *   --sample-detail N        detailed-window length in cycles
+ *
  * Observability (DESIGN.md section 10):
  *   --stats-json out.json    end-of-run counters/histograms as JSON
  *   --stats-csv out.csv      epoch-sampled counter time-series as CSV
@@ -76,6 +83,9 @@ usage(const char *argv0)
                  "[--disable-bank N]\n"
                  "       [--cache-ways N] [--watchdog N] "
                  "[--timeout-seconds N]\n"
+                 "       [--engine serial|sharded] [--engine-workers N]\n"
+                 "       [--engine-sampled] [--sample-period N] "
+                 "[--sample-detail N]\n"
                  "       [--stats-json P] [--stats-csv P] "
                  "[--stats-interval N]\n"
                  "       [--trace-out P] [--trace-cats LIST] "
@@ -128,6 +138,7 @@ main(int argc, char **argv)
     u64 timeoutSeconds = 0;
     ObsConfig obs;
     FaultConfig faultCfg;
+    EngineConfig engineCfg;
     const char *path = nullptr;
 
     for (int i = 1; i < argc; ++i) {
@@ -172,6 +183,19 @@ main(int argc, char **argv)
             faultCfg.watchdogCycles = num();
         } else if (std::strcmp(arg, "--timeout-seconds") == 0) {
             timeoutSeconds = num();
+        } else if (std::strcmp(arg, "--engine") == 0 && i + 1 < argc) {
+            if (!parseEngineKind(argv[++i], &engineCfg.kind))
+                argError(argv[0],
+                         strprintf("--engine: unknown engine '%s' "
+                                   "(serial, sharded)", argv[i]));
+        } else if (std::strcmp(arg, "--engine-workers") == 0) {
+            engineCfg.workers = u32(num());
+        } else if (std::strcmp(arg, "--engine-sampled") == 0) {
+            engineCfg.sampled = true;
+        } else if (std::strcmp(arg, "--sample-period") == 0) {
+            engineCfg.samplePeriod = u32(num());
+        } else if (std::strcmp(arg, "--sample-detail") == 0) {
+            engineCfg.sampleDetail = u32(num());
         } else if (std::strcmp(arg, "--stats-json") == 0 &&
                    i + 1 < argc) {
             obs.statsJson = argv[++i];
@@ -240,6 +264,7 @@ main(int argc, char **argv)
     ChipConfig chipCfg;
     chipCfg.obs = obs;
     chipCfg.fault = faultCfg;
+    chipCfg.engine = engineCfg;
     // A bad configuration (fault map out of range, no surviving cache,
     // ...) is a user error: report it structurally, don't abort.
     if (const std::string err = chipCfg.check(); !err.empty())

@@ -1,0 +1,30 @@
+# CTest script: run the host-throughput benchmark in quick mode and
+# validate BENCH_simperf.json — schema, sharded-engine determinism
+# (simulated cycles identical to serial at every worker count) and the
+# sampled-engine error bound — with check_simperf.py. Speedup floors
+# apply only on hosts with enough cores (see the checker).
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+execute_process(
+    COMMAND ${RUNNER} --quick --jobs 2
+    WORKING_DIRECTORY ${WORK_DIR}
+    RESULT_VARIABLE run_rc
+    OUTPUT_VARIABLE run_out
+    ERROR_VARIABLE run_err)
+if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR
+        "bench_simperf failed (${run_rc}):\n${run_out}\n${run_err}")
+endif()
+
+execute_process(
+    COMMAND ${PYTHON} ${CHECKER} ${WORK_DIR}/BENCH_simperf.json
+    RESULT_VARIABLE check_rc
+    OUTPUT_VARIABLE check_out
+    ERROR_VARIABLE check_err)
+if(NOT check_rc EQUAL 0)
+    message(FATAL_ERROR
+        "check_simperf.py failed (${check_rc}):\n"
+        "${check_out}\n${check_err}")
+endif()
+message(STATUS "${check_out}")
