@@ -304,5 +304,6 @@ main(int argc, char **argv)
     } else {
         warn("ablations: cannot write BENCH_fault_ablations.json");
     }
+    cyclops::bench::writeManifest(opts, "bench_ablations");
     return 0;
 }

@@ -68,5 +68,6 @@ main(int argc, char **argv)
                         1)});
     }
     cyclops::bench::emit(opts, table);
+    cyclops::bench::writeManifest(opts, "bench_alloc_policy");
     return 0;
 }

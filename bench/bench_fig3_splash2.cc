@@ -91,5 +91,6 @@ main(int argc, char **argv)
         opts,
         "Sizes: Barnes 2048 bodies, FFT 64K points, FMM 2048 "
         "particles, LU 384x384, Ocean 130x130, Radix 256K keys.");
+    cyclops::bench::writeManifest(opts, "bench_fig3_splash2");
     return 0;
 }

@@ -148,5 +148,6 @@ main(int argc, char **argv)
                                  1)});
     }
     cyclops::bench::emit(opts, ratio);
+    cyclops::bench::writeManifest(opts, "bench_fig4_stream_oob");
     return 0;
 }

@@ -114,5 +114,6 @@ main(int argc, char **argv)
         }
         cyclops::bench::emit(opts, table);
     }
+    cyclops::bench::writeManifest(opts, "bench_fig5_stream_modes");
     return 0;
 }

@@ -113,5 +113,6 @@ main(int argc, char **argv)
                             Table::num(p.triad, 1)});
     }
     cyclops::bench::emit(opts, originTable);
+    cyclops::bench::writeManifest(opts, "bench_fig6_origin_compare");
     return 0;
 }

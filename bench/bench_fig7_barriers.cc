@@ -135,5 +135,6 @@ main(int argc, char **argv)
     if (opts.quick)
         threadsB = {8, 64};
     panel(opts, 65536, threadsB);
+    cyclops::bench::writeManifest(opts, "bench_fig7_barriers");
     return 0;
 }

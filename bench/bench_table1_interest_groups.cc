@@ -170,5 +170,6 @@ main(int argc, char **argv)
         "Note: the original bit layout in Table 1 is corrupted in our "
         "source; DESIGN.md documents the reconstructed encoding "
         "(bits[7:5]=size class, bits[4:0]=group index).");
+    cyclops::bench::writeManifest(opts, "bench_table1_interest_groups");
     return 0;
 }

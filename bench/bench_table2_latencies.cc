@@ -193,5 +193,6 @@ main(int argc, char **argv)
                   cfg.peakMemBandwidth() / 1e9,
                   cfg.peakCacheBandwidth() / 1e9)
             .c_str());
+    cyclops::bench::writeManifest(opts, "bench_table2_latencies");
     return 0;
 }

@@ -34,6 +34,12 @@
  *                         .heatmap.csv per simulated chip)
  *   --prof-interval N     PC sample period in cycles (default 512
  *                         when --prof-out is given)
+ *   --host-obs            host-side simulator telemetry (hostObs
+ *                         section in stats JSON, host Chrome-trace
+ *                         process; DESIGN.md section 15)
+ *   --manifest PATH       per-run JSON manifest (config hash, engine,
+ *                         git describe, wall time) for
+ *                         tools/check_regress.py
  * Paths may contain "%t", replaced by a per-sweep-point tag so
  * concurrent simulation points never share an output file.
  *
@@ -52,6 +58,7 @@
 #include <vector>
 
 #include "common/config.h"
+#include "common/hostobs.h"
 #include "common/log.h"
 #include "common/parallel.h"
 #include "common/table.h"
@@ -70,12 +77,15 @@ struct Options
     ObsConfig obs;     ///< observability passthrough for simulated chips
     FaultConfig fault; ///< degraded-chip fault map for simulated chips
     EngineConfig engine; ///< cycle-engine selection (serial by default)
+    std::string manifestOut; ///< per-run manifest path ("" = none)
+    u64 startNs = 0;         ///< hostNowNs() at option parsing
 };
 
 inline Options
 parseOptions(int argc, char **argv)
 {
     Options opts;
+    opts.startNs = hostNowNs();
     if (const char *env = std::getenv("CYCLOPS_BENCH_JOBS"))
         opts.jobs = SimPool::resolveJobs(u32(std::atoi(env)));
     for (int i = 1; i < argc; ++i) {
@@ -113,6 +123,11 @@ parseOptions(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--prof-interval") == 0 &&
                    i + 1 < argc) {
             opts.obs.profInterval = u32(std::atoi(argv[++i]));
+        } else if (std::strcmp(argv[i], "--host-obs") == 0) {
+            opts.obs.hostObs = true;
+        } else if (std::strcmp(argv[i], "--manifest") == 0 &&
+                   i + 1 < argc) {
+            opts.manifestOut = argv[++i];
         } else if (std::strcmp(argv[i], "--disable-tu") == 0 &&
                    i + 1 < argc) {
             opts.fault.disabledTus.push_back(u32(std::atoi(argv[++i])));
@@ -173,7 +188,8 @@ parseOptions(int argc, char **argv)
                 "          [--trace-out P] [--trace-cats LIST]\n"
                 "          [--trace-capacity N] [--stats-json P]\n"
                 "          [--stats-csv P] [--stats-interval N]\n"
-                "          [--prof-out P] [--prof-interval N]\n",
+                "          [--prof-out P] [--prof-interval N]\n"
+                "          [--host-obs] [--manifest P]\n",
                 argv[0]);
             std::exit(2);
         }
@@ -209,6 +225,29 @@ chipConfig(const Options &opts, const std::string &tag)
         std::exit(2);
     }
     return cfg;
+}
+
+/**
+ * Emit the per-run manifest if --manifest was given. The config hash
+ * covers the bench's base ChipConfig (fault map, engine, sampling);
+ * sweeps that vary structural parameters per point are identified by
+ * the bench name instead. Totals of zero are fine for static benches.
+ */
+inline void
+writeManifest(const Options &opts, const char *benchName,
+              u64 simCycles = 0, u64 instructions = 0)
+{
+    if (opts.manifestOut.empty())
+        return;
+    const ChipConfig cfg = chipConfig(opts, "manifest");
+    RunManifest m;
+    m.tool = benchName;
+    m.workload = benchName;
+    m.config = &cfg;
+    m.simCycles = simCycles;
+    m.instructions = instructions;
+    m.wallSeconds = double(hostNowNs() - opts.startNs) / 1e9;
+    writeRunManifest(cfg.obs.expandPath(opts.manifestOut), m);
 }
 
 /**

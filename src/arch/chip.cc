@@ -123,6 +123,20 @@ Chip::Chip(const ChipConfig &cfg) : cfg_(cfg)
     sampledOn_ = cfg_.engine.sampled;
     if (cfg_.engine.kind == EngineKind::Sharded)
         setupShardEngine();
+
+    // Host telemetry attaches last: it observes whatever engine was
+    // just built. Its counters live in hostObs_.stats() (not stats_),
+    // so guest statistics output is byte-identical with it on or off.
+    hostObsOn_ = cfg_.obs.hostObs;
+    if (hostObsOn_) {
+        hostObs_.configure(true, shardWorkers_,
+                           tracer_.on(TraceCat::Host));
+        if (crew_) {
+            crewTelem_ = std::make_unique<CrewTelemetry>();
+            crew_->setTelemetry(crewTelem_.get());
+            hostObs_.setCrewTelemetry(crewTelem_.get());
+        }
+    }
 }
 
 void
@@ -346,6 +360,7 @@ Chip::run(Cycle maxCycles)
                             : now_ + maxCycles;
     const bool sharded = crew_ != nullptr;
     const u32 shardGrain = cfg_.engine.shardGrain;
+    HostRunTimer hostTimer(hostObsOn_ ? &hostObs_ : nullptr);
 
     while (liveUnits_ > 0) {
         // Sampled mode: the window is a function of absolute chip time,
@@ -382,6 +397,11 @@ Chip::run(Cycle maxCycles)
                 e.diagnostic = watchdogDump();
                 return e;
             }
+            // Host telemetry rides the same low-frequency service
+            // point: it reads wall clocks only, so the flush cadence
+            // cannot perturb simulated timing.
+            if (hostObsOn_)
+                hostObs_.serviceFlush();
         }
         if (now_ >= limit)
             return {RunExitReason::CycleLimit, now_};
@@ -414,6 +434,10 @@ Chip::run(Cycle maxCycles)
             if (next == kCycleNever)
                 panic("cycle engine: %u live units but nothing scheduled",
                       liveUnits_);
+            if (hostObsOn_ && sampledOn_)
+                hostObs_.addSampledSkip(now_, next,
+                                        cfg_.engine.samplePeriod,
+                                        cfg_.engine.sampleDetail);
             cycles_ += next - now_;
             now_ = next;
             continue;
@@ -423,7 +447,8 @@ Chip::run(Cycle maxCycles)
         // shared resources among same-cycle requesters.
         const size_t n = due_.size();
         const size_t start = n > 1 ? size_t(now_ % n) : 0;
-        if (sharded && detail_ && n >= shardGrain) {
+        const bool fanOut = sharded && detail_ && n >= shardGrain;
+        if (fanOut) {
             tickSharded(n, start);
         } else {
             // Serial path: processing the canonical order inline is
@@ -433,6 +458,12 @@ Chip::run(Cycle maxCycles)
                 Unit *u = units_[tid].get();
                 finishTick(tid, u, u->tick(now_));
             }
+        }
+        if (hostObsOn_) {
+            if (sampledOn_)
+                hostObs_.addSampledCycles(detail_, 1);
+            if (sharded && !fanOut)
+                hostObs_.addSerialFallbackCycles(1);
         }
         ++cycles_;
         ++now_;
@@ -483,11 +514,20 @@ Chip::tickSharded(size_t n, size_t start)
     for (size_t i = 0; i < n; ++i)
         canon_[i] = due_[(start + i) % n];
 
+    // Host telemetry brackets whole phases, never individual ticks:
+    // two clock reads around a worker's entire domain walk and two on
+    // the coordinator per cycle. Workers write only their own
+    // cache-line-separated slot; the crew's done-counter acquire gives
+    // the coordinator visibility before any read.
+    const bool ho = hostObsOn_;
+    const u64 t0 = ho ? hostNowNs() : 0;
     inShardPhaseA_ = true;
-    crew_->run([this, n](u32 w) {
+    crew_->run([this, n, ho](u32 w) {
         const ThreadId lo = domainBegin_[w];
         const ThreadId hi = domainBegin_[w + 1];
         const u32 tpq = cfg_.threadsPerQuad;
+        const u64 w0 = ho ? hostNowNs() : 0;
+        u64 ticks = 0, defers = 0, poisons = 0;
         for (size_t i = 0; i < n; ++i) {
             const ThreadId tid = canon_[i];
             if (tid < lo || tid >= hi)
@@ -496,20 +536,39 @@ Chip::tickSharded(size_t n, size_t start)
             const bool fpuOk = quadDeferAt_[quad] != now_;
             const Cycle wake = units_[tid]->tickLocal(now_, fpuOk);
             wakes_[i] = wake;
-            if (wake == Unit::kTickDeferred)
+            ++ticks;
+            if (wake == Unit::kTickDeferred) {
+                ++defers;
+                if (fpuOk)
+                    ++poisons;
                 quadDeferAt_[quad] = now_;
+            }
+        }
+        if (ho) {
+            HostObs::WorkerSlot &slot = hostObs_.slot(w);
+            slot.busyNanos += hostNowNs() - w0;
+            slot.ticks += ticks;
+            slot.defers += defers;
+            slot.quadPoisons += poisons;
         }
     });
     inShardPhaseA_ = false;
+    const u64 t1 = ho ? hostNowNs() : 0;
 
+    u64 deferredCommits = 0;
     for (size_t i = 0; i < n; ++i) {
         const ThreadId tid = canon_[i];
         Unit *u = units_[tid].get();
         Cycle wake = wakes_[i];
-        if (wake == Unit::kTickDeferred)
+        if (wake == Unit::kTickDeferred) {
             wake = u->tick(now_);
+            ++deferredCommits;
+        }
         finishTick(tid, u, wake);
     }
+    if (ho)
+        hostObs_.addShardedCycle(t1 - t0, hostNowNs() - t1, n,
+                                 deferredCommits);
 }
 
 // Take the PC samples due at or before now_. The cycle engine only
@@ -846,13 +905,16 @@ Chip::writeObservability()
     const ObsConfig &obs = cfg_.obs;
     if (!obs.traceOut.empty())
         tracer_.writeChromeJson(obs.expandPath(obs.traceOut),
-                                cfg_.numThreads);
+                                cfg_.numThreads,
+                                hostObsOn_ ? hostObs_.traceExport()
+                                           : nullptr);
     if (!obs.statsJson.empty()) {
         const std::string path = obs.expandPath(obs.statsJson);
         std::FILE *f = std::fopen(path.c_str(), "w");
         if (!f)
             fatal("cannot open stats output '%s'", path.c_str());
-        writeStatsJson(f, stats_, now_, &sampler_);
+        writeStatsJson(f, stats_, now_, &sampler_,
+                       hostObsOn_ ? &hostObs_.stats() : nullptr);
         std::fclose(f);
     }
     if (!obs.statsCsv.empty()) {

@@ -26,6 +26,7 @@
 #include "arch/profiler.h"
 #include "arch/unit.h"
 #include "common/config.h"
+#include "common/hostobs.h"
 #include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/stats.h"
@@ -125,6 +126,24 @@ class Chip
 
     /** PC-sampling profiler (enabled by ChipConfig::obs.profInterval). */
     const Profiler &profiler() const { return profiler_; }
+
+    /** Host-simulator telemetry (enabled by ChipConfig::obs.hostObs). */
+    const HostObs &hostObs() const { return hostObs_; }
+
+    /** Value snapshot of the host telemetry (crew waits folded in). */
+    HostObsSnapshot hostObsSnapshot() const { return hostObs_.snapshot(); }
+
+    /**
+     * Record per-domain guest placement (called by the exec engine
+     * after spawning) so host telemetry can relate shard imbalance to
+     * how many software threads each worker domain hosts. No-op when
+     * host observability is off.
+     */
+    void
+    noteShardOccupancy(const std::vector<u64> &counts)
+    {
+        hostObs_.setDomainGuests(counts);
+    }
 
     /**
      * Cycle attribution of one TU: every cycle between the unit's
@@ -232,8 +251,11 @@ class Chip
     MemTiming
     dmem(Cycle now, ThreadId tid, Addr ea, u8 bytes, MemKind kind)
     {
-        return detail_ ? memsys_.access(now, tid, ea, bytes, kind)
-                       : memsys_.accessSampled(now, tid, ea, bytes, kind);
+        if (detail_)
+            return memsys_.access(now, tid, ea, bytes, kind);
+        if (hostObsOn_)
+            hostObs_.countWarmAccess();
+        return memsys_.accessSampled(now, tid, ea, bytes, kind);
     }
 
     /** PIB refill counterpart of dmem(): detailed or sampled I-cache. */
@@ -386,6 +408,14 @@ class Chip
     std::vector<ThreadId> due_; ///< reusable due-this-cycle buffer
 
     std::string console_;
+
+    // Host-simulator telemetry (ChipConfig::obs.hostObs). crewTelem_
+    // collects spin-wait times inside ShardCrew, so it must be
+    // declared before crew_: the crew's worker threads read it until
+    // the ShardCrew destructor joins them.
+    HostObs hostObs_;
+    bool hostObsOn_ = false;
+    std::unique_ptr<CrewTelemetry> crewTelem_;
 
     // Sharded engine state (empty/idle for the serial engine). Domains
     // are contiguous quad-aligned tid ranges; worker w owns tids in

@@ -221,4 +221,77 @@ ChipConfig::validate() const
         fatal("%s", err.c_str());
 }
 
+namespace
+{
+
+void
+appendIds(std::string *out, const char *key, const std::vector<u32> &ids)
+{
+    if (ids.empty())
+        return;
+    std::vector<u32> sorted = ids;
+    std::sort(sorted.begin(), sorted.end());
+    *out += key;
+    *out += '=';
+    for (size_t i = 0; i < sorted.size(); ++i)
+        *out += strprintf(i ? ",%u" : "%u", sorted[i]);
+    *out += ';';
+}
+
+} // namespace
+
+std::string
+ChipConfig::describe() const
+{
+    std::string d;
+    d.reserve(1024);
+    d += strprintf(
+        "threads=%u;tpq=%u;qpi=%u;rsvd=%u;"
+        "dc=%u,%u,%u,%u,%u;ic=%u,%u,%u;pib=%u;"
+        "banks=%u,%u,%u;pab=%u;offchip=%llu;"
+        "outmem=%u;regs=%u;pibEn=%u;sanf=%u;burst=%u;clk=%llu;",
+        numThreads, threadsPerQuad, quadsPerICache, reservedThreads,
+        dcacheBytes, dcacheLineBytes, dcacheAssoc, dcacheScratchWays,
+        dcacheMshrs, icacheBytes, icacheLineBytes, icacheAssoc,
+        pibEntries, numBanks, bankBytes, memBlockBytes, physAddrBits,
+        static_cast<unsigned long long>(offChipBytes), maxOutstandingMem,
+        numRegs, pibEnabled, storeAllocNoFetch, burstEnabled,
+        static_cast<unsigned long long>(clockHz));
+    d += strprintf(
+        "lat=%u,%u,%u,%u,%u,%u,%u,%u,%u,%u,%u,%u,%u,%u,%u,%u,%u,%u,"
+        "%u,%u,%u,%u,%u,%u;",
+        lat.branchExec, lat.intMulExec, lat.intMulLat, lat.intDivExec,
+        lat.fpAddExec, lat.fpAddLat, lat.fpDivExec, lat.fpSqrtExec,
+        lat.fmaExec, lat.fmaLat, lat.memLocalHit, lat.memLocalMiss,
+        lat.memRemoteHit, lat.memRemoteMiss, lat.remoteReqHop,
+        lat.remoteRespHop, lat.remoteMissExtra, lat.missToBank,
+        lat.bankToCache, lat.bankBlockCycles, lat.bankBurstBlockCycles,
+        lat.offChipBlockCycles, lat.icacheHitRefill, lat.sprLat);
+    d += strprintf("latAtomic=%u;", lat.atomicExtra);
+    appendIds(&d, "fTus", fault.disabledTus);
+    appendIds(&d, "fQuads", fault.disabledQuads);
+    appendIds(&d, "fFpus", fault.disabledFpus);
+    appendIds(&d, "fDc", fault.disabledDcaches);
+    appendIds(&d, "fIc", fault.disabledIcaches);
+    appendIds(&d, "fBanks", fault.disabledBanks);
+    if (fault.cacheWays != 0)
+        d += strprintf("fWays=%u;", fault.cacheWays);
+    if (engine.sampled)
+        d += strprintf("sampled=%u,%u;", engine.samplePeriod,
+                       engine.sampleDetail);
+    return d;
+}
+
+u64
+ChipConfig::hash() const
+{
+    const std::string d = describe();
+    u64 h = 0xcbf29ce484222325ull;
+    for (const char c : d) {
+        h ^= static_cast<u8>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
 } // namespace cyclops

@@ -93,6 +93,9 @@ struct ObsConfig
     u8 traceCats = 0;          ///< TraceCat bitmask (see common/trace.h)
     u32 traceCapacity = 65536; ///< ring-buffer capacity in events
     u32 profInterval = 0;      ///< PC-sample period in cycles (0 = off)
+    bool hostObs = false;      ///< host-simulator telemetry
+                               ///< (common/hostobs.h): engine wall-time
+                               ///< split, crew wait times, RSS gauges
     std::string traceOut;      ///< Chrome-trace JSON path ("" = off)
     std::string statsJson;     ///< end-of-run stats JSON path ("" = off)
     std::string statsCsv;      ///< epoch-series CSV path ("" = off)
@@ -269,6 +272,18 @@ struct ChipConfig
 
     /** check(), escalated: calls fatal() on a malformed configuration. */
     void validate() const;
+
+    /**
+     * Canonical "key=value;" description of every field that affects
+     * simulated results: structure, latencies, microarchitecture
+     * knobs, fault map, and the sampled-engine parameters when
+     * sampling is on. Engine kind/workers and observability options
+     * are excluded — they change host behavior only. Basis of hash().
+     */
+    std::string describe() const;
+
+    /** FNV-1a 64-bit hash of describe(); the manifest config hash. */
+    u64 hash() const;
 };
 
 } // namespace cyclops

@@ -64,7 +64,7 @@ EpochSampler::writeCsv(std::FILE *out) const
 
 void
 writeStatsJson(std::FILE *out, const StatGroup &stats, Cycle cycles,
-               const EpochSampler *sampler)
+               const EpochSampler *sampler, const StatGroup *host)
 {
     std::fprintf(out, "{\n  \"cycles\": %llu,\n  \"counters\": {",
                  static_cast<unsigned long long>(cycles));
@@ -116,6 +116,17 @@ writeStatsJson(std::FILE *out, const StatGroup &stats, Cycle cycles,
         std::fprintf(out,
                      "\n    },\n    \"droppedRows\": %llu\n  }",
                      static_cast<unsigned long long>(sampler->droppedRows()));
+    }
+    if (host) {
+        std::fputs(",\n  \"hostObs\": {", out);
+        first = true;
+        for (const auto &[name, value] : host->counters()) {
+            std::fprintf(out, "%s\n    \"%s\": %llu", first ? "" : ",",
+                         name.c_str(),
+                         static_cast<unsigned long long>(value));
+            first = false;
+        }
+        std::fputs("\n  }", out);
     }
     std::fputs("\n}\n", out);
 }

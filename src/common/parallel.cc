@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/hostobs.h"
+
 namespace cyclops
 {
 
@@ -32,6 +34,38 @@ SimPool::resolveJobs(u32 requested)
     return hw ? u32(hw) : 1u;
 }
 
+/**
+ * Drain the shared index dispenser, timing each item. Tasks are whole
+ * simulation points (milliseconds and up), so two clock reads per item
+ * are noise; the totals feed SimPool::telemetry().
+ */
+void
+SimPool::runItems(const std::function<void(size_t)> &fn, size_t count)
+{
+    size_t i;
+    u64 done = 0;
+    u64 nanos = 0;
+    while ((i = next_.fetch_add(1, std::memory_order_relaxed)) < count) {
+        const u64 t0 = hostNowNs();
+        fn(i);
+        nanos += hostNowNs() - t0;
+        ++done;
+    }
+    items_.fetch_add(done, std::memory_order_relaxed);
+    itemNanos_.fetch_add(nanos, std::memory_order_relaxed);
+}
+
+SimPool::Telemetry
+SimPool::telemetry() const
+{
+    Telemetry t;
+    t.batches = batches_;
+    t.batchNanos = batchNanos_;
+    t.items = items_.load(std::memory_order_relaxed);
+    t.itemNanos = itemNanos_.load(std::memory_order_relaxed);
+    return t;
+}
+
 void
 SimPool::workerMain()
 {
@@ -48,10 +82,7 @@ SimPool::workerMain()
         const size_t count = taskCount_;
         lock.unlock();
 
-        size_t i;
-        while ((i = next_.fetch_add(1, std::memory_order_relaxed)) <
-               count)
-            (*fn)(i);
+        runItems(*fn, count);
 
         lock.lock();
         // Check in: forEach() returns only once every worker has passed
@@ -110,10 +141,24 @@ ShardCrew::runEpoch(u32 w, const std::function<void(u32)> *fn)
 }
 
 void
+ShardCrew::setTelemetry(CrewTelemetry *telem)
+{
+    if (telem)
+        telem->lanes.resize(workers_);
+    // Release so a worker's acquire load sees the resized lanes.
+    telem_.store(telem, std::memory_order_release);
+}
+
+void
 ShardCrew::workerMain(u32 w)
 {
     u64 seen = 0;
     for (;;) {
+        // Telemetry clocks bracket only the spin — wall-clock reads
+        // taken while the lane is idle anyway, so an instrumented crew
+        // costs nothing on the critical path.
+        CrewTelemetry *telem = telem_.load(std::memory_order_acquire);
+        const u64 t0 = telem ? hostNowNs() : 0;
         // Spin on the epoch; fall back to yield after a while so an
         // idle crew (serial fallback stretches, sampled fast windows)
         // does not monopolize host cores.
@@ -125,6 +170,11 @@ ShardCrew::workerMain(u32 w)
                 std::this_thread::yield();
         }
         ++seen;
+        if (telem) {
+            CrewTelemetry::Lane &lane = telem->lanes[w];
+            lane.waitNanos += hostNowNs() - t0;
+            ++lane.epochs;
+        }
         if (stop_)
             return;
         runEpoch(w, fn_);
@@ -145,6 +195,8 @@ ShardCrew::run(const std::function<void(u32)> &fn)
 
     runEpoch(0, &fn);
 
+    CrewTelemetry *telem = telem_.load(std::memory_order_relaxed);
+    const u64 t0 = telem ? hostNowNs() : 0;
     const u32 others = u32(threads_.size());
     u32 spins = 0;
     while (done_.load(std::memory_order_acquire) != others) {
@@ -152,6 +204,10 @@ ShardCrew::run(const std::function<void(u32)> &fn)
             cpuRelax();
         else
             std::this_thread::yield();
+    }
+    if (telem) {
+        telem->coordWaitNanos += hostNowNs() - t0;
+        ++telem->epochs;
     }
     fn_ = nullptr;
     for (std::exception_ptr &e : errors_) {
@@ -169,9 +225,12 @@ SimPool::forEach(size_t count, const std::function<void(size_t)> &fn)
 {
     if (count == 0)
         return;
+    const u64 batchStart = hostNowNs();
+    ++batches_;
     if (workers_.empty()) {
-        for (size_t i = 0; i < count; ++i)
-            fn(i);
+        next_.store(0, std::memory_order_relaxed);
+        runItems(fn, count);
+        batchNanos_ += hostNowNs() - batchStart;
         return;
     }
 
@@ -185,13 +244,12 @@ SimPool::forEach(size_t count, const std::function<void(size_t)> &fn)
     wake_.notify_all();
 
     // The calling thread is one of the pool's `jobs` lanes.
-    size_t i;
-    while ((i = next_.fetch_add(1, std::memory_order_relaxed)) < count)
-        fn(i);
+    runItems(fn, count);
 
     lock.lock();
     done_.wait(lock, [&] { return checkedIn_ == workers_.size(); });
     task_ = nullptr;
+    batchNanos_ += hostNowNs() - batchStart;
 }
 
 } // namespace cyclops

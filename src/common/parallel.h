@@ -63,11 +63,32 @@ class SimPool
      */
     static u32 resolveJobs(u32 requested);
 
+    /**
+     * Cumulative pool telemetry (host observability): how many batches
+     * and items ran, total wall time inside items, and total wall time
+     * batches were outstanding. itemNanos / items is the mean task
+     * latency; itemNanos / batchNanos the pool's effective occupancy.
+     */
+    struct Telemetry
+    {
+        u64 batches = 0;    ///< forEach() calls that ran work
+        u64 items = 0;      ///< task invocations completed
+        u64 itemNanos = 0;  ///< summed wall time inside tasks
+        u64 batchNanos = 0; ///< summed forEach() wall time
+    };
+
+    Telemetry telemetry() const;
+
   private:
     void workerMain();
+    void runItems(const std::function<void(size_t)> &fn, size_t count);
 
     u32 jobs_ = 1;
     std::vector<std::thread> workers_;
+    u64 batches_ = 0;    ///< caller-side, guarded by forEach serialization
+    u64 batchNanos_ = 0;
+    std::atomic<u64> items_{0};
+    std::atomic<u64> itemNanos_{0};
 
     std::mutex mu_;
     std::condition_variable wake_; ///< workers: a new task is posted
@@ -102,6 +123,27 @@ class SimPool
  * the calling thread (lowest worker index wins), after all workers
  * have finished the epoch.
  */
+/**
+ * Optional crew wait-time telemetry (host observability). One Lane per
+ * worker index; lane w is written only by worker w (cache-line
+ * separated), coordWaitNanos and epochs only by the coordinator, so
+ * collection is race-free without atomics: the crew's existing
+ * epoch/done release-acquire pairs order every write against the
+ * coordinator's reads between epochs.
+ */
+struct CrewTelemetry
+{
+    struct alignas(64) Lane
+    {
+        u64 waitNanos = 0; ///< spin/yield time parked on the epoch
+        u64 epochs = 0;    ///< epochs this lane ran
+    };
+
+    std::vector<Lane> lanes;
+    u64 coordWaitNanos = 0; ///< coordinator spin on the done counter
+    u64 epochs = 0;         ///< epochs dispatched
+};
+
 class ShardCrew
 {
   public:
@@ -113,6 +155,13 @@ class ShardCrew
     ShardCrew &operator=(const ShardCrew &) = delete;
 
     u32 workers() const { return workers_; }
+
+    /**
+     * Attach wait-time telemetry (resized to the crew width). Must be
+     * called before the first run(); workers pick the pointer up with
+     * an acquire load so the handoff is race-free. Null detaches.
+     */
+    void setTelemetry(CrewTelemetry *telem);
 
     /** Run fn(w) for every w in [0, workers); blocks until all done. */
     void run(const std::function<void(u32)> &fn);
@@ -127,6 +176,7 @@ class ShardCrew
     const std::function<void(u32)> *fn_ = nullptr; ///< published by epoch_
     bool stop_ = false;                            ///< published by epoch_
     std::vector<std::exception_ptr> errors_;       ///< one slot per worker
+    std::atomic<CrewTelemetry *> telem_{nullptr};
     alignas(64) std::atomic<u64> epoch_{0};
     alignas(64) std::atomic<u32> done_{0};
 };

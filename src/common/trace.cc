@@ -8,7 +8,7 @@ namespace cyclops
 {
 
 const char *const kTraceCatNames[kNumTraceCats] = {
-    "mem", "cache", "barrier", "kernel", "sched"};
+    "mem", "cache", "barrier", "kernel", "sched", "host"};
 
 u8
 parseTraceCats(const std::string &spec)
@@ -34,7 +34,7 @@ parseTraceCats(const std::string &spec)
         }
         if (!found)
             fatal("unknown trace category '%s' (valid: "
-                  "mem,cache,barrier,kernel,sched,all,none)",
+                  "mem,cache,barrier,kernel,sched,host,all,none)",
                   name.c_str());
         pos = comma + 1;
     }
@@ -70,8 +70,63 @@ Tracer::sorted() const
     return out;
 }
 
+namespace
+{
+
+/**
+ * Append @p host as a second Chrome-trace process (pid 2). Host
+ * timestamps are wall-clock nanoseconds; the trace-event format wants
+ * microseconds, so they are printed with sub-microsecond fractions.
+ * Events are emitted sorted by timestamp within this pid (validated by
+ * tools/check_trace.py per process).
+ */
 void
-Tracer::writeChromeJson(std::FILE *out, u32 numTracks) const
+writeHostEvents(std::FILE *out, const HostTraceExport &host)
+{
+    std::fprintf(out,
+                 ",\n    {\"ph\": \"M\", \"pid\": 2, \"tid\": 0, \"name\": "
+                 "\"process_name\", \"args\": {\"name\": \"cyclops-host\"}}");
+    for (u32 t = 0; t < host.tracks.size(); ++t) {
+        std::fprintf(out,
+                     ",\n    {\"ph\": \"M\", \"pid\": 2, \"tid\": %u, "
+                     "\"name\": \"thread_name\", \"args\": {\"name\": "
+                     "\"%s\"}}",
+                     t, host.tracks[t].c_str());
+    }
+    std::vector<HostTraceEvent> events = host.events;
+    std::stable_sort(events.begin(), events.end(),
+                     [](const HostTraceEvent &a, const HostTraceEvent &b) {
+                         if (a.tsNs != b.tsNs)
+                             return a.tsNs < b.tsNs;
+                         // Larger spans first so same-start spans nest.
+                         return a.durNs > b.durNs;
+                     });
+    for (const HostTraceEvent &ev : events) {
+        if (ev.phase == 'X') {
+            std::fprintf(out,
+                         ",\n    {\"ph\": \"X\", \"pid\": 2, \"tid\": %u, "
+                         "\"name\": \"%s\", \"cat\": \"host\", "
+                         "\"ts\": %.3f, \"dur\": %.3f, "
+                         "\"args\": {\"arg\": %llu}}",
+                         ev.track, ev.name, double(ev.tsNs) / 1000.0,
+                         double(ev.durNs) / 1000.0,
+                         static_cast<unsigned long long>(ev.arg));
+        } else {
+            std::fprintf(out,
+                         ",\n    {\"ph\": \"C\", \"pid\": 2, \"tid\": %u, "
+                         "\"name\": \"%s\", \"cat\": \"host\", "
+                         "\"ts\": %.3f, \"args\": {\"value\": %llu}}",
+                         ev.track, ev.name, double(ev.tsNs) / 1000.0,
+                         static_cast<unsigned long long>(ev.arg));
+        }
+    }
+}
+
+} // namespace
+
+void
+Tracer::writeChromeJson(std::FILE *out, u32 numTracks,
+                        const HostTraceExport *host) const
 {
     // ts/dur are microseconds in the trace-event format; we map one
     // simulated cycle to one microsecond so Perfetto's time axis reads
@@ -110,18 +165,23 @@ Tracer::writeChromeJson(std::FILE *out, u32 numTracks) const
                          static_cast<unsigned long long>(ev.arg));
         }
     }
+    if (host)
+        writeHostEvents(out, *host);
     std::fprintf(out,
-                 "\n  ],\n  \"otherData\": {\"droppedEvents\": %llu}\n}\n",
-                 static_cast<unsigned long long>(dropped_));
+                 "\n  ],\n  \"otherData\": {\"droppedEvents\": %llu, "
+                 "\"droppedHostEvents\": %llu}\n}\n",
+                 static_cast<unsigned long long>(dropped_),
+                 static_cast<unsigned long long>(host ? host->dropped : 0));
 }
 
 void
-Tracer::writeChromeJson(const std::string &path, u32 numTracks) const
+Tracer::writeChromeJson(const std::string &path, u32 numTracks,
+                        const HostTraceExport *host) const
 {
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (!f)
         fatal("cannot open trace output '%s'", path.c_str());
-    writeChromeJson(f, numTracks);
+    writeChromeJson(f, numTracks, host);
     std::fclose(f);
 }
 

@@ -67,12 +67,15 @@ GuestEngine::checkShardPlacement()
     const u32 w = chip_.shardWorkers();
     if (w <= 1)
         return;
-    std::vector<u8> used(w, 0);
+    std::vector<u64> perDomain(w, 0);
     for (u32 i = 0; i < spawned_; ++i)
-        used[chip_.shardDomainOf(order_[i])] = 1;
+        ++perDomain[chip_.shardDomainOf(order_[i])];
+    // Host telemetry correlates per-worker tick imbalance with guest
+    // placement (host.wN.guests gauges).
+    chip_.noteShardOccupancy(perDomain);
     u32 occupied = 0;
-    for (u8 u : used)
-        occupied += u;
+    for (u64 count : perDomain)
+        occupied += count != 0;
     if (occupied < w)
         inform("sharded engine: %u guest threads occupy %u of %u "
                "worker domains; consider Scatter allocation or fewer "

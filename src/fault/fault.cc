@@ -65,6 +65,21 @@ campaignChip(const CampaignOptions &opts)
     return cfg;
 }
 
+/**
+ * Flush a chip's observability outputs on scope exit. The injected run
+ * returns from several places (hang, guest exception, completion) and
+ * all of them should leave stats/trace files behind when requested.
+ */
+struct ObsFlush
+{
+    arch::Chip &chip;
+    ~ObsFlush()
+    {
+        if (chip.config().obs.anyOutput())
+            chip.writeObservability();
+    }
+};
+
 /** Build a fresh chip running @p gp from cycle 0. */
 std::unique_ptr<arch::Chip>
 spawnChip(const verify::GenProgram &gp, const ChipConfig &cfg)
@@ -165,7 +180,13 @@ runInjection(const CampaignOptions &opts, u32 iter)
 
     // Injected run: execute to the strike cycle, perturb, run to
     // completion (or budget / watchdog) and classify the final state.
-    auto chip = spawnChip(gp, cfg);
+    // Only this run carries the campaign's observability options,
+    // tagged per iteration so parallel jobs write distinct files.
+    ChipConfig injCfg = cfg;
+    injCfg.obs = opts.obs;
+    injCfg.obs.tag = strprintf("i%u", iter);
+    auto chip = spawnChip(gp, injCfg);
+    ObsFlush flush{*chip};
     try {
         arch::RunExit exit = chip->run(spec.cycle);
         if (exit == arch::RunExit::AllHalted || chip->liveUnits() > 0) {

@@ -82,6 +82,14 @@ struct CampaignOptions
     u64 maxCycles = 200'000;      ///< per-run cycle budget (-> Hang)
     u64 watchdogCycles = 50'000;  ///< chip watchdog for injected runs
     EngineConfig engine; ///< cycle engine for the injected runs
+
+    /**
+     * Observability for the *injected* runs only (the golden and
+     * fault-free baseline runs stay quiet). Output paths should
+     * contain "%t": it expands to "i<iteration>" so parallel campaign
+     * jobs never collide on a file. Never changes outcomes.
+     */
+    ObsConfig obs;
 };
 
 /** One iteration's result. */

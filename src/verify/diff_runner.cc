@@ -78,6 +78,17 @@ runDiff(const GenProgram &gp, const DiffConfig &cfg)
     DiffResult res;
 
     arch::Chip chip(cfg.chip);
+    // Flush requested observability outputs on every return path
+    // (timeout, unsupported, divergence, clean finish alike).
+    struct Flush
+    {
+        arch::Chip &c;
+        ~Flush()
+        {
+            if (c.config().obs.anyOutput())
+                c.writeObservability();
+        }
+    } flush{chip};
     chip.loadProgram(gp.program);
 
     std::vector<arch::ThreadUnit *> tus(gp.threads);

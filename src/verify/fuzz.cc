@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "common/log.h"
 #include "common/rng.h"
 
 namespace cyclops::verify
@@ -33,6 +34,8 @@ fuzzLoop(const FuzzOptions &opts)
         DiffConfig diff;
         diff.mutation = opts.mutation;
         diff.chip.engine = opts.engine;
+        diff.chip.obs = opts.obs;
+        diff.chip.obs.tag = strprintf("i%u", i);
         // Vary timing-only knobs: architectural results must not care.
         diff.chip.pibEnabled = mix.chance(0.9);
         diff.chip.burstEnabled = mix.chance(0.75);

@@ -26,6 +26,13 @@ struct FuzzOptions
     bool verbose = false; ///< per-iteration progress on stdout
     Mutation mutation = Mutation::None; ///< harness self-test hook
     EngineConfig engine; ///< cycle engine for the timing side
+
+    /**
+     * Observability for the timing-side chips. Output paths should
+     * contain "%t" (expands to "i<iteration>") so successive
+     * iterations do not overwrite each other. Never affects the diff.
+     */
+    ObsConfig obs;
 };
 
 /** Campaign outcome. */

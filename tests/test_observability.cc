@@ -262,8 +262,9 @@ TEST(Observability, ParseTraceCats)
     EXPECT_EQ(parseTraceCats("mem"), traceBit(TraceCat::Mem));
     EXPECT_EQ(parseTraceCats("mem,barrier"),
               u8(traceBit(TraceCat::Mem) | traceBit(TraceCat::Barrier)));
-    EXPECT_EQ(parseTraceCats("mem,cache,barrier,kernel,sched"),
+    EXPECT_EQ(parseTraceCats("mem,cache,barrier,kernel,sched,host"),
               kTraceAll);
+    EXPECT_EQ(parseTraceCats("host"), traceBit(TraceCat::Host));
 }
 
 // The TSan preset runs every Observability test: this one drives the

@@ -11,7 +11,14 @@ attribution breakdown) and the cycle-engine comparison invariants:
   - samplingErrorPct (sampled vs serial simulated cycles) is within
     bounds (default 5%, --max-sampling-error);
   - wall-clock sanity: every measurement ran for a positive time and
-    positive throughput.
+    positive throughput;
+  - the profiler-overhead experiment used enough repeats (>= 5) and
+    the run-to-run coefficient of variation stayed under --max-cov,
+    so the reported overhead is a median, not single-run noise;
+  - the hostObs section is well-formed: a sharded row per worker
+    count with per-worker lanes whose tick/defer counts sum exactly
+    to the engine totals, and the sampled window split covering every
+    simulated cycle.
 
 Speedup assertions are gated on the recorded hostCores: on hosts with
 fewer than 4 cores the sharded rows measure synchronization overhead,
@@ -117,11 +124,84 @@ def check_engines(report, args):
     return len(engines), err, cores
 
 
+def check_overhead(name, overhead, args):
+    """A median-of-repeats A/B experiment (profiler or host obs)."""
+    if not isinstance(overhead, dict):
+        fail(f"missing '{name}' object")
+    for field in ("disabledCyclesPerSec", "enabledCyclesPerSec",
+                  "overheadPct", "repeats", "disabledCovPct",
+                  "enabledCovPct"):
+        if field not in overhead:
+            fail(f"{name}: missing field '{field}'")
+    if overhead["repeats"] < 5:
+        fail(f"{name}: only {overhead['repeats']} repeats — the "
+             f"overhead number is single-run noise, need >= 5")
+    for field in ("disabledCovPct", "enabledCovPct"):
+        cov = overhead[field]
+        if not isinstance(cov, (int, float)) or cov < 0:
+            fail(f"{name}: {field} missing or negative")
+        if cov > args.max_cov:
+            fail(f"{name}: {field} {cov:.1f}% exceeds --max-cov "
+                 f"{args.max_cov:.1f}% — host too noisy to trust "
+                 f"the overhead measurement")
+
+
+def check_hostobs(report, args):
+    obs = report.get("hostObs")
+    if not isinstance(obs, dict):
+        fail("missing 'hostObs' object")
+    if obs.get("enabled") is not True:
+        fail("hostObs: not enabled")
+    for field in ("overheadPct", "overheadRepeats", "peakRssKb"):
+        if field not in obs:
+            fail(f"hostObs: missing field '{field}'")
+    if obs["overheadRepeats"] < 5:
+        fail(f"hostObs: only {obs['overheadRepeats']} overhead repeats")
+    if obs["peakRssKb"] <= 0:
+        fail("hostObs: peakRssKb must be positive")
+
+    sampled = obs.get("sampled")
+    if not isinstance(sampled, dict):
+        fail("hostObs: missing 'sampled' window accounting")
+    for field in ("detailedCycles", "functionalCycles", "warmAccesses"):
+        if not isinstance(sampled.get(field), int) or sampled[field] < 0:
+            fail(f"hostObs: sampled.{field} must be a nonneg integer")
+
+    sharded = obs.get("sharded")
+    if not isinstance(sharded, list) or not sharded:
+        fail("hostObs: missing 'sharded' rows")
+    for row in sharded:
+        name = row.get("name", "?")
+        for field in ("workers", "wallSeconds", "shardedTicks",
+                      "deferredCommits", "gapExplainedPct", "perWorker"):
+            if field not in row:
+                fail(f"hostObs {name}: missing field '{field}'")
+        lanes = row["perWorker"]
+        if not isinstance(lanes, list):
+            fail(f"hostObs {name}: perWorker must be a list")
+        # Per-lane tallies are exact (each lane is written only by its
+        # owning worker thread): the sums must reproduce the engine
+        # totals with no slack at all.
+        ticks = sum(l.get("ticks", 0) for l in lanes)
+        defers = sum(l.get("defers", 0) for l in lanes)
+        if ticks != row["shardedTicks"]:
+            fail(f"hostObs {name}: per-worker ticks {ticks} != "
+                 f"shardedTicks {row['shardedTicks']}")
+        if defers != row["deferredCommits"]:
+            fail(f"hostObs {name}: per-worker defers {defers} != "
+                 f"deferredCommits {row['deferredCommits']}")
+    return len(sharded)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("report", help="BENCH_simperf.json path")
     parser.add_argument("--max-sampling-error", type=float, default=5.0,
                         help="samplingErrorPct bound (default 5.0)")
+    parser.add_argument("--max-cov", type=float, default=50.0,
+                        help="max run-to-run coefficient of variation "
+                             "percent in overhead experiments "
+                             "(default 50.0)")
     parser.add_argument("--require-speedup", action="store_true",
                         help="require sharded_w4 to beat serial "
                              "(only meaningful on 4+ core hosts)")
@@ -141,18 +221,13 @@ def main():
     for i, w in enumerate(workloads):
         check_workload(i, w)
 
-    overhead = report.get("profilerOverhead")
-    if not isinstance(overhead, dict):
-        fail("missing 'profilerOverhead' object")
-    for field in ("disabledCyclesPerSec", "enabledCyclesPerSec",
-                  "overheadPct"):
-        if field not in overhead:
-            fail(f"profilerOverhead: missing field '{field}'")
-
+    check_overhead("profilerOverhead", report.get("profilerOverhead"),
+                   args)
+    nshard = check_hostobs(report, args)
     nengines, err, cores = check_engines(report, args)
     print(f"check_simperf: OK: {len(workloads)} workloads, "
-          f"{nengines} engine rows, sampling error {err:.2f}%, "
-          f"{cores}-core host")
+          f"{nengines} engine rows, {nshard} host-obs sharded rows, "
+          f"sampling error {err:.2f}%, {cores}-core host")
 
 
 if __name__ == "__main__":

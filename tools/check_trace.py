@@ -7,6 +7,10 @@ Used by the ctest smoke tests (and handy interactively):
   check_trace.py --stats stats.json   validate the stats JSON
   check_trace.py --csv series.csv     validate the epoch-series CSV
 
+--expect-host additionally requires every --trace file to carry host
+telemetry (the pid-2 "cyclops-host" process emitted under --host-obs
+with the host trace category enabled).
+
 Any number of the options may be combined; the script exits non-zero
 with a message on the first malformed file.
 """
@@ -21,7 +25,7 @@ def fail(msg: str) -> None:
     sys.exit(1)
 
 
-def check_trace(path: str) -> None:
+def check_trace(path: str, expect_host: bool = False) -> None:
     """Chrome trace-event JSON as Perfetto/about:tracing load it."""
     with open(path) as f:
         doc = json.load(f)
@@ -34,9 +38,13 @@ def check_trace(path: str) -> None:
     # only) is valid Chrome-trace JSON and must be accepted: Perfetto
     # loads it, and the tracer emits it when nothing was recorded.
     if not events:
+        if expect_host:
+            fail(f"{path}: empty trace but host telemetry expected")
         print(f"{path}: ok (empty trace)")
         return
     n_spans = 0
+    n_host = 0
+    host_process_named = False
     for i, ev in enumerate(events):
         for key in ("ph", "pid"):
             if key not in ev:
@@ -45,25 +53,52 @@ def check_trace(path: str) -> None:
         if ph == "M":
             if "name" not in ev or "args" not in ev:
                 fail(f"{path}: metadata event {i} malformed")
+            if (ev["name"] == "process_name" and ev["pid"] == 2 and
+                    ev["args"].get("name") == "cyclops-host"):
+                host_process_named = True
             continue
         for key in ("name", "tid", "ts", "cat"):
             if key not in ev:
                 fail(f"{path}: event {i} missing '{key}'")
+        if ev["cat"] == "host":
+            # Host telemetry rides on its own dedicated process so
+            # guest timelines never interleave with wall-clock spans.
+            if ev["pid"] != 2:
+                fail(f"{path}: host event {i} not on pid 2")
+            n_host += 1
+        elif ev["pid"] == 2:
+            fail(f"{path}: non-host event {i} on the host pid")
         if ph == "X":
             if "dur" not in ev or ev["dur"] < 0:
                 fail(f"{path}: complete event {i} has bad duration")
             n_spans += 1
+        elif ph == "C":
+            if "args" not in ev:
+                fail(f"{path}: counter event {i} missing args")
         elif ph == "i":
             if ev.get("s") not in ("t", "p", "g"):
                 fail(f"{path}: instant event {i} missing scope")
         else:
             fail(f"{path}: event {i} has unknown phase '{ph}'")
-    # Chronological order within the array is not required by the
-    # format, but the tracer sorts: verify so regressions surface.
-    ts = [ev["ts"] for ev in events if ev["ph"] != "M"]
-    if ts != sorted(ts):
-        fail(f"{path}: events not sorted by timestamp")
-    print(f"{path}: ok ({len(events)} events, {n_spans} spans)")
+    # Chronological order is checked per process: guest events use the
+    # simulated-cycle timebase, host events wall-clock nanoseconds, so
+    # only within a pid is the order meaningful. The exporter sorts
+    # each group; verify so regressions surface.
+    by_pid = {}
+    for ev in events:
+        if ev["ph"] != "M":
+            by_pid.setdefault(ev["pid"], []).append(ev["ts"])
+    for pid, ts in by_pid.items():
+        if ts != sorted(ts):
+            fail(f"{path}: pid {pid} events not sorted by timestamp")
+    if n_host and not host_process_named:
+        fail(f"{path}: host events present but no cyclops-host "
+             f"process_name metadata")
+    if expect_host and not n_host:
+        fail(f"{path}: no host telemetry events (expected --host-obs "
+             f"with the host trace category)")
+    extra = f", {n_host} host" if n_host else ""
+    print(f"{path}: ok ({len(events)} events, {n_spans} spans{extra})")
 
 
 def check_stats(path: str) -> None:
@@ -131,11 +166,13 @@ def main() -> None:
                         help="stats JSON file to validate")
     parser.add_argument("--csv", action="append", default=[],
                         help="epoch-series CSV file to validate")
+    parser.add_argument("--expect-host", action="store_true",
+                        help="require host telemetry in every trace")
     args = parser.parse_args()
     if not (args.trace or args.stats or args.csv):
         fail("nothing to check (use --trace/--stats/--csv)")
     for path in args.trace:
-        check_trace(path)
+        check_trace(path, expect_host=args.expect_host)
     for path in args.stats:
         check_stats(path)
     for path in args.csv:

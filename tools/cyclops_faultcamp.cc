@@ -13,6 +13,14 @@
  *   cyclops-faultcamp --iters 1000 --out camp.json
  *   cyclops-faultcamp --seed 7 --iters 100 --jobs 1     serial rerun
  *
+ * Observability passthrough (DESIGN.md section 10): --stats-json,
+ * --stats-csv, --stats-interval, --trace-out, --trace-cats,
+ * --trace-capacity and --host-obs apply to the *injected* runs (the
+ * golden and baseline runs stay quiet). Put "%t" in output paths — it
+ * expands to "i<iteration>" so parallel jobs never share a file:
+ *
+ *   cyclops-faultcamp --iters 16 --stats-json 'camp-%t.json'
+ *
  * Exit status: 0 on a completed campaign (whatever the outcome mix),
  * 2 on a usage error.
  */
@@ -24,6 +32,7 @@
 #include <string>
 
 #include "common/log.h"
+#include "common/trace.h"
 #include "fault/fault.h"
 
 using namespace cyclops;
@@ -41,7 +50,13 @@ usage(const char *argv0, const char *why)
                  "[--body-ops N]\n"
                  "       [--max-cycles N] [--watchdog N] [--jobs N] "
                  "[--out FILE]\n"
-                 "       [--engine serial|sharded] [--engine-workers N]\n",
+                 "       [--engine serial|sharded] [--engine-workers N]\n"
+                 "       [--stats-json P] [--stats-csv P] "
+                 "[--stats-interval N]\n"
+                 "       [--trace-out P] [--trace-cats LIST] "
+                 "[--trace-capacity N]\n"
+                 "       [--host-obs]   (paths may contain %%t -> "
+                 "\"i<iter>\")\n",
                  argv0);
     return 2;
 }
@@ -106,6 +121,26 @@ main(int argc, char **argv)
             opts.engine.workers = u32(v);
         } else if (std::strcmp(arg, "--out") == 0 && i + 1 < argc) {
             outPath = argv[++i];
+        } else if (std::strcmp(arg, "--stats-json") == 0 &&
+                   i + 1 < argc) {
+            opts.obs.statsJson = argv[++i];
+        } else if (std::strcmp(arg, "--stats-csv") == 0 &&
+                   i + 1 < argc) {
+            opts.obs.statsCsv = argv[++i];
+        } else if (std::strcmp(arg, "--stats-interval") == 0) {
+            numArg(&v);
+            opts.obs.statsInterval = u32(v);
+        } else if (std::strcmp(arg, "--trace-out") == 0 &&
+                   i + 1 < argc) {
+            opts.obs.traceOut = argv[++i];
+        } else if (std::strcmp(arg, "--trace-cats") == 0 &&
+                   i + 1 < argc) {
+            opts.obs.traceCats = parseTraceCats(argv[++i]);
+        } else if (std::strcmp(arg, "--trace-capacity") == 0) {
+            numArg(&v);
+            opts.obs.traceCapacity = u32(v);
+        } else if (std::strcmp(arg, "--host-obs") == 0) {
+            opts.obs.hostObs = true;
         } else {
             return usage(argv[0],
                          strprintf("unknown argument '%s'", arg).c_str());
@@ -117,6 +152,9 @@ main(int argc, char **argv)
         return usage(argv[0], "--iters must be nonzero");
     if (opts.maxCycles == 0)
         return usage(argv[0], "--max-cycles must be nonzero");
+    // Tracing to a file without an explicit category list records all.
+    if (!opts.obs.traceOut.empty() && opts.obs.traceCats == 0)
+        opts.obs.traceCats = kTraceAll;
 
     const fault::CampaignResult res =
         fault::runCampaign(opts, u32(jobs));

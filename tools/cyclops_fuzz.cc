@@ -13,6 +13,12 @@
  *   cyclops-fuzz --mutate add-off-by-one       harness self-test: must
  *                                              report a divergence
  *
+ * Observability passthrough (DESIGN.md section 10): --stats-json,
+ * --stats-csv, --stats-interval, --trace-out, --trace-cats,
+ * --trace-capacity and --host-obs apply to the timing-side chips. Put
+ * "%t" in output paths — it expands to "i<iteration>" so iterations
+ * do not overwrite each other's files.
+ *
  * Exit status: 0 on a clean campaign, 1 if any program diverged.
  */
 
@@ -21,6 +27,7 @@
 #include <string>
 
 #include "common/log.h"
+#include "common/trace.h"
 #include "verify/fuzz.h"
 
 using namespace cyclops;
@@ -36,7 +43,13 @@ usage(const char *argv0)
                  "[--no-shrink] [--verbose]\n"
                  "       [--engine serial|sharded] [--engine-workers N]\n"
                  "       [--mutate add-off-by-one|sltu-flipped|"
-                 "lb-zero-extends]\n",
+                 "lb-zero-extends]\n"
+                 "       [--stats-json P] [--stats-csv P] "
+                 "[--stats-interval N]\n"
+                 "       [--trace-out P] [--trace-cats LIST] "
+                 "[--trace-capacity N]\n"
+                 "       [--host-obs]   (paths may contain %%t -> "
+                 "\"i<iter>\")\n",
                  argv0);
     std::exit(2);
 }
@@ -68,6 +81,26 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--engine-workers") == 0 &&
                    i + 1 < argc) {
             opts.engine.workers = u32(std::atoi(argv[++i]));
+        } else if (std::strcmp(argv[i], "--stats-json") == 0 &&
+                   i + 1 < argc) {
+            opts.obs.statsJson = argv[++i];
+        } else if (std::strcmp(argv[i], "--stats-csv") == 0 &&
+                   i + 1 < argc) {
+            opts.obs.statsCsv = argv[++i];
+        } else if (std::strcmp(argv[i], "--stats-interval") == 0 &&
+                   i + 1 < argc) {
+            opts.obs.statsInterval = u32(std::atoi(argv[++i]));
+        } else if (std::strcmp(argv[i], "--trace-out") == 0 &&
+                   i + 1 < argc) {
+            opts.obs.traceOut = argv[++i];
+        } else if (std::strcmp(argv[i], "--trace-cats") == 0 &&
+                   i + 1 < argc) {
+            opts.obs.traceCats = parseTraceCats(argv[++i]);
+        } else if (std::strcmp(argv[i], "--trace-capacity") == 0 &&
+                   i + 1 < argc) {
+            opts.obs.traceCapacity = u32(std::atoi(argv[++i]));
+        } else if (std::strcmp(argv[i], "--host-obs") == 0) {
+            opts.obs.hostObs = true;
         } else if (std::strcmp(argv[i], "--mutate") == 0 && i + 1 < argc) {
             const std::string name = argv[++i];
             if (name == "add-off-by-one")
@@ -84,6 +117,9 @@ main(int argc, char **argv)
     }
     if (opts.maxThreads == 0 || opts.maxThreads > 8)
         fatal("--threads must be 1..8");
+    // Tracing to a file without an explicit category list records all.
+    if (!opts.obs.traceOut.empty() && opts.obs.traceCats == 0)
+        opts.obs.traceCats = kTraceAll;
 
     const verify::FuzzResult res = verify::fuzzLoop(opts);
 

@@ -39,6 +39,12 @@
  *                            base.heatmap.csv (bank heatmap)
  *   --prof-interval N        sample period in cycles (default 512
  *                            when --prof-out is given)
+ *   --host-obs               host-side simulator telemetry: hostObs
+ *                            section in --stats-json, host process in
+ *                            --trace-out (DESIGN.md section 15)
+ *   --manifest out.json      per-run manifest (config hash, engine,
+ *                            git describe, headline counters) for
+ *                            tools/check_regress.py
  *
  * Threads start at the `start` label (or address 0) with the kernel's
  * register conventions: r1 = stack pointer, r4 = software thread
@@ -60,6 +66,7 @@
 
 #include "arch/chip.h"
 #include "common/config.h"
+#include "common/hostobs.h"
 #include "common/log.h"
 #include "common/trace.h"
 #include "isa/assembler.h"
@@ -90,7 +97,8 @@ usage(const char *argv0)
                  "[--stats-interval N]\n"
                  "       [--trace-out P] [--trace-cats LIST] "
                  "[--trace-capacity N]\n"
-                 "       [--prof-out P] [--prof-interval N] prog.s\n",
+                 "       [--prof-out P] [--prof-interval N]\n"
+                 "       [--host-obs] [--manifest P] prog.s\n",
                  argv0);
 }
 
@@ -139,7 +147,9 @@ main(int argc, char **argv)
     ObsConfig obs;
     FaultConfig faultCfg;
     EngineConfig engineCfg;
+    std::string manifestPath;
     const char *path = nullptr;
+    const u64 startNs = hostNowNs();
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -214,6 +224,10 @@ main(int argc, char **argv)
             obs.profOut = argv[++i];
         } else if (std::strcmp(arg, "--prof-interval") == 0) {
             obs.profInterval = u32(num());
+        } else if (std::strcmp(arg, "--host-obs") == 0) {
+            obs.hostObs = true;
+        } else if (std::strcmp(arg, "--manifest") == 0 && i + 1 < argc) {
+            manifestPath = argv[++i];
         } else if (arg[0] == '-') {
             argError(argv[0], strprintf("unknown argument '%s'", arg));
         } else if (path) {
@@ -303,6 +317,18 @@ main(int argc, char **argv)
     }
     chip.writeObservability();
     std::fputs(chip.console().c_str(), stdout);
+
+    if (!manifestPath.empty()) {
+        RunManifest m;
+        m.tool = "cyclops-run";
+        m.workload = path;
+        m.config = &chipCfg;
+        m.simCycles = chip.now();
+        m.instructions = chip.totalInstructions();
+        m.wallSeconds = double(hostNowNs() - startNs) / 1e9;
+        m.exitReason = arch::runExitName(exit.reason);
+        writeRunManifest(obs.expandPath(manifestPath), m);
+    }
 
     switch (exit.reason) {
       case arch::RunExitReason::CycleLimit:

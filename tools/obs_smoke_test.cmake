@@ -30,3 +30,46 @@ if(NOT check_rc EQUAL 0)
         "check_trace.py failed (${check_rc}):\n${check_out}\n${check_err}")
 endif()
 message(STATUS "${check_out}")
+
+# Second run under the sharded engine with host telemetry on: the
+# trace must gain the pid-2 cyclops-host process (validated by
+# --expect-host) next to the guest timelines, and the stats JSON the
+# host.* gauges; the run manifest must round-trip as valid JSON too.
+execute_process(
+    COMMAND ${RUNNER} -t 8 --host-obs
+        --engine sharded --engine-workers 2
+        --trace-out ${WORK_DIR}/host_trace.json --trace-cats all
+        --stats-json ${WORK_DIR}/host_stats.json
+        --manifest ${WORK_DIR}/manifest.json
+        ${PROGRAM}
+    RESULT_VARIABLE run_rc
+    OUTPUT_VARIABLE run_out
+    ERROR_VARIABLE run_err)
+if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR
+        "cyclops-run --host-obs failed (${run_rc}):\n"
+        "${run_out}\n${run_err}")
+endif()
+
+execute_process(
+    COMMAND ${PYTHON} ${CHECKER} --expect-host
+        --trace ${WORK_DIR}/host_trace.json
+        --stats ${WORK_DIR}/host_stats.json
+    RESULT_VARIABLE check_rc
+    OUTPUT_VARIABLE check_out
+    ERROR_VARIABLE check_err)
+if(NOT check_rc EQUAL 0)
+    message(FATAL_ERROR
+        "check_trace.py --expect-host failed (${check_rc}):\n"
+        "${check_out}\n${check_err}")
+endif()
+message(STATUS "${check_out}")
+
+if(NOT EXISTS ${WORK_DIR}/manifest.json)
+    message(FATAL_ERROR "cyclops-run --manifest wrote no manifest")
+endif()
+file(READ ${WORK_DIR}/manifest.json manifest_text)
+if(NOT manifest_text MATCHES "cyclops-manifest-v1")
+    message(FATAL_ERROR "manifest.json lacks the schema marker:\n"
+        "${manifest_text}")
+endif()
