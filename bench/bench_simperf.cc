@@ -6,8 +6,10 @@
  *
  * Not a paper figure — this tracks the repo's own performance
  * trajectory so optimization PRs can show wins and regressions are
- * caught. Measures representative serial workloads (STREAM kernels
- * and the SPLASH-2 FFT), the aggregate throughput of a parallel
+ * caught. Measures representative serial workloads (STREAM kernels,
+ * the SPLASH-2 FFT and a multi-chip halo exchange on the fabric —
+ * the lockstep path the single-chip rows never touch), the aggregate
+ * throughput of a parallel
  * sweep at --jobs, and the cycle-engine comparison (serial vs the
  * sharded engine at 1/2/4/8 workers vs sampled fast-forward) on the
  * 126-thread STREAM Triad point, and emits machine-readable
@@ -33,6 +35,7 @@
 #include <thread>
 
 #include "bench_util.h"
+#include "workloads/multichip.h"
 #include "workloads/splash.h"
 #include "workloads/stream.h"
 
@@ -167,6 +170,34 @@ measureFft(const char *name, u32 threads, u32 points)
     const auto start = std::chrono::steady_clock::now();
     const SplashResult result =
         runFft(threads, points, BarrierKind::Hw, ChipConfig{});
+    Measurement m;
+    m.name = name;
+    m.wallSeconds = secondsSince(start);
+    m.simCycles = result.cycles;
+    m.instructions = result.instructions;
+    m.attr = result.attr;
+    if (!result.verified)
+        warn("simperf: %s failed verification", name);
+    return m;
+}
+
+/**
+ * Host throughput of a whole multi-chip system: N chips in fabric
+ * lockstep running the halo exchange. Tracks the epoch-barrier and
+ * delivery-queue overhead the single-chip rows never exercise.
+ */
+Measurement
+measureMultiChip(const char *name, u32 dx, u32 dy, u32 dz, u32 words,
+                 u32 iters)
+{
+    MultiChipConfig cfg;
+    cfg.dimX = dx;
+    cfg.dimY = dy;
+    cfg.dimZ = dz;
+    cfg.words = words;
+    cfg.iters = iters;
+    const auto start = std::chrono::steady_clock::now();
+    const MultiChipResult result = runHaloExchange(cfg);
     Measurement m;
     m.name = name;
     m.wallSeconds = secondsSince(start);
@@ -510,6 +541,7 @@ main(int argc, char **argv)
         ms.push_back(measureStream("stream_triad", StreamKernel::Triad,
                                    126, 500));
         ms.push_back(measureFft("fft_16k", 32, 16384));
+        ms.push_back(measureMultiChip("multichip_2x2x1", 2, 2, 1, 32, 4));
         ms.push_back(measureSweep(opts, {112, 248, 400, 600}));
     } else {
         ms.push_back(measureStream("stream_copy", StreamKernel::Copy,
@@ -517,6 +549,7 @@ main(int argc, char **argv)
         ms.push_back(measureStream("stream_triad", StreamKernel::Triad,
                                    126, 2000));
         ms.push_back(measureFft("fft_64k", 64, 65536));
+        ms.push_back(measureMultiChip("multichip_2x2x2", 2, 2, 2, 64, 8));
         ms.push_back(measureSweep(
             opts, {112, 248, 400, 600, 800, 1000, 1200, 1400, 1600,
                    2000}));

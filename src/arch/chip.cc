@@ -212,6 +212,8 @@ Chip::memPtr(Addr ea, u8 bytes, ThreadId tid)
 u64
 Chip::memRead(Addr ea, u8 bytes, ThreadId tid)
 {
+    if (remote_ && isRemoteEa(ea)) [[unlikely]]
+        return remote_->remoteRead(chipId_, tid, ea, bytes);
     const u8 *ptr = memPtr(ea, bytes, tid);
     u64 value = 0;
     std::memcpy(&value, ptr, bytes);
@@ -221,8 +223,25 @@ Chip::memRead(Addr ea, u8 bytes, ThreadId tid)
 void
 Chip::memWrite(Addr ea, u8 bytes, u64 value, ThreadId tid)
 {
+    if (remote_ && isRemoteEa(ea)) [[unlikely]] {
+        remote_->remoteWrite(chipId_, tid, ea, bytes, value);
+        return;
+    }
     u8 *ptr = memPtr(ea, bytes, tid);
     std::memcpy(ptr, &value, bytes);
+}
+
+MemTiming
+Chip::remoteDmem(Cycle now, ThreadId tid, Addr ea, u8 bytes, MemKind kind)
+{
+    // Remote accesses mutate fabric state shared between chips, so
+    // they must only run from the serial commit path. Both frontends
+    // defer every memory op out of sharded phase A, making this a
+    // tripwire for missed defer points, not a reachable path.
+    if (inShardPhaseA_)
+        fatal("remote access from shard phase A (thread %u, ea 0x%08x)",
+              tid, ea);
+    return remote_->remoteAccess(chipId_, tid, now, ea, bytes, kind);
 }
 
 void
@@ -608,6 +627,10 @@ Chip::readSpr(ThreadId tid, u32 spr)
         return barrier_.read();
       case isa::kSprMemSize:
         return memsys_.availableMemBytes() / 1024;
+      case isa::kSprChipId:
+        return chipId_;
+      case isa::kSprNumChips:
+        return numChips_;
       default:
         break;
     }

@@ -21,6 +21,7 @@
 #include "arch/barrier_spr.h"
 #include "arch/fpu.h"
 #include "arch/icache.h"
+#include "arch/interest_group.h"
 #include "arch/memsys.h"
 #include "arch/offchip.h"
 #include "arch/profiler.h"
@@ -105,6 +106,33 @@ void clearRunStop();
 /** True if a stop has been requested and not yet cleared. */
 bool runStopRequested();
 
+/**
+ * Hook a multi-chip System (arch/system.h) installs on every member
+ * Chip to service remote-window accesses. The split mirrors the local
+ * path exactly: the functional value moves through remoteRead/
+ * remoteWrite (called from Chip::memRead/memWrite), and the timing
+ * query that follows goes through remoteAccess (called from
+ * Chip::dmem). A store is staged by remoteWrite and committed by the
+ * matching remoteAccess, which injects it into the fabric.
+ */
+class RemotePort
+{
+  public:
+    virtual ~RemotePort() = default;
+
+    /** Functional read: snapshot of the target window at issue time. */
+    virtual u64 remoteRead(u32 srcChip, ThreadId tid, Addr ea,
+                           u8 bytes) = 0;
+
+    /** Stage a remote store (delivered at a fabric epoch boundary). */
+    virtual void remoteWrite(u32 srcChip, ThreadId tid, Addr ea,
+                             u8 bytes, u64 value) = 0;
+
+    /** Fabric timing of the access; commits a staged store. */
+    virtual MemTiming remoteAccess(u32 srcChip, ThreadId tid, Cycle now,
+                                   Addr ea, u8 bytes, MemKind kind) = 0;
+};
+
 /** One Cyclops chip. */
 class Chip
 {
@@ -180,6 +208,25 @@ class Chip
     void writePhys(PhysAddr addr, const void *data, u32 bytes);
     void readPhys(PhysAddr addr, void *data, u32 bytes) const;
 
+    // --- Multi-chip (arch/system.h) -------------------------------------------
+
+    /**
+     * Attach the remote port that services remote-window accesses and
+     * assign this chip's identity (the CHIPID/NCHIPS SPRs). Installed
+     * by arch::System; standalone chips keep id 0 of 1 and route the
+     * whole 24-bit space locally.
+     */
+    void
+    attachRemote(RemotePort *port, u32 chipId, u32 numChips)
+    {
+        remote_ = port;
+        chipId_ = chipId;
+        numChips_ = numChips;
+    }
+
+    u32 chipId() const { return chipId_; }
+    u32 numChips() const { return numChips_; }
+
     // --- Program loading (ISA frontend) ---------------------------------------
 
     /**
@@ -251,6 +298,8 @@ class Chip
     MemTiming
     dmem(Cycle now, ThreadId tid, Addr ea, u8 bytes, MemKind kind)
     {
+        if (remote_ && isRemoteEa(ea)) [[unlikely]]
+            return remoteDmem(now, tid, ea, bytes, kind);
         if (detail_)
             return memsys_.access(now, tid, ea, bytes, kind);
         if (hostObsOn_)
@@ -340,6 +389,8 @@ class Chip
     void schedule(ThreadId tid, Cycle when);
     Cycle nextWheelEvent() const;
     u8 *memPtr(Addr ea, u8 bytes, ThreadId tid);
+    MemTiming remoteDmem(Cycle now, ThreadId tid, Addr ea, u8 bytes,
+                         MemKind kind);
 
     void samplePcs();
     void applyFaultMap();
@@ -432,6 +483,11 @@ class Chip
     // Sampled fast-forward mode (EngineConfig::sampled).
     bool sampledOn_ = false;
     bool detail_ = true;
+
+    // Multi-chip remote-window port (null on standalone chips).
+    RemotePort *remote_ = nullptr;
+    u32 chipId_ = 0;
+    u32 numChips_ = 1;
 
     Counter cycles_;
     Counter trapsServed_;

@@ -134,6 +134,51 @@ igPhys(Addr ea)
     return ea & 0x00FF'FFFF;
 }
 
+// --- Remote-access window (multi-chip systems, DESIGN.md section 16) --------
+//
+// When a RemotePort is attached to a chip, a non-Scratch effective
+// address with physical bit 23 set addresses another chip's memory
+// window instead of local DRAM: offset bits [22:17] select the
+// destination chip (up to 64) and bits [16:0] the byte offset within
+// its 128 KB exported window. Standalone chips (no port) treat the bit
+// as ordinary physical address space, so the encoding is backward
+// compatible.
+
+inline constexpr Addr kRemoteWindowBit = 0x0080'0000;
+inline constexpr u32 kRemoteChipShift = 17;
+inline constexpr u32 kRemoteMaxChips = 64;
+inline constexpr PhysAddr kRemoteWindowBytes = 1u << kRemoteChipShift;
+
+/** True if @p ea falls in the remote window (ports attached only). */
+constexpr bool
+isRemoteEa(Addr ea)
+{
+    return (ea & kRemoteWindowBit) != 0 &&
+           static_cast<IgClass>(ea >> 29) != IgClass::Scratch;
+}
+
+/** Destination chip id of a remote-window effective address. */
+constexpr u32
+remoteChipOf(Addr ea)
+{
+    return (ea >> kRemoteChipShift) & (kRemoteMaxChips - 1);
+}
+
+/** Window-relative byte offset of a remote-window effective address. */
+constexpr PhysAddr
+remoteOffsetOf(Addr ea)
+{
+    return ea & (kRemoteWindowBytes - 1);
+}
+
+/** Compose the remote-window EA for @p chip / @p offset (field @p field). */
+constexpr Addr
+remoteEa(u8 field, u32 chip, PhysAddr offset)
+{
+    return igAddr(field, kRemoteWindowBit |
+                             (chip << kRemoteChipShift) | offset);
+}
+
 /**
  * Pick the cache holding @p lineAddr under group @p ig.
  *

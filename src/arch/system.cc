@@ -1,0 +1,310 @@
+#include "arch/system.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace cyclops::arch
+{
+
+std::string
+SystemConfig::check() const
+{
+    const std::string chipErr = chip.check();
+    if (!chipErr.empty())
+        return chipErr;
+    if (numChips() == 0)
+        return "system has no chips";
+    if (numChips() > kRemoteMaxChips)
+        return strprintf("%u chips exceed the %u-chip remote-window "
+                         "limit (6 chip-id bits)",
+                         numChips(), kRemoteMaxChips);
+    if (fabric.reqHeaderBytes == 0 || fabric.respHeaderBytes == 0)
+        return "fabric protocol headers must be nonzero";
+    const PhysAddr base = windowBaseOf();
+    if (base % kRemoteWindowBytes != 0)
+        return strprintf("windowBase 0x%06x is not %u KB aligned", base,
+                         kRemoteWindowBytes / 1024);
+    if (base + kRemoteWindowBytes > chip.memBytes())
+        return strprintf("remote window [0x%06x, 0x%06x) exceeds the "
+                         "%u KB embedded memory",
+                         base, base + kRemoteWindowBytes,
+                         chip.memBytes() / 1024);
+    // Chips address their own window with plain local EAs, so the
+    // window must sit below the remote-window bit.
+    if (base + kRemoteWindowBytes > kRemoteWindowBit)
+        return strprintf("remote window [0x%06x, 0x%06x) overlaps the "
+                         "remote-window address bit 0x%06x; set "
+                         "windowBase explicitly",
+                         base, base + kRemoteWindowBytes,
+                         kRemoteWindowBit);
+    return "";
+}
+
+void
+SystemConfig::validate() const
+{
+    const std::string err = check();
+    if (!err.empty())
+        fatal("bad system configuration: %s", err.c_str());
+}
+
+namespace
+{
+
+/**
+ * Per-chip variant of an observability output path: paths containing
+ * "%t" stay as-is (the per-chip tag disambiguates them); plain paths
+ * get a ".chipN" suffix so concurrent chips never share a file.
+ */
+std::string
+perChipPath(const std::string &path, u32 id)
+{
+    if (path.empty() || path.find("%t") != std::string::npos)
+        return path;
+    return path + strprintf(".chip%u", id);
+}
+
+} // namespace
+
+System::System(const SystemConfig &cfg)
+    : cfg_(cfg), obsOrig_(cfg.chip.obs), fabric_(cfg.fabric),
+      windowBase_(cfg.windowBaseOf())
+{
+    cfg_.validate();
+    const u32 n = cfg_.numChips();
+    chips_.reserve(n);
+    for (u32 i = 0; i < n; ++i) {
+        ChipConfig cc = cfg_.chip;
+        // The System writes the one merged multi-process trace itself;
+        // per-chip tracers keep recording (traceCats untouched) but
+        // must not each export a file. Stats/series/profile outputs
+        // stay per chip under a disambiguated path and tag.
+        cc.obs.traceOut.clear();
+        cc.obs.tag = obsOrig_.tag.empty()
+                         ? strprintf("chip%u", i)
+                         : obsOrig_.tag + strprintf("-chip%u", i);
+        cc.obs.statsJson = perChipPath(obsOrig_.statsJson, i);
+        cc.obs.statsCsv = perChipPath(obsOrig_.statsCsv, i);
+        cc.obs.profOut = perChipPath(obsOrig_.profOut, i);
+        chips_.push_back(std::make_unique<Chip>(cc));
+        chips_.back()->attachRemote(this, i, n);
+    }
+    staged_.resize(size_t(n) * cfg_.chip.numThreads);
+}
+
+void
+System::loadProgramAll(const isa::Program &program)
+{
+    for (auto &chip : chips_)
+        chip->loadProgram(program);
+}
+
+u32
+System::liveUnits() const
+{
+    u32 live = 0;
+    for (const auto &chip : chips_)
+        live += chip->liveUnits();
+    return live;
+}
+
+u64
+System::totalInstructions() const
+{
+    u64 sum = 0;
+    for (const auto &chip : chips_)
+        sum += chip->totalInstructions();
+    return sum;
+}
+
+u32
+System::checkRemoteEa(u32 srcChip, ThreadId tid, Addr ea, u8 bytes) const
+{
+    const u32 dst = remoteChipOf(ea);
+    if (dst >= numChips())
+        guestCheck("remote window addresses chip %u of a %u-chip "
+                   "system (chip %u thread %u, ea 0x%08x)",
+                   dst, numChips(), srcChip, tid, ea);
+    if (dst == srcChip)
+        guestCheck("remote window targets the local chip %u "
+                   "(thread %u, ea 0x%08x)", srcChip, tid, ea);
+    if (remoteOffsetOf(ea) % bytes != 0)
+        guestCheck("misaligned %u-byte remote access at 0x%08x "
+                   "(chip %u thread %u)", bytes, ea, srcChip, tid);
+    return dst;
+}
+
+u64
+System::remoteRead(u32 srcChip, ThreadId tid, Addr ea, u8 bytes)
+{
+    const u32 dst = checkRemoteEa(srcChip, tid, ea, bytes);
+    u64 value = 0;
+    chips_[dst]->readPhys(windowBase_ + remoteOffsetOf(ea), &value,
+                          bytes);
+    return value;
+}
+
+void
+System::remoteWrite(u32 srcChip, ThreadId tid, Addr ea, u8 bytes,
+                    u64 value)
+{
+    checkRemoteEa(srcChip, tid, ea, bytes);
+    StagedStore &s = staged_[size_t(srcChip) * cfg_.chip.numThreads + tid];
+    if (s.valid)
+        panic("chip %u thread %u staged a second remote store "
+              "(ea 0x%08x) before the first was committed", srcChip,
+              tid, ea);
+    s = {true, ea, bytes, value};
+}
+
+MemTiming
+System::remoteAccess(u32 srcChip, ThreadId tid, Cycle now, Addr ea,
+                     u8 bytes, MemKind kind)
+{
+    if (kind == MemKind::Atomic)
+        guestCheck("remote atomics are not supported (chip %u "
+                   "thread %u, ea 0x%08x)", srcChip, tid, ea);
+    const u32 dst = checkRemoteEa(srcChip, tid, ea, bytes);
+    const net::Topology &topo = fabric_.topology();
+
+    MemTiming t;
+    t.remote = true;
+    t.hit = false;
+    if (kind == MemKind::Store) {
+        StagedStore &s =
+            staged_[size_t(srcChip) * cfg_.chip.numThreads + tid];
+        if (!s.valid || s.ea != ea)
+            panic("remote store timing with no staged value "
+                  "(chip %u thread %u, ea 0x%08x)", srcChip, tid, ea);
+        const u32 msg = cfg_.fabric.reqHeaderBytes + bytes;
+        const net::Delivery d = fabric_.inject(now, srcChip, dst, msg);
+        pending_.push({d.delivered, seq_++, dst,
+                       windowBase_ + remoteOffsetOf(ea), s.bytes,
+                       s.value});
+        s.valid = false;
+        // Posted store: the thread resumes when the injection port
+        // drains, so sustained stores are paced to the link bandwidth
+        // (the 12 GB/s I/O budget).
+        t.ready = d.accepted;
+        const u32 lbpc = cfg_.fabric.net.linkBytesPerCycle;
+        const Cycle serialization = (msg + lbpc - 1) / lbpc;
+        t.queueWait = d.accepted - now - serialization;
+    } else {
+        // Load/Prefetch: a header-only request, then the response with
+        // the payload injected when the request arrives. The value
+        // itself was snapshot by remoteRead at issue time.
+        const u32 req = cfg_.fabric.reqHeaderBytes;
+        const u32 resp = cfg_.fabric.respHeaderBytes + bytes;
+        const net::Delivery d1 = fabric_.inject(now, srcChip, dst, req);
+        const net::Delivery d2 =
+            fabric_.inject(d1.delivered, dst, srcChip, resp);
+        t.ready = d2.delivered;
+        const Cycle uncontended =
+            topo.uncontendedLatency(srcChip, dst, req) +
+            topo.uncontendedLatency(dst, srcChip, resp);
+        t.queueWait = (d2.delivered - now) - uncontended;
+    }
+    return t;
+}
+
+void
+System::applyDeliveries(Cycle upTo)
+{
+    // Total (delivered, seq) order: a flag stored after its payload on
+    // the same path has a later delivery cycle (per-link FIFO), so it
+    // is applied after — the cross-chip ordering guests rely on.
+    while (!pending_.empty() && pending_.top().delivered <= upTo) {
+        const PendingStore &p = pending_.top();
+        chips_[p.dstChip]->writePhys(p.pa, &p.value, p.bytes);
+        pending_.pop();
+    }
+    fabric_.advance(upTo);
+}
+
+RunExit
+System::run(Cycle maxCycles)
+{
+    const Cycle limit = maxCycles >= kCycleNever - now_
+                            ? kCycleNever
+                            : now_ + maxCycles;
+    const Cycle epoch = cfg_.fabric.epoch();
+
+    while (true) {
+        Cycle minLive = kCycleNever;
+        Cycle maxNow = now_;
+        for (const auto &chip : chips_) {
+            maxNow = std::max(maxNow, chip->now());
+            if (chip->liveUnits())
+                minLive = std::min(minLive, chip->now());
+        }
+        if (minLive == kCycleNever) {
+            // Everything halted: flush the fabric so conservation
+            // closes (flitsInFlight() == 0) and late stores land.
+            now_ = std::max(now_, maxNow);
+            applyDeliveries(kCycleNever);
+            fabric_.drain();
+            return {RunExitReason::AllHalted, now_};
+        }
+        if (now_ >= limit)
+            return {RunExitReason::CycleLimit, now_};
+
+        // One epoch, or a jump to where the laggard chip already is
+        // (chips overshoot boundaries via their idle fast-forward; an
+        // epoch no chip executes in needs no barrier of its own).
+        Cycle target = now_ + epoch;
+        if (minLive > target)
+            target = minLive;
+        target = std::min(target, limit);
+
+        for (u32 i = 0; i < numChips(); ++i) {
+            Chip &c = *chips_[i];
+            if (c.liveUnits() == 0 || c.now() >= target)
+                continue;
+            RunExit e = c.run(target - c.now());
+            if (e == RunExitReason::Watchdog) {
+                e.diagnostic = strprintf("chip %u\n", i) + e.diagnostic;
+                return e;
+            }
+            if (e == RunExitReason::Signal)
+                return e;
+        }
+        now_ = target;
+        applyDeliveries(now_);
+    }
+}
+
+void
+System::writeObservability()
+{
+    for (auto &chip : chips_)
+        chip->writeObservability();
+    if (obsOrig_.traceOut.empty())
+        return;
+
+    // One merged Chrome trace: chip N rides pid 10+N as process
+    // "cyclops-chipN" (pids 1 and 2 stay reserved for the standalone
+    // guest and host processes; tools/check_trace.py validates the
+    // scheme).
+    const std::string path = obsOrig_.expandPath(obsOrig_.traceOut);
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("cannot open trace output '%s'", path.c_str());
+    std::fputs("{\n  \"displayTimeUnit\": \"ns\",\n"
+               "  \"traceEvents\": [\n",
+               f);
+    u64 dropped = 0;
+    for (u32 i = 0; i < numChips(); ++i) {
+        const std::string name = strprintf("cyclops-chip%u", i);
+        chips_[i]->tracer().writeChromeEvents(f, 10 + i, name.c_str(),
+                                              cfg_.chip.numThreads,
+                                              i > 0);
+        dropped += chips_[i]->tracer().dropped();
+    }
+    std::fprintf(f,
+                 "\n  ],\n  \"otherData\": {\"droppedEvents\": %llu}\n}\n",
+                 static_cast<unsigned long long>(dropped));
+    std::fclose(f);
+}
+
+} // namespace cyclops::arch

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * A multi-chip Cyclops system: N real Chips on a 3-D mesh/torus,
+ * coupled through the cycle-driven net::Fabric (DESIGN.md section 16).
+ *
+ * The System owns the chips and the fabric and advances everything in
+ * conservative epoch lockstep: each chip runs one epoch (default one
+ * hop time: routerLatency + linkLatency — the minimum time any
+ * message needs to cross a chip boundary), then fabric deliveries
+ * whose time has come are applied to the destination chips' memory,
+ * in (delivery cycle, injection sequence) order, before the next
+ * epoch starts. Chips advance in chip-id order within an epoch, so
+ * the injection sequence — and with it every fabric timing — is a
+ * pure function of the program, independent of host parallelism.
+ *
+ * Remote accesses use the address window of arch/interest_group.h: a
+ * non-Scratch EA with physical bit 23 set names (chip, offset), and
+ * the offset maps into the target's 128 KB window at windowBase. A
+ * remote store is posted: the thread resumes when the injection port
+ * drains (backpressure — the paper's 12 GB/s I/O budget binds), and
+ * the value lands at the first epoch boundary after its delivery
+ * cycle. A remote load charges the full request/response round trip
+ * but reads the target window at issue time (the conservative-epoch
+ * snapshot). Messages sharing a source and destination follow the
+ * same DOR path FIFO, so a flag stored after its payload is never
+ * applied before it — the ordering workloads synchronize with.
+ */
+
+#ifndef CYCLOPS_ARCH_SYSTEM_H
+#define CYCLOPS_ARCH_SYSTEM_H
+
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "arch/chip.h"
+#include "net/fabric.h"
+
+namespace cyclops::arch
+{
+
+/** Configuration of a multi-chip system. */
+struct SystemConfig
+{
+    ChipConfig chip;           ///< every chip is identical (cellular)
+    net::FabricConfig fabric;  ///< interconnect + protocol parameters
+
+    /**
+     * Physical base of the 128 KB window each chip exports to its
+     * peers; 0 resolves to half the embedded memory.
+     */
+    PhysAddr windowBase = 0;
+
+    u32 numChips() const { return fabric.net.numChips(); }
+
+    /** Resolved window base (explicit or the memBytes()/2 default). */
+    PhysAddr
+    windowBaseOf() const
+    {
+        return windowBase ? windowBase : chip.memBytes() / 2;
+    }
+
+    /** First violated invariant as a message, or "" if well-formed. */
+    std::string check() const;
+
+    /** check(), escalated: fatal() on a malformed configuration. */
+    void validate() const;
+};
+
+/** N Cyclops chips on the cycle-driven fabric. */
+class System : private RemotePort
+{
+  public:
+    explicit System(const SystemConfig &cfg);
+
+    const SystemConfig &config() const { return cfg_; }
+    u32 numChips() const { return u32(chips_.size()); }
+    Chip &chip(u32 id) { return *chips_[id]; }
+    const Chip &chip(u32 id) const { return *chips_[id]; }
+    net::Fabric &fabric() { return fabric_; }
+    const net::Fabric &fabric() const { return fabric_; }
+    PhysAddr windowBase() const { return windowBase_; }
+
+    /** Lockstep frontier: every chip has simulated at least this far. */
+    Cycle now() const { return now_; }
+
+    /** Load the same program image into every chip (SPMD). */
+    void loadProgramAll(const isa::Program &program);
+
+    /** Sum of liveUnits() over the chips. */
+    u32 liveUnits() const;
+
+    /**
+     * Advance the system until every chip halts or @p maxCycles
+     * elapse (relative, like Chip::run). A Watchdog or Signal exit
+     * from any chip stops the whole system and is returned as-is
+     * (the watchdog diagnostic is prefixed with the chip id). On
+     * AllHalted all remaining fabric deliveries are applied and the
+     * fabric is drained, so flitsInFlight() == 0 afterwards.
+     */
+    RunExit run(Cycle maxCycles = kCycleNever);
+
+    /** Fabric stores accepted but not yet applied to their target. */
+    size_t pendingStores() const { return pending_.size(); }
+
+    /** Sum of totalInstructions() over the chips. */
+    u64 totalInstructions() const;
+
+    /**
+     * Write the configured observability outputs. Stats/CSV/profile
+     * files are written per chip (paths get a ".chipN" suffix unless
+     * they contain "%t", which expands to "<tag>-chipN"); the trace is
+     * one merged Chrome JSON with each chip as its own process (pid
+     * 10+N, "cyclops-chipN") so Perfetto shows the chips side by side.
+     */
+    void writeObservability();
+
+  private:
+    // RemotePort (installed on every chip).
+    u64 remoteRead(u32 srcChip, ThreadId tid, Addr ea, u8 bytes) override;
+    void remoteWrite(u32 srcChip, ThreadId tid, Addr ea, u8 bytes,
+                     u64 value) override;
+    MemTiming remoteAccess(u32 srcChip, ThreadId tid, Cycle now, Addr ea,
+                           u8 bytes, MemKind kind) override;
+
+    /** Validate a remote EA; returns the destination chip id. */
+    u32 checkRemoteEa(u32 srcChip, ThreadId tid, Addr ea, u8 bytes) const;
+
+    /** Apply pending stores delivered at or before @p upTo. */
+    void applyDeliveries(Cycle upTo);
+
+    /** A store accepted by the fabric, awaiting its delivery cycle. */
+    struct PendingStore
+    {
+        Cycle delivered = 0;
+        u64 seq = 0; ///< injection sequence: total order tie-breaker
+        u32 dstChip = 0;
+        PhysAddr pa = 0;
+        u8 bytes = 0;
+        u64 value = 0;
+
+        bool
+        operator>(const PendingStore &o) const
+        {
+            if (delivered != o.delivered)
+                return delivered > o.delivered;
+            return seq > o.seq;
+        }
+    };
+
+    /** Store staged by remoteWrite, consumed by the remoteAccess. */
+    struct StagedStore
+    {
+        bool valid = false;
+        Addr ea = 0;
+        u8 bytes = 0;
+        u64 value = 0;
+    };
+
+    SystemConfig cfg_;
+    ObsConfig obsOrig_; ///< pre-rewrite observability (merged trace)
+    net::Fabric fabric_;
+    std::vector<std::unique_ptr<Chip>> chips_;
+    PhysAddr windowBase_ = 0;
+    Cycle now_ = 0;
+    u64 seq_ = 0;
+    std::vector<StagedStore> staged_; ///< one slot per (chip, thread)
+    std::priority_queue<PendingStore, std::vector<PendingStore>,
+                        std::greater<PendingStore>>
+        pending_;
+};
+
+} // namespace cyclops::arch
+
+#endif // CYCLOPS_ARCH_SYSTEM_H

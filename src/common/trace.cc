@@ -125,6 +125,45 @@ writeHostEvents(std::FILE *out, const HostTraceExport &host)
 } // namespace
 
 void
+Tracer::writeChromeEvents(std::FILE *out, u32 pid,
+                          const char *processName, u32 numTracks,
+                          bool leadingComma) const
+{
+    std::fprintf(out,
+                 "%s    {\"ph\": \"M\", \"pid\": %u, \"tid\": 0, \"name\": "
+                 "\"process_name\", \"args\": {\"name\": \"%s\"}}",
+                 leadingComma ? ",\n" : "", pid, processName);
+    for (u32 t = 0; t < numTracks; ++t) {
+        std::fprintf(out,
+                     ",\n    {\"ph\": \"M\", \"pid\": %u, \"tid\": %u, "
+                     "\"name\": \"thread_name\", \"args\": {\"name\": "
+                     "\"tu%u\"}}",
+                     pid, t, t);
+    }
+    for (const Event &ev : sorted()) {
+        const char *cat = kTraceCatNames[ev.cat];
+        if (ev.phase == 'X') {
+            std::fprintf(out,
+                         ",\n    {\"ph\": \"X\", \"pid\": %u, \"tid\": %u, "
+                         "\"name\": \"%s\", \"cat\": \"%s\", \"ts\": %llu, "
+                         "\"dur\": %llu, \"args\": {\"arg\": %llu}}",
+                         pid, ev.tid, ev.name, cat,
+                         static_cast<unsigned long long>(ev.start),
+                         static_cast<unsigned long long>(ev.dur),
+                         static_cast<unsigned long long>(ev.arg));
+        } else {
+            std::fprintf(out,
+                         ",\n    {\"ph\": \"i\", \"pid\": %u, \"tid\": %u, "
+                         "\"name\": \"%s\", \"cat\": \"%s\", \"ts\": %llu, "
+                         "\"s\": \"t\", \"args\": {\"arg\": %llu}}",
+                         pid, ev.tid, ev.name, cat,
+                         static_cast<unsigned long long>(ev.start),
+                         static_cast<unsigned long long>(ev.arg));
+        }
+    }
+}
+
+void
 Tracer::writeChromeJson(std::FILE *out, u32 numTracks,
                         const HostTraceExport *host) const
 {
@@ -134,37 +173,7 @@ Tracer::writeChromeJson(std::FILE *out, u32 numTracks,
     std::fputs("{\n  \"displayTimeUnit\": \"ns\",\n"
                "  \"traceEvents\": [\n",
                out);
-    std::fprintf(out,
-                 "    {\"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"name\": "
-                 "\"process_name\", \"args\": {\"name\": \"cyclops\"}}");
-    for (u32 t = 0; t < numTracks; ++t) {
-        std::fprintf(out,
-                     ",\n    {\"ph\": \"M\", \"pid\": 1, \"tid\": %u, "
-                     "\"name\": \"thread_name\", \"args\": {\"name\": "
-                     "\"tu%u\"}}",
-                     t, t);
-    }
-    for (const Event &ev : sorted()) {
-        const char *cat = kTraceCatNames[ev.cat];
-        if (ev.phase == 'X') {
-            std::fprintf(out,
-                         ",\n    {\"ph\": \"X\", \"pid\": 1, \"tid\": %u, "
-                         "\"name\": \"%s\", \"cat\": \"%s\", \"ts\": %llu, "
-                         "\"dur\": %llu, \"args\": {\"arg\": %llu}}",
-                         ev.tid, ev.name, cat,
-                         static_cast<unsigned long long>(ev.start),
-                         static_cast<unsigned long long>(ev.dur),
-                         static_cast<unsigned long long>(ev.arg));
-        } else {
-            std::fprintf(out,
-                         ",\n    {\"ph\": \"i\", \"pid\": 1, \"tid\": %u, "
-                         "\"name\": \"%s\", \"cat\": \"%s\", \"ts\": %llu, "
-                         "\"s\": \"t\", \"args\": {\"arg\": %llu}}",
-                         ev.tid, ev.name, cat,
-                         static_cast<unsigned long long>(ev.start),
-                         static_cast<unsigned long long>(ev.arg));
-        }
-    }
+    writeChromeEvents(out, 1, "cyclops", numTracks, false);
     if (host)
         writeHostEvents(out, *host);
     std::fprintf(out,

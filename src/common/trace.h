@@ -152,6 +152,19 @@ class Tracer
     void writeChromeJson(const std::string &path, u32 numTracks,
                          const HostTraceExport *host = nullptr) const;
 
+    /**
+     * Append the retained events as one Chrome-trace process @p pid
+     * named @p processName: process_name/thread_name metadata plus the
+     * sorted events, each record prefixed with ",\n" (the first omits
+     * the comma when @p leadingComma is false). Emits no outer JSON
+     * wrapper. Shared by writeChromeJson and the multi-chip merged
+     * export (arch::System), which writes every chip's tracer into a
+     * single file on its own pid.
+     */
+    void writeChromeEvents(std::FILE *out, u32 pid,
+                           const char *processName, u32 numTracks,
+                           bool leadingComma) const;
+
   private:
     void
     record(const Event &ev)

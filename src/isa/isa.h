@@ -59,7 +59,9 @@ enum Spr : u8
     kSprCycleHi = 3,  ///< high 32 bits of the cycle counter (read-only)
     kSprBarrier = 4,  ///< 8-bit wired-OR barrier register
     kSprMemSize = 5,  ///< available memory in KB (fault remap, read-only)
-    kNumSprs = 6,
+    kSprChipId = 6,   ///< this chip's id in a multi-chip system (read-only)
+    kSprNumChips = 7, ///< chips in the system; 1 standalone (read-only)
+    kNumSprs = 8,
 
     // Performance counter file (rdcounter pseudo-op reads these).
     kSprCntBase = 8,

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Cycle-driven multi-chip interconnect (paper section 2.2).
+ *
+ * net::Topology is the analytic model: routes, hop counts and an
+ * idealized latency formula. This module is the timing component the
+ * simulator actually drives: messages are injected at a cycle, claim
+ * the links of their dimension-order route in injection order (per-
+ * link FIFO reservation, cut-through forwarding, 256-byte packet
+ * segmentation), and are delivered at a cycle that the caller applies
+ * functionally. The math is byte-for-byte the same as Topology::send,
+ * so the fabric's zero-load latency equals uncontendedLatency()
+ * exactly — tests/test_fabric.cc pins the identity.
+ *
+ * Conservation contract: every injected flit (one linkBytesPerCycle
+ * chunk crossing the first link) is accounted for at all times:
+ *     flitsInjected() == flitsDelivered() + flitsInFlight()
+ * advance(at) retires flits whose delivery cycle has passed; drain()
+ * retires everything (end of run).
+ */
+
+#ifndef CYCLOPS_NET_FABRIC_H
+#define CYCLOPS_NET_FABRIC_H
+
+#include <queue>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "net/topology.h"
+
+namespace cyclops::net
+{
+
+/** Cycle-driven fabric configuration (wraps the analytic NetConfig). */
+struct FabricConfig
+{
+    NetConfig net;
+
+    /**
+     * Protocol overhead added to every remote access: a remote store
+     * sends one message of reqHeaderBytes + payload; a remote load
+     * sends a reqHeaderBytes request and a respHeaderBytes + payload
+     * response.
+     */
+    u32 reqHeaderBytes = 8;
+    u32 respHeaderBytes = 8;
+
+    /**
+     * Lockstep epoch length for multi-chip simulation. Chips run
+     * independently for one epoch, then exchange fabric traffic at the
+     * boundary. 0 selects the shortest causally-safe epoch, one hop:
+     * routerLatency + linkLatency (no message can cross a chip
+     * boundary in less).
+     */
+    Cycle epochCycles = 0;
+
+    /** Resolved epoch length (epochCycles or the one-hop default). */
+    Cycle
+    epoch() const
+    {
+        return epochCycles ? epochCycles
+                           : net.routerLatency + net.linkLatency;
+    }
+};
+
+/** When the fabric accepted and will deliver an injected message. */
+struct Delivery
+{
+    Cycle accepted = 0;  ///< source injection port drained (backpressure)
+    Cycle delivered = 0; ///< last byte arrives at the destination
+};
+
+/**
+ * The cycle-driven interconnect of a multi-chip Cyclops system.
+ * Deterministic: timing depends only on the injection sequence, and
+ * messages sharing a (src, dst) DOR path are delivered in injection
+ * order (per-link FIFO), which arch::System relies on for its
+ * payload-before-flag memory ordering guarantee.
+ */
+class Fabric
+{
+  public:
+    explicit Fabric(const FabricConfig &cfg = FabricConfig{});
+
+    const FabricConfig &config() const { return cfg_; }
+    const Topology &topology() const { return topo_; }
+
+    /**
+     * Inject a @p bytes message from chip @p src to chip @p dst at
+     * cycle @p now. Reserves every link of the DOR route (queueing
+     * behind earlier traffic), segments messages above maxPacketBytes
+     * into pipelined packets, and returns both the backpressure point
+     * (accepted: when the source's first link drains) and the delivery
+     * cycle. Self-addressed messages and bad endpoints are fatal; the
+     * System layer converts them to guest errors first.
+     */
+    Delivery inject(Cycle now, u32 src, u32 dst, u32 bytes);
+
+    /** Retire in-flight flits delivered at or before cycle @p at. */
+    void advance(Cycle at);
+
+    /** Retire all in-flight flits (end of simulation). */
+    void drain();
+
+    // Flit conservation: injected == delivered + inFlight, always.
+    u64 flitsInjected() const { return flitsInjected_; }
+    u64 flitsDelivered() const { return flitsDelivered_; }
+    u64 flitsInFlight() const { return flitsInjected_ - flitsDelivered_; }
+
+    u64 messages() const { return messages_.value(); }
+    u64 bytesMoved() const { return bytesMoved_.value(); }
+    u64 queueCycles() const { return queueCycles_.value(); }
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    u32 linkIndex(u32 chip, Dir dir) const;
+
+    FabricConfig cfg_;
+    Topology topo_;
+    std::vector<Cycle> linkFree_; ///< chip x direction reservation
+
+    // Min-heap of (delivery cycle, flit count) for advance()/drain().
+    using Flight = std::pair<Cycle, u64>;
+    std::priority_queue<Flight, std::vector<Flight>,
+                        std::greater<Flight>>
+        inflight_;
+    u64 flitsInjected_ = 0;
+    u64 flitsDelivered_ = 0;
+
+    StatGroup stats_;
+    Counter messages_;
+    Counter bytesMoved_;
+    Counter queueCycles_;
+    Counter flitsInjectedStat_;
+    Counter flitsDeliveredStat_;
+};
+
+} // namespace cyclops::net
+
+#endif // CYCLOPS_NET_FABRIC_H

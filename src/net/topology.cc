@@ -7,7 +7,7 @@
 namespace cyclops::net
 {
 
-Fabric::Fabric(const NetConfig &cfg) : cfg_(cfg)
+Topology::Topology(const NetConfig &cfg) : cfg_(cfg)
 {
     if (cfg.dimX == 0 || cfg.dimY == 0 || cfg.dimZ == 0)
         fatal("fabric dimensions must be nonzero");
@@ -21,7 +21,7 @@ Fabric::Fabric(const NetConfig &cfg) : cfg_(cfg)
 }
 
 u32
-Fabric::chipAt(Coord c) const
+Topology::chipAt(Coord c) const
 {
     if (c.x >= cfg_.dimX || c.y >= cfg_.dimY || c.z >= cfg_.dimZ)
         fatal("coordinate (%u,%u,%u) outside the %ux%ux%u system", c.x,
@@ -30,7 +30,7 @@ Fabric::chipAt(Coord c) const
 }
 
 Coord
-Fabric::coordOf(u32 chip) const
+Topology::coordOf(u32 chip) const
 {
     if (chip >= cfg_.numChips())
         fatal("no chip %u in a %u-chip system", chip, cfg_.numChips());
@@ -42,7 +42,7 @@ Fabric::coordOf(u32 chip) const
 }
 
 s32
-Fabric::step(u32 from, u32 to, u32 dim) const
+Topology::step(u32 from, u32 to, u32 dim) const
 {
     if (from == to)
         return 0;
@@ -55,7 +55,7 @@ Fabric::step(u32 from, u32 to, u32 dim) const
 }
 
 std::vector<std::pair<u32, Dir>>
-Fabric::route(u32 src, u32 dst) const
+Topology::route(u32 src, u32 dst) const
 {
     if (src >= cfg_.numChips() || dst >= cfg_.numChips())
         fatal("route endpoints outside the system");
@@ -77,19 +77,19 @@ Fabric::route(u32 src, u32 dst) const
 }
 
 u32
-Fabric::hops(u32 src, u32 dst) const
+Topology::hops(u32 src, u32 dst) const
 {
     return u32(route(src, dst).size());
 }
 
 u32
-Fabric::linkIndex(u32 chip, Dir dir) const
+Topology::linkIndex(u32 chip, Dir dir) const
 {
     return chip * kNumDirs + u32(dir);
 }
 
 Cycle
-Fabric::uncontendedLatency(u32 src, u32 dst, u32 bytes) const
+Topology::uncontendedLatency(u32 src, u32 dst, u32 bytes) const
 {
     if (src == dst)
         return 0;
@@ -101,7 +101,7 @@ Fabric::uncontendedLatency(u32 src, u32 dst, u32 bytes) const
 }
 
 Cycle
-Fabric::send(Cycle now, u32 src, u32 dst, u32 bytes)
+Topology::send(Cycle now, u32 src, u32 dst, u32 bytes)
 {
     if (bytes == 0)
         fatal("cannot send an empty message");
@@ -141,7 +141,7 @@ Fabric::send(Cycle now, u32 src, u32 dst, u32 bytes)
 }
 
 Cycle
-Fabric::hostTransfer(Cycle now, u32 chip, u32 bytes)
+Topology::hostTransfer(Cycle now, u32 chip, u32 bytes)
 {
     if (chip >= cfg_.numChips())
         fatal("no chip %u in the system", chip);

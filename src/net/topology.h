@@ -39,7 +39,7 @@ struct Coord
     bool operator==(const Coord &other) const = default;
 };
 
-/** Fabric configuration. */
+/** Topology configuration. */
 struct NetConfig
 {
     u32 dimX = 2, dimY = 2, dimZ = 2;
@@ -53,11 +53,16 @@ struct NetConfig
     u32 numChips() const { return dimX * dimY * dimZ; }
 };
 
-/** A multi-chip Cyclops system's interconnect. */
-class Fabric
+/**
+ * Analytic interconnect model: DOR routing, hop counts, and
+ * reservation-based link timing. The cycle-driven net::Fabric
+ * (src/net/fabric.h) wraps this model and must agree with it exactly
+ * at zero load — tests/test_fabric.cc enforces the identity.
+ */
+class Topology
 {
   public:
-    explicit Fabric(const NetConfig &cfg = NetConfig{});
+    explicit Topology(const NetConfig &cfg = NetConfig{});
 
     const NetConfig &config() const { return cfg_; }
 

@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "common/parallel.h"
+#include "workloads/multichip.h"
 #include "workloads/splash.h"
 #include "workloads/stream.h"
 
@@ -61,6 +62,19 @@ expectSameSplash(const SplashResult &a, const SplashResult &b)
     EXPECT_EQ(a.verified, b.verified);
 }
 
+void
+expectSameMultiChip(const MultiChipResult &a, const MultiChipResult &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.messages, b.messages);
+    EXPECT_EQ(a.bytesMoved, b.bytesMoved);
+    EXPECT_EQ(a.queueCycles, b.queueCycles);
+    EXPECT_EQ(a.flitsInjected, b.flitsInjected);
+    EXPECT_EQ(a.fingerprint, b.fingerprint);
+    EXPECT_EQ(a.verified, b.verified);
+}
+
 } // namespace
 
 TEST(Determinism, StreamRepeatsExactly)
@@ -98,6 +112,64 @@ TEST(Determinism, ParallelSweepMatchesSerial)
     ASSERT_EQ(parallel.size(), sizes.size());
     for (size_t i = 0; i < sizes.size(); ++i)
         expectSameStream(serial[i], parallel[i]);
+}
+
+TEST(Determinism, MultiChipHaloRepeatsExactly)
+{
+    // A 2x2x1 torus halo exchange across the fabric: the fingerprint
+    // hashes every chip's window memory plus the fabric counters, so
+    // equality here is byte-identity of the whole multi-chip run.
+    MultiChipConfig cfg;
+    cfg.words = 16;
+    cfg.iters = 2;
+    const MultiChipResult first = runHaloExchange(cfg);
+    const MultiChipResult second = runHaloExchange(cfg);
+    EXPECT_TRUE(first.verified);
+    expectSameMultiChip(first, second);
+}
+
+TEST(Determinism, MultiChipHaloSerialVsSharded)
+{
+    // The sharded engine defers every memory operation to its serial
+    // phase B, so remote traffic is injected in the same canonical
+    // order as under the serial engine: the runs must be bit-identical.
+    MultiChipConfig cfg;
+    cfg.words = 16;
+    cfg.iters = 2;
+    cfg.engine.kind = EngineKind::Serial;
+    const MultiChipResult serial = runHaloExchange(cfg);
+    cfg.engine.kind = EngineKind::Sharded;
+    cfg.engine.workers = 4;
+    const MultiChipResult sharded = runHaloExchange(cfg);
+    EXPECT_TRUE(serial.verified);
+    expectSameMultiChip(serial, sharded);
+
+    cfg.engine.kind = EngineKind::Serial;
+    const MultiChipResult streamSerial = runDistributedStream(cfg);
+    cfg.engine.kind = EngineKind::Sharded;
+    const MultiChipResult streamSharded = runDistributedStream(cfg);
+    EXPECT_TRUE(streamSerial.verified);
+    expectSameMultiChip(streamSerial, streamSharded);
+}
+
+TEST(Determinism, MultiChipSweepMatchesSerial)
+{
+    // Whole multi-chip systems through the host-parallel sweep runner:
+    // job count must not leak into any fabric timing.
+    std::vector<u32> words = {8, 12, 16, 24};
+    auto run = [&](u32 w) {
+        MultiChipConfig cfg;
+        cfg.words = w;
+        return runHaloExchange(cfg);
+    };
+    const std::vector<MultiChipResult> serial =
+        parallelSweep(words, 1, run);
+    const std::vector<MultiChipResult> parallel =
+        parallelSweep(words, 4, run);
+    for (size_t i = 0; i < words.size(); ++i) {
+        EXPECT_TRUE(serial[i].verified) << "point " << i;
+        expectSameMultiChip(serial[i], parallel[i]);
+    }
 }
 
 TEST(Determinism, ParallelSplashSweepMatchesSerial)

@@ -19,7 +19,7 @@ TEST(Net, CoordinateRoundTrip)
     cfg.dimX = 4;
     cfg.dimY = 3;
     cfg.dimZ = 2;
-    Fabric fabric(cfg);
+    Topology fabric(cfg);
     for (u32 chip = 0; chip < cfg.numChips(); ++chip)
         EXPECT_EQ(fabric.chipAt(fabric.coordOf(chip)), chip);
 }
@@ -29,7 +29,7 @@ TEST(Net, DimensionOrderRouting)
     NetConfig cfg;
     cfg.dimX = cfg.dimY = cfg.dimZ = 4;
     cfg.torus = false;
-    Fabric fabric(cfg);
+    Topology fabric(cfg);
     const u32 src = fabric.chipAt({0, 0, 0});
     const u32 dst = fabric.chipAt({2, 1, 3});
     const auto path = fabric.route(src, dst);
@@ -46,21 +46,21 @@ TEST(Net, TorusTakesTheShortWay)
     NetConfig cfg;
     cfg.dimX = 8;
     cfg.dimY = cfg.dimZ = 1;
-    Fabric fabric(cfg);
+    Topology fabric(cfg);
     // 0 -> 7 is one hop backwards around the ring.
     EXPECT_EQ(fabric.hops(0, 7), 1u);
     EXPECT_EQ(fabric.route(0, 7)[0].second, Dir::XMinus);
     EXPECT_EQ(fabric.hops(0, 4), 4u); // tie: either way is 4
 
     cfg.torus = false;
-    Fabric mesh(cfg);
+    Topology mesh(cfg);
     EXPECT_EQ(mesh.hops(0, 7), 7u);
 }
 
 TEST(Net, UncontendedLatency)
 {
     NetConfig cfg;
-    Fabric fabric(cfg);
+    Topology fabric(cfg);
     // 1 hop, 64 bytes at 2 bytes/cycle: 5 + 32.
     const u32 a = fabric.chipAt({0, 0, 0});
     const u32 b = fabric.chipAt({1, 0, 0});
@@ -71,7 +71,7 @@ TEST(Net, UncontendedLatency)
 TEST(Net, LinkContentionSerializes)
 {
     NetConfig cfg;
-    Fabric fabric(cfg);
+    Topology fabric(cfg);
     const u32 a = fabric.chipAt({0, 0, 0});
     const u32 b = fabric.chipAt({1, 0, 0});
     const Cycle first = fabric.send(0, a, b, 256);
@@ -83,7 +83,7 @@ TEST(Net, LinkContentionSerializes)
 TEST(Net, DisjointPathsDoNotInterfere)
 {
     NetConfig cfg;
-    Fabric fabric(cfg);
+    Topology fabric(cfg);
     const Cycle ab = fabric.send(0, fabric.chipAt({0, 0, 0}),
                                  fabric.chipAt({1, 0, 0}), 128);
     const Cycle cd = fabric.send(0, fabric.chipAt({0, 1, 0}),
@@ -96,7 +96,7 @@ TEST(Net, LargeMessagesPipelinePackets)
     NetConfig cfg;
     cfg.dimX = 4;
     cfg.torus = false;
-    Fabric fabric(cfg);
+    Topology fabric(cfg);
     const u32 a = fabric.chipAt({0, 0, 0});
     const u32 d = fabric.chipAt({3, 0, 0});
     // 1 KB over 3 hops: cut-through + segmentation beats
@@ -108,7 +108,7 @@ TEST(Net, LargeMessagesPipelinePackets)
 
 TEST(Net, HostLink)
 {
-    Fabric fabric;
+    Topology fabric;
     const Cycle first = fabric.hostTransfer(0, 0, 1024);
     const Cycle second = fabric.hostTransfer(0, 0, 1024);
     EXPECT_EQ(first, 512u + fabric.config().routerLatency);
@@ -129,7 +129,7 @@ TEST(Net, RejectsBadEndpoints)
     EXPECT_DEATH(
         {
             setLogLevel(LogLevel::Quiet);
-            Fabric fabric;
+            Topology fabric;
             fabric.send(0, 0, 99, 64);
         },
         "");
@@ -160,7 +160,7 @@ TEST(Net, HopCountsExhaustiveMeshVsTorus)
     cfg.dimZ = 1;
     for (bool torus : {false, true}) {
         cfg.torus = torus;
-        Fabric fabric(cfg);
+        Topology fabric(cfg);
         for (u32 s = 0; s < cfg.numChips(); ++s) {
             for (u32 d = 0; d < cfg.numChips(); ++d) {
                 const Coord cs = fabric.coordOf(s);
@@ -183,9 +183,9 @@ TEST(Net, TorusWraparoundBeatsMeshOnFarPairs)
     cfg.dimX = 8;
     cfg.dimY = 4;
     cfg.dimZ = 2;
-    Fabric torus(cfg);
+    Topology torus(cfg);
     cfg.torus = false;
-    Fabric mesh(cfg);
+    Topology mesh(cfg);
     const u32 s = torus.chipAt({0, 0, 0});
     const u32 d = torus.chipAt({7, 3, 1});
     EXPECT_EQ(mesh.hops(s, d), 7u + 3 + 1);
@@ -203,7 +203,7 @@ TEST(Net, DegenerateOneWideDimensionsNeverRoute)
     cfg.dimY = 1;
     cfg.dimZ = 5;
     cfg.torus = true;
-    Fabric fabric(cfg);
+    Topology fabric(cfg);
     EXPECT_EQ(fabric.hops(0, 0), 0u);
     EXPECT_TRUE(fabric.route(0, 0).empty());
     for (u32 d = 1; d < 5; ++d) {

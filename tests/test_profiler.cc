@@ -134,14 +134,15 @@ TEST(Profiler, CounterSprsReadableFromIsaFrontend)
 
 TEST(Profiler, UnknownSprReadsZeroIsaFrontend)
 {
-    // Reserved SPR numbers (6, 7, and everything past the counter
-    // file) read as zero — the documented defined path.
+    // SPRs 6 and 7 identify the chip in a multi-chip system (a
+    // standalone chip is chip 0 of 1); reserved numbers past the
+    // counter file read as zero — the documented defined path.
     isa::ProgramBuilder b;
     b.li(20, 0xdead);
     b.li(21, 0xdead);
     b.li(22, 0xdead);
-    b.mfspr(20, 6);
-    b.mfspr(21, 7);
+    b.mfspr(20, isa::kSprChipId);
+    b.mfspr(21, isa::kSprNumChips);
     b.mfspr(22, 100);
     b.rdcounter(23, 1); // a valid read right next to the reserved ones
     b.halt();
@@ -150,7 +151,7 @@ TEST(Profiler, UnknownSprReadsZeroIsaFrontend)
     runIsa(chip, b.finish(), 1);
     const auto *u = static_cast<const ThreadUnit *>(chip.unit(0));
     EXPECT_EQ(u->reg(20), 0u);
-    EXPECT_EQ(u->reg(21), 0u);
+    EXPECT_EQ(u->reg(21), 1u);
     EXPECT_EQ(u->reg(22), 0u);
     EXPECT_GT(u->reg(23), 0u); // instret
 }
@@ -182,9 +183,10 @@ TEST(Profiler, CounterSprsReadableFromExecFrontend)
     EXPECT_EQ(chip.readSpr(0, isa::kSprCntDcacheHit) +
                   chip.readSpr(0, isa::kSprCntDcacheMiss),
               32u);
-    // Reserved SPRs read as zero here as well.
-    EXPECT_EQ(chip.readSpr(0, 6), 0u);
-    EXPECT_EQ(chip.readSpr(0, 7), 0u);
+    // Chip-identity SPRs (standalone chip: id 0 of 1) and reserved
+    // numbers decode here as well.
+    EXPECT_EQ(chip.readSpr(0, isa::kSprChipId), 0u);
+    EXPECT_EQ(chip.readSpr(0, isa::kSprNumChips), 1u);
     EXPECT_EQ(chip.readSpr(0, 1000), 0u);
     // A thread with no unit installed reads zero from every counter.
     EXPECT_EQ(chip.readSpr(100, isa::kSprCntInstret), 0u);

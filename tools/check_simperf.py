@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
 """Validate a BENCH_simperf.json report.
 
-Checks the schema (top-level fields, workload entries, the cycle-
-attribution breakdown) and the cycle-engine comparison invariants:
+Checks the schema (top-level fields, workload entries including the
+required multi-chip fabric row, the cycle-attribution breakdown) and
+the cycle-engine comparison invariants:
   - the engines list contains the serial reference, the sharded engine
     at 1/2/4/8 workers, and the sampled engine;
   - every sharded row reproduced the serial engine's simulated cycle
@@ -220,6 +221,12 @@ def main():
         fail("missing 'workloads' array")
     for i, w in enumerate(workloads):
         check_workload(i, w)
+    # The fabric-lockstep path (arch::System) must stay on the
+    # trajectory: require the multi-chip row next to the single-chip
+    # workloads.
+    if not any(w["name"].startswith("multichip") for w in workloads):
+        fail("workloads: no multi-chip row (name starting "
+             "'multichip') — the fabric path is not measured")
 
     check_overhead("profilerOverhead", report.get("profilerOverhead"),
                    args)

@@ -11,6 +11,13 @@ Used by the ctest smoke tests (and handy interactively):
 telemetry (the pid-2 "cyclops-host" process emitted under --host-obs
 with the host trace category enabled).
 
+--expect-chips N requires every --trace file to be a merged
+multi-chip trace (cyclops-run --chips / arch::System): exactly N chip
+processes named "cyclops-chip0".."cyclops-chip<N-1>" on pids 10..10+N-1,
+each carrying at least one event. Chip-process naming and per-pid
+timestamp order are validated whenever chip processes appear, with or
+without the flag.
+
 Any number of the options may be combined; the script exits non-zero
 with a message on the first malformed file.
 """
@@ -25,7 +32,8 @@ def fail(msg: str) -> None:
     sys.exit(1)
 
 
-def check_trace(path: str, expect_host: bool = False) -> None:
+def check_trace(path: str, expect_host: bool = False,
+                expect_chips: int = 0) -> None:
     """Chrome trace-event JSON as Perfetto/about:tracing load it."""
     with open(path) as f:
         doc = json.load(f)
@@ -40,11 +48,15 @@ def check_trace(path: str, expect_host: bool = False) -> None:
     if not events:
         if expect_host:
             fail(f"{path}: empty trace but host telemetry expected")
+        if expect_chips:
+            fail(f"{path}: empty trace but {expect_chips} chip "
+                 f"processes expected")
         print(f"{path}: ok (empty trace)")
         return
     n_spans = 0
     n_host = 0
     host_process_named = False
+    chip_procs = {}  # pid -> process_name for the 10+i chip tracks
     for i, ev in enumerate(events):
         for key in ("ph", "pid"):
             if key not in ev:
@@ -56,6 +68,10 @@ def check_trace(path: str, expect_host: bool = False) -> None:
             if (ev["name"] == "process_name" and ev["pid"] == 2 and
                     ev["args"].get("name") == "cyclops-host"):
                 host_process_named = True
+            if (ev["name"] == "process_name" and ev["pid"] >= 10 and
+                    str(ev["args"].get("name", ""))
+                    .startswith("cyclops-chip")):
+                chip_procs[ev["pid"]] = ev["args"]["name"]
             continue
         for key in ("name", "tid", "ts", "cat"):
             if key not in ev:
@@ -97,7 +113,31 @@ def check_trace(path: str, expect_host: bool = False) -> None:
     if expect_host and not n_host:
         fail(f"{path}: no host telemetry events (expected --host-obs "
              f"with the host trace category)")
+    # Multi-chip traces (arch::System) put each chip on its own
+    # process: pid 10+i named "cyclops-chipI". The naming must match
+    # the pid so Perfetto tracks line up with chip ids.
+    events_per_pid = {}
+    for ev in events:
+        if ev["ph"] != "M":
+            events_per_pid[ev["pid"]] = \
+                events_per_pid.get(ev["pid"], 0) + 1
+    for pid, name in sorted(chip_procs.items()):
+        if name != f"cyclops-chip{pid - 10}":
+            fail(f"{path}: chip process on pid {pid} named '{name}', "
+                 f"want 'cyclops-chip{pid - 10}'")
+    if expect_chips:
+        want = {10 + i for i in range(expect_chips)}
+        if set(chip_procs) != want:
+            fail(f"{path}: chip processes on pids "
+                 f"{sorted(chip_procs)} do not match --expect-chips "
+                 f"{expect_chips} (want pids {sorted(want)})")
+        for pid in sorted(want):
+            if not events_per_pid.get(pid):
+                fail(f"{path}: chip process pid {pid} "
+                     f"(cyclops-chip{pid - 10}) has no events")
     extra = f", {n_host} host" if n_host else ""
+    if chip_procs:
+        extra += f", {len(chip_procs)} chips"
     print(f"{path}: ok ({len(events)} events, {n_spans} spans{extra})")
 
 
@@ -168,11 +208,15 @@ def main() -> None:
                         help="epoch-series CSV file to validate")
     parser.add_argument("--expect-host", action="store_true",
                         help="require host telemetry in every trace")
+    parser.add_argument("--expect-chips", type=int, default=0,
+                        help="require N chip processes (pids 10..10+N-1)"
+                             " in every trace")
     args = parser.parse_args()
     if not (args.trace or args.stats or args.csv):
         fail("nothing to check (use --trace/--stats/--csv)")
     for path in args.trace:
-        check_trace(path, expect_host=args.expect_host)
+        check_trace(path, expect_host=args.expect_host,
+                    expect_chips=args.expect_chips)
     for path in args.stats:
         check_stats(path)
     for path in args.csv:

@@ -9,6 +9,13 @@
  *   cyclops-run --stats prog.s         dump every statistic at exit
  *   cyclops-run --disasm prog.s        print the assembled code, don't run
  *
+ * Multi-chip systems (DESIGN.md section 16):
+ *   --chips X,Y,Z      run an X x Y x Z torus of chips on the
+ *                      cycle-driven fabric; the program is SPMD (the
+ *                      same image boots on every chip, -t threads
+ *                      each; SPRs 6/7 = chip id / chip count)
+ *   --mesh             mesh links instead of torus wraparound
+ *
  * Degraded chips and robustness (DESIGN.md section 13):
  *   --disable-tu N     fuse off one thread unit       (repeatable)
  *   --disable-quad N   fuse off a quad: TUs+FPU+cache (repeatable)
@@ -59,12 +66,15 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include <unistd.h>
 
 #include "arch/chip.h"
+#include "arch/system.h"
 #include "common/config.h"
 #include "common/hostobs.h"
 #include "common/log.h"
@@ -98,7 +108,8 @@ usage(const char *argv0)
                  "       [--trace-out P] [--trace-cats LIST] "
                  "[--trace-capacity N]\n"
                  "       [--prof-out P] [--prof-interval N]\n"
-                 "       [--host-obs] [--manifest P] prog.s\n",
+                 "       [--host-obs] [--manifest P]\n"
+                 "       [--chips X,Y,Z] [--mesh] prog.s\n",
                  argv0);
 }
 
@@ -127,10 +138,133 @@ parseU64(const char *text, u64 *out)
     return true;
 }
 
+/** Parse "X,Y,Z" (or "XxYxZ") system dimensions; false if malformed. */
+bool
+parseDims(const char *text, u32 dims[3])
+{
+    unsigned x = 0, y = 0, z = 0;
+    char sep1 = 0, sep2 = 0, tail = 0;
+    const int n = std::sscanf(text, "%u%c%u%c%u%c", &x, &sep1, &y,
+                              &sep2, &z, &tail);
+    if (n != 5 || (sep1 != ',' && sep1 != 'x') || sep2 != sep1)
+        return false;
+    if (x == 0 || y == 0 || z == 0)
+        return false;
+    dims[0] = u32(x);
+    dims[1] = u32(y);
+    dims[2] = u32(z);
+    return true;
+}
+
 void
 stopHandler(int sig)
 {
     arch::requestRunStop(sig);
+}
+
+/**
+ * Multi-chip run (--chips): the same SPMD image is booted and spawned
+ * on every chip of the torus/mesh, then the whole system advances in
+ * fabric lockstep (DESIGN.md section 16). Console output is printed
+ * per chip; the summary and manifest report system-wide sums plus the
+ * fabric traffic counters.
+ */
+int
+runSystem(const char *argv0, const isa::Program &prog, const char *path,
+          const arch::SystemConfig &sysCfg, u32 threads, bool balanced,
+          bool dumpStats, u64 maxCycles, const std::string &manifestPath,
+          u64 startNs)
+{
+    arch::System sys(sysCfg);
+    std::vector<std::unique_ptr<kernel::Kernel>> kernels;
+    for (u32 c = 0; c < sys.numChips(); ++c) {
+        auto kern = std::make_unique<kernel::Kernel>(
+            sys.chip(c), balanced ? kernel::AllocPolicy::Balanced
+                                  : kernel::AllocPolicy::Sequential);
+        kern->load(prog);
+        if (threads > kern->usableThreads())
+            argError(argv0,
+                     strprintf("-t %u exceeds the %u usable threads",
+                               threads, kern->usableThreads()));
+        kern->spawn(threads, prog.entry);
+        kernels.push_back(std::move(kern));
+    }
+
+    const auto flushConsoles = [&sys] {
+        for (u32 c = 0; c < sys.numChips(); ++c) {
+            const std::string &text = sys.chip(c).console();
+            if (text.empty())
+                continue;
+            std::printf("[chip %u]\n", c);
+            std::fputs(text.c_str(), stdout);
+        }
+    };
+
+    arch::RunExit exit;
+    try {
+        exit = sys.run(maxCycles);
+    } catch (const GuestError &err) {
+        flushConsoles();
+        std::fprintf(stderr, "\n[guest %s at cycle %llu: %s]\n",
+                     err.kind() == GuestError::Kind::Check ? "fault"
+                                                           : "crash",
+                     static_cast<unsigned long long>(sys.now()),
+                     err.what());
+        return 1;
+    }
+    sys.writeObservability();
+    flushConsoles();
+
+    if (!manifestPath.empty()) {
+        RunManifest m;
+        m.tool = "cyclops-run";
+        m.workload = path;
+        m.config = &sysCfg.chip;
+        m.simCycles = sys.now();
+        m.instructions = sys.totalInstructions();
+        m.wallSeconds = double(hostNowNs() - startNs) / 1e9;
+        m.exitReason = arch::runExitName(exit.reason);
+        writeRunManifest(sysCfg.chip.obs.expandPath(manifestPath), m);
+    }
+
+    switch (exit.reason) {
+      case arch::RunExitReason::CycleLimit:
+        std::fprintf(stderr, "\n[cycle limit %llu reached]\n",
+                     static_cast<unsigned long long>(maxCycles));
+        return 3;
+      case arch::RunExitReason::Watchdog:
+        std::fprintf(stderr, "\n[deadlock watchdog]\n%s",
+                     exit.diagnostic.c_str());
+        return 4;
+      case arch::RunExitReason::Signal:
+        std::fprintf(stderr,
+                     "\n[stopped by %s at cycle %llu; state flushed]\n",
+                     exit.signal == SIGALRM
+                         ? "wall-clock timeout"
+                         : exit.signal == SIGINT ? "SIGINT" : "SIGTERM",
+                     static_cast<unsigned long long>(exit.at));
+        return 128 + exit.signal;
+      case arch::RunExitReason::AllHalted:
+        break;
+    }
+
+    const net::Fabric &fabric = sys.fabric();
+    std::fprintf(
+        stderr,
+        "\n[%llu cycles, %llu instructions, %u chips x %u threads; "
+        "fabric %llu messages, %llu bytes, %llu queue cycles]\n",
+        static_cast<unsigned long long>(sys.now()),
+        static_cast<unsigned long long>(sys.totalInstructions()),
+        sys.numChips(), threads,
+        static_cast<unsigned long long>(fabric.messages()),
+        static_cast<unsigned long long>(fabric.bytesMoved()),
+        static_cast<unsigned long long>(fabric.queueCycles()));
+    if (dumpStats)
+        for (u32 c = 0; c < sys.numChips(); ++c) {
+            std::fprintf(stderr, "--- chip %u ---\n", c);
+            std::fputs(sys.chip(c).stats().dump().c_str(), stderr);
+        }
+    return 0;
 }
 
 } // namespace
@@ -148,6 +282,8 @@ main(int argc, char **argv)
     FaultConfig faultCfg;
     EngineConfig engineCfg;
     std::string manifestPath;
+    u32 chipDims[3] = {0, 0, 0};
+    bool mesh = false;
     const char *path = nullptr;
     const u64 startNs = hostNowNs();
 
@@ -228,6 +364,13 @@ main(int argc, char **argv)
             obs.hostObs = true;
         } else if (std::strcmp(arg, "--manifest") == 0 && i + 1 < argc) {
             manifestPath = argv[++i];
+        } else if (std::strcmp(arg, "--chips") == 0 && i + 1 < argc) {
+            if (!parseDims(argv[++i], chipDims))
+                argError(argv[0],
+                         strprintf("--chips: '%s' is not X,Y,Z with "
+                                   "nonzero dimensions", argv[i]));
+        } else if (std::strcmp(arg, "--mesh") == 0) {
+            mesh = true;
         } else if (arg[0] == '-') {
             argError(argv[0], strprintf("unknown argument '%s'", arg));
         } else if (path) {
@@ -240,6 +383,8 @@ main(int argc, char **argv)
         argError(argv[0], "no program file");
     if (threads == 0)
         argError(argv[0], "-t must be nonzero");
+    if (mesh && chipDims[0] == 0)
+        argError(argv[0], "--mesh needs --chips X,Y,Z");
 
     std::ifstream in(path);
     if (!in) {
@@ -291,6 +436,19 @@ main(int argc, char **argv)
     if (timeoutSeconds != 0) {
         std::signal(SIGALRM, stopHandler);
         alarm(u32(timeoutSeconds));
+    }
+
+    if (chipDims[0] != 0) {
+        arch::SystemConfig sysCfg;
+        sysCfg.chip = chipCfg;
+        sysCfg.fabric.net.dimX = chipDims[0];
+        sysCfg.fabric.net.dimY = chipDims[1];
+        sysCfg.fabric.net.dimZ = chipDims[2];
+        sysCfg.fabric.net.torus = !mesh;
+        if (const std::string err = sysCfg.check(); !err.empty())
+            argError(argv[0], err);
+        return runSystem(argv[0], prog, path, sysCfg, threads, balanced,
+                         dumpStats, maxCycles, manifestPath, startNs);
     }
 
     arch::Chip chip(chipCfg);

@@ -1,0 +1,63 @@
+# CTest script: run cyclops-run --chips on the multi-chip SPMD smoke
+# program and validate the merged multi-process trace (one
+# "cyclops-chipN" process per chip) plus the per-chip stats files.
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+execute_process(
+    COMMAND ${RUNNER} -t 4 --chips 2,2,1
+        --trace-out ${WORK_DIR}/trace.json --trace-cats all
+        --stats-json ${WORK_DIR}/stats.json
+        --manifest ${WORK_DIR}/manifest.json
+        ${PROGRAM}
+    RESULT_VARIABLE run_rc
+    OUTPUT_VARIABLE run_out
+    ERROR_VARIABLE run_err)
+if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR
+        "cyclops-run --chips failed (${run_rc}):\n${run_out}\n${run_err}")
+endif()
+# Every chip must have reported on its own console.
+foreach(chip RANGE 3)
+    if(NOT run_out MATCHES "\\[chip ${chip}\\]")
+        message(FATAL_ERROR
+            "no console output from chip ${chip}:\n${run_out}")
+    endif()
+endforeach()
+
+execute_process(
+    COMMAND ${PYTHON} ${CHECKER} --expect-chips 4
+        --trace ${WORK_DIR}/trace.json
+        --stats ${WORK_DIR}/stats.json.chip0
+        --stats ${WORK_DIR}/stats.json.chip3
+    RESULT_VARIABLE check_rc
+    OUTPUT_VARIABLE check_out
+    ERROR_VARIABLE check_err)
+if(NOT check_rc EQUAL 0)
+    message(FATAL_ERROR
+        "check_trace.py --expect-chips failed (${check_rc}):\n"
+        "${check_out}\n${check_err}")
+endif()
+message(STATUS "${check_out}")
+
+if(NOT EXISTS ${WORK_DIR}/manifest.json)
+    message(FATAL_ERROR "cyclops-run --chips wrote no manifest")
+endif()
+file(READ ${WORK_DIR}/manifest.json manifest_text)
+if(NOT manifest_text MATCHES "cyclops-manifest-v1")
+    message(FATAL_ERROR "manifest.json lacks the schema marker:\n"
+        "${manifest_text}")
+endif()
+
+# A mesh run of the same program must also complete (edge chips take
+# the wraparound-free routes).
+execute_process(
+    COMMAND ${RUNNER} -t 2 --chips 2x2x1 --mesh ${PROGRAM}
+    RESULT_VARIABLE run_rc
+    OUTPUT_VARIABLE run_out
+    ERROR_VARIABLE run_err)
+if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR
+        "cyclops-run --chips --mesh failed (${run_rc}):\n"
+        "${run_out}\n${run_err}")
+endif()

@@ -1,0 +1,55 @@
+# Multi-chip SPMD smoke program: the same image boots on every chip
+# of a --chips torus. Every thread stores into a local per-thread
+# slot (trace activity on every chip); thread 0 additionally sends
+# its chip id through the fabric to the next chip's remote window
+# (physical bit 23 + chip-id bits, DESIGN.md section 16) and prints
+# "c<id>/<n>" to its chip's console. Run, for example:
+#
+#   cyclops-run -t 4 --chips 2,2,1 --trace-out trace.json \
+#       tools/multichip.s
+#
+# r4 = software thread index (kernel convention); SPR 6 = chip id,
+# SPR 7 = chip count (1 on a standalone chip).
+
+    .text
+start:
+    mfspr   r8, 6           # chip id
+    mfspr   r9, 7           # chip count
+
+    la      r10, out        # out[tid] = chipid + tid
+    slli    r11, r4, 2
+    add     r10, r10, r11
+    add     r12, r8, r4
+    sw      r12, 0(r10)
+
+    bnez    r4, done        # the fabric part is thread 0's job
+
+    addi    r13, r8, 1      # next = (id + 1) mod nchips
+    sub     r14, r13, r9
+    bnez    r14, nowrap
+    li      r13, 0
+nowrap:
+    slli    r15, r13, 17    # remote EA = 1<<23 | next<<17 | 0
+    li      r16, 1
+    slli    r16, r16, 23
+    or      r15, r15, r16
+    addi    r17, r8, 1      # payload: own id + 1 (nonzero)
+    sw      r17, 0(r15)
+
+    li      r4, 99          # console: "c<id>/<n>\n"
+    trap    1
+    mv      r4, r8
+    trap    2
+    li      r4, 47
+    trap    1
+    mv      r4, r9
+    trap    2
+    li      r4, 10
+    trap    1
+done:
+    halt
+
+    .data
+    .align 64
+out:
+    .space 512
