@@ -90,7 +90,8 @@ panel(const Options &opts, u32 points, const std::vector<u32> &threads)
     // hardware barrier converts long memory-spin stalls into short
     // wired-OR waits (and some extra run cycles).
     Table comp({"threads", "hw barrier/stall %", "sw barrier/stall %",
-                "hw dcache/stall %", "sw dcache/stall %"});
+                "hw dcache/stall %", "sw dcache/stall %",
+                "hw remote/stall %", "sw remote/stall %"});
     for (size_t i = 0; i < threads.size(); ++i) {
         const SplashResult &hw = results[2 * i];
         const SplashResult &sw = results[2 * i + 1];
@@ -100,11 +101,17 @@ panel(const Options &opts, u32 points, const std::vector<u32> &threads)
                           hw.attr[arch::CycleCat::BankContention];
         const u64 swMem = sw.attr[arch::CycleCat::DcacheMiss] +
                           sw.attr[arch::CycleCat::BankContention];
+        // Remote is always 0.0 on a single chip; the column keeps the
+        // table shape identical to the multi-chip composition report.
+        const u64 hwRem = hw.attr[arch::CycleCat::RemoteWait];
+        const u64 swRem = sw.attr[arch::CycleCat::RemoteWait];
         comp.addRow({Table::num(s64(threads[i])),
                      Table::num(share(hwBar, stall(hw)), 1),
                      Table::num(share(swBar, stall(sw)), 1),
                      Table::num(share(hwMem, stall(hw)), 1),
-                     Table::num(share(swMem, stall(sw)), 1)});
+                     Table::num(share(swMem, stall(sw)), 1),
+                     Table::num(share(hwRem, stall(hw)), 1),
+                     Table::num(share(swRem, stall(sw)), 1)});
     }
     cyclops::bench::note(opts, "Stall composition (cycle attribution):");
     cyclops::bench::emit(opts, comp);

@@ -20,7 +20,8 @@
  * Wall-clock numbers vary run to run and host to host; the simulated
  * cycle counts printed alongside are deterministic and double as a
  * quick cross-check that an optimization did not change results.
- * Overhead experiments (profiler, host telemetry) therefore report
+ * Overhead experiments (profiler, host telemetry, fabric
+ * observability) therefore report
  * the median of repeated runs plus the coefficient of variation, and
  * the sharded/sampled engine rows run with --host-obs-style telemetry
  * so the emitted "hostObs" JSON section decomposes where their wall
@@ -35,6 +36,7 @@
 #include <thread>
 
 #include "bench_util.h"
+#include "common/trace.h"
 #include "workloads/multichip.h"
 #include "workloads/splash.h"
 #include "workloads/stream.h"
@@ -46,6 +48,18 @@ using cyclops::bench::Options;
 namespace
 {
 
+/** Fabric aggregates of a multi-chip row (absent on single-chip). */
+struct FabricCounters
+{
+    bool present = false;
+    u64 messages = 0;
+    u64 bytes = 0;
+    u64 queueCycles = 0;
+    u64 flitsInjected = 0;
+    u64 flitsDelivered = 0;
+    u64 flitsInFlight = 0;
+};
+
 struct Measurement
 {
     std::string name;
@@ -54,6 +68,7 @@ struct Measurement
     double wallSeconds = 0;
     arch::CycleBreakdown attr; ///< where the simulated cycles went
     HostObsSnapshot host;      ///< host telemetry (when obs.hostObs)
+    FabricCounters fabric;     ///< multi-chip rows only
 
     double
     cyclesPerSec() const
@@ -188,7 +203,7 @@ measureFft(const char *name, u32 threads, u32 points)
  */
 Measurement
 measureMultiChip(const char *name, u32 dx, u32 dy, u32 dz, u32 words,
-                 u32 iters)
+                 u32 iters, bool fabricObs = false)
 {
     MultiChipConfig cfg;
     cfg.dimX = dx;
@@ -196,6 +211,21 @@ measureMultiChip(const char *name, u32 dx, u32 dy, u32 dz, u32 words,
     cfg.dimZ = dz;
     cfg.words = words;
     cfg.iters = iters;
+    if (fabricObs) {
+        // Fabric observability without file output: the per-epoch
+        // sampler walks every per-link stat and the net-category
+        // tracer records per-link slices and packet flows into the
+        // ring buffer, which is where the collection cost lives. A
+        // small ring keeps the one-time buffer allocation (5 tracers:
+        // 4 chips + fabric) from dwarfing the short benchmark run —
+        // the ring wraps, so per-event recording cost is unchanged.
+        // The epoch matches what a fig8-length sweep would use: a row
+        // costs O(scalars) regardless of interval, so the gated
+        // quantity is the per-event/per-row path, not row count.
+        cfg.obs.statsInterval = 4096;
+        cfg.obs.traceCats = traceBit(TraceCat::Net);
+        cfg.obs.traceCapacity = 4096;
+    }
     const auto start = std::chrono::steady_clock::now();
     const MultiChipResult result = runHaloExchange(cfg);
     Measurement m;
@@ -204,6 +234,13 @@ measureMultiChip(const char *name, u32 dx, u32 dy, u32 dz, u32 words,
     m.simCycles = result.cycles;
     m.instructions = result.instructions;
     m.attr = result.attr;
+    m.fabric.present = true;
+    m.fabric.messages = result.messages;
+    m.fabric.bytes = result.bytesMoved;
+    m.fabric.queueCycles = result.queueCycles;
+    m.fabric.flitsInjected = result.flitsInjected;
+    m.fabric.flitsDelivered = result.flitsDelivered;
+    m.fabric.flitsInFlight = result.flitsInFlight;
     if (!result.verified)
         warn("simperf: %s failed verification", name);
     return m;
@@ -458,6 +495,7 @@ void
 writeJson(const char *path, const Options &opts,
           const std::vector<Measurement> &measurements,
           const Overhead &overhead, const Overhead &hostOh,
+          const Overhead &fabricOh,
           const std::vector<EngineRow> &engines,
           double samplingErrorPct)
 {
@@ -498,6 +536,19 @@ writeJson(const char *path, const Options &opts,
                  overhead.repeats, overhead.off.cyclesPerSec(),
                  overhead.on.cyclesPerSec(), overhead.offCovPct,
                  overhead.onCovPct, overhead.overheadPct());
+    std::fprintf(f,
+                 "  \"fabricObsOverhead\": {\"workload\": \"%s\", "
+                 "\"repeats\": %u, "
+                 "\"disabledCyclesPerSec\": %.0f, "
+                 "\"enabledCyclesPerSec\": %.0f, "
+                 "\"disabledCovPct\": %.2f, \"enabledCovPct\": %.2f, "
+                 "\"overheadPct\": %.2f, \"simCyclesDrift\": %lld},\n",
+                 fabricOh.off.name.c_str(), fabricOh.repeats,
+                 fabricOh.off.cyclesPerSec(),
+                 fabricOh.on.cyclesPerSec(), fabricOh.offCovPct,
+                 fabricOh.onCovPct, fabricOh.overheadPct(),
+                 static_cast<long long>(s64(fabricOh.on.simCycles) -
+                                        s64(fabricOh.off.simCycles)));
     writeHostObsJson(f, hostOh, engines);
     std::fprintf(f, "  \"workloads\": [\n");
     for (size_t i = 0; i < measurements.size(); ++i) {
@@ -516,7 +567,22 @@ writeJson(const char *path, const Options &opts,
                          arch::kCycleCatNames[c],
                          static_cast<unsigned long long>(
                              m.attr.value(c)));
-        std::fprintf(f, "}}%s\n",
+        std::fprintf(f, "}");
+        if (m.fabric.present)
+            std::fprintf(
+                f,
+                ", \"fabric\": {\"messages\": %llu, \"bytes\": %llu, "
+                "\"queueCycles\": %llu, \"flitsInjected\": %llu, "
+                "\"flitsDelivered\": %llu, \"flitsInFlight\": %llu}",
+                static_cast<unsigned long long>(m.fabric.messages),
+                static_cast<unsigned long long>(m.fabric.bytes),
+                static_cast<unsigned long long>(m.fabric.queueCycles),
+                static_cast<unsigned long long>(m.fabric.flitsInjected),
+                static_cast<unsigned long long>(
+                    m.fabric.flitsDelivered),
+                static_cast<unsigned long long>(
+                    m.fabric.flitsInFlight));
+        std::fprintf(f, "}%s\n",
                      i + 1 < measurements.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
@@ -620,6 +686,42 @@ main(int argc, char **argv)
     ms.push_back(hostOh.off);
     ms.push_back(hostOh.on);
 
+    // Fabric-observability overhead: the multi-chip halo exchange with
+    // the per-link epoch sampler and net-category tracer enabled (no
+    // file output) vs fully off. The simCyclesDrift field in the JSON
+    // must be exactly zero — fabric telemetry never moves a simulated
+    // cycle (tools/check_simperf.py enforces it).
+    Overhead fabricOh;
+    fabricOh.repeats = kRepeats;
+    {
+        // Big enough that each run is ~100ms: at single-digit
+        // millisecond run lengths the pair measurement is dominated
+        // by host scheduling noise, not by collection cost.
+        const u32 fw = opts.quick ? 256 : 512;
+        const u32 fi = 32;
+        const auto [off, on] = repeatMedianPair(
+            kRepeats,
+            [&] {
+                return measureMultiChip("multichip_fabricobs_off", 2, 2,
+                                        1, fw, fi);
+            },
+            [&] {
+                return measureMultiChip("multichip_fabricobs_on", 2, 2,
+                                        1, fw, fi, true);
+            });
+        fabricOh.off = off.m;
+        fabricOh.on = on.m;
+        fabricOh.offCovPct = off.covPct;
+        fabricOh.onCovPct = on.covPct;
+    }
+    if (fabricOh.on.simCycles != fabricOh.off.simCycles)
+        warn("simperf: fabric observability changed simulated timing "
+             "(%llu != %llu cycles)",
+             static_cast<unsigned long long>(fabricOh.on.simCycles),
+             static_cast<unsigned long long>(fabricOh.off.simCycles));
+    ms.push_back(fabricOh.off);
+    ms.push_back(fabricOh.on);
+
     // Cycle-engine comparison (see measureEngines). On hosts with too
     // few cores for the crew the sharded rows measure synchronization
     // overhead, not speedup — consumers gate on hostCores.
@@ -645,7 +747,7 @@ main(int argc, char **argv)
                   .c_str());
 
     writeJson("BENCH_simperf.json", opts, ms, overhead, hostOh,
-              engines, samplingErrorPct);
+              fabricOh, engines, samplingErrorPct);
     cyclops::bench::note(opts, "Wrote BENCH_simperf.json");
 
     u64 totalCycles = 0, totalInstructions = 0;

@@ -34,6 +34,11 @@
  *                         .heatmap.csv per simulated chip)
  *   --prof-interval N     PC sample period in cycles (default 512
  *                         when --prof-out is given)
+ *   --fabric-stats PATH   fabric stats JSON (multi-chip benches;
+ *                         schema cyclops-fabric-v1, validated by
+ *                         tools/check_fabric.py)
+ *   --fabric-heatmap PATH link/pair congestion heatmap CSV
+ *                         (multi-chip benches; DESIGN.md section 17)
  *   --host-obs            host-side simulator telemetry (hostObs
  *                         section in stats JSON, host Chrome-trace
  *                         process; DESIGN.md section 15)
@@ -123,6 +128,12 @@ parseOptions(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--prof-interval") == 0 &&
                    i + 1 < argc) {
             opts.obs.profInterval = u32(std::atoi(argv[++i]));
+        } else if (std::strcmp(argv[i], "--fabric-stats") == 0 &&
+                   i + 1 < argc) {
+            opts.obs.fabricStats = argv[++i];
+        } else if (std::strcmp(argv[i], "--fabric-heatmap") == 0 &&
+                   i + 1 < argc) {
+            opts.obs.fabricHeatmap = argv[++i];
         } else if (std::strcmp(argv[i], "--host-obs") == 0) {
             opts.obs.hostObs = true;
         } else if (std::strcmp(argv[i], "--manifest") == 0 &&
@@ -189,6 +200,7 @@ parseOptions(int argc, char **argv)
                 "          [--trace-capacity N] [--stats-json P]\n"
                 "          [--stats-csv P] [--stats-interval N]\n"
                 "          [--prof-out P] [--prof-interval N]\n"
+                "          [--fabric-stats P] [--fabric-heatmap P]\n"
                 "          [--host-obs] [--manifest P]\n",
                 argv[0]);
             std::exit(2);

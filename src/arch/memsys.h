@@ -41,6 +41,7 @@ struct MemTiming
     bool remote = false;
     bool hit = false;
     u64 queueWait = 0;  ///< contention share of the latency (queueing)
+    bool fabric = false; ///< crossed the inter-chip fabric (RemoteWait)
 };
 
 /** The data-memory fabric of one chip. */

@@ -72,6 +72,13 @@ System::System(const SystemConfig &cfg)
       windowBase_(cfg.windowBaseOf())
 {
     cfg_.validate();
+    // Fabric-level observability mirrors the chip-level layer: an
+    // epoch sampler over the fabric's StatGroup (same interval as the
+    // chips) and a dedicated tracer for the "net" category. Neither
+    // can change simulated timing (determinism tests compare on/off).
+    fabricSampler_.configure(&fabric_.stats(), obsOrig_.statsInterval);
+    fabricTracer_.configure(obsOrig_.traceCats, obsOrig_.traceCapacity);
+    fabric_.setTracer(&fabricTracer_);
     const u32 n = cfg_.numChips();
     chips_.reserve(n);
     for (u32 i = 0; i < n; ++i) {
@@ -171,6 +178,7 @@ System::remoteAccess(u32 srcChip, ThreadId tid, Cycle now, Addr ea,
     MemTiming t;
     t.remote = true;
     t.hit = false;
+    t.fabric = true; // waits on this timing charge to RemoteWait
     if (kind == MemKind::Store) {
         StagedStore &s =
             staged_[size_t(srcChip) * cfg_.chip.numThreads + tid];
@@ -244,6 +252,7 @@ System::run(Cycle maxCycles)
             now_ = std::max(now_, maxNow);
             applyDeliveries(kCycleNever);
             fabric_.drain();
+            fabricSampler_.maybeSample(now_);
             return {RunExitReason::AllHalted, now_};
         }
         if (now_ >= limit)
@@ -271,6 +280,7 @@ System::run(Cycle maxCycles)
         }
         now_ = target;
         applyDeliveries(now_);
+        fabricSampler_.maybeSample(now_);
     }
 }
 
@@ -279,13 +289,16 @@ System::writeObservability()
 {
     for (auto &chip : chips_)
         chip->writeObservability();
+    writeFabricStats();
+    writeFabricHeatmap();
     if (obsOrig_.traceOut.empty())
         return;
 
     // One merged Chrome trace: chip N rides pid 10+N as process
     // "cyclops-chipN" (pids 1 and 2 stay reserved for the standalone
-    // guest and host processes; tools/check_trace.py validates the
-    // scheme).
+    // guest and host processes), and with the "net" category enabled
+    // the fabric rides pid 3 as "cyclops-fabric" with one track per
+    // directed link (tools/check_trace.py validates the scheme).
     const std::string path = obsOrig_.expandPath(obsOrig_.traceOut);
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (!f)
@@ -301,9 +314,151 @@ System::writeObservability()
                                               i > 0);
         dropped += chips_[i]->tracer().dropped();
     }
+    if (fabricTracer_.on(TraceCat::Net)) {
+        fabricTracer_.writeChromeEvents(f, 3, "cyclops-fabric",
+                                        fabric_.numLinks(), true,
+                                        &fabric_.linkTrackNames());
+        dropped += fabricTracer_.dropped();
+    }
     std::fprintf(f,
                  "\n  ],\n  \"otherData\": {\"droppedEvents\": %llu}\n}\n",
                  static_cast<unsigned long long>(dropped));
+    std::fclose(f);
+}
+
+void
+System::writeFabricStats()
+{
+    if (obsOrig_.fabricStats.empty())
+        return;
+    fabricSampler_.finalize(now_);
+    const std::string path = obsOrig_.expandPath(obsOrig_.fabricStats);
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("cannot open fabric stats output '%s'", path.c_str());
+    const net::NetConfig &nc = cfg_.fabric.net;
+    std::fprintf(f,
+                 "{\n  \"schema\": \"cyclops-fabric-v1\",\n"
+                 "  \"cycles\": %llu,\n"
+                 "  \"topology\": {\"dimX\": %u, \"dimY\": %u, "
+                 "\"dimZ\": %u, \"torus\": %s, \"chips\": %u, "
+                 "\"links\": %u},\n  \"counters\": {",
+                 static_cast<unsigned long long>(now_), nc.dimX,
+                 nc.dimY, nc.dimZ, nc.torus ? "true" : "false",
+                 nc.numChips(), fabric_.numLinks());
+    bool first = true;
+    for (const auto &[name, value] : fabric_.stats().counters()) {
+        std::fprintf(f, "%s\n    \"%s\": %llu", first ? "" : ",",
+                     name.c_str(),
+                     static_cast<unsigned long long>(value));
+        first = false;
+    }
+    std::fputs("\n  },\n  \"histograms\": {", f);
+    first = true;
+    for (const auto &[name, h] : fabric_.stats().histograms()) {
+        std::fprintf(f,
+                     "%s\n    \"%s\": {\"n\": %llu, \"sum\": %llu, "
+                     "\"max\": %llu, \"buckets\": [",
+                     first ? "" : ",", name.c_str(),
+                     static_cast<unsigned long long>(h->samples()),
+                     static_cast<unsigned long long>(h->sum()),
+                     static_cast<unsigned long long>(h->max()));
+        for (unsigned b = 0; b < Histogram::kBuckets; ++b)
+            std::fprintf(f, "%s%llu", b ? ", " : "",
+                         static_cast<unsigned long long>(h->bucket(b)));
+        std::fputs("]}", f);
+        first = false;
+    }
+    // Chip-pair traffic matrix (pairs with traffic only) with the DOR
+    // hop count, so link flits can be cross-checked: sum over links of
+    // flits == sum over pairs of flits * hops (tools/check_fabric.py).
+    std::fputs("\n  },\n  \"pairs\": [", f);
+    first = true;
+    const u32 chips = nc.numChips();
+    for (u32 s = 0; s < chips; ++s) {
+        for (u32 d = 0; d < chips; ++d) {
+            if (s == d || fabric_.pairMessages(s, d) == 0)
+                continue;
+            std::fprintf(
+                f,
+                "%s\n    {\"src\": %u, \"dst\": %u, \"messages\": %llu, "
+                "\"bytes\": %llu, \"flits\": %llu, \"hops\": %u}",
+                first ? "" : ",", s, d,
+                static_cast<unsigned long long>(fabric_.pairMessages(s, d)),
+                static_cast<unsigned long long>(fabric_.pairBytes(s, d)),
+                static_cast<unsigned long long>(fabric_.pairFlits(s, d)),
+                fabric_.topology().hops(s, d));
+            first = false;
+        }
+    }
+    std::fputs("\n  ],\n  \"links\": [", f);
+    first = true;
+    for (const net::Fabric::Link &link : fabric_.links()) {
+        if (!link.exists)
+            continue;
+        std::fprintf(
+            f,
+            "%s\n    {\"src\": %u, \"dst\": %u, \"dir\": %u, "
+            "\"flits\": %llu, \"busyCycles\": %llu, "
+            "\"stallCycles\": %llu, \"occFlitCycles\": %llu, "
+            "\"occPeak\": %llu}",
+            first ? "" : ",", link.src, link.dst, u32(link.dir),
+            static_cast<unsigned long long>(link.flits.value()),
+            static_cast<unsigned long long>(link.busyCycles.value()),
+            static_cast<unsigned long long>(link.stallCycles.value()),
+            static_cast<unsigned long long>(link.occFlitCycles.value()),
+            static_cast<unsigned long long>(link.occPeak));
+        first = false;
+    }
+    std::fputs("\n  ]", f);
+    if (fabricSampler_.enabled()) {
+        std::fputs(",\n  \"series\": ", f);
+        writeSeriesJson(f, fabricSampler_);
+    }
+    std::fputs("\n}\n", f);
+    std::fclose(f);
+}
+
+void
+System::writeFabricHeatmap()
+{
+    if (obsOrig_.fabricHeatmap.empty())
+        return;
+    const std::string path = obsOrig_.expandPath(obsOrig_.fabricHeatmap);
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("cannot open fabric heatmap output '%s'", path.c_str());
+    // Two row kinds share one schema: "pair" rows are the (src, dst)
+    // traffic matrix (dir = -1, link-only columns zero), "link" rows
+    // are per-directed-link congestion (pair-only columns zero).
+    std::fputs("# cyclops-fabric-heatmap-v1\n"
+               "kind,src,dst,dir,messages,bytes,flits,busyCycles,"
+               "stallCycles,occFlitCycles,occPeak\n",
+               f);
+    const u32 chips = cfg_.fabric.net.numChips();
+    for (u32 s = 0; s < chips; ++s) {
+        for (u32 d = 0; d < chips; ++d) {
+            if (s == d || fabric_.pairMessages(s, d) == 0)
+                continue;
+            std::fprintf(
+                f, "pair,%u,%u,-1,%llu,%llu,%llu,0,0,0,0\n", s, d,
+                static_cast<unsigned long long>(fabric_.pairMessages(s, d)),
+                static_cast<unsigned long long>(fabric_.pairBytes(s, d)),
+                static_cast<unsigned long long>(fabric_.pairFlits(s, d)));
+        }
+    }
+    for (const net::Fabric::Link &link : fabric_.links()) {
+        if (!link.exists)
+            continue;
+        std::fprintf(
+            f, "link,%u,%u,%u,0,0,%llu,%llu,%llu,%llu,%llu\n", link.src,
+            link.dst, u32(link.dir),
+            static_cast<unsigned long long>(link.flits.value()),
+            static_cast<unsigned long long>(link.busyCycles.value()),
+            static_cast<unsigned long long>(link.stallCycles.value()),
+            static_cast<unsigned long long>(link.occFlitCycles.value()),
+            static_cast<unsigned long long>(link.occPeak));
+    }
     std::fclose(f);
 }
 

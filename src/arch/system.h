@@ -35,6 +35,8 @@
 #include <vector>
 
 #include "arch/chip.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "net/fabric.h"
 
 namespace cyclops::arch
@@ -112,7 +114,12 @@ class System : private RemotePort
      * files are written per chip (paths get a ".chipN" suffix unless
      * they contain "%t", which expands to "<tag>-chipN"); the trace is
      * one merged Chrome JSON with each chip as its own process (pid
-     * 10+N, "cyclops-chipN") so Perfetto shows the chips side by side.
+     * 10+N, "cyclops-chipN") so Perfetto shows the chips side by side,
+     * plus — when the "net" category is traced — the fabric as pid 3
+     * ("cyclops-fabric") with one track per directed link. The fabric
+     * stats JSON (obs.fabricStats, schema cyclops-fabric-v1) and the
+     * link/pair congestion heatmap CSV (obs.fabricHeatmap) are
+     * system-level files written here too (see DESIGN.md section 17).
      */
     void writeObservability();
 
@@ -129,6 +136,12 @@ class System : private RemotePort
 
     /** Apply pending stores delivered at or before @p upTo. */
     void applyDeliveries(Cycle upTo);
+
+    /** Write the fabric stats JSON (obs.fabricStats). */
+    void writeFabricStats();
+
+    /** Write the link/pair congestion heatmap CSV (obs.fabricHeatmap). */
+    void writeFabricHeatmap();
 
     /** A store accepted by the fabric, awaiting its delivery cycle. */
     struct PendingStore
@@ -161,6 +174,8 @@ class System : private RemotePort
     SystemConfig cfg_;
     ObsConfig obsOrig_; ///< pre-rewrite observability (merged trace)
     net::Fabric fabric_;
+    EpochSampler fabricSampler_; ///< epoch series over fabric_.stats()
+    Tracer fabricTracer_;        ///< "net" category: per-link tracks
     std::vector<std::unique_ptr<Chip>> chips_;
     PhysAddr windowBase_ = 0;
     Cycle now_ = 0;

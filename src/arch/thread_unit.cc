@@ -250,7 +250,9 @@ ThreadUnit::issue(Cycle now, const Instr &instr, bool localOnly,
         mem_.prune(now);
         if (mem_.full()) {
             const Cycle wake = std::max(mem_.earliest(), now + 1);
-            accountWait(now, wake, CycleCat::DcacheMiss);
+            accountWait(now, wake,
+                        mem_.earliestFabric() ? CycleCat::RemoteWait
+                                              : CycleCat::DcacheMiss);
             return wake;
         }
         if (localOnly)
@@ -287,8 +289,11 @@ ThreadUnit::issue(Cycle now, const Instr &instr, bool localOnly,
             MemTiming t = chip_.dmem(now, tid_, ea, 4, MemKind::Atomic);
             noteDmem(t.hit);
             setReg(rd, old);
-            setRegReady(rd, t.ready, CycleCat::DcacheMiss, t.queueWait);
-            mem_.add(t.ready);
+            setRegReady(rd, t.ready,
+                        t.fabric ? CycleCat::RemoteWait
+                                 : CycleCat::DcacheMiss,
+                        t.queueWait);
+            mem_.add(t.ready, t.fabric);
         } else if (m.unit == UnitClass::Load) {
             u64 raw = chip_.memRead(ea, m.memBytes, tid_);
             switch (instr.op) {
@@ -300,19 +305,18 @@ ThreadUnit::issue(Cycle now, const Instr &instr, bool localOnly,
             MemTiming t =
                 chip_.dmem(now, tid_, ea, m.memBytes, MemKind::Load);
             noteDmem(t.hit);
+            const CycleCat prod = t.fabric ? CycleCat::RemoteWait
+                                           : CycleCat::DcacheMiss;
             if (m.memBytes == 8) {
                 setReg(rd, u32(raw));
                 setReg(rd + 1, u32(raw >> 32));
-                setRegReady(rd, t.ready, CycleCat::DcacheMiss,
-                            t.queueWait);
-                setRegReady(rd + 1, t.ready, CycleCat::DcacheMiss,
-                            t.queueWait);
+                setRegReady(rd, t.ready, prod, t.queueWait);
+                setRegReady(rd + 1, t.ready, prod, t.queueWait);
             } else {
                 setReg(rd, u32(raw));
-                setRegReady(rd, t.ready, CycleCat::DcacheMiss,
-                            t.queueWait);
+                setRegReady(rd, t.ready, prod, t.queueWait);
             }
-            mem_.add(t.ready);
+            mem_.add(t.ready, t.fabric);
         } else {
             noteProgress();
             u64 value = regs_[rd];
@@ -322,7 +326,7 @@ ThreadUnit::issue(Cycle now, const Instr &instr, bool localOnly,
             MemTiming t =
                 chip_.dmem(now, tid_, ea, m.memBytes, MemKind::Store);
             noteDmem(t.hit);
-            mem_.add(t.ready);
+            mem_.add(t.ready, t.fabric);
         }
         accountIssue(now, 1);
         pc_ = nextPc;
@@ -459,7 +463,9 @@ ThreadUnit::issue(Cycle now, const Instr &instr, bool localOnly,
         mem_.prune(now);
         if (!mem_.empty()) {
             const Cycle wake = std::max(mem_.latest(), now + 1);
-            accountWait(now, wake, CycleCat::DcacheMiss);
+            accountWait(now, wake,
+                        mem_.latestFabric() ? CycleCat::RemoteWait
+                                            : CycleCat::DcacheMiss);
             return wake;
         }
         noteProgress();
@@ -472,7 +478,9 @@ ThreadUnit::issue(Cycle now, const Instr &instr, bool localOnly,
         mem_.prune(now);
         if (mem_.full()) {
             const Cycle wake = std::max(mem_.earliest(), now + 1);
-            accountWait(now, wake, CycleCat::DcacheMiss);
+            accountWait(now, wake,
+                        mem_.earliestFabric() ? CycleCat::RemoteWait
+                                              : CycleCat::DcacheMiss);
             return wake;
         }
         if (localOnly)

@@ -34,14 +34,15 @@ enum class CycleCat : u8 {
     BankContention = 3, ///< queueing share of memory waits (ports/banks)
     FpuArb = 4,         ///< FPU/long-latency functional-unit waits
     BarrierWait = 5,    ///< barrier entry and spin waits
+    RemoteWait = 6,     ///< fabric round trips and injection backpressure
 };
 
-inline constexpr u32 kNumCycleCats = 6;
+inline constexpr u32 kNumCycleCats = 7;
 
 /** Display names; index kNumCycleCats is the derived "sleep" bucket. */
 inline constexpr const char *kCycleCatNames[kNumCycleCats + 1] = {
     "run",  "icacheMiss",  "dcacheMiss",
-    "bankContention", "fpuArb", "barrierWait", "sleep"};
+    "bankContention", "fpuArb", "barrierWait", "remoteWait", "sleep"};
 
 /** Per-category cycle totals for one TU, one quad, or the whole chip. */
 struct CycleBreakdown {
@@ -228,7 +229,9 @@ class Unit
      * Charge a memory wait [now, wake): up to @p queueing cycles of it
      * are contention (time the request spent queued at a cache port,
      * MSHR or bank) and go to BankContention; the rest — the intrinsic
-     * service time — goes to @p cat.
+     * service time — goes to @p cat. RemoteWait is the exception: its
+     * queueing share is fabric injection backpressure, not bank
+     * contention, so the whole span stays in the remote bucket.
      */
     void
     accountMemWait(Cycle now, Cycle wake, CycleCat cat, u64 queueing)
@@ -236,7 +239,9 @@ class Unit
         if (wake <= now)
             return;
         const u64 span = wake - now;
-        const u64 queued = std::min(span, queueing);
+        const u64 queued = cat == CycleCat::RemoteWait
+                               ? 0
+                               : std::min(span, queueing);
         cat_[static_cast<u8>(CycleCat::BankContention)] += queued;
         cat_[static_cast<u8>(cat)] += span - queued;
         touch(now, wake);
@@ -292,7 +297,9 @@ class Unit
 
 /**
  * Bounded set of in-flight memory operation completion times — the
- * per-thread limit on outstanding memory references.
+ * per-thread limit on outstanding memory references. Each entry also
+ * remembers whether it crossed the fabric, so a wait gated on a remote
+ * operation is charged to RemoteWait instead of the d-cache bucket.
  */
 class OutstandingMem
 {
@@ -301,39 +308,65 @@ class OutstandingMem
     init(u32 limit)
     {
         limit_ = limit;
-        times_.clear();
-        times_.reserve(limit);
+        entries_.clear();
+        entries_.reserve(limit);
     }
 
     /** Drop completed operations. */
     void
     prune(Cycle now)
     {
-        std::erase_if(times_, [&](Cycle t) { return t <= now; });
+        std::erase_if(entries_,
+                      [&](const Entry &e) { return e.done <= now; });
     }
 
-    bool full() const { return times_.size() >= limit_; }
-    bool empty() const { return times_.empty(); }
+    bool full() const { return entries_.size() >= limit_; }
+    bool empty() const { return entries_.empty(); }
 
     /** Completion time that frees the first slot. */
-    Cycle
-    earliest() const
-    {
-        return *std::min_element(times_.begin(), times_.end());
-    }
+    Cycle earliest() const { return minEntry().done; }
 
     /** Completion time of the last operation to finish. */
-    Cycle
-    latest() const
+    Cycle latest() const { return maxEntry().done; }
+
+    /** Whether the operation freeing the first slot is remote. */
+    bool earliestFabric() const { return minEntry().fabric; }
+
+    /** Whether the operation finishing last is remote. */
+    bool latestFabric() const { return maxEntry().fabric; }
+
+    void add(Cycle done, bool fabric = false)
     {
-        return *std::max_element(times_.begin(), times_.end());
+        entries_.push_back({done, fabric});
     }
 
-    void add(Cycle done) { times_.push_back(done); }
-
   private:
+    struct Entry
+    {
+        Cycle done;
+        bool fabric;
+    };
+
+    // First-min / first-max: a deterministic tie-break so attribution
+    // is identical across engines when completion times collide.
+    const Entry &
+    minEntry() const
+    {
+        return *std::min_element(
+            entries_.begin(), entries_.end(),
+            [](const Entry &a, const Entry &b) { return a.done < b.done; });
+    }
+
+    const Entry &
+    maxEntry() const
+    {
+        return *std::max_element(
+            entries_.begin(), entries_.end(),
+            [](const Entry &a, const Entry &b) { return a.done < b.done; });
+    }
+
     u32 limit_ = 4;
-    std::vector<Cycle> times_;
+    std::vector<Entry> entries_;
 };
 
 } // namespace cyclops::arch

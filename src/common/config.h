@@ -102,13 +102,18 @@ struct ObsConfig
     std::string profOut;       ///< profile JSON path ("" = off); also
                                ///< writes <path>.folded and
                                ///< <path>.heatmap.csv
+    std::string fabricStats;   ///< fabric stats JSON path ("" = off);
+                               ///< multi-chip runs only (see DESIGN.md
+                               ///< section 17)
+    std::string fabricHeatmap; ///< link/pair congestion CSV ("" = off)
     std::string tag;           ///< substituted for "%t" in output paths
 
     bool
     anyOutput() const
     {
         return !traceOut.empty() || !statsJson.empty() ||
-               !statsCsv.empty() || !profOut.empty();
+               !statsCsv.empty() || !profOut.empty() ||
+               !fabricStats.empty() || !fabricHeatmap.empty();
     }
 
     /** @p path with every "%t" replaced by the tag. */

@@ -27,7 +27,10 @@ EpochSampler::record(Cycle at, bool force)
         return;
     }
     sampleCycles_.push_back(at);
-    data_.reserve(data_.size() + names_.size());
+    // No reserve here: an exact-size reserve pins the capacity to the
+    // current row and forces a full copy of the whole series on every
+    // subsequent row — quadratic in the row count. push_back's
+    // geometric growth keeps a 384-link series linear.
     stats_->sampleScalars(data_);
 }
 
@@ -93,29 +96,8 @@ writeStatsJson(std::FILE *out, const StatGroup &stats, Cycle cycles,
     }
     std::fputs("\n  }", out);
     if (sampler && sampler->enabled()) {
-        std::fprintf(out,
-                     ",\n  \"series\": {\n    \"interval\": %u,\n"
-                     "    \"cycle\": [",
-                     sampler->interval());
-        for (u32 r = 0; r < sampler->rows(); ++r)
-            std::fprintf(
-                out, "%s%llu", r ? ", " : "",
-                static_cast<unsigned long long>(sampler->sampleCycles()[r]));
-        std::fputs("],\n    \"counters\": {", out);
-        first = true;
-        for (u32 c = 0; c < sampler->names().size(); ++c) {
-            std::fprintf(out, "%s\n      \"%s\": [", first ? "" : ",",
-                         sampler->names()[c].c_str());
-            for (u32 r = 0; r < sampler->rows(); ++r)
-                std::fprintf(
-                    out, "%s%llu", r ? ", " : "",
-                    static_cast<unsigned long long>(sampler->value(r, c)));
-            std::fputs("]", out);
-            first = false;
-        }
-        std::fprintf(out,
-                     "\n    },\n    \"droppedRows\": %llu\n  }",
-                     static_cast<unsigned long long>(sampler->droppedRows()));
+        std::fputs(",\n  \"series\": ", out);
+        writeSeriesJson(out, *sampler);
     }
     if (host) {
         std::fputs(",\n  \"hostObs\": {", out);
@@ -129,6 +111,31 @@ writeStatsJson(std::FILE *out, const StatGroup &stats, Cycle cycles,
         std::fputs("\n  }", out);
     }
     std::fputs("\n}\n", out);
+}
+
+void
+writeSeriesJson(std::FILE *out, const EpochSampler &sampler)
+{
+    std::fprintf(out, "{\n    \"interval\": %u,\n    \"cycle\": [",
+                 sampler.interval());
+    for (u32 r = 0; r < sampler.rows(); ++r)
+        std::fprintf(
+            out, "%s%llu", r ? ", " : "",
+            static_cast<unsigned long long>(sampler.sampleCycles()[r]));
+    std::fputs("],\n    \"counters\": {", out);
+    bool first = true;
+    for (u32 c = 0; c < sampler.names().size(); ++c) {
+        std::fprintf(out, "%s\n      \"%s\": [", first ? "" : ",",
+                     sampler.names()[c].c_str());
+        for (u32 r = 0; r < sampler.rows(); ++r)
+            std::fprintf(
+                out, "%s%llu", r ? ", " : "",
+                static_cast<unsigned long long>(sampler.value(r, c)));
+        std::fputs("]", out);
+        first = false;
+    }
+    std::fprintf(out, "\n    },\n    \"droppedRows\": %llu\n  }",
+                 static_cast<unsigned long long>(sampler.droppedRows()));
 }
 
 } // namespace cyclops

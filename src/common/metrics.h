@@ -104,6 +104,13 @@ void writeStatsJson(std::FILE *out, const StatGroup &stats, Cycle cycles,
                     const EpochSampler *sampler,
                     const StatGroup *host = nullptr);
 
+/**
+ * Write @p sampler's epoch series as one JSON object value (interval,
+ * cycle axis, per-column arrays, droppedRows) — the "series" member of
+ * writeStatsJson, reusable by other exporters (the fabric stats file).
+ */
+void writeSeriesJson(std::FILE *out, const EpochSampler &sampler);
+
 } // namespace cyclops
 
 #endif // CYCLOPS_COMMON_METRICS_H

@@ -8,7 +8,7 @@ namespace cyclops
 {
 
 const char *const kTraceCatNames[kNumTraceCats] = {
-    "mem", "cache", "barrier", "kernel", "sched", "host"};
+    "mem", "cache", "barrier", "kernel", "sched", "host", "net"};
 
 u8
 parseTraceCats(const std::string &spec)
@@ -34,7 +34,7 @@ parseTraceCats(const std::string &spec)
         }
         if (!found)
             fatal("unknown trace category '%s' (valid: "
-                  "mem,cache,barrier,kernel,sched,host,all,none)",
+                  "mem,cache,barrier,kernel,sched,host,net,all,none)",
                   name.c_str());
         pos = comma + 1;
     }
@@ -127,18 +127,22 @@ writeHostEvents(std::FILE *out, const HostTraceExport &host)
 void
 Tracer::writeChromeEvents(std::FILE *out, u32 pid,
                           const char *processName, u32 numTracks,
-                          bool leadingComma) const
+                          bool leadingComma,
+                          const std::vector<std::string> *trackNames) const
 {
     std::fprintf(out,
                  "%s    {\"ph\": \"M\", \"pid\": %u, \"tid\": 0, \"name\": "
                  "\"process_name\", \"args\": {\"name\": \"%s\"}}",
                  leadingComma ? ",\n" : "", pid, processName);
     for (u32 t = 0; t < numTracks; ++t) {
+        const std::string name =
+            trackNames && t < trackNames->size() ? (*trackNames)[t]
+                                                 : strprintf("tu%u", t);
         std::fprintf(out,
                      ",\n    {\"ph\": \"M\", \"pid\": %u, \"tid\": %u, "
                      "\"name\": \"thread_name\", \"args\": {\"name\": "
-                     "\"tu%u\"}}",
-                     pid, t, t);
+                     "\"%s\"}}",
+                     pid, t, name.c_str());
     }
     for (const Event &ev : sorted()) {
         const char *cat = kTraceCatNames[ev.cat];
@@ -151,6 +155,26 @@ Tracer::writeChromeEvents(std::FILE *out, u32 pid,
                          static_cast<unsigned long long>(ev.start),
                          static_cast<unsigned long long>(ev.dur),
                          static_cast<unsigned long long>(ev.arg));
+        } else if (ev.phase == 'C') {
+            std::fprintf(out,
+                         ",\n    {\"ph\": \"C\", \"pid\": %u, \"tid\": %u, "
+                         "\"name\": \"%s\", \"cat\": \"%s\", \"ts\": %llu, "
+                         "\"args\": {\"value\": %llu}}",
+                         pid, ev.tid, ev.name, cat,
+                         static_cast<unsigned long long>(ev.start),
+                         static_cast<unsigned long long>(ev.arg));
+        } else if (ev.phase == 's' || ev.phase == 'f') {
+            // Flow events bind to the slice enclosing (pid, tid, ts);
+            // 'f' uses the enclosing-slice binding point so the arrow
+            // lands on the delivery slice's end.
+            std::fprintf(out,
+                         ",\n    {\"ph\": \"%c\", \"pid\": %u, "
+                         "\"tid\": %u, \"name\": \"%s\", \"cat\": \"%s\", "
+                         "\"ts\": %llu, \"id\": %llu%s}",
+                         ev.phase, pid, ev.tid, ev.name, cat,
+                         static_cast<unsigned long long>(ev.start),
+                         static_cast<unsigned long long>(ev.arg),
+                         ev.phase == 'f' ? ", \"bp\": \"e\"" : "");
         } else {
             std::fprintf(out,
                          ",\n    {\"ph\": \"i\", \"pid\": %u, \"tid\": %u, "

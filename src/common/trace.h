@@ -35,9 +35,10 @@ enum class TraceCat : u8 {
     Kernel = 3,  ///< traps and kernel services
     Sched = 4,   ///< thread activation/halt
     Host = 5,    ///< host-simulator telemetry spans (common/hostobs.h)
+    Net = 6,     ///< fabric links: packet slices, flows, occupancy
 };
 
-inline constexpr u32 kNumTraceCats = 6;
+inline constexpr u32 kNumTraceCats = 7;
 extern const char *const kTraceCatNames[kNumTraceCats];
 
 /** Bit for @p cat in a category mask. */
@@ -93,7 +94,8 @@ class Tracer
         u64 arg;          ///< one free-form argument ("arg" in JSON)
         u32 tid;          ///< thread-unit track
         u8 cat;           ///< TraceCat
-        u8 phase;         ///< 'X' complete or 'i' instant
+        u8 phase;         ///< 'X' complete, 'i' instant, 'C' counter,
+                          ///< 's'/'f' flow start/finish (arg = flow id)
     };
 
     /**
@@ -128,6 +130,41 @@ class Tracer
         record({at, 0, name, arg, tid, static_cast<u8>(cat), 'i'});
     }
 
+    /**
+     * Record a counter sample: @p name becomes a Perfetto counter
+     * track (one track per distinct name within a process), stepping
+     * to @p value at cycle @p at.
+     */
+    void
+    counter(TraceCat cat, u32 tid, const char *name, Cycle at, u64 value)
+    {
+        if (!on(cat))
+            return;
+        record({at, 0, name, value, tid, static_cast<u8>(cat), 'C'});
+    }
+
+    /**
+     * Record a flow start at @p at: Perfetto draws an arrow from the
+     * slice enclosing this event to the matching flowEnd (same name,
+     * category and @p id).
+     */
+    void
+    flowBegin(TraceCat cat, u32 tid, const char *name, Cycle at, u64 id)
+    {
+        if (!on(cat))
+            return;
+        record({at, 0, name, id, tid, static_cast<u8>(cat), 's'});
+    }
+
+    /** Record the matching end of a flow started with flowBegin. */
+    void
+    flowEnd(TraceCat cat, u32 tid, const char *name, Cycle at, u64 id)
+    {
+        if (!on(cat))
+            return;
+        record({at, 0, name, id, tid, static_cast<u8>(cat), 'f'});
+    }
+
     /** Number of events currently retained (<= capacity). */
     size_t size() const { return filled_ ? ring_.size() : next_; }
 
@@ -159,11 +196,15 @@ class Tracer
      * the comma when @p leadingComma is false). Emits no outer JSON
      * wrapper. Shared by writeChromeJson and the multi-chip merged
      * export (arch::System), which writes every chip's tracer into a
-     * single file on its own pid.
+     * single file on its own pid. Thread tracks are named "tu<N>"
+     * unless @p trackNames supplies explicit names (the fabric process
+     * uses per-link names).
      */
     void writeChromeEvents(std::FILE *out, u32 pid,
                            const char *processName, u32 numTracks,
-                           bool leadingComma) const;
+                           bool leadingComma,
+                           const std::vector<std::string> *trackNames =
+                               nullptr) const;
 
   private:
     void

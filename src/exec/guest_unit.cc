@@ -181,7 +181,9 @@ GuestUnit::step(Cycle now, MicroOp &op, bool localOnly, bool fpuOk)
         mem_.prune(now);
         if (mem_.full()) {
             const Cycle wake = mem_.earliest();
-            accountWait(now, wake, CycleCat::DcacheMiss);
+            accountWait(now, wake,
+                        mem_.earliestFabric() ? CycleCat::RemoteWait
+                                              : CycleCat::DcacheMiss);
             return {false, wake};
         }
         if (localOnly)
@@ -191,8 +193,10 @@ GuestUnit::step(Cycle now, MicroOp &op, bool localOnly, bool fpuOk)
         // Polling semantics: re-reading an unchanged location is not
         // forward progress; streaming reads (changing ea) are.
         notePoll(0, op.ea, op.result);
-        mem_.add(t.ready);
-        setChain(t.ready, CycleCat::DcacheMiss, t.queueWait);
+        mem_.add(t.ready, t.fabric);
+        setChain(t.ready,
+                 t.fabric ? CycleCat::RemoteWait : CycleCat::DcacheMiss,
+                 t.queueWait);
         accountIssue(now, 1);
         return {true, now + 1};
       }
@@ -201,7 +205,9 @@ GuestUnit::step(Cycle now, MicroOp &op, bool localOnly, bool fpuOk)
         mem_.prune(now);
         if (mem_.full()) {
             const Cycle wake = mem_.earliest();
-            accountWait(now, wake, CycleCat::DcacheMiss);
+            accountWait(now, wake,
+                        mem_.earliestFabric() ? CycleCat::RemoteWait
+                                              : CycleCat::DcacheMiss);
             return {false, wake};
         }
         if (localOnly)
@@ -209,7 +215,7 @@ GuestUnit::step(Cycle now, MicroOp &op, bool localOnly, bool fpuOk)
         noteProgress();
         MemTiming t = issueMem(now, MemKind::Store, op.ea, op.bytes,
                                &op.value);
-        mem_.add(t.ready);
+        mem_.add(t.ready, t.fabric);
         accountIssue(now, 1);
         return {true, now + 1};
       }
@@ -220,7 +226,9 @@ GuestUnit::step(Cycle now, MicroOp &op, bool localOnly, bool fpuOk)
         mem_.prune(now);
         if (mem_.full()) {
             const Cycle wake = mem_.earliest();
-            accountWait(now, wake, CycleCat::DcacheMiss);
+            accountWait(now, wake,
+                        mem_.earliestFabric() ? CycleCat::RemoteWait
+                                              : CycleCat::DcacheMiss);
             return {false, wake};
         }
         if (localOnly)
@@ -240,8 +248,10 @@ GuestUnit::step(Cycle now, MicroOp &op, bool localOnly, bool fpuOk)
         MemTiming t = chip_.dmem(now, tid_, op.ea, 4, MemKind::Atomic);
         noteDmem(t.hit);
         op.result = old;
-        mem_.add(t.ready);
-        setChain(t.ready, CycleCat::DcacheMiss, t.queueWait);
+        mem_.add(t.ready, t.fabric);
+        setChain(t.ready,
+                 t.fabric ? CycleCat::RemoteWait : CycleCat::DcacheMiss,
+                 t.queueWait);
         accountIssue(now, 1);
         return {true, now + 1};
       }
@@ -250,7 +260,9 @@ GuestUnit::step(Cycle now, MicroOp &op, bool localOnly, bool fpuOk)
         mem_.prune(now);
         if (!mem_.empty()) {
             const Cycle wake = mem_.latest();
-            accountWait(now, wake, CycleCat::DcacheMiss);
+            accountWait(now, wake,
+                        mem_.latestFabric() ? CycleCat::RemoteWait
+                                            : CycleCat::DcacheMiss);
             return {false, wake};
         }
         if (chainReady_ > now) {

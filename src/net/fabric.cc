@@ -11,12 +11,86 @@ Fabric::Fabric(const FabricConfig &cfg) : cfg_(cfg), topo_(cfg.net)
 {
     if (cfg.reqHeaderBytes == 0 || cfg.respHeaderBytes == 0)
         fatal("fabric protocol headers must be nonzero");
-    linkFree_.assign(size_t(cfg.net.numChips()) * kNumDirs, 0);
+    const u32 chips = cfg.net.numChips();
+    linkFree_.assign(size_t(chips) * kNumDirs, 0);
+    pairMessages_.assign(size_t(chips) * chips, 0);
+    pairBytes_.assign(size_t(chips) * chips, 0);
+    pairFlits_.assign(size_t(chips) * chips, 0);
     stats_.addCounter("fabric.messages", &messages_);
     stats_.addCounter("fabric.bytes", &bytesMoved_);
     stats_.addCounter("fabric.queueCycles", &queueCycles_);
     stats_.addCounter("fabric.flitsInjected", &flitsInjectedStat_);
     stats_.addCounter("fabric.flitsDelivered", &flitsDeliveredStat_);
+    stats_.addGauge("fabric.flitsInFlight",
+                    [this] { return flitsInFlight_; });
+    stats_.addHistogram("fabric.latency.total", &latencyTotal_);
+    stats_.addHistogram("fabric.latency.queue", &latencyQueue_);
+    stats_.addHistogram("fabric.latency.wire", &latencyWire_);
+    registerLinkStats();
+}
+
+/**
+ * Build the per-link telemetry records and register the stats of every
+ * link that physically exists: a direction is present iff its axis
+ * extent is > 1 and (torus, or the chip is not at the mesh edge).
+ * links_ never resizes after this (StatGroup holds raw pointers).
+ */
+void
+Fabric::registerLinkStats()
+{
+    const u32 chips = cfg_.net.numChips();
+    const u32 extent[3] = {cfg_.net.dimX, cfg_.net.dimY, cfg_.net.dimZ};
+    links_.resize(size_t(chips) * kNumDirs);
+    for (u32 chip = 0; chip < chips; ++chip) {
+        const Coord c = topo_.coordOf(chip);
+        const u32 coord[3] = {c.x, c.y, c.z};
+        for (u32 d = 0; d < kNumDirs; ++d) {
+            Link &link = links_[linkIndex(chip, Dir(d))];
+            link.src = chip;
+            link.dir = Dir(d);
+            const u32 axis = d / 2;
+            const bool minus = (d % 2) != 0;
+            if (extent[axis] <= 1)
+                continue;
+            if (!cfg_.net.torus &&
+                (minus ? coord[axis] == 0
+                       : coord[axis] == extent[axis] - 1))
+                continue;
+            // On an extent-2 torus both directions reach the same
+            // neighbour, and Topology::step breaks the distance tie
+            // toward plus — the minus wire can never carry traffic,
+            // so it is not registered (names stay collision-free).
+            if (cfg_.net.torus && extent[axis] == 2 && minus)
+                continue;
+            Coord n = c;
+            u32 *ncoord[3] = {&n.x, &n.y, &n.z};
+            *ncoord[axis] = minus
+                ? (coord[axis] + extent[axis] - 1) % extent[axis]
+                : (coord[axis] + 1) % extent[axis];
+            link.dst = topo_.chipAt(n);
+            link.exists = true;
+            link.track = numLinks_++;
+            const std::string name =
+                strprintf("fabric.link.%u->%u", chip, link.dst);
+            trackNames_.push_back(strprintf("link.%u->%u", chip,
+                                            link.dst));
+            occTrackNames_.push_back(strprintf("occ.%u->%u", chip,
+                                               link.dst));
+            stats_.addCounter(name + ".flits", &link.flits);
+            stats_.addCounter(name + ".busyCycles", &link.busyCycles);
+            stats_.addCounter(name + ".stallCycles", &link.stallCycles);
+            stats_.addCounter(name + ".occFlitCycles",
+                              &link.occFlitCycles);
+            const u32 idx = linkIndex(chip, Dir(d));
+            stats_.addGauge(name + ".occupancy", [this, idx] {
+                const Cycle freeAt = linkFree_[idx];
+                return freeAt > lastAdvance_ ? freeAt - lastAdvance_
+                                             : 0;
+            });
+            stats_.addGauge(name + ".occPeak",
+                            [this, idx] { return links_[idx].occPeak; });
+        }
+    }
 }
 
 u32
@@ -43,11 +117,14 @@ Fabric::inject(Cycle now, u32 src, u32 dst, u32 bytes)
     const auto path = topo_.route(src, dst);
     const Cycle perHop = cfg_.net.routerLatency + cfg_.net.linkLatency;
     const u32 lbpc = cfg_.net.linkBytesPerCycle;
+    const bool tracing = tracer_ && tracer_->on(TraceCat::Net);
+    const u64 flow = msgSeq_++;
 
     Delivery d{now, now};
     u64 flits = 0;
     u32 remaining = bytes;
     Cycle packetStart = now;
+    bool firstPacket = true;
     while (remaining > 0) {
         const u32 packet = std::min(remaining, cfg_.net.maxPacketBytes);
         const Cycle serialization = (packet + lbpc - 1) / lbpc;
@@ -57,11 +134,38 @@ Fabric::inject(Cycle now, u32 src, u32 dst, u32 bytes)
         // starting when the header reaches it.
         Cycle headArrives = packetStart;
         bool firstLink = true;
-        for (const auto &[chip, dir] : path) {
-            Cycle &freeAt = linkFree_[linkIndex(chip, dir)];
+        for (size_t hop = 0; hop < path.size(); ++hop) {
+            const auto &[chip, dir] = path[hop];
+            const u32 idx = linkIndex(chip, dir);
+            Cycle &freeAt = linkFree_[idx];
             const Cycle start = std::max(headArrives, freeAt);
-            queueCycles_ += start - headArrives;
+            const Cycle stall = start - headArrives;
+            queueCycles_ += stall;
             freeAt = start + serialization;
+
+            Link &link = links_[idx];
+            link.flits += serialization;
+            link.busyCycles += serialization;
+            link.stallCycles += stall;
+            link.occFlitCycles += stall * serialization;
+            // Ingress backlog this packet observed: everything queued
+            // ahead of it plus itself.
+            link.occPeak = std::max(link.occPeak,
+                                    u64(stall + serialization));
+            if (tracing) {
+                tracer_->complete(TraceCat::Net, link.track, "pkt",
+                                  start, serialization, flow);
+                tracer_->counter(TraceCat::Net, link.track,
+                                 occTrackNames_[link.track].c_str(),
+                                 start, stall + serialization);
+                if (firstPacket && firstLink)
+                    tracer_->flowBegin(TraceCat::Net, link.track,
+                                       "msg", start, flow);
+                if (remaining == packet && hop + 1 == path.size())
+                    tracer_->flowEnd(TraceCat::Net, link.track, "msg",
+                                     freeAt, flow);
+            }
+
             if (firstLink) {
                 d.accepted = freeAt;
                 firstLink = false;
@@ -72,11 +176,21 @@ Fabric::inject(Cycle now, u32 src, u32 dst, u32 bytes)
         // Next packet can follow as soon as the first link drains.
         packetStart = packetStart + serialization;
         remaining -= packet;
+        firstPacket = false;
     }
 
     flitsInjected_ += flits;
     flitsInjectedStat_ += flits;
+    flitsInFlight_ += flits;
     inflight_.emplace(d.delivered, flits);
+
+    pairMessages_[pairIndex(src, dst)] += 1;
+    pairBytes_[pairIndex(src, dst)] += bytes;
+    pairFlits_[pairIndex(src, dst)] += flits;
+    latencyTotal_.sample(d.delivered - now);
+    const Cycle wire = topo_.uncontendedLatency(src, dst, bytes);
+    latencyWire_.sample(wire);
+    latencyQueue_.sample((d.delivered - now) - wire);
     return d;
 }
 
@@ -84,16 +198,40 @@ void
 Fabric::advance(Cycle at)
 {
     while (!inflight_.empty() && inflight_.top().first <= at) {
-        flitsDelivered_ += inflight_.top().second;
-        flitsDeliveredStat_ += inflight_.top().second;
+        const u64 flits = inflight_.top().second;
+        flitsDelivered_ += flits;
+        flitsDeliveredStat_ += flits;
+        flitsInFlight_ -= flits;
         inflight_.pop();
     }
+    // Anchor for the occupancy gauges: backlog is whatever work each
+    // link still holds beyond the cycle the system has advanced to.
+    if (at != kCycleNever)
+        lastAdvance_ = std::max(lastAdvance_, at);
+    checkConservation(at);
+}
+
+void
+Fabric::checkConservation(Cycle at) const
+{
+    if (flitsInjected_ == flitsDelivered_ + flitsInFlight_)
+        return;
+    fatal("fabric flit conservation violated at cycle %llu: "
+          "injected %llu != delivered %llu + in-flight %llu",
+          static_cast<unsigned long long>(at),
+          static_cast<unsigned long long>(flitsInjected_),
+          static_cast<unsigned long long>(flitsDelivered_),
+          static_cast<unsigned long long>(flitsInFlight_));
 }
 
 void
 Fabric::drain()
 {
     advance(kCycleNever);
+    // Every link is idle once drained: advance the occupancy anchor
+    // past the last reservation so the backlog gauges read zero.
+    for (const Cycle freeAt : linkFree_)
+        lastAdvance_ = std::max(lastAdvance_, freeAt);
 }
 
 } // namespace cyclops::net

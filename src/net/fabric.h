@@ -15,17 +15,32 @@
  * Conservation contract: every injected flit (one linkBytesPerCycle
  * chunk crossing the first link) is accounted for at all times:
  *     flitsInjected() == flitsDelivered() + flitsInFlight()
- * advance(at) retires flits whose delivery cycle has passed; drain()
- * retires everything (end of run).
+ * advance(at) retires flits whose delivery cycle has passed and
+ * fatal()s with a structured message if the ledger ever disagrees;
+ * drain() retires everything (end of run).
+ *
+ * Observability (DESIGN.md section 17): every directed link that
+ * physically exists carries its own telemetry — flits forwarded, busy
+ * cycles, ingress stall cycles, queued flit-cycles (cycle-weighted
+ * occupancy integral), a current-backlog gauge and a peak-backlog
+ * gauge — registered as "fabric.link.<a>-><b>.*" in stats(). Three
+ * "fabric.latency.*" histograms split every message's injection-to-
+ * delivery latency into wire (uncontended) and queue components, and
+ * per-(src,dst) chip-pair matrices count messages/bytes/flits. With a
+ * Tracer attached (setTracer) and the "net" category enabled, each
+ * packet emits per-link slices joined by flow events plus per-link
+ * occupancy counter tracks. None of this changes a simulated cycle.
  */
 
 #ifndef CYCLOPS_NET_FABRIC_H
 #define CYCLOPS_NET_FABRIC_H
 
 #include <queue>
+#include <string>
 #include <vector>
 
 #include "common/stats.h"
+#include "common/trace.h"
 #include "common/types.h"
 #include "net/topology.h"
 
@@ -81,6 +96,25 @@ struct Delivery
 class Fabric
 {
   public:
+    /**
+     * Telemetry of one directed link (chip, direction). Links whose
+     * direction does not physically exist (1-wide dimension, mesh
+     * edge) have exists == false and no registered stats.
+     */
+    struct Link
+    {
+        u32 src = 0;          ///< owning chip
+        u32 dst = 0;          ///< neighbor the link points at
+        Dir dir = Dir::XPlus; ///< outgoing direction
+        bool exists = false;  ///< physically present in this shape
+        u32 track = 0;        ///< dense trace-track index (exists only)
+        Counter flits;        ///< flits forwarded over this link
+        Counter busyCycles;   ///< cycles spent transmitting
+        Counter stallCycles;  ///< ingress queueing behind earlier traffic
+        Counter occFlitCycles; ///< integral of queued flits over time
+        u64 occPeak = 0;      ///< peak ingress backlog in flits
+    };
+
     explicit Fabric(const FabricConfig &cfg = FabricConfig{});
 
     const FabricConfig &config() const { return cfg_; }
@@ -97,7 +131,11 @@ class Fabric
      */
     Delivery inject(Cycle now, u32 src, u32 dst, u32 bytes);
 
-    /** Retire in-flight flits delivered at or before cycle @p at. */
+    /**
+     * Retire in-flight flits delivered at or before cycle @p at, then
+     * check the conservation ledger (structured fatal on violation).
+     * arch::System calls this at every epoch boundary.
+     */
     void advance(Cycle at);
 
     /** Retire all in-flight flits (end of simulation). */
@@ -106,16 +144,61 @@ class Fabric
     // Flit conservation: injected == delivered + inFlight, always.
     u64 flitsInjected() const { return flitsInjected_; }
     u64 flitsDelivered() const { return flitsDelivered_; }
-    u64 flitsInFlight() const { return flitsInjected_ - flitsDelivered_; }
+    u64 flitsInFlight() const { return flitsInFlight_; }
 
     u64 messages() const { return messages_.value(); }
     u64 bytesMoved() const { return bytesMoved_.value(); }
     u64 queueCycles() const { return queueCycles_.value(); }
 
+    // Per-link telemetry: all chip x direction slots, in
+    // linkIndex(chip, dir) order; skip records with !exists.
+    const std::vector<Link> &links() const { return links_; }
+
+    /** Directed links that physically exist in this shape. */
+    u32 numLinks() const { return numLinks_; }
+
+    /** Trace track names ("link.<a>-><b>"), indexed by Link::track. */
+    const std::vector<std::string> &linkTrackNames() const
+    {
+        return trackNames_;
+    }
+
+    // Per-(src, dst) chip-pair traffic matrices.
+    u64 pairMessages(u32 src, u32 dst) const
+    {
+        return pairMessages_[pairIndex(src, dst)];
+    }
+    u64 pairBytes(u32 src, u32 dst) const
+    {
+        return pairBytes_[pairIndex(src, dst)];
+    }
+    u64 pairFlits(u32 src, u32 dst) const
+    {
+        return pairFlits_[pairIndex(src, dst)];
+    }
+
+    // Packet-latency split: total == queue + wire, sample for sample.
+    const Histogram &latencyTotal() const { return latencyTotal_; }
+    const Histogram &latencyQueue() const { return latencyQueue_; }
+    const Histogram &latencyWire() const { return latencyWire_; }
+
+    /**
+     * Attach a tracer for the "net" category: per-link packet slices
+     * (flow-id argument), injection/delivery flow events, and per-link
+     * occupancy counter tracks. The tracer must outlive the fabric.
+     */
+    void setTracer(Tracer *tracer) { tracer_ = tracer; }
+
     StatGroup &stats() { return stats_; }
 
   private:
     u32 linkIndex(u32 chip, Dir dir) const;
+    size_t pairIndex(u32 src, u32 dst) const
+    {
+        return size_t(src) * cfg_.net.numChips() + dst;
+    }
+    void registerLinkStats();
+    void checkConservation(Cycle at) const;
 
     FabricConfig cfg_;
     Topology topo_;
@@ -128,6 +211,19 @@ class Fabric
         inflight_;
     u64 flitsInjected_ = 0;
     u64 flitsDelivered_ = 0;
+    u64 flitsInFlight_ = 0;
+    Cycle lastAdvance_ = 0; ///< anchor for the occupancy gauges
+
+    std::vector<Link> links_;
+    u32 numLinks_ = 0;
+    std::vector<std::string> trackNames_;   ///< by Link::track
+    std::vector<std::string> occTrackNames_; ///< counter-track names
+    std::vector<u64> pairMessages_;
+    std::vector<u64> pairBytes_;
+    std::vector<u64> pairFlits_;
+
+    Tracer *tracer_ = nullptr;
+    u64 msgSeq_ = 0; ///< flow ids connecting injection to delivery
 
     StatGroup stats_;
     Counter messages_;
@@ -135,6 +231,9 @@ class Fabric
     Counter queueCycles_;
     Counter flitsInjectedStat_;
     Counter flitsDeliveredStat_;
+    Histogram latencyTotal_;
+    Histogram latencyQueue_;
+    Histogram latencyWire_;
 };
 
 } // namespace cyclops::net

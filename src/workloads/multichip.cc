@@ -394,6 +394,8 @@ runHaloExchange(const MultiChipConfig &cfg)
         ok = ok && gotSum == expectSum;
     }
     r.verified = ok;
+    if (sc.chip.obs.anyOutput())
+        sys.writeObservability();
     return r;
 }
 
@@ -440,6 +442,8 @@ runDistributedStream(const MultiChipConfig &cfg)
         }
     }
     r.verified = ok;
+    if (sc.chip.obs.anyOutput())
+        sys.writeObservability();
     return r;
 }
 

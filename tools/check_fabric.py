@@ -1,0 +1,252 @@
+#!/usr/bin/env python3
+"""Validate a fabric observability export (DESIGN.md section 17).
+
+  check_fabric.py fabric.json                  schema + conservation
+  check_fabric.py fabric.json --heatmap h.csv  also cross-check the CSV
+
+The JSON is the cyclops-fabric-v1 file written by --fabric-stats
+(arch::System::writeFabricStats). Beyond schema checks, the script
+enforces the conservation identities that tie the per-link telemetry
+to the global counters — any drift means a link is double-counting or
+losing traffic:
+
+  flitsInjected == flitsDelivered + flitsInFlight
+  sum(pair.messages) == fabric.messages
+  sum(pair.bytes)    == fabric.bytes
+  sum(pair.flits)    == fabric.flitsInjected
+  sum(link.flits)    == sum(pair.flits * pair.hops)
+  sum(link.stallCycles) == fabric.queueCycles
+  link.busyCycles == link.flits            (one flit per cycle)
+  per-link counters == links[] array entries
+  latency histograms: n == messages for total/queue/wire and
+  total.sum == queue.sum + wire.sum (exact split)
+
+With --heatmap, the CSV written by --fabric-heatmap must agree with
+the JSON row for row: pair rows are the (src, dst) matrix, link rows
+the per-directed-link congestion columns.
+
+Exits non-zero with a message on the first violation.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_fabric: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_stats(path: str) -> dict:
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict):
+        fail(f"{path}: not a JSON object")
+    if doc.get("schema") != "cyclops-fabric-v1":
+        fail(f"{path}: schema '{doc.get('schema')}' is not "
+             f"cyclops-fabric-v1")
+    for key in ("cycles", "topology", "counters", "histograms",
+                "pairs", "links"):
+        if key not in doc:
+            fail(f"{path}: missing '{key}'")
+    topo = doc["topology"]
+    for key in ("dimX", "dimY", "dimZ", "torus", "chips", "links"):
+        if key not in topo:
+            fail(f"{path}: topology missing '{key}'")
+    if topo["chips"] != topo["dimX"] * topo["dimY"] * topo["dimZ"]:
+        fail(f"{path}: topology chips {topo['chips']} != "
+             f"{topo['dimX']}x{topo['dimY']}x{topo['dimZ']}")
+    if topo["links"] != len(doc["links"]):
+        fail(f"{path}: topology.links {topo['links']} != "
+             f"{len(doc['links'])} link records")
+    return doc
+
+
+def check_stats(path: str, doc: dict) -> None:
+    counters = doc["counters"]
+    for name in ("fabric.messages", "fabric.bytes", "fabric.queueCycles",
+                 "fabric.flitsInjected", "fabric.flitsDelivered",
+                 "fabric.flitsInFlight"):
+        if name not in counters:
+            fail(f"{path}: missing counter '{name}'")
+    injected = counters["fabric.flitsInjected"]
+    delivered = counters["fabric.flitsDelivered"]
+    in_flight = counters["fabric.flitsInFlight"]
+    if injected != delivered + in_flight:
+        fail(f"{path}: flit conservation violated: injected {injected} "
+             f"!= delivered {delivered} + in-flight {in_flight}")
+
+    # Chip-pair matrix sums equal the global counters exactly.
+    pairs = doc["pairs"]
+    for i, p in enumerate(pairs):
+        for key in ("src", "dst", "messages", "bytes", "flits", "hops"):
+            if key not in p:
+                fail(f"{path}: pair {i} missing '{key}'")
+        if p["src"] == p["dst"]:
+            fail(f"{path}: pair {i} is self-addressed")
+        if p["messages"] == 0:
+            fail(f"{path}: pair {i} has zero messages (pairs with no "
+                 f"traffic are omitted)")
+    if sum(p["messages"] for p in pairs) != counters["fabric.messages"]:
+        fail(f"{path}: pair message sum != fabric.messages")
+    if sum(p["bytes"] for p in pairs) != counters["fabric.bytes"]:
+        fail(f"{path}: pair byte sum != fabric.bytes")
+    if sum(p["flits"] for p in pairs) != injected:
+        fail(f"{path}: pair flit sum != fabric.flitsInjected")
+
+    # Per-link sums: every flit of a (src, dst) message crosses every
+    # link of its DOR route, so link flits total pair flits x hops.
+    links = doc["links"]
+    for i, l in enumerate(links):
+        for key in ("src", "dst", "dir", "flits", "busyCycles",
+                    "stallCycles", "occFlitCycles", "occPeak"):
+            if key not in l:
+                fail(f"{path}: link {i} missing '{key}'")
+        if l["busyCycles"] != l["flits"]:
+            fail(f"{path}: link {l['src']}->{l['dst']} busyCycles "
+                 f"{l['busyCycles']} != flits {l['flits']} "
+                 f"(one flit per cycle)")
+    link_flits = sum(l["flits"] for l in links)
+    pair_hop_flits = sum(p["flits"] * p["hops"] for p in pairs)
+    if link_flits != pair_hop_flits:
+        fail(f"{path}: link flit sum {link_flits} != "
+             f"pair flits x hops {pair_hop_flits}")
+    stall = sum(l["stallCycles"] for l in links)
+    if stall != counters["fabric.queueCycles"]:
+        fail(f"{path}: link stall sum {stall} != fabric.queueCycles "
+             f"{counters['fabric.queueCycles']}")
+
+    # The per-link scalars are registered twice (links[] and the
+    # counters map); both views must agree.
+    for l in links:
+        base = f"fabric.link.{l['src']}->{l['dst']}"
+        for field, col in (("flits", "flits"),
+                           ("busyCycles", "busyCycles"),
+                           ("stallCycles", "stallCycles"),
+                           ("occFlitCycles", "occFlitCycles"),
+                           ("occPeak", "occPeak")):
+            name = f"{base}.{col}"
+            if name not in counters:
+                fail(f"{path}: missing counter '{name}'")
+            if counters[name] != l[field]:
+                fail(f"{path}: counter {name} {counters[name]} != "
+                     f"links[] value {l[field]}")
+
+    # Latency split: one sample per message in each histogram, and the
+    # queue/wire decomposition is exact.
+    hists = doc["histograms"]
+    for name in ("fabric.latency.total", "fabric.latency.queue",
+                 "fabric.latency.wire"):
+        if name not in hists:
+            fail(f"{path}: missing histogram '{name}'")
+        h = hists[name]
+        for key in ("n", "sum", "max", "buckets"):
+            if key not in h:
+                fail(f"{path}: histogram '{name}' missing '{key}'")
+        if sum(h["buckets"]) != h["n"]:
+            fail(f"{path}: histogram '{name}' buckets do not sum to n")
+        if h["n"] != counters["fabric.messages"]:
+            fail(f"{path}: histogram '{name}' has {h['n']} samples, "
+                 f"want one per message "
+                 f"({counters['fabric.messages']})")
+    total = hists["fabric.latency.total"]
+    queue = hists["fabric.latency.queue"]
+    wire = hists["fabric.latency.wire"]
+    if total["sum"] != queue["sum"] + wire["sum"]:
+        fail(f"{path}: latency split broken: total.sum {total['sum']} "
+             f"!= queue.sum {queue['sum']} + wire.sum {wire['sum']}")
+
+    # The epoch series, when present, must end on the final totals.
+    series = doc.get("series")
+    if series is not None:
+        names = list(series.get("counters", {}))
+        if not names:
+            fail(f"{path}: series has no counters")
+        rows = {len(v) for v in series["counters"].values()}
+        if len(rows) != 1 or len(series["cycle"]) not in rows:
+            fail(f"{path}: series columns have ragged row counts")
+        for name, col in series["counters"].items():
+            if name in counters and col and col[-1] != counters[name]:
+                fail(f"{path}: series '{name}' final value {col[-1]} "
+                     f"!= end-of-run counter {counters[name]}")
+
+    print(f"{path}: ok ({len(links)} links, {len(pairs)} pairs, "
+          f"{counters['fabric.messages']} messages, "
+          f"{injected} flits conserved)")
+
+
+HEATMAP_COLUMNS = ("kind,src,dst,dir,messages,bytes,flits,busyCycles,"
+                   "stallCycles,occFlitCycles,occPeak")
+
+
+def check_heatmap(path: str, doc: dict) -> None:
+    with open(path) as f:
+        lines = f.read().splitlines()
+    if not lines or lines[0] != "# cyclops-fabric-heatmap-v1":
+        fail(f"{path}: missing cyclops-fabric-heatmap-v1 header")
+    if len(lines) < 2 or lines[1] != HEATMAP_COLUMNS:
+        fail(f"{path}: bad column header")
+    pair_rows = {}
+    link_rows = {}
+    for i, line in enumerate(lines[2:], start=3):
+        row = line.split(",")
+        if len(row) != len(HEATMAP_COLUMNS.split(",")):
+            fail(f"{path}: line {i} has {len(row)} fields")
+        kind = row[0]
+        try:
+            vals = [int(v) for v in row[1:]]
+        except ValueError:
+            fail(f"{path}: line {i} has a non-integer field")
+        src, dst, direction = vals[0], vals[1], vals[2]
+        if kind == "pair":
+            if direction != -1:
+                fail(f"{path}: line {i}: pair rows use dir=-1")
+            pair_rows[(src, dst)] = vals[3:6]  # messages, bytes, flits
+        elif kind == "link":
+            link_rows[(src, dst)] = vals[5:]  # flits .. occPeak
+        else:
+            fail(f"{path}: line {i} has unknown kind '{kind}'")
+
+    want_pairs = {(p["src"], p["dst"]):
+                  [p["messages"], p["bytes"], p["flits"]]
+                  for p in doc["pairs"]}
+    if pair_rows != want_pairs:
+        fail(f"{path}: pair rows disagree with the JSON chip-pair "
+             f"matrix")
+    want_links = {(l["src"], l["dst"]):
+                  [l["flits"], l["busyCycles"], l["stallCycles"],
+                   l["occFlitCycles"], l["occPeak"]]
+                  for l in doc["links"]}
+    if link_rows != want_links:
+        fail(f"{path}: link rows disagree with the JSON links array")
+
+    # Row/column sums of the pair matrix against the global flit count:
+    # everything a chip sends appears in exactly one row, everything it
+    # receives in exactly one column.
+    injected = doc["counters"]["fabric.flitsInjected"]
+    if sum(v[2] for v in pair_rows.values()) != injected:
+        fail(f"{path}: pair-matrix flit total != fabric.flitsInjected")
+    print(f"{path}: ok ({len(pair_rows)} pair rows, "
+          f"{len(link_rows)} link rows)")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("stats", help="cyclops-fabric-v1 JSON file")
+    parser.add_argument("--heatmap", default=None,
+                        help="congestion heatmap CSV to cross-check")
+    parser.add_argument("--expect-links", type=int, default=0,
+                        help="require exactly N directed links")
+    args = parser.parse_args()
+    doc = load_stats(args.stats)
+    if args.expect_links and len(doc["links"]) != args.expect_links:
+        fail(f"{args.stats}: {len(doc['links'])} links, want "
+             f"--expect-links {args.expect_links}")
+    check_stats(args.stats, doc)
+    if args.heatmap:
+        check_heatmap(args.heatmap, doc)
+
+
+if __name__ == "__main__":
+    main()

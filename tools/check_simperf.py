@@ -16,6 +16,14 @@ the cycle-engine comparison invariants:
   - the profiler-overhead experiment used enough repeats (>= 5) and
     the run-to-run coefficient of variation stayed under --max-cov,
     so the reported overhead is a median, not single-run noise;
+  - the multi-chip workload row carries the fabric counters
+    (messages/bytes/queueCycles/flits*) with the flit-conservation
+    identity intact — a multichip row without them means the run
+    bypassed the cycle-driven fabric;
+  - the fabric-observability overhead experiment (fabricObsOverhead)
+    has the same repeat/CoV discipline, its simCyclesDrift is exactly
+    zero (enabling fabric telemetry must not move a simulated cycle),
+    and its overheadPct stays under --max-fabric-overhead;
   - the hostObs section is well-formed: a sharded row per worker
     count with per-worker lanes whose tick/defer counts sum exactly
     to the engine totals, and the sampled window split covering every
@@ -74,6 +82,26 @@ def check_workload(i, w):
     for cat, cycles in attr.items():
         if not isinstance(cycles, int) or cycles < 0:
             fail(f"{where}: attribution[{cat}] must be a nonneg integer")
+    # Multi-chip rows must carry the fabric counters: without them the
+    # row measured something that never touched the cycle-driven
+    # fabric, which is the point of having it in the suite.
+    if w["name"].startswith("multichip"):
+        fabric = w.get("fabric")
+        if not isinstance(fabric, dict):
+            fail(f"{where}: multichip row missing 'fabric' counters")
+        for field in ("messages", "bytes", "queueCycles",
+                      "flitsInjected", "flitsDelivered",
+                      "flitsInFlight"):
+            if not isinstance(fabric.get(field), int) or \
+                    fabric[field] < 0:
+                fail(f"{where}: fabric.{field} must be a nonneg "
+                     f"integer")
+        if fabric["messages"] <= 0:
+            fail(f"{where}: fabric.messages is zero — no traffic "
+                 f"crossed the fabric")
+        if fabric["flitsInjected"] != \
+                fabric["flitsDelivered"] + fabric["flitsInFlight"]:
+            fail(f"{where}: fabric flit conservation violated")
 
 
 def check_engines(report, args):
@@ -203,6 +231,11 @@ def main():
                         help="max run-to-run coefficient of variation "
                              "percent in overhead experiments "
                              "(default 50.0)")
+    parser.add_argument("--max-fabric-overhead", type=float,
+                        default=10.0,
+                        help="max fabric-observability host overhead "
+                             "percent (default 10.0; design target is "
+                             "under 2 on a quiet host)")
     parser.add_argument("--require-speedup", action="store_true",
                         help="require sharded_w4 to beat serial "
                              "(only meaningful on 4+ core hosts)")
@@ -230,6 +263,18 @@ def main():
 
     check_overhead("profilerOverhead", report.get("profilerOverhead"),
                    args)
+    fabric_obs = report.get("fabricObsOverhead")
+    check_overhead("fabricObsOverhead", fabric_obs, args)
+    # The determinism bar is absolute: fabric observability on vs off
+    # must produce byte-identical simulated cycles.
+    if fabric_obs.get("simCyclesDrift") != 0:
+        fail(f"fabricObsOverhead: simCyclesDrift "
+             f"{fabric_obs.get('simCyclesDrift')} != 0 — enabling "
+             f"fabric telemetry changed simulated timing")
+    if fabric_obs["overheadPct"] > args.max_fabric_overhead:
+        fail(f"fabricObsOverhead: overheadPct "
+             f"{fabric_obs['overheadPct']:.2f} exceeds "
+             f"--max-fabric-overhead {args.max_fabric_overhead:.2f}")
     nshard = check_hostobs(report, args)
     nengines, err, cores = check_engines(report, args)
     print(f"check_simperf: OK: {len(workloads)} workloads, "

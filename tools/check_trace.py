@@ -18,6 +18,11 @@ each carrying at least one event. Chip-process naming and per-pid
 timestamp order are validated whenever chip processes appear, with or
 without the flag.
 
+--expect-links N requires every --trace file to carry the fabric
+process (pid 3, "cyclops-fabric", emitted with the "net" trace
+category on multi-chip runs) with exactly N per-link tracks (thread
+names "link.<a>-><b>") and at least one event.
+
 Any number of the options may be combined; the script exits non-zero
 with a message on the first malformed file.
 """
@@ -33,7 +38,7 @@ def fail(msg: str) -> None:
 
 
 def check_trace(path: str, expect_host: bool = False,
-                expect_chips: int = 0) -> None:
+                expect_chips: int = 0, expect_links: int = 0) -> None:
     """Chrome trace-event JSON as Perfetto/about:tracing load it."""
     with open(path) as f:
         doc = json.load(f)
@@ -51,12 +56,19 @@ def check_trace(path: str, expect_host: bool = False,
         if expect_chips:
             fail(f"{path}: empty trace but {expect_chips} chip "
                  f"processes expected")
+        if expect_links:
+            fail(f"{path}: empty trace but {expect_links} fabric link "
+                 f"tracks expected")
         print(f"{path}: ok (empty trace)")
         return
     n_spans = 0
     n_host = 0
+    n_flows = 0
     host_process_named = False
+    fabric_process_named = False
     chip_procs = {}  # pid -> process_name for the 10+i chip tracks
+    link_tracks = set()  # fabric (pid 3) thread names "link.<a>-><b>"
+    flow_ids = {}  # flow id -> count of 's'/'f' endpoints
     for i, ev in enumerate(events):
         for key in ("ph", "pid"):
             if key not in ev:
@@ -68,6 +80,12 @@ def check_trace(path: str, expect_host: bool = False,
             if (ev["name"] == "process_name" and ev["pid"] == 2 and
                     ev["args"].get("name") == "cyclops-host"):
                 host_process_named = True
+            if (ev["name"] == "process_name" and ev["pid"] == 3 and
+                    ev["args"].get("name") == "cyclops-fabric"):
+                fabric_process_named = True
+            if (ev["name"] == "thread_name" and ev["pid"] == 3 and
+                    str(ev["args"].get("name", "")).startswith("link.")):
+                link_tracks.add(ev["args"]["name"])
             if (ev["name"] == "process_name" and ev["pid"] >= 10 and
                     str(ev["args"].get("name", ""))
                     .startswith("cyclops-chip")):
@@ -84,6 +102,12 @@ def check_trace(path: str, expect_host: bool = False,
             n_host += 1
         elif ev["pid"] == 2:
             fail(f"{path}: non-host event {i} on the host pid")
+        if ev["cat"] == "net":
+            # Fabric events ride the dedicated pid-3 fabric process.
+            if ev["pid"] != 3:
+                fail(f"{path}: net event {i} not on pid 3")
+        elif ev["pid"] == 3:
+            fail(f"{path}: non-net event {i} on the fabric pid")
         if ph == "X":
             if "dur" not in ev or ev["dur"] < 0:
                 fail(f"{path}: complete event {i} has bad duration")
@@ -94,6 +118,16 @@ def check_trace(path: str, expect_host: bool = False,
         elif ph == "i":
             if ev.get("s") not in ("t", "p", "g"):
                 fail(f"{path}: instant event {i} missing scope")
+        elif ph in ("s", "f"):
+            # Flow events pair an injection ('s') with a delivery ('f')
+            # through a shared id; 'f' must carry the enclosing-slice
+            # binding point.
+            if "id" not in ev:
+                fail(f"{path}: flow event {i} missing 'id'")
+            if ph == "f" and ev.get("bp") != "e":
+                fail(f"{path}: flow-end event {i} missing bp=e")
+            flow_ids[ev["id"]] = flow_ids.get(ev["id"], 0) + 1
+            n_flows += 1
         else:
             fail(f"{path}: event {i} has unknown phase '{ph}'")
     # Chronological order is checked per process: guest events use the
@@ -135,9 +169,29 @@ def check_trace(path: str, expect_host: bool = False,
             if not events_per_pid.get(pid):
                 fail(f"{path}: chip process pid {pid} "
                      f"(cyclops-chip{pid - 10}) has no events")
+    # A flow id pairs one injection ('s') with one delivery ('f').
+    # Ring-buffer drops can orphan an endpoint, but an id can never
+    # appear more than twice.
+    for fid, n in flow_ids.items():
+        if n > 2:
+            fail(f"{path}: flow id {fid} has {n} endpoints (max 2)")
+    if link_tracks and not fabric_process_named:
+        fail(f"{path}: fabric link tracks present but no "
+             f"cyclops-fabric process_name metadata")
+    if expect_links:
+        if not fabric_process_named:
+            fail(f"{path}: no cyclops-fabric process (pid 3); was the "
+                 f"'net' trace category enabled on a --chips run?")
+        if len(link_tracks) != expect_links:
+            fail(f"{path}: {len(link_tracks)} fabric link tracks, "
+                 f"want --expect-links {expect_links}")
+        if not events_per_pid.get(3):
+            fail(f"{path}: fabric process (pid 3) has no events")
     extra = f", {n_host} host" if n_host else ""
     if chip_procs:
         extra += f", {len(chip_procs)} chips"
+    if link_tracks:
+        extra += f", {len(link_tracks)} links, {n_flows} flow events"
     print(f"{path}: ok ({len(events)} events, {n_spans} spans{extra})")
 
 
@@ -211,12 +265,16 @@ def main() -> None:
     parser.add_argument("--expect-chips", type=int, default=0,
                         help="require N chip processes (pids 10..10+N-1)"
                              " in every trace")
+    parser.add_argument("--expect-links", type=int, default=0,
+                        help="require the fabric process (pid 3) with N "
+                             "per-link tracks in every trace")
     args = parser.parse_args()
     if not (args.trace or args.stats or args.csv):
         fail("nothing to check (use --trace/--stats/--csv)")
     for path in args.trace:
         check_trace(path, expect_host=args.expect_host,
-                    expect_chips=args.expect_chips)
+                    expect_chips=args.expect_chips,
+                    expect_links=args.expect_links)
     for path in args.stats:
         check_stats(path)
     for path in args.csv:

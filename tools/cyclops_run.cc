@@ -38,9 +38,18 @@
  *   --stats-json out.json    end-of-run counters/histograms as JSON
  *   --stats-csv out.csv      epoch-sampled counter time-series as CSV
  *   --stats-interval N       sample period in cycles (enables the series)
- *   --trace-out trace.json   Chrome-trace events (load in Perfetto)
- *   --trace-cats LIST        mem,cache,barrier,kernel,sched or "all"
+ *   --trace-out trace.json   Chrome-trace events (load in Perfetto);
+ *                            with --chips, the fabric appears as its
+ *                            own process with per-link tracks
+ *   --trace-cats LIST        mem,cache,barrier,kernel,sched,host,net
+ *                            or "all"
  *   --trace-capacity N       tracer ring size in events
+ *   --fabric-stats out.json  fabric stats JSON (needs --chips; schema
+ *                            cyclops-fabric-v1, per-link counters,
+ *                            latency histograms, chip-pair matrix —
+ *                            validated by tools/check_fabric.py)
+ *   --fabric-heatmap out.csv link/pair congestion heatmap CSV (needs
+ *                            --chips; DESIGN.md section 17)
  *   --prof-out base          PC-sampling profile: base (JSON report),
  *                            base.folded (flamegraph folded stacks),
  *                            base.heatmap.csv (bank heatmap)
@@ -108,6 +117,7 @@ usage(const char *argv0)
                  "       [--trace-out P] [--trace-cats LIST] "
                  "[--trace-capacity N]\n"
                  "       [--prof-out P] [--prof-interval N]\n"
+                 "       [--fabric-stats P] [--fabric-heatmap P]\n"
                  "       [--host-obs] [--manifest P]\n"
                  "       [--chips X,Y,Z] [--mesh] prog.s\n",
                  argv0);
@@ -360,6 +370,12 @@ main(int argc, char **argv)
             obs.profOut = argv[++i];
         } else if (std::strcmp(arg, "--prof-interval") == 0) {
             obs.profInterval = u32(num());
+        } else if (std::strcmp(arg, "--fabric-stats") == 0 &&
+                   i + 1 < argc) {
+            obs.fabricStats = argv[++i];
+        } else if (std::strcmp(arg, "--fabric-heatmap") == 0 &&
+                   i + 1 < argc) {
+            obs.fabricHeatmap = argv[++i];
         } else if (std::strcmp(arg, "--host-obs") == 0) {
             obs.hostObs = true;
         } else if (std::strcmp(arg, "--manifest") == 0 && i + 1 < argc) {
@@ -385,6 +401,10 @@ main(int argc, char **argv)
         argError(argv[0], "-t must be nonzero");
     if (mesh && chipDims[0] == 0)
         argError(argv[0], "--mesh needs --chips X,Y,Z");
+    if (chipDims[0] == 0 &&
+        (!obs.fabricStats.empty() || !obs.fabricHeatmap.empty()))
+        argError(argv[0],
+                 "--fabric-stats/--fabric-heatmap need --chips X,Y,Z");
 
     std::ifstream in(path);
     if (!in) {

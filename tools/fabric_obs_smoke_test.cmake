@@ -1,0 +1,70 @@
+# CTest script: fabric observability smoke. Two identical multi-chip
+# runs with the full export surface on (merged trace with the net
+# category, fabric stats JSON, congestion heatmap) must be
+# byte-identical — observability is deterministic — and the emitted
+# files must pass the dedicated validators: check_fabric.py for the
+# conservation identities and check_trace.py --expect-links for the
+# per-link Perfetto tracks.
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR}/a ${WORK_DIR}/b)
+
+foreach(side a b)
+    execute_process(
+        COMMAND ${RUNNER} -t 4 --chips 2,2,1
+            --trace-out ${WORK_DIR}/${side}/trace.json --trace-cats all
+            --fabric-stats ${WORK_DIR}/${side}/fabric.json
+            --fabric-heatmap ${WORK_DIR}/${side}/heatmap.csv
+            --stats-interval 64
+            ${PROGRAM}
+        RESULT_VARIABLE run_rc
+        OUTPUT_VARIABLE run_out
+        ERROR_VARIABLE run_err)
+    if(NOT run_rc EQUAL 0)
+        message(FATAL_ERROR
+            "cyclops-run fabric-obs run ${side} failed (${run_rc}):\n"
+            "${run_out}\n${run_err}")
+    endif()
+endforeach()
+
+# Determinism: every observability artifact byte-identical across runs.
+foreach(artifact trace.json fabric.json heatmap.csv)
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${WORK_DIR}/a/${artifact} ${WORK_DIR}/b/${artifact}
+        RESULT_VARIABLE cmp_rc)
+    if(NOT cmp_rc EQUAL 0)
+        message(FATAL_ERROR
+            "${artifact} differs between identical runs — fabric "
+            "observability is not deterministic")
+    endif()
+endforeach()
+
+# Conservation identities + heatmap cross-check. A 2x2x1 torus has 8
+# directed links (4 chips x 2 plus-direction links; extent-2 minus
+# wires duplicate the plus wires and are not registered).
+execute_process(
+    COMMAND ${PYTHON} ${CHECK_FABRIC} ${WORK_DIR}/a/fabric.json
+        --heatmap ${WORK_DIR}/a/heatmap.csv --expect-links 8
+    RESULT_VARIABLE check_rc
+    OUTPUT_VARIABLE check_out
+    ERROR_VARIABLE check_err)
+if(NOT check_rc EQUAL 0)
+    message(FATAL_ERROR
+        "check_fabric.py failed (${check_rc}):\n${check_out}\n${check_err}")
+endif()
+message(STATUS "${check_out}")
+
+# The merged trace must carry all 4 chip processes plus the fabric
+# process with one track per directed link.
+execute_process(
+    COMMAND ${PYTHON} ${CHECK_TRACE} --expect-chips 4 --expect-links 8
+        --trace ${WORK_DIR}/a/trace.json
+    RESULT_VARIABLE check_rc
+    OUTPUT_VARIABLE check_out
+    ERROR_VARIABLE check_err)
+if(NOT check_rc EQUAL 0)
+    message(FATAL_ERROR
+        "check_trace.py --expect-links failed (${check_rc}):\n"
+        "${check_out}\n${check_err}")
+endif()
+message(STATUS "${check_out}")

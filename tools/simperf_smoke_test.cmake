@@ -17,8 +17,17 @@ if(NOT run_rc EQUAL 0)
         "bench_simperf failed (${run_rc}):\n${run_out}\n${run_err}")
 endif()
 
+# Sanitizer builds instrument the sampler's allocations and gauge
+# closures far more heavily than the simulation loop, so the fabric
+# wall-clock gate is relaxed there — determinism (simCyclesDrift == 0)
+# still holds absolutely.
+set(fabric_gate 10)
+if(SANITIZED)
+    set(fabric_gate 30)
+endif()
 execute_process(
     COMMAND ${PYTHON} ${CHECKER} ${WORK_DIR}/BENCH_simperf.json
+        --max-fabric-overhead ${fabric_gate}
     RESULT_VARIABLE check_rc
     OUTPUT_VARIABLE check_out
     ERROR_VARIABLE check_err)
