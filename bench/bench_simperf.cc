@@ -58,6 +58,8 @@ struct FabricCounters
     u64 flitsInjected = 0;
     u64 flitsDelivered = 0;
     u64 flitsInFlight = 0;
+    u64 flitsDropped = 0;
+    u64 retransmits = 0;
 };
 
 struct Measurement
@@ -203,7 +205,8 @@ measureFft(const char *name, u32 threads, u32 points)
  */
 Measurement
 measureMultiChip(const char *name, u32 dx, u32 dy, u32 dz, u32 words,
-                 u32 iters, bool fabricObs = false)
+                 u32 iters, bool fabricObs = false,
+                 bool benignFaultMap = false)
 {
     MultiChipConfig cfg;
     cfg.dimX = dx;
@@ -211,6 +214,19 @@ measureMultiChip(const char *name, u32 dx, u32 dy, u32 dz, u32 words,
     cfg.dimZ = dz;
     cfg.words = words;
     cfg.iters = iters;
+    if (benignFaultMap) {
+        // Arm the fault model without perturbing timing: a flaky link
+        // at ppm = 0 never draws a corruption, so every message rides
+        // its healthy path — this measures the pure cost of the
+        // per-packet fault bookkeeping (route lookups through the
+        // fault-aware table, corruption draws, in-order clamps).
+        net::LinkFault lf;
+        lf.src = 0;
+        lf.dst = 1;
+        lf.kind = net::LinkFaultKind::Flaky;
+        lf.flakyPpm = 0;
+        cfg.faults.links = {lf};
+    }
     if (fabricObs) {
         // Fabric observability without file output: the per-epoch
         // sampler walks every per-link stat and the net-category
@@ -241,6 +257,8 @@ measureMultiChip(const char *name, u32 dx, u32 dy, u32 dz, u32 words,
     m.fabric.flitsInjected = result.flitsInjected;
     m.fabric.flitsDelivered = result.flitsDelivered;
     m.fabric.flitsInFlight = result.flitsInFlight;
+    m.fabric.flitsDropped = result.flitsDropped;
+    m.fabric.retransmits = result.retransmits;
     if (!result.verified)
         warn("simperf: %s failed verification", name);
     return m;
@@ -495,7 +513,7 @@ void
 writeJson(const char *path, const Options &opts,
           const std::vector<Measurement> &measurements,
           const Overhead &overhead, const Overhead &hostOh,
-          const Overhead &fabricOh,
+          const Overhead &fabricOh, const Overhead &faultOh,
           const std::vector<EngineRow> &engines,
           double samplingErrorPct)
 {
@@ -549,6 +567,19 @@ writeJson(const char *path, const Options &opts,
                  fabricOh.onCovPct, fabricOh.overheadPct(),
                  static_cast<long long>(s64(fabricOh.on.simCycles) -
                                         s64(fabricOh.off.simCycles)));
+    std::fprintf(f,
+                 "  \"fabricFaultOverhead\": {\"workload\": \"%s\", "
+                 "\"repeats\": %u, "
+                 "\"disabledCyclesPerSec\": %.0f, "
+                 "\"enabledCyclesPerSec\": %.0f, "
+                 "\"disabledCovPct\": %.2f, \"enabledCovPct\": %.2f, "
+                 "\"overheadPct\": %.2f, \"simCyclesDrift\": %lld},\n",
+                 faultOh.off.name.c_str(), faultOh.repeats,
+                 faultOh.off.cyclesPerSec(),
+                 faultOh.on.cyclesPerSec(), faultOh.offCovPct,
+                 faultOh.onCovPct, faultOh.overheadPct(),
+                 static_cast<long long>(s64(faultOh.on.simCycles) -
+                                        s64(faultOh.off.simCycles)));
     writeHostObsJson(f, hostOh, engines);
     std::fprintf(f, "  \"workloads\": [\n");
     for (size_t i = 0; i < measurements.size(); ++i) {
@@ -573,7 +604,8 @@ writeJson(const char *path, const Options &opts,
                 f,
                 ", \"fabric\": {\"messages\": %llu, \"bytes\": %llu, "
                 "\"queueCycles\": %llu, \"flitsInjected\": %llu, "
-                "\"flitsDelivered\": %llu, \"flitsInFlight\": %llu}",
+                "\"flitsDelivered\": %llu, \"flitsInFlight\": %llu, "
+                "\"droppedFlits\": %llu, \"retransmits\": %llu}",
                 static_cast<unsigned long long>(m.fabric.messages),
                 static_cast<unsigned long long>(m.fabric.bytes),
                 static_cast<unsigned long long>(m.fabric.queueCycles),
@@ -581,7 +613,10 @@ writeJson(const char *path, const Options &opts,
                 static_cast<unsigned long long>(
                     m.fabric.flitsDelivered),
                 static_cast<unsigned long long>(
-                    m.fabric.flitsInFlight));
+                    m.fabric.flitsInFlight),
+                static_cast<unsigned long long>(m.fabric.flitsDropped),
+                static_cast<unsigned long long>(
+                    m.fabric.retransmits));
         std::fprintf(f, "}%s\n",
                      i + 1 < measurements.size() ? "," : "");
     }
@@ -722,6 +757,42 @@ main(int argc, char **argv)
     ms.push_back(fabricOh.off);
     ms.push_back(fabricOh.on);
 
+    // Fault-model overhead: the same halo exchange with the fault
+    // model armed by a benign map (one flaky link at ppm = 0) vs the
+    // healthy fast path. The benign map routes every message over its
+    // healthy path and never draws a corruption, so simCyclesDrift
+    // must be exactly zero — arming the model is a host-cost-only
+    // change (tools/check_simperf.py enforces it).
+    Overhead fabricFaultOh;
+    fabricFaultOh.repeats = kRepeats;
+    {
+        const u32 fw = opts.quick ? 256 : 512;
+        const u32 fi = 32;
+        const auto [off, on] = repeatMedianPair(
+            kRepeats,
+            [&] {
+                return measureMultiChip("multichip_fault_off", 2, 2, 1,
+                                        fw, fi);
+            },
+            [&] {
+                return measureMultiChip("multichip_fault_armed", 2, 2,
+                                        1, fw, fi, false, true);
+            });
+        fabricFaultOh.off = off.m;
+        fabricFaultOh.on = on.m;
+        fabricFaultOh.offCovPct = off.covPct;
+        fabricFaultOh.onCovPct = on.covPct;
+    }
+    if (fabricFaultOh.on.simCycles != fabricFaultOh.off.simCycles)
+        warn("simperf: benign fault map changed simulated timing "
+             "(%llu != %llu cycles)",
+             static_cast<unsigned long long>(
+                 fabricFaultOh.on.simCycles),
+             static_cast<unsigned long long>(
+                 fabricFaultOh.off.simCycles));
+    ms.push_back(fabricFaultOh.off);
+    ms.push_back(fabricFaultOh.on);
+
     // Cycle-engine comparison (see measureEngines). On hosts with too
     // few cores for the crew the sharded rows measure synchronization
     // overhead, not speedup — consumers gate on hostCores.
@@ -747,7 +818,7 @@ main(int argc, char **argv)
                   .c_str());
 
     writeJson("BENCH_simperf.json", opts, ms, overhead, hostOh,
-              fabricOh, engines, samplingErrorPct);
+              fabricOh, fabricFaultOh, engines, samplingErrorPct);
     cyclops::bench::note(opts, "Wrote BENCH_simperf.json");
 
     u64 totalCycles = 0, totalInstructions = 0;

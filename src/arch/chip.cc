@@ -48,6 +48,8 @@ runExitName(RunExitReason reason)
         return "watchdog";
       case RunExitReason::Signal:
         return "signal";
+      case RunExitReason::FabricFailure:
+        return "fabricFailure";
     }
     return "?";
 }

@@ -45,6 +45,7 @@ enum class RunExitReason : u8 {
     CycleLimit, ///< maxCycles elapsed
     Watchdog,   ///< no unit made forward progress for watchdogCycles
     Signal,     ///< requestRunStop() was called (SIGINT/SIGTERM/alarm)
+    FabricFailure, ///< remote access abandoned: fabric retries exhausted
 };
 
 /** Display name of @p reason ("allHalted", "watchdog", ...). */
@@ -62,6 +63,8 @@ struct RunExit
     static constexpr RunExitReason CycleLimit = RunExitReason::CycleLimit;
     static constexpr RunExitReason Watchdog = RunExitReason::Watchdog;
     static constexpr RunExitReason Signal = RunExitReason::Signal;
+    static constexpr RunExitReason FabricFailure =
+        RunExitReason::FabricFailure;
 
     RunExitReason reason = RunExitReason::AllHalted;
     Cycle at = 0;        ///< chip time when run() returned

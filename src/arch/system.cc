@@ -21,6 +21,14 @@ SystemConfig::check() const
                          numChips(), kRemoteMaxChips);
     if (fabric.reqHeaderBytes == 0 || fabric.respHeaderBytes == 0)
         return "fabric protocol headers must be nonzero";
+    if (!fabric.faults.empty()) {
+        const std::string faultErr =
+            net::checkFaultMap(fabric.net, fabric.faults);
+        if (!faultErr.empty())
+            return faultErr;
+    }
+    if (fabric.retryBackoff == 0 || fabric.retryTimeout == 0)
+        return "fabric retry backoff/timeout must be nonzero";
     const PhysAddr base = windowBaseOf();
     if (base % kRemoteWindowBytes != 0)
         return strprintf("windowBase 0x%06x is not %u KB aligned", base,
@@ -187,9 +195,31 @@ System::remoteAccess(u32 srcChip, ThreadId tid, Cycle now, Addr ea,
                   "(chip %u thread %u, ea 0x%08x)", srcChip, tid, ea);
         const u32 msg = cfg_.fabric.reqHeaderBytes + bytes;
         const net::Delivery d = fabric_.inject(now, srcChip, dst, msg);
+        if (!d.ok) {
+            // Retries exhausted: the store is abandoned, never lands,
+            // and the run ends with a structured FabricFailure at the
+            // next epoch boundary — the thread stalls until the
+            // sender's give-up cycle, not forever.
+            s.valid = false;
+            noteFabricFailure(strprintf(
+                "chip %u thread %u: remote store to chip %u "
+                "(ea 0x%08x) abandoned after %u fabric retries: "
+                "destination unreachable or retry storm",
+                srcChip, tid, dst, ea, d.retries));
+            t.ready = d.delivered;
+            t.queueWait = 0;
+            return t;
+        }
+        u64 value = s.value;
+        if (d.corrupted) {
+            // The corruption escaped the end-to-end checksum: flip
+            // one deterministic payload bit — silent data corruption
+            // the fault campaigns classify as SDC.
+            value ^= u64(1) << (seq_ % (u64(s.bytes) * 8));
+        }
         pending_.push({d.delivered, seq_++, dst,
                        windowBase_ + remoteOffsetOf(ea), s.bytes,
-                       s.value});
+                       value});
         s.valid = false;
         // Posted store: the thread resumes when the injection port
         // drains, so sustained stores are paced to the link bandwidth
@@ -205,8 +235,31 @@ System::remoteAccess(u32 srcChip, ThreadId tid, Cycle now, Addr ea,
         const u32 req = cfg_.fabric.reqHeaderBytes;
         const u32 resp = cfg_.fabric.respHeaderBytes + bytes;
         const net::Delivery d1 = fabric_.inject(now, srcChip, dst, req);
+        if (!d1.ok) {
+            noteFabricFailure(strprintf(
+                "chip %u thread %u: remote load request to chip %u "
+                "(ea 0x%08x) abandoned after %u fabric retries: "
+                "destination unreachable or retry storm",
+                srcChip, tid, dst, ea, d1.retries));
+            t.ready = d1.delivered;
+            t.queueWait = 0;
+            return t;
+        }
         const net::Delivery d2 =
             fabric_.inject(d1.delivered, dst, srcChip, resp);
+        if (!d2.ok) {
+            noteFabricFailure(strprintf(
+                "chip %u thread %u: remote load response from chip %u "
+                "(ea 0x%08x) abandoned after %u fabric retries: "
+                "destination unreachable or retry storm",
+                srcChip, tid, dst, ea, d2.retries));
+            t.ready = d2.delivered;
+            t.queueWait = 0;
+            return t;
+        }
+        // A response corruption that escapes the checksum is caught
+        // by a higher-level re-request in real hardware; the model
+        // keeps loads exact (the value was snapshot by remoteRead).
         t.ready = d2.delivered;
         const Cycle uncontended =
             topo.uncontendedLatency(srcChip, dst, req) +
@@ -214,6 +267,41 @@ System::remoteAccess(u32 srcChip, ThreadId tid, Cycle now, Addr ea,
         t.queueWait = (d2.delivered - now) - uncontended;
     }
     return t;
+}
+
+void
+System::noteFabricFailure(std::string diag)
+{
+    if (fabricFailed_)
+        return; // first failure wins: deterministic diagnostic
+    fabricFailed_ = true;
+    failDiag_ = std::move(diag);
+}
+
+void
+System::noteEpochRetransmits()
+{
+    const Cycle window = 2 * Cycle(cfg_.chip.fault.watchdogCycles);
+    if (window == 0)
+        return; // watchdog off: no attribution needed
+    const u64 cur = fabric_.retransmits();
+    if (retransHist_.empty())
+        retransHist_.emplace_back(0, 0); // baseline: nothing resent yet
+    if (retransHist_.back().second != cur)
+        retransHist_.emplace_back(now_, cur);
+    // Keep the latest sample at or before (now - window) as the
+    // baseline, so recentRetransmits() counts exactly the window.
+    const Cycle cutoff = now_ > window ? now_ - window : 0;
+    while (retransHist_.size() > 1 && retransHist_[1].first <= cutoff)
+        retransHist_.pop_front();
+}
+
+u64
+System::recentRetransmits() const
+{
+    const u64 cur = fabric_.retransmits();
+    return retransHist_.empty() ? cur
+                                : cur - retransHist_.front().second;
 }
 
 void
@@ -239,6 +327,13 @@ System::run(Cycle maxCycles)
     const Cycle epoch = cfg_.fabric.epoch();
 
     while (true) {
+        if (fabricFailed_) {
+            // A remote access exhausted its fabric retries during the
+            // last epoch: structured exit, never a hang or a fatal.
+            RunExit e(RunExitReason::FabricFailure, now_);
+            e.diagnostic = failDiag_;
+            return e;
+        }
         Cycle minLive = kCycleNever;
         Cycle maxNow = now_;
         for (const auto &chip : chips_) {
@@ -272,7 +367,19 @@ System::run(Cycle maxCycles)
                 continue;
             RunExit e = c.run(target - c.now());
             if (e == RunExitReason::Watchdog) {
-                e.diagnostic = strprintf("chip %u\n", i) + e.diagnostic;
+                // Attribute the hang: retransmissions climbing inside
+                // the trailing watchdog window point at fabric-level
+                // livelock (a retry storm), not chip-level deadlock.
+                const u64 storm = recentRetransmits();
+                std::string attribution;
+                if (storm > 0)
+                    attribution = strprintf(
+                        "fabric livelock suspected: %llu "
+                        "retransmissions in the trailing watchdog "
+                        "window (retry storm)\n",
+                        static_cast<unsigned long long>(storm));
+                e.diagnostic = attribution +
+                               strprintf("chip %u\n", i) + e.diagnostic;
                 return e;
             }
             if (e == RunExitReason::Signal)
@@ -281,6 +388,7 @@ System::run(Cycle maxCycles)
         now_ = target;
         applyDeliveries(now_);
         fabricSampler_.maybeSample(now_);
+        noteEpochRetransmits();
     }
 }
 
@@ -342,11 +450,35 @@ System::writeFabricStats()
                  "  \"cycles\": %llu,\n"
                  "  \"topology\": {\"dimX\": %u, \"dimY\": %u, "
                  "\"dimZ\": %u, \"torus\": %s, \"chips\": %u, "
-                 "\"links\": %u},\n  \"counters\": {",
+                 "\"links\": %u},\n",
                  static_cast<unsigned long long>(now_), nc.dimX,
                  nc.dimY, nc.dimZ, nc.torus ? "true" : "false",
                  nc.numChips(), fabric_.numLinks());
+    // Link-fault map: validators relax the healthy-fabric identities
+    // (flits x hops, busy == flits, histogram n == messages) exactly
+    // when "active" is true.
+    const net::FabricFaultMap &fm = fabric_.faultMap();
+    std::fprintf(f,
+                 "  \"faults\": {\"active\": %s, \"seed\": %llu, "
+                 "\"atCycle\": %llu, \"links\": [",
+                 fabric_.faultsActive() ? "true" : "false",
+                 static_cast<unsigned long long>(fm.seed),
+                 static_cast<unsigned long long>(fm.atCycle));
     bool first = true;
+    for (const net::LinkFault &lf : fm.links) {
+        std::fprintf(f,
+                     "%s\n    {\"src\": %u, \"dst\": %u, "
+                     "\"kind\": \"%s\", \"flakyPpm\": %u, "
+                     "\"escapePpm\": %u, \"derate\": %u}",
+                     first ? "" : ",", lf.src, lf.dst,
+                     net::linkFaultKindName(lf.kind), lf.flakyPpm,
+                     lf.escapePpm, lf.derate);
+        first = false;
+    }
+    std::fputs(first ? "]},\n  \"counters\": {"
+                     : "\n  ]},\n  \"counters\": {",
+               f);
+    first = true;
     for (const auto &[name, value] : fabric_.stats().counters()) {
         std::fprintf(f, "%s\n    \"%s\": %llu", first ? "" : ",",
                      name.c_str(),
@@ -369,9 +501,12 @@ System::writeFabricStats()
         std::fputs("]}", f);
         first = false;
     }
-    // Chip-pair traffic matrix (pairs with traffic only) with the DOR
-    // hop count, so link flits can be cross-checked: sum over links of
-    // flits == sum over pairs of flits * hops (tools/check_fabric.py).
+    // Chip-pair traffic matrix (pairs with traffic only). "hops" is
+    // the analytic DOR hop count; "linkFlits" is the pair's actual
+    // link crossings (per transmission attempt, so detours and
+    // retransmits are included): sum over links of flits == sum over
+    // pairs of linkFlits always, and linkFlits == flits * hops only
+    // while the fault map is empty (tools/check_fabric.py).
     std::fputs("\n  },\n  \"pairs\": [", f);
     first = true;
     const u32 chips = nc.numChips();
@@ -382,12 +517,15 @@ System::writeFabricStats()
             std::fprintf(
                 f,
                 "%s\n    {\"src\": %u, \"dst\": %u, \"messages\": %llu, "
-                "\"bytes\": %llu, \"flits\": %llu, \"hops\": %u}",
+                "\"bytes\": %llu, \"flits\": %llu, \"hops\": %u, "
+                "\"linkFlits\": %llu}",
                 first ? "" : ",", s, d,
                 static_cast<unsigned long long>(fabric_.pairMessages(s, d)),
                 static_cast<unsigned long long>(fabric_.pairBytes(s, d)),
                 static_cast<unsigned long long>(fabric_.pairFlits(s, d)),
-                fabric_.topology().hops(s, d));
+                fabric_.topology().hops(s, d),
+                static_cast<unsigned long long>(
+                    fabric_.pairLinkFlits(s, d)));
             first = false;
         }
     }

@@ -24,11 +24,24 @@
  * snapshot). Messages sharing a source and destination follow the
  * same DOR path FIFO, so a flag stored after its payload is never
  * applied before it — the ordering workloads synchronize with.
+ *
+ * Fault tolerance (DESIGN.md section 18): when the fabric's fault map
+ * abandons a remote access (retries exhausted against a partitioned
+ * or storming destination) the System latches the first failure and
+ * run() returns RunExit::FabricFailure at the next epoch boundary —
+ * a structured exit, never a hang or a host fatal(). A corruption
+ * that escapes the end-to-end checksum is materialized here as
+ * silent data corruption: one deterministic bit of the posted store
+ * flips. Watchdog exits are attributed: if retransmissions climbed
+ * within the trailing watchdog window the diagnostic leads with a
+ * fabric-livelock (retry storm) note instead of reading as a
+ * chip-level deadlock.
  */
 
 #ifndef CYCLOPS_ARCH_SYSTEM_H
 #define CYCLOPS_ARCH_SYSTEM_H
 
+#include <deque>
 #include <memory>
 #include <queue>
 #include <string>
@@ -137,6 +150,17 @@ class System : private RemotePort
     /** Apply pending stores delivered at or before @p upTo. */
     void applyDeliveries(Cycle upTo);
 
+    /** Latch the first abandoned remote access (run() returns
+     *  FabricFailure at the next epoch boundary). */
+    void noteFabricFailure(std::string diag);
+
+    /** Record the epoch's retransmit count for watchdog attribution
+     *  and prune samples outside the trailing window. */
+    void noteEpochRetransmits();
+
+    /** Retransmissions within the trailing watchdog window. */
+    u64 recentRetransmits() const;
+
     /** Write the fabric stats JSON (obs.fabricStats). */
     void writeFabricStats();
 
@@ -184,6 +208,17 @@ class System : private RemotePort
     std::priority_queue<PendingStore, std::vector<PendingStore>,
                         std::greater<PendingStore>>
         pending_;
+
+    // First abandoned remote access: run() turns this into a
+    // structured RunExit::FabricFailure at the next epoch boundary.
+    bool fabricFailed_ = false;
+    std::string failDiag_;
+
+    // (cycle, fabric.retransmits) samples, pushed on change at epoch
+    // boundaries and pruned to twice the watchdog window: lets a
+    // Watchdog exit distinguish fabric-level livelock (retry storm)
+    // from chip-level deadlock.
+    std::deque<std::pair<Cycle, u64>> retransHist_;
 };
 
 } // namespace cyclops::arch

@@ -10,9 +10,11 @@
 #include "common/log.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "net/topology.h"
 #include "verify/fuzz.h"
 #include "verify/prog_gen.h"
 #include "verify/ref_interp.h"
+#include "workloads/multichip.h"
 
 namespace cyclops::fault
 {
@@ -27,8 +29,22 @@ faultKindName(FaultKind kind)
         return "memory";
       case FaultKind::CacheLine:
         return "cacheLine";
+      case FaultKind::Link:
+        return "link";
     }
     return "?";
+}
+
+bool
+parseFaultKind(const char *name, FaultKind *out)
+{
+    for (u8 k = 0; k <= u8(FaultKind::Link); ++k) {
+        if (std::strcmp(name, faultKindName(FaultKind(k))) == 0) {
+            *out = FaultKind(k);
+            return true;
+        }
+    }
+    return false;
 }
 
 const char *
@@ -114,7 +130,134 @@ inject(arch::Chip &chip, const FaultSpec &spec)
       case FaultKind::CacheLine:
         chip.memsys().dcache(CacheId(spec.cache)).faultLine(spec.line);
         break;
+      case FaultKind::Link:
+        panic("link faults are injected by the fabric, not here");
     }
+}
+
+/** The multi-chip workload link-fault iterations run and verify. */
+workloads::MultiChipConfig
+campaignSystem(const CampaignOptions &opts)
+{
+    workloads::MultiChipConfig mc;
+    mc.dimX = 2;
+    mc.dimY = 2;
+    mc.dimZ = 1;
+    mc.torus = true;
+    mc.threads = std::min<u32>(opts.threads, 8);
+    mc.words = 8;
+    mc.iters = 2;
+    mc.engine = opts.engine;
+    mc.maxCycles = opts.maxCycles;
+    mc.chipFault.watchdogCycles = opts.watchdogCycles;
+    return mc;
+}
+
+/**
+ * One link-fault iteration: degrade one directed link of a 2x2x1
+ * torus mid-run and classify how the fault-tolerant fabric coped.
+ * The halo-exchange workload is host-verified, so "golden" is the
+ * verification itself; the fault-free baseline only measures the
+ * healthy run length for the strike-cycle draw.
+ */
+InjectionResult
+runLinkInjection(const CampaignOptions &opts, u32 iter)
+{
+    InjectionResult res;
+    res.seed = verify::iterationSeed(opts.seed, iter);
+
+    workloads::MultiChipConfig mc = campaignSystem(opts);
+    Cycle baselineCycles = opts.maxCycles;
+    {
+        const workloads::MultiChipResult base =
+            workloads::runHaloExchange(mc);
+        if (!base.verified)
+            panic("fault campaign fabric baseline failed (seed %llu)",
+                  static_cast<unsigned long long>(res.seed));
+        baselineCycles = base.cycles;
+    }
+
+    // Derive the fault: a victim among the links that physically
+    // exist, a degradation class, and a strike cycle inside the
+    // healthy execution window.
+    Rng rng(res.seed ^ 0xFA17'FA17'FA17'FA17ULL);
+    FaultSpec &spec = res.spec;
+    spec.kind = FaultKind::Link;
+    spec.cycle = 1 + rng.below(std::max<Cycle>(baselineCycles, 2) - 1);
+
+    net::NetConfig netCfg;
+    netCfg.dimX = mc.dimX;
+    netCfg.dimY = mc.dimY;
+    netCfg.dimZ = mc.dimZ;
+    netCfg.torus = mc.torus;
+    const net::Topology topo(netCfg);
+    std::vector<std::pair<u32, u32>> links;
+    for (u32 c = 0; c < netCfg.numChips(); ++c)
+        for (u32 d = 0; d < net::kNumDirs; ++d)
+            if (topo.linkExists(c, net::Dir(d)))
+                links.emplace_back(c, topo.neighborOf(c, net::Dir(d)));
+
+    net::LinkFault lf;
+    const auto victim = links[rng.below(links.size())];
+    lf.src = victim.first;
+    lf.dst = victim.second;
+    switch (rng.below(4)) {
+      case 0: // dead: routing must detour around it
+        lf.kind = net::LinkFaultKind::Dead;
+        break;
+      case 1: // flaky: checksum catches, retransmits absorb
+        lf.kind = net::LinkFaultKind::Flaky;
+        lf.flakyPpm = 20'000 + u32(rng.below(180'000));
+        break;
+      case 2: // flaky, every corruption escapes the checksum -> SDC
+        lf.kind = net::LinkFaultKind::Flaky;
+        lf.flakyPpm = 20'000 + u32(rng.below(180'000));
+        lf.escapePpm = 1'000'000;
+        break;
+      default: // always-corrupt: retries exhaust -> FabricFailure
+        lf.kind = net::LinkFaultKind::Flaky;
+        lf.flakyPpm = 1'000'000;
+        break;
+    }
+    spec.linkSrc = lf.src;
+    spec.linkDst = lf.dst;
+    spec.ppm = lf.flakyPpm;
+    spec.escapePpm = lf.escapePpm;
+
+    mc.faults.links.push_back(lf);
+    mc.faults.seed = res.seed;
+    mc.faults.atCycle = spec.cycle;
+    mc.obs = opts.obs;
+    mc.obs.tag = strprintf("i%u", iter);
+
+    try {
+        const workloads::MultiChipResult r =
+            workloads::runHaloExchange(mc);
+        res.cycles = r.cycles;
+        switch (r.exitReason) {
+          case arch::RunExitReason::AllHalted:
+            res.outcome = r.verified ? Outcome::Masked : Outcome::Sdc;
+            break;
+          case arch::RunExitReason::FabricFailure:
+            res.outcome = Outcome::Detected;
+            res.detail = r.exitDiagnostic;
+            break;
+          case arch::RunExitReason::Watchdog:
+            res.outcome = Outcome::Hang;
+            res.detail = "watchdog";
+            break;
+          default:
+            res.outcome = Outcome::Hang;
+            res.detail = "cycle budget exhausted";
+            break;
+        }
+    } catch (const GuestError &err) {
+        res.outcome = err.kind() == GuestError::Kind::Check
+                          ? Outcome::Detected
+                          : Outcome::Crash;
+        res.detail = err.what();
+    }
+    return res;
 }
 
 } // namespace
@@ -122,6 +265,9 @@ inject(arch::Chip &chip, const FaultSpec &spec)
 InjectionResult
 runInjection(const CampaignOptions &opts, u32 iter)
 {
+    if (opts.kindSet && opts.kind == FaultKind::Link)
+        return runLinkInjection(opts, iter);
+
     InjectionResult res;
     res.seed = verify::iterationSeed(opts.seed, iter);
 
@@ -156,7 +302,7 @@ runInjection(const CampaignOptions &opts, u32 iter)
     // the program generator's so spec and program are independent.
     Rng rng(res.seed ^ 0xFA17'FA17'FA17'FA17ULL);
     FaultSpec &spec = res.spec;
-    spec.kind = FaultKind(rng.below(3));
+    spec.kind = opts.kindSet ? opts.kind : FaultKind(rng.below(3));
     spec.cycle = 1 + rng.below(std::max<Cycle>(baselineCycles, 2) - 1);
     switch (spec.kind) {
       case FaultKind::Register:
@@ -176,6 +322,8 @@ runInjection(const CampaignOptions &opts, u32 iter)
         spec.line = u32(rng.below(
             cfg.dcacheSets() * cfg.dcacheAssoc));
         break;
+      case FaultKind::Link:
+        panic("link faults take the multi-chip path");
     }
 
     // Injected run: execute to the strike cycle, perturb, run to
@@ -270,11 +418,12 @@ writeCampaignJson(const CampaignResult &result, std::FILE *out)
                  "  \"schema\": \"cyclops-faultcamp-v1\",\n"
                  "  \"campaign\": {\"seed\": %llu, \"iterations\": %u, "
                  "\"threads\": %u, \"bodyOps\": %u, \"maxCycles\": %llu, "
-                 "\"watchdogCycles\": %llu},\n",
+                 "\"watchdogCycles\": %llu, \"kind\": \"%s\"},\n",
                  static_cast<unsigned long long>(o.seed), o.iterations,
                  o.threads, o.bodyOps,
                  static_cast<unsigned long long>(o.maxCycles),
-                 static_cast<unsigned long long>(o.watchdogCycles));
+                 static_cast<unsigned long long>(o.watchdogCycles),
+                 o.kindSet ? faultKindName(o.kind) : "mixed");
 
     std::fprintf(out, "  \"counts\": {");
     for (unsigned c = 0; c < kNumOutcomes; ++c)
@@ -305,6 +454,12 @@ writeCampaignJson(const CampaignResult &result, std::FILE *out)
           case FaultKind::CacheLine:
             std::fprintf(out, ", \"cache\": %u, \"line\": %u", s.cache,
                          s.line);
+            break;
+          case FaultKind::Link:
+            std::fprintf(out,
+                         ", \"linkSrc\": %u, \"linkDst\": %u, "
+                         "\"ppm\": %u, \"escapePpm\": %u",
+                         s.linkSrc, s.linkDst, s.ppm, s.escapePpm);
             break;
         }
         std::fprintf(out, ", \"outcome\": \"%s\", \"cycles\": %llu",

@@ -24,6 +24,16 @@
  *
  * Iterations are fully independent (one fresh Chip each), so campaigns
  * run on a SimPool and the report is byte-identical for any job count.
+ *
+ * A fourth kind, selected explicitly with CampaignOptions::kind =
+ * FaultKind::Link, targets the multi-chip fabric instead of a chip:
+ * each iteration runs the host-verified halo-exchange workload on a
+ * 2x2x1 torus and degrades one directed link mid-run (dead, flaky,
+ * flaky with checksum escapes, or always-corrupt). Masked means the
+ * fault-tolerant fabric absorbed the fault (rerouting / retransmits),
+ * Detected is a structured RunExit::FabricFailure, Sdc is a checksum
+ * escape that corrupted the verified payload, and Hang covers retry
+ * storms the watchdog had to break.
  */
 
 #ifndef CYCLOPS_FAULT_FAULT_H
@@ -46,10 +56,15 @@ enum class FaultKind : u8
     Register,  ///< one bit of one architectural register of one TU
     Memory,    ///< one bit of one byte of the data/heap region
     CacheLine, ///< invalidate one D-cache line (timing-only)
+    Link,      ///< degrade one fabric link of a multi-chip system
 };
 
-/** Display name of @p kind ("register", "memory", "cacheLine"). */
+/** Display name of @p kind ("register", "memory", "cacheLine",
+ *  "link"). */
 const char *faultKindName(FaultKind kind);
+
+/** Parse a fault kind display name; false on an unknown name. */
+bool parseFaultKind(const char *name, FaultKind *out);
 
 /** Classification of one injected run (see file comment). */
 enum class Outcome : u8 { Masked, Detected, Sdc, Crash, Hang };
@@ -70,6 +85,10 @@ struct FaultSpec
     u32 bit = 0;     ///< Register/Memory: bit flipped
     u32 cache = 0;   ///< CacheLine: victim D-cache
     u32 line = 0;    ///< CacheLine: victim line index
+    u32 linkSrc = 0; ///< Link: source chip of the victim link
+    u32 linkDst = 0; ///< Link: destination chip of the victim link
+    u32 ppm = 0;     ///< Link: corruption probability (0 = dead link)
+    u32 escapePpm = 0; ///< Link: checksum-escape probability
 };
 
 /** Campaign parameters. */
@@ -82,6 +101,21 @@ struct CampaignOptions
     u64 maxCycles = 200'000;      ///< per-run cycle budget (-> Hang)
     u64 watchdogCycles = 50'000;  ///< chip watchdog for injected runs
     EngineConfig engine; ///< cycle engine for the injected runs
+
+    /**
+     * Restrict the campaign to one fault kind. The chip kinds
+     * (register / memory / cacheLine) are drawn uniformly per
+     * iteration when unset. FaultKind::Link switches the workload
+     * from a generated single-chip program to a halo exchange on a
+     * 2x2x1 torus and injects one seed-derived fabric link fault
+     * (dead / flaky / flaky-with-escapes / always-corrupt) mid-run;
+     * the fault-tolerant fabric (DESIGN.md section 18) is what is
+     * under test, so "masked" means rerouting or retransmission
+     * absorbed the fault and "detected" means a structured
+     * RunExit::FabricFailure.
+     */
+    bool kindSet = false;
+    FaultKind kind = FaultKind::Register;
 
     /**
      * Observability for the *injected* runs only (the golden and

@@ -15,9 +15,24 @@
  * Conservation contract: every injected flit (one linkBytesPerCycle
  * chunk crossing the first link) is accounted for at all times:
  *     flitsInjected() == flitsDelivered() + flitsInFlight()
- * advance(at) retires flits whose delivery cycle has passed and
- * fatal()s with a structured message if the ledger ever disagrees;
- * drain() retires everything (end of run).
+ *                                         + flitsDropped()
+ * advance(at) retires flits whose delivery cycle has passed — into the
+ * delivered ledger for clean packets, into the dropped ledger for
+ * corrupted attempts that the receiver NACKed — and fatal()s with a
+ * structured message if the ledger ever disagrees; drain() retires
+ * everything (end of run).
+ *
+ * Fault tolerance (DESIGN.md section 18): a FabricFaultMap in the
+ * config (or injected mid-run via advance()) marks directed links
+ * dead, flaky (seeded per-packet corruption probability) or derated
+ * (reduced bandwidth). Routing detours around dead links with a
+ * relaxed-dimension-order walk, falling back to a breadth-first
+ * detour; an end-to-end retry layer (checksum + NACK + retransmit
+ * with exponential backoff) re-sends corrupted packets. Both are pure
+ * functions of (topology, fault map, injection sequence), so degraded
+ * runs remain bit-reproducible. When the map is empty every code path
+ * and cycle of the fault-free fabric is unchanged (bench_simperf pins
+ * simCyclesDrift == 0).
  *
  * Observability (DESIGN.md section 17): every directed link that
  * physically exists carries its own telemetry — flits forwarded, busy
@@ -77,13 +92,55 @@ struct FabricConfig
         return epochCycles ? epochCycles
                            : net.routerLatency + net.linkLatency;
     }
+
+    /**
+     * Link degradation applied to this fabric (empty = healthy).
+     * atCycle == 0 degrades from construction; otherwise the map is
+     * armed and applied at the first advance() at or past atCycle.
+     */
+    FabricFaultMap faults = {};
+
+    /**
+     * End-to-end reliability parameters. A packet corrupted on a
+     * flaky link is NACKed by the receiver and retransmitted after
+     * retryBackoff << attempt cycles (exponent capped at
+     * retryBackoffCap); an unreachable destination is retried every
+     * retryTimeout << attempt cycles. After maxRetries failed
+     * attempts the message is abandoned and Delivery::ok is false.
+     */
+    u32 maxRetries = 8;
+    Cycle retryBackoff = 32;
+    u32 retryBackoffCap = 6;
+    Cycle retryTimeout = 2048;
 };
+
+/**
+ * Validate a fault map against a topology: endpoints must name a
+ * physically existing directed link, probabilities must be sane, and
+ * no link may be degraded twice. Returns an error message, or an
+ * empty string if the map is well-formed.
+ */
+std::string checkFaultMap(const NetConfig &net,
+                          const FabricFaultMap &map);
 
 /** When the fabric accepted and will deliver an injected message. */
 struct Delivery
 {
     Cycle accepted = 0;  ///< source injection port drained (backpressure)
     Cycle delivered = 0; ///< last byte arrives at the destination
+
+    /** False when retries exhausted: the destination is unreachable
+     *  (partition) or every attempt was corrupted (retry storm).
+     *  delivered is then the cycle the sender gave up. */
+    bool ok = true;
+
+    /** The payload arrived but a corruption escaped the end-to-end
+     *  checksum: the caller owns turning this into silent data
+     *  corruption (the fabric does not see payload bits). */
+    bool corrupted = false;
+
+    /** Retransmissions + timeout retries this message needed. */
+    u32 retries = 0;
 };
 
 /**
@@ -134,21 +191,40 @@ class Fabric
     /**
      * Retire in-flight flits delivered at or before cycle @p at, then
      * check the conservation ledger (structured fatal on violation).
-     * arch::System calls this at every epoch boundary.
+     * arch::System calls this at every epoch boundary. An armed
+     * mid-run fault map (atCycle > 0) is applied here the first time
+     * at >= atCycle — epoch boundaries are identical across engines,
+     * so the application point is deterministic.
      */
     void advance(Cycle at);
 
     /** Retire all in-flight flits (end of simulation). */
     void drain();
 
-    // Flit conservation: injected == delivered + inFlight, always.
+    // Flit conservation:
+    //     injected == delivered + inFlight + dropped, always.
     u64 flitsInjected() const { return flitsInjected_; }
     u64 flitsDelivered() const { return flitsDelivered_; }
     u64 flitsInFlight() const { return flitsInFlight_; }
+    u64 flitsDropped() const { return flitsDropped_; }
 
     u64 messages() const { return messages_.value(); }
     u64 bytesMoved() const { return bytesMoved_.value(); }
     u64 queueCycles() const { return queueCycles_.value(); }
+
+    // Fault-tolerance telemetry.
+    u64 rerouted() const { return rerouted_.value(); }
+    u64 retransmits() const { return retransmits_.value(); }
+    u64 retries() const { return retries_.value(); }
+    u64 crcErrors() const { return crcErrors_.value(); }
+    u64 unroutable() const { return unroutable_.value(); }
+
+    /** Whether a fault map currently degrades this fabric (an armed
+     *  mid-run map counts only once applied). */
+    bool faultsActive() const { return faultsActive_; }
+
+    /** The configured fault map (possibly not yet applied). */
+    const FabricFaultMap &faultMap() const { return cfg_.faults; }
 
     // Per-link telemetry: all chip x direction slots, in
     // linkIndex(chip, dir) order; skip records with !exists.
@@ -177,6 +253,17 @@ class Fabric
         return pairFlits_[pairIndex(src, dst)];
     }
 
+    /**
+     * Actual link crossings for the pair: sum over every transmission
+     * attempt of flits x hops of the path taken. Equals
+     * pairFlits x topology hops only while the fault map is empty —
+     * detours and retransmissions both add crossings.
+     */
+    u64 pairLinkFlits(u32 src, u32 dst) const
+    {
+        return pairLinkFlits_[pairIndex(src, dst)];
+    }
+
     // Packet-latency split: total == queue + wire, sample for sample.
     const Histogram &latencyTotal() const { return latencyTotal_; }
     const Histogram &latencyQueue() const { return latencyQueue_; }
@@ -199,19 +286,44 @@ class Fabric
     }
     void registerLinkStats();
     void checkConservation(Cycle at) const;
+    void applyFaultMap();
+    const std::vector<std::pair<u32, Dir>> &routeFor(u32 src, u32 dst);
+    Delivery injectUnroutable(Cycle now, u32 src, u32 dst);
+    bool drawCorrupt(u32 linkIdx, bool *escaped);
+    Cycle backoff(u32 attempt) const;
+
+    /**
+     * Reserve the links of @p path for one transmission attempt of
+     * @p bytes starting at @p start. Returns the flit count; fills
+     * accepted/delivered and, when the fault map is active, the
+     * corruption outcome of this attempt. With an empty fault map the
+     * arithmetic is byte-for-byte the fault-free fabric's.
+     */
+    u64 transmit(Cycle start, const std::vector<std::pair<u32, Dir>> &path,
+                 u32 bytes, u64 flow, Cycle *accepted, Cycle *delivered,
+                 bool *corrupt, bool *escaped);
 
     FabricConfig cfg_;
     Topology topo_;
     std::vector<Cycle> linkFree_; ///< chip x direction reservation
 
-    // Min-heap of (delivery cycle, flit count) for advance()/drain().
-    using Flight = std::pair<Cycle, u64>;
+    // Min-heap of in-flight transmissions for advance()/drain().
+    // Dropped attempts (corrupted, NACKed) stay in flight until their
+    // traversal completes, then retire into the dropped ledger.
+    struct Flight
+    {
+        Cycle at = 0;
+        u64 flits = 0;
+        bool dropped = false;
+        bool operator>(const Flight &o) const { return at > o.at; }
+    };
     std::priority_queue<Flight, std::vector<Flight>,
                         std::greater<Flight>>
         inflight_;
     u64 flitsInjected_ = 0;
     u64 flitsDelivered_ = 0;
     u64 flitsInFlight_ = 0;
+    u64 flitsDropped_ = 0;
     Cycle lastAdvance_ = 0; ///< anchor for the occupancy gauges
 
     std::vector<Link> links_;
@@ -221,6 +333,30 @@ class Fabric
     std::vector<u64> pairMessages_;
     std::vector<u64> pairBytes_;
     std::vector<u64> pairFlits_;
+    std::vector<u64> pairLinkFlits_; ///< attempts x hops, per pair
+
+    // Fault state, all indexed by linkIndex(chip, dir). Inactive
+    // (faultsActive_ == false) leaves the hot inject path untouched.
+    bool faultsActive_ = false;
+    bool faultsArmed_ = false; ///< mid-run map waiting for atCycle
+    std::vector<bool> deadLink_;
+    std::vector<u32> flakyPpm_;
+    std::vector<u32> escapePpm_;
+    std::vector<u32> derate_;
+    std::vector<u64> linkPktSeq_; ///< per-link corruption-draw stream
+
+    // Route cache: pure function of (topology, fault map), rebuilt on
+    // fault application. An empty cached path means unreachable.
+    std::vector<std::vector<std::pair<u32, Dir>>> routeCache_;
+    std::vector<u8> routeKnown_;
+    std::vector<u8> pairRerouted_;
+
+    // Sequence-number reorder buffer, modeled as a per-pair in-order
+    // release clamp: retransmitted messages may finish traversal out
+    // of order, but the receiver releases them in sequence order, so
+    // per-(src,dst) FIFO delivery — which arch::System's payload-
+    // before-flag protocol relies on — survives faults.
+    std::vector<Cycle> pairInOrder_;
 
     Tracer *tracer_ = nullptr;
     u64 msgSeq_ = 0; ///< flow ids connecting injection to delivery
@@ -231,6 +367,12 @@ class Fabric
     Counter queueCycles_;
     Counter flitsInjectedStat_;
     Counter flitsDeliveredStat_;
+    Counter flitsDroppedStat_;
+    Counter rerouted_;
+    Counter retransmits_;
+    Counter retries_;
+    Counter crcErrors_;
+    Counter unroutable_;
     Histogram latencyTotal_;
     Histogram latencyQueue_;
     Histogram latencyWire_;

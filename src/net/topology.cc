@@ -7,6 +7,17 @@
 namespace cyclops::net
 {
 
+const char *
+linkFaultKindName(LinkFaultKind kind)
+{
+    switch (kind) {
+    case LinkFaultKind::Dead: return "dead";
+    case LinkFaultKind::Flaky: return "flaky";
+    case LinkFaultKind::Derated: return "derated";
+    }
+    return "?";
+}
+
 Topology::Topology(const NetConfig &cfg) : cfg_(cfg)
 {
     if (cfg.dimX == 0 || cfg.dimY == 0 || cfg.dimZ == 0)
@@ -86,6 +97,123 @@ u32
 Topology::linkIndex(u32 chip, Dir dir) const
 {
     return chip * kNumDirs + u32(dir);
+}
+
+bool
+Topology::linkExists(u32 chip, Dir dir) const
+{
+    const u32 d = u32(dir);
+    if (d >= kNumDirs)
+        return false;
+    const u32 extent[3] = {cfg_.dimX, cfg_.dimY, cfg_.dimZ};
+    const Coord c = coordOf(chip);
+    const u32 coord[3] = {c.x, c.y, c.z};
+    const u32 axis = d / 2;
+    const bool minus = (d % 2) != 0;
+    if (extent[axis] <= 1)
+        return false;
+    if (!cfg_.torus && (minus ? coord[axis] == 0
+                              : coord[axis] == extent[axis] - 1))
+        return false;
+    // On an extent-2 torus both directions reach the same neighbour
+    // and step() breaks the tie toward plus: the minus wire never
+    // carries traffic and does not exist as a distinct link.
+    if (cfg_.torus && extent[axis] == 2 && minus)
+        return false;
+    return true;
+}
+
+u32
+Topology::neighborOf(u32 chip, Dir dir) const
+{
+    const u32 d = u32(dir);
+    const u32 extent[3] = {cfg_.dimX, cfg_.dimY, cfg_.dimZ};
+    const u32 axis = d / 2;
+    const bool minus = (d % 2) != 0;
+    Coord c = coordOf(chip);
+    u32 *coord[3] = {&c.x, &c.y, &c.z};
+    *coord[axis] = minus
+        ? (*coord[axis] + extent[axis] - 1) % extent[axis]
+        : (*coord[axis] + 1) % extent[axis];
+    return chipAt(c);
+}
+
+std::vector<std::pair<u32, Dir>>
+Topology::routeAdaptive(u32 src, u32 dst,
+                        const std::vector<bool> &dead) const
+{
+    if (src >= cfg_.numChips() || dst >= cfg_.numChips())
+        fatal("route endpoints outside the system");
+    std::vector<std::pair<u32, Dir>> path;
+    Coord at = coordOf(src);
+    const Coord goal = coordOf(dst);
+    const u32 extent[3] = {cfg_.dimX, cfg_.dimY, cfg_.dimZ};
+    static constexpr Dir kPlus[3] = {Dir::XPlus, Dir::YPlus, Dir::ZPlus};
+    static constexpr Dir kMinus[3] = {Dir::XMinus, Dir::YMinus,
+                                      Dir::ZMinus};
+
+    while (!(at == goal)) {
+        u32 cur[3] = {at.x, at.y, at.z};
+        const u32 tgt[3] = {goal.x, goal.y, goal.z};
+        bool moved = false;
+        // Relaxed dimension order: lowest dimension with remaining
+        // distance whose productive link is alive. Every hop still
+        // reduces the remaining distance, so the walk terminates.
+        for (u32 axis = 0; axis < 3 && !moved; ++axis) {
+            if (cur[axis] == tgt[axis])
+                continue;
+            const s32 dir = step(cur[axis], tgt[axis], extent[axis]);
+            const Dir out = dir > 0 ? kPlus[axis] : kMinus[axis];
+            const u32 here = chipAt(at);
+            if (!linkExists(here, out) || dead[linkIndex(here, out)])
+                continue;
+            path.emplace_back(here, out);
+            cur[axis] = u32((s32(cur[axis]) + dir + s32(extent[axis])) %
+                            s32(extent[axis]));
+            at = Coord{cur[0], cur[1], cur[2]};
+            moved = true;
+        }
+        if (!moved)
+            return {}; // stuck: no minimal alternative from here
+    }
+    return path;
+}
+
+std::vector<std::pair<u32, Dir>>
+Topology::routeDetour(u32 src, u32 dst,
+                      const std::vector<bool> &dead) const
+{
+    if (src >= cfg_.numChips() || dst >= cfg_.numChips())
+        fatal("route endpoints outside the system");
+    const u32 chips = cfg_.numChips();
+    constexpr u32 kUnvisited = ~0u;
+    std::vector<u32> parent(chips, kUnvisited);
+    std::vector<Dir> parentDir(chips, Dir::XPlus);
+    std::vector<u32> frontier{src};
+    parent[src] = src;
+    for (size_t head = 0; head < frontier.size(); ++head) {
+        const u32 here = frontier[head];
+        if (here == dst)
+            break;
+        for (u32 d = 0; d < kNumDirs; ++d) {
+            const Dir out = Dir(d);
+            if (!linkExists(here, out) || dead[linkIndex(here, out)])
+                continue;
+            const u32 next = neighborOf(here, out);
+            if (parent[next] != kUnvisited)
+                continue;
+            parent[next] = here;
+            parentDir[next] = out;
+            frontier.push_back(next);
+        }
+    }
+    if (parent[dst] == kUnvisited)
+        return {}; // partitioned: no live path at all
+    std::vector<std::pair<u32, Dir>> path;
+    for (u32 here = dst; here != src; here = parent[here])
+        path.emplace_back(parent[here], parentDir[here]);
+    std::reverse(path.begin(), path.end());
+    return path;
 }
 
 Cycle

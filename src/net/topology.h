@@ -39,6 +39,51 @@ struct Coord
     bool operator==(const Coord &other) const = default;
 };
 
+/** How one directed fabric link is degraded. */
+enum class LinkFaultKind : u8
+{
+    Dead,    ///< carries nothing; routing must detour around it
+    Flaky,   ///< corrupts packets with probability flakyPpm / 1e6
+    Derated, ///< bandwidth divided by derate (serialization stretched)
+};
+
+const char *linkFaultKindName(LinkFaultKind kind);
+
+/** One degraded directed link (src chip -> neighbouring dst chip). */
+struct LinkFault
+{
+    u32 src = 0;
+    u32 dst = 0;
+    LinkFaultKind kind = LinkFaultKind::Dead;
+
+    /**
+     * Flaky only: per-packet corruption probability in parts per
+     * million (integer, so the draw is exact and deterministic), and
+     * the conditional probability that a corruption escapes the
+     * end-to-end checksum (silent data corruption instead of a NACK).
+     */
+    u32 flakyPpm = 0;
+    u32 escapePpm = 0;
+
+    /** Derated only: bandwidth divisor (>= 1). */
+    u32 derate = 2;
+};
+
+/**
+ * A set of link faults applied to a Fabric, either at construction
+ * (atCycle == 0) or injected mid-run at the first epoch boundary at or
+ * after atCycle. The map plus the topology fully determine routing and
+ * every corruption draw, so faulty runs stay bit-reproducible.
+ */
+struct FabricFaultMap
+{
+    std::vector<LinkFault> links;
+    u64 seed = 1;      ///< corruption-draw stream selector
+    Cycle atCycle = 0; ///< 0 = degraded from the first cycle
+
+    bool empty() const { return links.empty(); }
+};
+
 /** Topology configuration. */
 struct NetConfig
 {
@@ -78,6 +123,35 @@ class Topology
 
     /** Number of hops between two chips under the routing above. */
     u32 hops(u32 src, u32 dst) const;
+
+    /** Whether the directed link (chip, dir) physically exists: its
+     *  axis extent is > 1, the chip is not at a mesh edge, and it is
+     *  not the redundant minus wire of an extent-2 torus axis. */
+    bool linkExists(u32 chip, Dir dir) const;
+
+    /** Neighbour reached over (chip, dir); only valid if it exists. */
+    u32 neighborOf(u32 chip, Dir dir) const;
+
+    /**
+     * Fault-aware minimal route: dimension order relaxed per hop.
+     * At each chip the lowest dimension with remaining distance whose
+     * productive link is alive is taken, so the path stays minimal
+     * (every hop reduces the remaining hop count) and terminates.
+     * @p dead is indexed chip * kNumDirs + dir. Returns an empty path
+     * when some chip on the way has no productive live link — the
+     * caller falls back to routeDetour().
+     */
+    std::vector<std::pair<u32, Dir>> routeAdaptive(
+        u32 src, u32 dst, const std::vector<bool> &dead) const;
+
+    /**
+     * Non-minimal detour: breadth-first shortest path over the live
+     * links only, visiting directions in enum order so the result is a
+     * pure function of (topology, fault map). Returns an empty path
+     * when @p dst is unreachable (the fault map partitions the torus).
+     */
+    std::vector<std::pair<u32, Dir>> routeDetour(
+        u32 src, u32 dst, const std::vector<bool> &dead) const;
 
     /**
      * Send @p bytes from @p src to @p dst starting at cycle @p now.

@@ -119,6 +119,11 @@ harvest(arch::System &sys, PhysAddr localBase, u32 localBytes,
     r->flitsInjected = f.flitsInjected();
     r->flitsDelivered = f.flitsDelivered();
     r->flitsInFlight = f.flitsInFlight();
+    r->flitsDropped = f.flitsDropped();
+    r->rerouted = f.rerouted();
+    r->retransmits = f.retransmits();
+    r->crcErrors = f.crcErrors();
+    r->unroutable = f.unroutable();
 
     u64 h = 0xCBF29CE484222325ull;
     std::vector<u8> buf(arch::kRemoteWindowBytes);
@@ -140,6 +145,9 @@ harvest(arch::System &sys, PhysAddr localBase, u32 localBytes,
     h = fnv1aU64(h, r->queueCycles);
     h = fnv1aU64(h, r->flitsInjected);
     h = fnv1aU64(h, r->flitsDelivered);
+    h = fnv1aU64(h, r->flitsDropped);
+    h = fnv1aU64(h, r->rerouted);
+    h = fnv1aU64(h, r->retransmits);
     r->fingerprint = h;
 }
 
@@ -296,7 +304,7 @@ checkConfig(const MultiChipConfig &cfg, const arch::SystemConfig &sc)
 }
 
 RunExit
-runGuests(arch::System &sys, u32 threads,
+runGuests(arch::System &sys, u32 threads, u64 maxCycles,
           const std::function<exec::GuestFactory(u32)> &factoryFor)
 {
     std::vector<std::unique_ptr<exec::GuestEngine>> engines;
@@ -306,7 +314,7 @@ runGuests(arch::System &sys, u32 threads,
             std::make_unique<exec::GuestEngine>(sys.chip(c)));
         engines.back()->spawn(threads, factoryFor(c));
     }
-    const RunExit exit = sys.run();
+    const RunExit exit = sys.run(maxCycles ? maxCycles : kCycleNever);
     if (!(exit == RunExit::AllHalted))
         inform("multichip: run ended early (%s)",
                exit.diagnostic.empty() ? "cycle limit or signal"
@@ -329,10 +337,16 @@ MultiChipConfig::systemConfig() const
     cc.bankBytes = 64 * 1024;
     cc.engine = engine;
     cc.obs = obs;
+    cc.fault = chipFault;
     sc.fabric.net.dimX = dimX;
     sc.fabric.net.dimY = dimY;
     sc.fabric.net.dimZ = dimZ;
     sc.fabric.net.torus = torus;
+    sc.fabric.faults = faults;
+    if (fabricMaxRetries)
+        sc.fabric.maxRetries = fabricMaxRetries;
+    if (fabricRetryBackoff)
+        sc.fabric.retryBackoff = fabricRetryBackoff;
     return sc;
 }
 
@@ -351,13 +365,16 @@ runHaloExchange(const MultiChipConfig &cfg)
                      cfg.iters, sys.windowBase()};
 
     const RunExit exit = runGuests(
-        sys, cfg.threads, [&worlds](u32 c) -> exec::GuestFactory {
+        sys, cfg.threads, cfg.maxCycles,
+        [&worlds](u32 c) -> exec::GuestFactory {
             return [&w = worlds[c]](exec::GuestCtx &ctx) {
                 return haloThread(ctx, w);
             };
         });
 
     MultiChipResult r;
+    r.exitReason = exit.reason;
+    r.exitDiagnostic = exit.diagnostic;
     harvest(sys, kResultBase, cfg.threads * 8, &r);
 
     // Host-side verification: the slots hold the last iteration's
@@ -422,13 +439,16 @@ runDistributedStream(const MultiChipConfig &cfg)
     }
 
     const RunExit exit = runGuests(
-        sys, cfg.threads, [&worlds](u32 c) -> exec::GuestFactory {
+        sys, cfg.threads, cfg.maxCycles,
+        [&worlds](u32 c) -> exec::GuestFactory {
             return [&w = worlds[c]](exec::GuestCtx &ctx) {
                 return streamThread(ctx, w);
             };
         });
 
     MultiChipResult r;
+    r.exitReason = exit.reason;
+    r.exitDiagnostic = exit.diagnostic;
     harvest(sys, kABase, cfg.words * 8, &r);
 
     bool ok = exit == RunExit::AllHalted;

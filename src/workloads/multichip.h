@@ -33,6 +33,22 @@ struct MultiChipConfig
     EngineConfig engine;
     ObsConfig obs;
 
+    /** Link degradation applied to the fabric (dead / flaky /
+     *  derated links); empty leaves the fabric healthy. */
+    net::FabricFaultMap faults;
+
+    /** Degraded-chip map applied to every chip (disabled TUs, failed
+     *  banks, ...), composing chip faults with fabric faults. */
+    FaultConfig chipFault;
+
+    // Fabric reliability overrides (0 = FabricConfig default), used
+    // by the fault campaigns and the retry-storm tests.
+    u32 fabricMaxRetries = 0;
+    Cycle fabricRetryBackoff = 0;
+
+    /** Run budget for the system (0 = unbounded). */
+    u64 maxCycles = 0;
+
     /**
      * The system the workloads run on: a shrunken chip (8 TUs in two
      * quads, 16 x 64 KB banks, no reserved kernel TUs) so multi-chip
@@ -49,6 +65,10 @@ struct MultiChipResult
     u64 instructions = 0;
     bool verified = false;
 
+    /** How the system run ended (FabricFailure on a partition). */
+    arch::RunExitReason exitReason = arch::RunExitReason::AllHalted;
+    std::string exitDiagnostic;
+
     // Fabric aggregates (net.Fabric counters after the drain).
     u64 messages = 0;
     u64 bytesMoved = 0;
@@ -56,6 +76,11 @@ struct MultiChipResult
     u64 flitsInjected = 0;
     u64 flitsDelivered = 0;
     u64 flitsInFlight = 0; ///< 0 after a completed run (conservation)
+    u64 flitsDropped = 0;  ///< corrupted attempts (flaky links)
+    u64 rerouted = 0;      ///< messages that detoured around dead links
+    u64 retransmits = 0;   ///< end-to-end retransmissions
+    u64 crcErrors = 0;     ///< corruptions the checksum caught
+    u64 unroutable = 0;    ///< messages abandoned without a live path
 
     /**
      * FNV-1a over every chip's window + result memory and the

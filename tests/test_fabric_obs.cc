@@ -180,9 +180,9 @@ TEST(FabricObs, StatsRegistryNamesMatchLinkRecords)
     }
     // 2x2x1 torus: 4 chips x 2 plus-direction links (extent-2 minus
     // wires are unregistered), each with 4 counters + 2 gauges, plus
-    // the 6 fabric-wide scalars.
+    // the 12 fabric-wide scalars (6 traffic + 6 fault/retry).
     EXPECT_EQ(fabric.numLinks(), 8u);
-    EXPECT_EQ(stats.scalarNames().size(), 6u + 8u * 6u);
+    EXPECT_EQ(stats.scalarNames().size(), 12u + 8u * 6u);
 }
 
 TEST(FabricObs, OccupancyGaugeTracksBacklog)
@@ -305,7 +305,7 @@ TEST(FabricObs, SamplerHandlesFullLinkCardinality)
 
     EpochSampler sampler;
     sampler.configure(&fabric.stats(), 100);
-    const size_t columns = 6u + 384u * 6u;
+    const size_t columns = 12u + 384u * 6u;
     ASSERT_EQ(sampler.names().size(), columns);
 
     u64 seed = 0x13198A2E03707344ull;

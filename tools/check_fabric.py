@@ -10,16 +10,25 @@ enforces the conservation identities that tie the per-link telemetry
 to the global counters — any drift means a link is double-counting or
 losing traffic:
 
-  flitsInjected == flitsDelivered + flitsInFlight
+  flitsInjected == flitsDelivered + flitsInFlight + droppedFlits
   sum(pair.messages) == fabric.messages
   sum(pair.bytes)    == fabric.bytes
   sum(pair.flits)    == fabric.flitsInjected
-  sum(link.flits)    == sum(pair.flits * pair.hops)
+  sum(link.flits)    == sum(pair.linkFlits)
   sum(link.stallCycles) == fabric.queueCycles
-  link.busyCycles == link.flits            (one flit per cycle)
   per-link counters == links[] array entries
-  latency histograms: n == messages for total/queue/wire and
-  total.sum == queue.sum + wire.sum (exact split)
+  total.sum == queue.sum + wire.sum (exact latency split)
+
+The healthy-fabric identities are enforced only while the link-fault
+map is empty ("faults".active false) — with faults active, detours
+and retransmits make a pair's link crossings a per-packet quantity
+(pair.linkFlits) instead of the analytic flits x hops product:
+
+  healthy only: pair.linkFlits == pair.flits * pair.hops
+  healthy only: link.busyCycles == link.flits (one flit per cycle;
+                derated links stretch occupancy)
+  healthy only: histogram n == messages (an abandoned message is
+                never sampled, so degraded runs have n <= messages)
 
 With --heatmap, the CSV written by --fabric-heatmap must agree with
 the JSON row for row: pair rows are the (src, dst) matrix, link rows
@@ -46,10 +55,26 @@ def load_stats(path: str) -> dict:
     if doc.get("schema") != "cyclops-fabric-v1":
         fail(f"{path}: schema '{doc.get('schema')}' is not "
              f"cyclops-fabric-v1")
-    for key in ("cycles", "topology", "counters", "histograms",
-                "pairs", "links"):
+    for key in ("cycles", "topology", "faults", "counters",
+                "histograms", "pairs", "links"):
         if key not in doc:
             fail(f"{path}: missing '{key}'")
+    faults = doc["faults"]
+    for key in ("active", "seed", "atCycle", "links"):
+        if key not in faults:
+            fail(f"{path}: faults section missing '{key}'")
+    for i, lf in enumerate(faults["links"]):
+        for key in ("src", "dst", "kind", "flakyPpm", "escapePpm",
+                    "derate"):
+            if key not in lf:
+                fail(f"{path}: fault link {i} missing '{key}'")
+        if lf["kind"] not in ("dead", "flaky", "derated"):
+            fail(f"{path}: fault link {i} has unknown kind "
+                 f"'{lf['kind']}'")
+        if lf["flakyPpm"] > 1_000_000 or lf["escapePpm"] > 1_000_000:
+            fail(f"{path}: fault link {i} probabilities exceed 1e6 ppm")
+    if faults["active"] and not faults["links"]:
+        fail(f"{path}: faults active with an empty link list")
     topo = doc["topology"]
     for key in ("dimX", "dimY", "dimZ", "torus", "chips", "links"):
         if key not in topo:
@@ -67,20 +92,34 @@ def check_stats(path: str, doc: dict) -> None:
     counters = doc["counters"]
     for name in ("fabric.messages", "fabric.bytes", "fabric.queueCycles",
                  "fabric.flitsInjected", "fabric.flitsDelivered",
-                 "fabric.flitsInFlight"):
+                 "fabric.flitsInFlight", "fabric.droppedFlits",
+                 "fabric.rerouted", "fabric.retransmits",
+                 "fabric.retries", "fabric.crcErrors",
+                 "fabric.unroutable"):
         if name not in counters:
             fail(f"{path}: missing counter '{name}'")
+    faulty = doc["faults"]["active"]
     injected = counters["fabric.flitsInjected"]
     delivered = counters["fabric.flitsDelivered"]
     in_flight = counters["fabric.flitsInFlight"]
-    if injected != delivered + in_flight:
+    dropped = counters["fabric.droppedFlits"]
+    if injected != delivered + in_flight + dropped:
         fail(f"{path}: flit conservation violated: injected {injected} "
-             f"!= delivered {delivered} + in-flight {in_flight}")
+             f"!= delivered {delivered} + in-flight {in_flight} "
+             f"+ dropped {dropped}")
+    if not faulty:
+        for name in ("fabric.droppedFlits", "fabric.rerouted",
+                     "fabric.retransmits", "fabric.crcErrors",
+                     "fabric.unroutable"):
+            if counters[name] != 0:
+                fail(f"{path}: healthy fabric has nonzero {name} "
+                     f"({counters[name]})")
 
     # Chip-pair matrix sums equal the global counters exactly.
     pairs = doc["pairs"]
     for i, p in enumerate(pairs):
-        for key in ("src", "dst", "messages", "bytes", "flits", "hops"):
+        for key in ("src", "dst", "messages", "bytes", "flits", "hops",
+                    "linkFlits"):
             if key not in p:
                 fail(f"{path}: pair {i} missing '{key}'")
         if p["src"] == p["dst"]:
@@ -88,6 +127,14 @@ def check_stats(path: str, doc: dict) -> None:
         if p["messages"] == 0:
             fail(f"{path}: pair {i} has zero messages (pairs with no "
                  f"traffic are omitted)")
+        if not faulty and p["linkFlits"] != p["flits"] * p["hops"]:
+            fail(f"{path}: pair {p['src']}->{p['dst']} linkFlits "
+                 f"{p['linkFlits']} != flits x hops "
+                 f"{p['flits'] * p['hops']} on a healthy fabric")
+        if faulty and p["flits"] and p["linkFlits"] < p["flits"]:
+            fail(f"{path}: pair {p['src']}->{p['dst']} linkFlits "
+                 f"{p['linkFlits']} < flits {p['flits']} (every "
+                 f"attempt crosses at least one link)")
     if sum(p["messages"] for p in pairs) != counters["fabric.messages"]:
         fail(f"{path}: pair message sum != fabric.messages")
     if sum(p["bytes"] for p in pairs) != counters["fabric.bytes"]:
@@ -95,23 +142,29 @@ def check_stats(path: str, doc: dict) -> None:
     if sum(p["flits"] for p in pairs) != injected:
         fail(f"{path}: pair flit sum != fabric.flitsInjected")
 
-    # Per-link sums: every flit of a (src, dst) message crosses every
-    # link of its DOR route, so link flits total pair flits x hops.
+    # Per-link sums: every flit of every transmission attempt crosses
+    # every link of its (possibly detoured) route, and the pair matrix
+    # accounts the same crossings in linkFlits — the two views must
+    # agree exactly, faults or not.
     links = doc["links"]
     for i, l in enumerate(links):
         for key in ("src", "dst", "dir", "flits", "busyCycles",
                     "stallCycles", "occFlitCycles", "occPeak"):
             if key not in l:
                 fail(f"{path}: link {i} missing '{key}'")
-        if l["busyCycles"] != l["flits"]:
+        if not faulty and l["busyCycles"] != l["flits"]:
             fail(f"{path}: link {l['src']}->{l['dst']} busyCycles "
                  f"{l['busyCycles']} != flits {l['flits']} "
                  f"(one flit per cycle)")
+        if faulty and l["busyCycles"] < l["flits"]:
+            fail(f"{path}: link {l['src']}->{l['dst']} busyCycles "
+                 f"{l['busyCycles']} < flits {l['flits']} (derating "
+                 f"only stretches occupancy)")
     link_flits = sum(l["flits"] for l in links)
-    pair_hop_flits = sum(p["flits"] * p["hops"] for p in pairs)
-    if link_flits != pair_hop_flits:
+    pair_link_flits = sum(p["linkFlits"] for p in pairs)
+    if link_flits != pair_link_flits:
         fail(f"{path}: link flit sum {link_flits} != "
-             f"pair flits x hops {pair_hop_flits}")
+             f"pair linkFlits sum {pair_link_flits}")
     stall = sum(l["stallCycles"] for l in links)
     if stall != counters["fabric.queueCycles"]:
         fail(f"{path}: link stall sum {stall} != fabric.queueCycles "
@@ -146,10 +199,13 @@ def check_stats(path: str, doc: dict) -> None:
                 fail(f"{path}: histogram '{name}' missing '{key}'")
         if sum(h["buckets"]) != h["n"]:
             fail(f"{path}: histogram '{name}' buckets do not sum to n")
-        if h["n"] != counters["fabric.messages"]:
+        if not faulty and h["n"] != counters["fabric.messages"]:
             fail(f"{path}: histogram '{name}' has {h['n']} samples, "
                  f"want one per message "
                  f"({counters['fabric.messages']})")
+        if faulty and h["n"] > counters["fabric.messages"]:
+            fail(f"{path}: histogram '{name}' has {h['n']} samples "
+                 f"for {counters['fabric.messages']} messages")
     total = hists["fabric.latency.total"]
     queue = hists["fabric.latency.queue"]
     wire = hists["fabric.latency.wire"]
@@ -171,9 +227,15 @@ def check_stats(path: str, doc: dict) -> None:
                 fail(f"{path}: series '{name}' final value {col[-1]} "
                      f"!= end-of-run counter {counters[name]}")
 
+    note = ""
+    if faulty:
+        note = (f", {len(doc['faults']['links'])} faulty links: "
+                f"{counters['fabric.rerouted']} rerouted, "
+                f"{counters['fabric.retransmits']} retransmits, "
+                f"{dropped} flits dropped")
     print(f"{path}: ok ({len(links)} links, {len(pairs)} pairs, "
           f"{counters['fabric.messages']} messages, "
-          f"{injected} flits conserved)")
+          f"{injected} flits conserved{note})")
 
 
 HEATMAP_COLUMNS = ("kind,src,dst,dir,messages,bytes,flits,busyCycles,"

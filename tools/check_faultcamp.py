@@ -10,6 +10,10 @@ invariants:
   - cache-line faults are architecturally inert (timing-directory
     caches; functional data lives in flat DRAM) so they must classify
     as masked;
+  - link faults carry well-formed probabilities (ppm <= 1e6), are
+    never self-addressed, and a dead link (ppm == 0) never classifies
+    as sdc — only a checksum escape can corrupt data silently;
+  - a single-kind campaign (--kind) contains only that kind;
   - detected/crash outcomes carry a diagnostic detail string.
 
 With --compare, additionally require a second report file to be
@@ -22,11 +26,12 @@ import sys
 
 SCHEMA = "cyclops-faultcamp-v1"
 OUTCOMES = ("masked", "detected", "sdc", "crash", "hang")
-KINDS = ("register", "memory", "cacheLine")
+KINDS = ("register", "memory", "cacheLine", "link")
 KIND_FIELDS = {
     "register": ("thread", "reg", "bit"),
     "memory": ("addr", "bit"),
     "cacheLine": ("cache", "line"),
+    "link": ("linkSrc", "linkDst", "ppm", "escapePpm"),
 }
 
 
@@ -58,6 +63,15 @@ def check_injection(i, inj):
     if inj["kind"] == "cacheLine" and inj["outcome"] != "masked":
         fail(f"{where}: cache-line fault classified '{inj['outcome']}' "
              "(timing-only faults must be masked)")
+    if inj["kind"] == "link":
+        if inj["linkSrc"] == inj["linkDst"]:
+            fail(f"{where}: link fault is self-addressed")
+        if inj["ppm"] > 1_000_000 or inj["escapePpm"] > 1_000_000:
+            fail(f"{where}: link probabilities exceed 1e6 ppm")
+        if inj["ppm"] == 0 and inj["escapePpm"] == 0 \
+                and inj["outcome"] == "sdc":
+            fail(f"{where}: dead link classified 'sdc' (a dead link "
+                 "cannot corrupt data silently)")
     if inj["outcome"] in ("detected", "crash") and not inj.get("detail"):
         fail(f"{where}: outcome '{inj['outcome']}' has no detail")
 
@@ -81,9 +95,11 @@ def main():
 
     meta = camp["campaign"]
     for field in ("seed", "iterations", "threads", "bodyOps",
-                  "maxCycles", "watchdogCycles"):
+                  "maxCycles", "watchdogCycles", "kind"):
         if field not in meta:
             fail(f"campaign header missing '{field}'")
+    if meta["kind"] not in KINDS + ("mixed",):
+        fail(f"campaign header kind {meta['kind']!r} unknown")
 
     injections = camp["injections"]
     if len(injections) != meta["iterations"]:
@@ -93,6 +109,9 @@ def main():
     tally = dict.fromkeys(OUTCOMES, 0)
     for i, inj in enumerate(injections):
         check_injection(i, inj)
+        if meta["kind"] != "mixed" and inj["kind"] != meta["kind"]:
+            fail(f"injection {i}: kind '{inj['kind']}' in a "
+                 f"'{meta['kind']}'-only campaign")
         tally[inj["outcome"]] += 1
 
     counts = camp["counts"]

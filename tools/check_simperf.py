@@ -24,6 +24,11 @@ the cycle-engine comparison invariants:
     has the same repeat/CoV discipline, its simCyclesDrift is exactly
     zero (enabling fabric telemetry must not move a simulated cycle),
     and its overheadPct stays under --max-fabric-overhead;
+  - the fault-model overhead experiment (fabricFaultOverhead: the
+    fault model armed by a benign ppm=0 flaky link vs the healthy
+    fast path) obeys the same gates — simCyclesDrift exactly zero,
+    bounded overheadPct — so arming fault injection is proven to be
+    a host-cost-only change;
   - the hostObs section is well-formed: a sharded row per worker
     count with per-worker lanes whose tick/defer counts sum exactly
     to the engine totals, and the sampled window split covering every
@@ -91,7 +96,7 @@ def check_workload(i, w):
             fail(f"{where}: multichip row missing 'fabric' counters")
         for field in ("messages", "bytes", "queueCycles",
                       "flitsInjected", "flitsDelivered",
-                      "flitsInFlight"):
+                      "flitsInFlight", "droppedFlits", "retransmits"):
             if not isinstance(fabric.get(field), int) or \
                     fabric[field] < 0:
                 fail(f"{where}: fabric.{field} must be a nonneg "
@@ -100,7 +105,8 @@ def check_workload(i, w):
             fail(f"{where}: fabric.messages is zero — no traffic "
                  f"crossed the fabric")
         if fabric["flitsInjected"] != \
-                fabric["flitsDelivered"] + fabric["flitsInFlight"]:
+                fabric["flitsDelivered"] + fabric["flitsInFlight"] + \
+                fabric["droppedFlits"]:
             fail(f"{where}: fabric flit conservation violated")
 
 
@@ -274,6 +280,19 @@ def main():
     if fabric_obs["overheadPct"] > args.max_fabric_overhead:
         fail(f"fabricObsOverhead: overheadPct "
              f"{fabric_obs['overheadPct']:.2f} exceeds "
+             f"--max-fabric-overhead {args.max_fabric_overhead:.2f}")
+    fault_oh = report.get("fabricFaultOverhead")
+    check_overhead("fabricFaultOverhead", fault_oh, args)
+    # Arming the fault model with a benign map (flaky link at ppm = 0)
+    # is a host-cost-only change: every message still rides its
+    # healthy path, so the simulated cycle counts must match exactly.
+    if fault_oh.get("simCyclesDrift") != 0:
+        fail(f"fabricFaultOverhead: simCyclesDrift "
+             f"{fault_oh.get('simCyclesDrift')} != 0 — arming the "
+             f"fault model changed simulated timing")
+    if fault_oh["overheadPct"] > args.max_fabric_overhead:
+        fail(f"fabricFaultOverhead: overheadPct "
+             f"{fault_oh['overheadPct']:.2f} exceeds "
              f"--max-fabric-overhead {args.max_fabric_overhead:.2f}")
     nshard = check_hostobs(report, args)
     nengines, err, cores = check_engines(report, args)

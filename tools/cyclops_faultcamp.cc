@@ -13,6 +13,14 @@
  *   cyclops-faultcamp --iters 1000 --out camp.json
  *   cyclops-faultcamp --seed 7 --iters 100 --jobs 1     serial rerun
  *
+ * --kind restricts the campaign to one fault kind; "--kind link"
+ * switches the workload to a multi-chip halo exchange on a 2x2x1
+ * torus and injects one fabric link fault per iteration (dead /
+ * flaky / flaky-with-escapes / always-corrupt), exercising the
+ * fault-tolerant fabric of DESIGN.md section 18: masked means the
+ * rerouting or the end-to-end retry absorbed the fault, detected is
+ * a structured fabric-failure exit, sdc is a checksum escape.
+ *
  * Observability passthrough (DESIGN.md section 10): --stats-json,
  * --stats-csv, --stats-interval, --trace-out, --trace-cats,
  * --trace-capacity and --host-obs apply to the *injected* runs (the
@@ -48,6 +56,7 @@ usage(const char *argv0, const char *why)
     std::fprintf(stderr,
                  "usage: %s [--seed N] [--iters N] [--threads N] "
                  "[--body-ops N]\n"
+                 "       [--kind register|memory|cacheLine|link]\n"
                  "       [--max-cycles N] [--watchdog N] [--jobs N] "
                  "[--out FILE]\n"
                  "       [--engine serial|sharded] [--engine-workers N]\n"
@@ -105,6 +114,12 @@ main(int argc, char **argv)
         } else if (std::strcmp(arg, "--body-ops") == 0) {
             numArg(&v);
             opts.bodyOps = u32(v);
+        } else if (std::strcmp(arg, "--kind") == 0 && i + 1 < argc) {
+            if (!fault::parseFaultKind(argv[++i], &opts.kind))
+                return usage(argv[0],
+                             strprintf("--kind: unknown fault kind '%s'",
+                                       argv[i]).c_str());
+            opts.kindSet = true;
         } else if (std::strcmp(arg, "--max-cycles") == 0) {
             numArg(&opts.maxCycles);
         } else if (std::strcmp(arg, "--watchdog") == 0) {

@@ -27,6 +27,19 @@
  *   --watchdog N       deadlock watchdog window in cycles (0 = off)
  *   --timeout-seconds N  wall-clock limit (graceful stop via SIGALRM)
  *
+ * Fabric link faults (DESIGN.md section 18; need --chips; chips are
+ * ids in the X,Y,Z grid, x fastest):
+ *   --disable-link A->B    kill the directed link chip A -> chip B;
+ *                          routing detours around it (repeatable)
+ *   --link-flaky A->B=PPM  corrupt packets on the link with
+ *                          probability PPM/1e6; the end-to-end
+ *                          checksum catches and retransmits
+ *   --link-derate A->B=N   divide the link bandwidth by N
+ *   --fabric-fault-seed N  corruption-draw stream selector (the run
+ *                          is byte-reproducible for a given seed)
+ *   --fabric-fault-at N    apply the fault map mid-run at cycle N
+ *                          (default 0: degraded from the first cycle)
+ *
  * Engine selection (DESIGN.md section 14; same results, faster host):
  *   --engine serial|sharded  cycle engine (default serial)
  *   --engine-workers N       sharded-engine host workers (0 = auto)
@@ -67,7 +80,9 @@
  * index, r5 = thread count. Console output (traps) goes to stdout.
  *
  * Exit status: 0 success, 1 guest fault or host error, 2 usage or
- * configuration error, 3 cycle limit, 4 deadlock watchdog,
+ * configuration error, 3 cycle limit, 4 deadlock watchdog, 5 fabric
+ * failure (a remote access was abandoned: the fault map partitions
+ * the system or a retry storm exhausted the bounded retries),
  * 128+signal on SIGINT/SIGTERM/timeout (state flushed first).
  */
 
@@ -119,6 +134,9 @@ usage(const char *argv0)
                  "       [--prof-out P] [--prof-interval N]\n"
                  "       [--fabric-stats P] [--fabric-heatmap P]\n"
                  "       [--host-obs] [--manifest P]\n"
+                 "       [--disable-link A->B] [--link-flaky A->B=PPM]\n"
+                 "       [--link-derate A->B=N] [--fabric-fault-seed N]\n"
+                 "       [--fabric-fault-at N]\n"
                  "       [--chips X,Y,Z] [--mesh] prog.s\n",
                  argv0);
 }
@@ -145,6 +163,33 @@ parseU64(const char *text, u64 *out)
         std::strchr(text, '-') != nullptr)
         return false;
     *out = v;
+    return true;
+}
+
+/** Parse a directed link "A->B"; false if malformed. */
+bool
+parseLink(const char *text, u32 *src, u32 *dst)
+{
+    unsigned a = 0, b = 0;
+    char tail = 0;
+    if (std::sscanf(text, "%u->%u%c", &a, &b, &tail) != 2)
+        return false;
+    *src = u32(a);
+    *dst = u32(b);
+    return true;
+}
+
+/** Parse a valued directed link "A->B=N"; false if malformed. */
+bool
+parseLinkValue(const char *text, u32 *src, u32 *dst, u32 *value)
+{
+    unsigned a = 0, b = 0, v = 0;
+    char tail = 0;
+    if (std::sscanf(text, "%u->%u=%u%c", &a, &b, &v, &tail) != 3)
+        return false;
+    *src = u32(a);
+    *dst = u32(b);
+    *value = u32(v);
     return true;
 }
 
@@ -254,6 +299,10 @@ runSystem(const char *argv0, const isa::Program &prog, const char *path,
                          : exit.signal == SIGINT ? "SIGINT" : "SIGTERM",
                      static_cast<unsigned long long>(exit.at));
         return 128 + exit.signal;
+      case arch::RunExitReason::FabricFailure:
+        std::fprintf(stderr, "\n[fabric failure]\n%s\n",
+                     exit.diagnostic.c_str());
+        return 5;
       case arch::RunExitReason::AllHalted:
         break;
     }
@@ -269,6 +318,15 @@ runSystem(const char *argv0, const isa::Program &prog, const char *path,
         static_cast<unsigned long long>(fabric.messages()),
         static_cast<unsigned long long>(fabric.bytesMoved()),
         static_cast<unsigned long long>(fabric.queueCycles()));
+    if (fabric.faultsActive())
+        std::fprintf(
+            stderr,
+            "[fabric faults: %llu rerouted, %llu retransmits, "
+            "%llu crc errors, %llu dropped flits]\n",
+            static_cast<unsigned long long>(fabric.rerouted()),
+            static_cast<unsigned long long>(fabric.retransmits()),
+            static_cast<unsigned long long>(fabric.crcErrors()),
+            static_cast<unsigned long long>(fabric.flitsDropped()));
     if (dumpStats)
         for (u32 c = 0; c < sys.numChips(); ++c) {
             std::fprintf(stderr, "--- chip %u ---\n", c);
@@ -294,6 +352,7 @@ main(int argc, char **argv)
     std::string manifestPath;
     u32 chipDims[3] = {0, 0, 0};
     bool mesh = false;
+    net::FabricFaultMap faultMap;
     const char *path = nullptr;
     const u64 startNs = hostNowNs();
 
@@ -380,6 +439,38 @@ main(int argc, char **argv)
             obs.hostObs = true;
         } else if (std::strcmp(arg, "--manifest") == 0 && i + 1 < argc) {
             manifestPath = argv[++i];
+        } else if (std::strcmp(arg, "--disable-link") == 0 &&
+                   i + 1 < argc) {
+            net::LinkFault lf;
+            if (!parseLink(argv[++i], &lf.src, &lf.dst))
+                argError(argv[0],
+                         strprintf("--disable-link: '%s' is not "
+                                   "SRC->DST", argv[i]));
+            faultMap.links.push_back(lf);
+        } else if (std::strcmp(arg, "--link-flaky") == 0 &&
+                   i + 1 < argc) {
+            net::LinkFault lf;
+            lf.kind = net::LinkFaultKind::Flaky;
+            if (!parseLinkValue(argv[++i], &lf.src, &lf.dst,
+                                &lf.flakyPpm))
+                argError(argv[0],
+                         strprintf("--link-flaky: '%s' is not "
+                                   "SRC->DST=PPM", argv[i]));
+            faultMap.links.push_back(lf);
+        } else if (std::strcmp(arg, "--link-derate") == 0 &&
+                   i + 1 < argc) {
+            net::LinkFault lf;
+            lf.kind = net::LinkFaultKind::Derated;
+            if (!parseLinkValue(argv[++i], &lf.src, &lf.dst,
+                                &lf.derate))
+                argError(argv[0],
+                         strprintf("--link-derate: '%s' is not "
+                                   "SRC->DST=N", argv[i]));
+            faultMap.links.push_back(lf);
+        } else if (std::strcmp(arg, "--fabric-fault-seed") == 0) {
+            faultMap.seed = num();
+        } else if (std::strcmp(arg, "--fabric-fault-at") == 0) {
+            faultMap.atCycle = num();
         } else if (std::strcmp(arg, "--chips") == 0 && i + 1 < argc) {
             if (!parseDims(argv[++i], chipDims))
                 argError(argv[0],
@@ -405,6 +496,10 @@ main(int argc, char **argv)
         (!obs.fabricStats.empty() || !obs.fabricHeatmap.empty()))
         argError(argv[0],
                  "--fabric-stats/--fabric-heatmap need --chips X,Y,Z");
+    if (chipDims[0] == 0 && !faultMap.empty())
+        argError(argv[0],
+                 "--disable-link/--link-flaky/--link-derate need "
+                 "--chips X,Y,Z");
 
     std::ifstream in(path);
     if (!in) {
@@ -465,6 +560,7 @@ main(int argc, char **argv)
         sysCfg.fabric.net.dimY = chipDims[1];
         sysCfg.fabric.net.dimZ = chipDims[2];
         sysCfg.fabric.net.torus = !mesh;
+        sysCfg.fabric.faults = faultMap;
         if (const std::string err = sysCfg.check(); !err.empty())
             argError(argv[0], err);
         return runSystem(argv[0], prog, path, sysCfg, threads, balanced,
@@ -525,6 +621,7 @@ main(int argc, char **argv)
                          : exit.signal == SIGINT ? "SIGINT" : "SIGTERM",
                      static_cast<unsigned long long>(exit.at));
         return 128 + exit.signal;
+      case arch::RunExitReason::FabricFailure: // no fabric on one chip
       case arch::RunExitReason::AllHalted:
         break;
     }

@@ -1,0 +1,61 @@
+# CTest script: fabric fault-tolerance smoke. Two identical multi-chip
+# runs on a degraded fabric — one dead link forcing reroutes plus one
+# seeded flaky link forcing retransmissions — must complete verified
+# (exit 0), be byte-identical across repeats (every corruption draw
+# and retry is a pure function of the seed), and the exported fabric
+# stats must pass check_fabric.py's degraded-mode identities
+# (conservation with dropped flits, linkFlits >= flits x hops).
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR}/a ${WORK_DIR}/b)
+
+foreach(side a b)
+    execute_process(
+        COMMAND ${RUNNER} -t 4 --chips 2,2,1
+            --disable-link 0->1 --link-flaky 1->0=200000
+            --fabric-fault-seed 7
+            --fabric-stats ${WORK_DIR}/${side}/fabric.json
+            --fabric-heatmap ${WORK_DIR}/${side}/heatmap.csv
+            ${PROGRAM}
+        RESULT_VARIABLE run_rc
+        OUTPUT_VARIABLE run_out
+        ERROR_VARIABLE run_err)
+    if(NOT run_rc EQUAL 0)
+        message(FATAL_ERROR
+            "cyclops-run degraded-fabric run ${side} failed (${run_rc}):\n"
+            "${run_out}\n${run_err}")
+    endif()
+    # The fault summary line rides the run footer on stderr.
+    if(NOT run_err MATCHES "rerouted")
+        message(FATAL_ERROR
+            "degraded-fabric run ${side} printed no fault summary:\n"
+            "${run_out}\n${run_err}")
+    endif()
+endforeach()
+
+# Determinism: the degraded run's artifacts byte-identical on repeat.
+foreach(artifact fabric.json heatmap.csv)
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${WORK_DIR}/a/${artifact} ${WORK_DIR}/b/${artifact}
+        RESULT_VARIABLE cmp_rc)
+    if(NOT cmp_rc EQUAL 0)
+        message(FATAL_ERROR
+            "${artifact} differs between identical degraded runs — "
+            "fault injection is not deterministic")
+    endif()
+endforeach()
+
+# Degraded-mode conservation identities + heatmap cross-check (a 2x2x1
+# torus still registers its 8 directed links; the dead one just never
+# carries flits).
+execute_process(
+    COMMAND ${PYTHON} ${CHECK_FABRIC} ${WORK_DIR}/a/fabric.json
+        --heatmap ${WORK_DIR}/a/heatmap.csv --expect-links 8
+    RESULT_VARIABLE check_rc
+    OUTPUT_VARIABLE check_out
+    ERROR_VARIABLE check_err)
+if(NOT check_rc EQUAL 0)
+    message(FATAL_ERROR
+        "check_fabric.py failed (${check_rc}):\n${check_out}\n${check_err}")
+endif()
+message(STATUS "${check_out}")

@@ -1,0 +1,34 @@
+# CTest script: link-kind fault campaign smoke. Two identical
+# --kind link campaigns at different job counts must be byte-identical
+# (per-iteration seeds, strike cycles, and victim links are derived,
+# not raced) and pass check_faultcamp.py's link-specific invariants
+# (homogeneous kind, valid victim endpoints, dead links never SDC).
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+foreach(jobs 1 2)
+    execute_process(
+        COMMAND ${RUNNER} --kind link --seed 9 --iters 8 --jobs ${jobs}
+            --out ${WORK_DIR}/camp_j${jobs}.json
+        RESULT_VARIABLE run_rc
+        OUTPUT_VARIABLE run_out
+        ERROR_VARIABLE run_err)
+    if(NOT run_rc EQUAL 0)
+        message(FATAL_ERROR
+            "cyclops-faultcamp --kind link --jobs ${jobs} failed "
+            "(${run_rc}):\n${run_out}\n${run_err}")
+    endif()
+endforeach()
+
+execute_process(
+    COMMAND ${PYTHON} ${CHECKER} ${WORK_DIR}/camp_j1.json
+        --compare ${WORK_DIR}/camp_j2.json
+    RESULT_VARIABLE check_rc
+    OUTPUT_VARIABLE check_out
+    ERROR_VARIABLE check_err)
+if(NOT check_rc EQUAL 0)
+    message(FATAL_ERROR
+        "check_faultcamp.py failed (${check_rc}):\n"
+        "${check_out}\n${check_err}")
+endif()
+message(STATUS "${check_out}")
